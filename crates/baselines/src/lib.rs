@@ -1,0 +1,28 @@
+//! Baseline DRAM-mapping reverse-engineering tools.
+//!
+//! The DRAMDig paper compares against three earlier tools (its Table I):
+//!
+//! | Tool | Generic | Efficient | Deterministic |
+//! |------|---------|-----------|---------------|
+//! | Seaborn et al. ([`seaborn`]) | no | no (hours) | yes |
+//! | Xiao et al. ([`xiao`]) | no | yes (minutes) | yes |
+//! | DRAMA ([`drama`]) | yes | no (hours) | no |
+//! | DRAMDig (the `dramdig` crate) | yes | yes | yes |
+//!
+//! Each baseline is re-implemented here from its published description so
+//! the experiment harness can regenerate Table I, Figure 2 and Table III.
+//! They observe the memory system through the same [`mem_probe::MemoryProbe`]
+//! timing channel as DRAMDig, so all comparisons are apples-to-apples.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod drama;
+pub mod outcome;
+pub mod seaborn;
+pub mod xiao;
+
+pub use drama::{Drama, DramaConfig};
+pub use outcome::{BaselineError, ToolOutcome};
+pub use seaborn::Seaborn;
+pub use xiao::{Xiao, XiaoConfig};

@@ -1,0 +1,192 @@
+//! Common result and error types shared by all baseline tools.
+
+use std::fmt;
+
+use dram_model::{AddressMapping, XorFunc};
+
+/// What a reverse-engineering run produced, in a shape that the experiment
+/// harness can compare across tools.
+#[derive(Debug, Clone)]
+pub struct ToolOutcome {
+    /// Name of the tool that produced the outcome.
+    pub tool: &'static str,
+    /// The recovered full mapping, if the tool produced one.
+    pub mapping: Option<AddressMapping>,
+    /// The recovered bank address functions (possibly incomplete or wrong).
+    pub functions: Vec<XorFunc>,
+    /// The physical-address bits the tool believes index rows (possibly
+    /// incomplete — e.g. DRAMA never recovers row bits that are shared with
+    /// bank functions).
+    pub row_bits: Vec<u8>,
+    /// The physical-address bits the tool believes index columns.
+    pub column_bits: Vec<u8>,
+    /// Number of pair-latency measurements issued.
+    pub measurements: u64,
+    /// Simulated nanoseconds spent.
+    pub elapsed_ns: u64,
+    /// Free-form notes (e.g. why the tool stopped early).
+    pub notes: Vec<String>,
+}
+
+impl ToolOutcome {
+    /// Creates an outcome shell for a tool.
+    pub fn new(tool: &'static str) -> Self {
+        ToolOutcome {
+            tool,
+            mapping: None,
+            functions: Vec::new(),
+            row_bits: Vec::new(),
+            column_bits: Vec::new(),
+            measurements: 0,
+            elapsed_ns: 0,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Elapsed simulated time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_ns as f64 / 1e9
+    }
+
+    /// Returns `true` if the recovered mapping is functionally equivalent to
+    /// `truth` (same bank partition and the same row/column bits).
+    pub fn matches(&self, truth: &AddressMapping) -> bool {
+        self.mapping
+            .as_ref()
+            .is_some_and(|m| m.equivalent_to(truth))
+    }
+
+    /// Returns `true` if the recovered bank functions induce the same bank
+    /// partition as `truth`, ignoring rows and columns.
+    pub fn bank_partition_matches(&self, truth: &AddressMapping) -> bool {
+        if self.functions.len() != truth.bank_funcs().len() {
+            return false;
+        }
+        let mine = dram_model::gf2::Gf2Matrix::from_funcs(&self.functions);
+        let theirs = dram_model::gf2::Gf2Matrix::from_funcs(truth.bank_funcs());
+        self.functions.iter().all(|f| theirs.spans(f.mask()))
+            && truth.bank_funcs().iter().all(|f| mine.spans(f.mask()))
+    }
+}
+
+impl fmt::Display for ToolOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} functions, {} measurements, {:.1} s",
+            self.tool,
+            self.functions.len(),
+            self.measurements,
+            self.elapsed_seconds()
+        )?;
+        if let Some(m) = &self.mapping {
+            write!(f, "; mapping {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors reported by baseline tools.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The tool is not applicable to this machine (not generic).
+    NotApplicable {
+        /// The tool that refused to run.
+        tool: &'static str,
+        /// Why it cannot handle this machine.
+        reason: String,
+    },
+    /// The tool got stuck and gave up after exhausting its budget, the
+    /// failure mode the paper observed for Xiao et al. and DRAMA.
+    Stuck {
+        /// The tool that got stuck.
+        tool: &'static str,
+        /// What it was doing when it gave up.
+        reason: String,
+        /// Measurements spent before giving up.
+        measurements: u64,
+        /// Simulated nanoseconds spent before giving up.
+        elapsed_ns: u64,
+    },
+    /// The timing channel could not be calibrated.
+    Calibration(mem_probe::ProbeError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NotApplicable { tool, reason } => {
+                write!(f, "{tool} is not applicable to this machine: {reason}")
+            }
+            BaselineError::Stuck {
+                tool,
+                reason,
+                measurements,
+                ..
+            } => write!(f, "{tool} got stuck after {measurements} measurements: {reason}"),
+            BaselineError::Calibration(e) => write!(f, "calibration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Calibration(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mem_probe::ProbeError> for BaselineError {
+    fn from(e: mem_probe::ProbeError) -> Self {
+        BaselineError::Calibration(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::MachineSetting;
+
+    #[test]
+    fn matches_and_partition_matches() {
+        let truth = MachineSetting::no4_haswell_ddr3_4g();
+        let mut outcome = ToolOutcome::new("test");
+        assert!(!outcome.matches(truth.mapping()));
+        outcome.mapping = Some(truth.mapping().clone());
+        outcome.functions = truth.mapping().bank_funcs().to_vec();
+        assert!(outcome.matches(truth.mapping()));
+        assert!(outcome.bank_partition_matches(truth.mapping()));
+        // A wrong function count never matches.
+        outcome.functions.pop();
+        assert!(!outcome.bank_partition_matches(truth.mapping()));
+    }
+
+    #[test]
+    fn display_mentions_tool_and_cost() {
+        let mut o = ToolOutcome::new("drama");
+        o.measurements = 10;
+        o.elapsed_ns = 2_000_000_000;
+        let s = o.to_string();
+        assert!(s.contains("drama"));
+        assert!(s.contains("2.0 s"));
+    }
+
+    #[test]
+    fn errors_format() {
+        let e = BaselineError::NotApplicable {
+            tool: "xiao",
+            reason: "DDR4".into(),
+        };
+        assert!(e.to_string().contains("xiao"));
+        let e = BaselineError::Stuck {
+            tool: "drama",
+            reason: "budget".into(),
+            measurements: 5,
+            elapsed_ns: 1,
+        };
+        assert!(e.to_string().contains("stuck"));
+    }
+}

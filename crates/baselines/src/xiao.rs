@@ -1,0 +1,287 @@
+//! Re-implementation of the approach of Xiao et al.
+//! (USENIX Security 2016, "One Bit Flips, One Cloud Flops").
+//!
+//! Xiao et al. also use the row-buffer timing channel, and they are fast —
+//! but their search assumes every bank address function XORs **exactly two**
+//! physical address bits (one low "bank" bit with one higher bit), which was
+//! true for the Sandy Bridge / Ivy Bridge single-DIMM machines they studied.
+//! On machines whose memory controller hashes many bits into one function
+//! (the 6- and 7-bit channel/rank functions of Table II machines No.2, No.5,
+//! No.6 and No.9) the search can never complete, which is exactly the
+//! behaviour the DRAMDig authors observed when running the shared code
+//! ("the running code was stuck after resolving (16, 20), (17, 21), (18, 22)
+//! as 3 of 6 bank address functions").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dram_model::{gf2, AddressMapping, DdrGeneration, PhysAddr, SystemInfo, XorFunc};
+use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe};
+
+use crate::outcome::{BaselineError, ToolOutcome};
+
+/// Tuning knobs of the Xiao et al. re-implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XiaoConfig {
+    /// Number of calibration samples.
+    pub calibration_samples: usize,
+    /// Measurement budget spent searching for the missing functions before
+    /// the tool is considered stuck.
+    pub stuck_budget: u64,
+    /// Whether the tool refuses DDR4 machines (the original targeted DDR3
+    /// cloud hosts; running it on DDR4 was not supported).
+    pub ddr3_only: bool,
+    /// RNG seed for base-address selection.
+    pub rng_seed: u64,
+}
+
+impl Default for XiaoConfig {
+    fn default() -> Self {
+        XiaoConfig {
+            calibration_samples: 300,
+            stuck_budget: 20_000,
+            ddr3_only: true,
+            rng_seed: 0x1A0,
+        }
+    }
+}
+
+/// The Xiao et al. reverse-engineering tool.
+#[derive(Debug, Clone)]
+pub struct Xiao {
+    config: XiaoConfig,
+}
+
+impl Xiao {
+    /// Creates an instance with the given configuration.
+    pub fn new(config: XiaoConfig) -> Self {
+        Xiao { config }
+    }
+
+    /// Creates an instance with default configuration.
+    pub fn with_defaults() -> Self {
+        Xiao::new(XiaoConfig::default())
+    }
+
+    /// Runs the tool against a probe.
+    ///
+    /// # Errors
+    ///
+    /// * [`BaselineError::NotApplicable`] on DDR4 machines (when
+    ///   `ddr3_only` is set, the default).
+    /// * [`BaselineError::Stuck`] when two-bit functions cannot explain the
+    ///   machine's bank hashing — the failure the DRAMDig paper reports for
+    ///   machine settings No.2 and No.6–No.9.
+    /// * [`BaselineError::Calibration`] if the timing channel cannot be
+    ///   calibrated.
+    pub fn run<P: MemoryProbe>(
+        &mut self,
+        probe: &mut P,
+        system: &SystemInfo,
+    ) -> Result<ToolOutcome, BaselineError> {
+        if self.config.ddr3_only && system.generation == DdrGeneration::Ddr4 {
+            return Err(BaselineError::NotApplicable {
+                tool: "Xiao et al.",
+                reason: "the tool targets DDR3 systems".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+        let mut outcome = ToolOutcome::new("Xiao et al.");
+        let start = probe.stats();
+        let address_bits = system.address_bits();
+
+        let calibration = LatencyCalibration::calibrate(
+            &mut *probe,
+            self.config.calibration_samples,
+            self.config.rng_seed,
+        )?;
+        let mut oracle = ConflictOracle::new(&mut *probe, calibration);
+        let memory = oracle.probe().memory().clone();
+
+        // Row bits via single-bit flips, exactly like DRAMDig's Step 1.
+        let mut row_bits: Vec<u8> = Vec::new();
+        for bit in 0..address_bits {
+            if let Some((a, b)) = find_pair(&memory, 1u64 << bit, &mut rng) {
+                if oracle.is_sbdr(a, b) {
+                    row_bits.push(bit);
+                }
+            }
+        }
+        // Column bits via row-bit + candidate-bit double flips.
+        let mut column_bits: Vec<u8> = Vec::new();
+        if let Some(&row_ref) = row_bits.first() {
+            for bit in 0..address_bits {
+                if row_bits.contains(&bit) {
+                    continue;
+                }
+                let mask = (1u64 << bit) | (1u64 << row_ref);
+                if let Some((a, b)) = find_pair(&memory, mask, &mut rng) {
+                    if oracle.is_sbdr(a, b) {
+                        column_bits.push(bit);
+                    }
+                }
+            }
+        }
+        let remaining: Vec<u8> = (0..address_bits)
+            .filter(|b| !row_bits.contains(b) && !column_bits.contains(b))
+            .collect();
+
+        // Two-bit function search: pair each remaining low bit with a higher
+        // bit such that flipping both keeps the latency high (same bank,
+        // different row) — the structure Xiao et al. assume.
+        let mut functions: Vec<XorFunc> = Vec::new();
+        let expected = system.geometry.bank_bits() as usize;
+        for &low in &remaining {
+            let mut found = None;
+            for &high in remaining.iter().filter(|&&h| h > low) {
+                let candidate = XorFunc::from_bits(&[low, high]);
+                if functions.iter().any(|f| f.contains_bit(high)) {
+                    continue;
+                }
+                let Some((a, b)) = find_pair(&memory, candidate.mask(), &mut rng) else {
+                    continue;
+                };
+                if oracle.is_sbdr(a, b) {
+                    found = Some(candidate);
+                    break;
+                }
+            }
+            if let Some(f) = found {
+                if !gf2::is_linear_combination(f, &functions) {
+                    functions.push(f);
+                }
+            }
+            if functions.len() == expected {
+                break;
+            }
+        }
+
+        let spent = oracle.stats();
+        outcome.measurements = spent.measurements - start.measurements;
+        outcome.elapsed_ns = spent.elapsed_ns - start.elapsed_ns;
+        outcome.row_bits = row_bits.clone();
+        outcome.column_bits = column_bits.clone();
+        outcome.functions = functions.clone();
+
+        if functions.len() < expected {
+            // The remaining functions involve more than two bits: the
+            // original tool loops forever here; we charge the configured
+            // "stuck" budget and give up, as the DRAMDig authors had to.
+            let extra_ns = self.config.stuck_budget * 400;
+            return Err(BaselineError::Stuck {
+                tool: "Xiao et al.",
+                reason: format!(
+                    "resolved only {} of {expected} bank address functions; the rest are not \
+                     two-bit XORs",
+                    functions.len()
+                ),
+                measurements: outcome.measurements + self.config.stuck_budget,
+                elapsed_ns: outcome.elapsed_ns + extra_ns,
+            });
+        }
+
+        // Shared row bits: the higher bit of each two-bit function.
+        for f in &functions {
+            let b = f.bits();
+            if !row_bits.contains(&b[1]) {
+                row_bits.push(b[1]);
+            }
+        }
+        row_bits.sort_unstable();
+        outcome.row_bits = row_bits.clone();
+        match AddressMapping::new(functions, row_bits, column_bits) {
+            Ok(mapping) => outcome.mapping = Some(mapping),
+            Err(e) => outcome
+                .notes
+                .push(format!("could not assemble a bijective mapping: {e}")),
+        }
+        Ok(outcome)
+    }
+}
+
+fn find_pair(
+    memory: &dram_sim::PhysMemory,
+    flip_mask: u64,
+    rng: &mut StdRng,
+) -> Option<(PhysAddr, PhysAddr)> {
+    let page_mask = flip_mask >> dram_model::PAGE_SHIFT << dram_model::PAGE_SHIFT;
+    for _ in 0..16 {
+        let base = memory.random_page(rng)?;
+        let buddy = base ^ flip_mask;
+        if page_mask == 0 || memory.contains(buddy) {
+            return Some((base, buddy));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::MachineSetting;
+    use dram_sim::{PhysMemory, SimConfig, SimMachine};
+    use mem_probe::SimProbe;
+
+    fn run_on(number: u8) -> Result<ToolOutcome, BaselineError> {
+        let setting = MachineSetting::by_number(number).unwrap();
+        let machine = SimMachine::from_setting(&setting, SimConfig::default());
+        let mut probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+        Xiao::with_defaults().run(&mut probe, &setting.system)
+    }
+
+    #[test]
+    fn succeeds_on_single_dimm_ddr3_machines() {
+        for number in [3u8, 4] {
+            let setting = MachineSetting::by_number(number).unwrap();
+            let outcome = run_on(number).unwrap();
+            assert!(
+                outcome.matches(setting.mapping()),
+                "{}: functions {:?}",
+                setting.label(),
+                outcome.functions
+            );
+        }
+    }
+
+    #[test]
+    fn gets_stuck_on_machines_with_wide_functions() {
+        // Machines No.2 and No.5 have a 7-bit channel hash that two-bit
+        // functions cannot express.
+        for number in [2u8, 5] {
+            let err = run_on(number).unwrap_err();
+            assert!(matches!(err, BaselineError::Stuck { .. }), "machine {number}");
+        }
+    }
+
+    #[test]
+    fn refuses_ddr4_machines() {
+        for number in [6u8, 7, 8, 9] {
+            let err = run_on(number).unwrap_err();
+            assert!(
+                matches!(err, BaselineError::NotApplicable { .. }),
+                "machine {number}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_ddr4_still_gets_stuck_on_column_bank_functions() {
+        // Even when forced to run on DDR4, machine No.7's function (6, 13)
+        // pairs a column bit with a bank bit, which never shows up as a
+        // row-buffer conflict in a two-bit flip — the tool resolves the other
+        // two functions and then hangs, matching the paper's observation that
+        // the shared code was stuck on the No.6–No.9 settings.
+        let setting = MachineSetting::no7_skylake_ddr4_4g();
+        let machine = SimMachine::from_setting(&setting, SimConfig::default());
+        let mut probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+        let config = XiaoConfig {
+            ddr3_only: false,
+            ..XiaoConfig::default()
+        };
+        let err = Xiao::new(config).run(&mut probe, &setting.system).unwrap_err();
+        match err {
+            BaselineError::Stuck { reason, .. } => assert!(reason.contains("2 of 3")),
+            other => panic!("expected Stuck, got {other}"),
+        }
+    }
+}

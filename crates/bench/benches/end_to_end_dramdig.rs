@@ -1,0 +1,42 @@
+//! End-to-end cost of one DRAMDig run on small machine settings (the larger
+//! settings are exercised by the `fig2_time_costs` experiment binary, not by
+//! Criterion, to keep `cargo bench` wall-clock time reasonable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dram_model::MachineSetting;
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use mem_probe::SimProbe;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dramdig_end_to_end");
+    group.sample_size(10);
+    for number in [4u8, 7, 8] {
+        let setting = MachineSetting::by_number(number).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("no{number}")),
+            &setting,
+            |b, setting| {
+                b.iter(|| {
+                    let machine = SimMachine::from_setting(setting, SimConfig::default());
+                    let mut probe = SimProbe::new(
+                        machine,
+                        PhysMemory::full(setting.system.capacity_bytes),
+                    );
+                    let knowledge =
+                        DomainKnowledge::new(setting.system, Some(setting.microarch));
+                    let report = DramDig::new(knowledge, DramDigConfig::fast())
+                        .run(&mut probe)
+                        .unwrap();
+                    assert!(report.mapping.equivalent_to(setting.mapping()));
+                    std::hint::black_box(report)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

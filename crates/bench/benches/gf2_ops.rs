@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the GF(2) linear algebra that backs redundancy
+//! removal (Algorithm 3) and mapping inversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dram_model::gf2::{self, Gf2Matrix};
+use dram_model::{MachineSetting, XorFunc};
+
+fn candidate_span(setting: &MachineSetting) -> Vec<XorFunc> {
+    // All non-zero linear combinations of the ground-truth functions — the
+    // worst-case input remove_redundant sees after Algorithm 3.
+    let funcs = setting.mapping().bank_funcs();
+    let mut all = Vec::new();
+    for combo in 1u64..(1 << funcs.len()) {
+        let mut mask = 0u64;
+        for (i, f) in funcs.iter().enumerate() {
+            if combo >> i & 1 == 1 {
+                mask ^= f.mask();
+            }
+        }
+        all.push(XorFunc::from_mask(mask));
+    }
+    all
+}
+
+fn bench_remove_redundant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf2_remove_redundant");
+    group.sample_size(30);
+    for number in [4u8, 6] {
+        let setting = MachineSetting::by_number(number).unwrap();
+        let candidates = candidate_span(&setting);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("no{number}_{}cands", candidates.len())),
+            &candidates,
+            |b, cands| b.iter(|| gf2::remove_redundant(std::hint::black_box(cands))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let setting = MachineSetting::no6_skylake_ddr4_16g();
+    let rows: Vec<u64> = candidate_span(&setting).iter().map(|f| f.mask()).collect();
+    c.bench_function("gf2_rank_63_rows", |b| {
+        b.iter(|| Gf2Matrix::from_rows(std::hint::black_box(rows.clone())).rank())
+    });
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let setting = MachineSetting::no6_skylake_ddr4_16g();
+    let mapping = setting.mapping();
+    let pure = mapping.pure_bank_bits().to_vec();
+    let a_rows: Vec<u64> = mapping
+        .bank_funcs()
+        .iter()
+        .map(|f| dram_model::bits::gather_bits(f.mask(), &pure))
+        .collect();
+    c.bench_function("gf2_solve_square_6x6", |b| {
+        b.iter(|| {
+            for rhs in 0..64u64 {
+                std::hint::black_box(gf2::solve_square(&a_rows, rhs, 6));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_remove_redundant, bench_rank, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Cost of the rowhammer harness: hammering throughput with a correct
+//! mapping versus an incomplete (DRAMA-style) one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dram_model::MachineSetting;
+use dram_sim::{SimConfig, SimMachine};
+use rowhammer::{run_double_sided, AttackerView, HammerConfig};
+
+fn bench_double_sided(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowhammer_double_sided");
+    group.sample_size(15);
+    let setting = MachineSetting::no1_sandy_bridge_ddr3_8g();
+    let truth = setting.mapping();
+    let full_view = AttackerView::from_mapping(truth);
+    let shared = truth.shared_row_bits();
+    let partial_rows: Vec<u8> = truth
+        .row_bits()
+        .iter()
+        .copied()
+        .filter(|b| !shared.contains(b))
+        .collect();
+    let partial_view = AttackerView::new(truth.bank_funcs().to_vec(), partial_rows);
+    let cfg = HammerConfig {
+        victims: 8,
+        iterations_per_pair: 2_000,
+        duration_ns: None,
+        rng_seed: 3,
+    };
+
+    for (name, view) in [("correct_mapping", &full_view), ("drama_mapping", &partial_view)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), view, |b, view| {
+            b.iter(|| {
+                let mut machine =
+                    SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+                std::hint::black_box(run_double_sided(&mut machine, view, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_double_sided);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Throughput of the simulated memory controller — the substrate cost every
+//! reverse-engineering measurement pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dram_model::{MachineSetting, PhysAddr};
+use dram_sim::{MemoryController, SimConfig};
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_access");
+    group.sample_size(30);
+    for (name, config) in [
+        ("noisy", SimConfig::default()),
+        ("noiseless", SimConfig::noiseless()),
+    ] {
+        let setting = MachineSetting::no6_skylake_ddr4_16g();
+        let mut controller = MemoryController::new(setting.mapping().clone(), config);
+        let addresses: Vec<PhysAddr> = (0..1024u64)
+            .map(|i| PhysAddr::new((i * 0x1_3579) & (setting.system.capacity_bytes - 1)))
+            .collect();
+        group.throughput(Throughput::Elements(addresses.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &addresses, |b, addrs| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &a in addrs {
+                    total += controller.access(a);
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let setting = MachineSetting::no6_skylake_ddr4_16g();
+    let mapping = setting.mapping().clone();
+    c.bench_function("mapping_to_dram_and_back", |b| {
+        b.iter(|| {
+            for i in 0..256u64 {
+                let addr = PhysAddr::new(i * 0xABCD_EF);
+                let dram = mapping.to_dram(std::hint::black_box(addr));
+                std::hint::black_box(mapping.to_phys(dram).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_access, bench_decode);
+criterion_main!(benches);

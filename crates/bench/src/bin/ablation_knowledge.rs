@@ -1,0 +1,82 @@
+//! Ablation study (not in the paper, motivated by its Section III-A): how
+//! much does each domain-knowledge group contribute to DRAMDig's efficiency
+//! and determinism?
+//!
+//! Four configurations are compared on a representative subset of machine
+//! settings: full knowledge, no DDR specifications, no system information,
+//! and no empirical observations.
+//!
+//! ```text
+//! cargo run --release -p dramdig-bench --bin ablation_knowledge
+//! ```
+
+use dram_model::MachineSetting;
+use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use dramdig_bench::probe_for;
+
+fn main() {
+    let settings: Vec<MachineSetting> = [4u8, 7, 2, 6]
+        .iter()
+        .map(|&n| MachineSetting::by_number(n).expect("setting exists"))
+        .collect();
+    println!("Ablation — contribution of each domain-knowledge group");
+    println!(
+        "{:<22} {:<8} {:>10} {:>14} {:>12}",
+        "Knowledge", "Setting", "Correct", "Measurements", "Sim time (s)"
+    );
+
+    for setting in &settings {
+        let variants: Vec<(&str, DomainKnowledge)> = vec![
+            (
+                "full",
+                DomainKnowledge::new(setting.system, Some(setting.microarch)),
+            ),
+            (
+                "no specifications",
+                DomainKnowledge::new(setting.system, Some(setting.microarch))
+                    .without_specifications(),
+            ),
+            (
+                "no system info",
+                DomainKnowledge::new(setting.system, Some(setting.microarch)).without_system_info(),
+            ),
+            (
+                "no empirical",
+                DomainKnowledge::new(setting.system, Some(setting.microarch)).without_empirical(),
+            ),
+        ];
+        for (name, knowledge) in variants {
+            let mut probe = probe_for(setting, 0xAB1A);
+            let mut config = DramDigConfig::fast();
+            // Without the spec the validation pass is the only safety net;
+            // keep it enabled everywhere for a fair comparison.
+            config.validation_samples = 48;
+            let result = DramDig::new(knowledge, config).run(&mut probe);
+            match result {
+                Ok(report) => println!(
+                    "{:<22} {:<8} {:>10} {:>14} {:>12.3}",
+                    name,
+                    setting.label(),
+                    if report.mapping.equivalent_to(setting.mapping()) {
+                        "yes"
+                    } else {
+                        "NO"
+                    },
+                    report.total.measurements,
+                    report.elapsed_seconds()
+                ),
+                Err(e) => println!(
+                    "{:<22} {:<8} {:>10}   failed: {e}",
+                    name,
+                    setting.label(),
+                    "-"
+                ),
+            }
+        }
+    }
+    println!();
+    println!("Reading: dropping the DDR specification loses the shared row/column bits on the");
+    println!("dual-channel settings; dropping system information (the bank count) removes the");
+    println!("pile-count sanity check and the run fails; dropping the empirical observation");
+    println!("mis-assigns the lowest bit of the widest bank function on DDR4 dual-rank parts.");
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Figure 2** of the paper: time costs of DRAMDig and DRAMA on
+//! the nine machine settings.
+//!
+//! The plotted quantity is simulated seconds (the simulator advances its
+//! clock by the latency of every memory access the tools issue), together
+//! with the raw measurement counts that drive it.
+//!
+//! ```text
+//! cargo run --release -p dramdig-bench --bin fig2_time_costs
+//! ```
+
+use dram_baselines::{Drama, DramaConfig};
+use dram_model::MachineSetting;
+use dramdig::DramDigConfig;
+use dramdig_bench::{format_duration, probe_for, run_dramdig};
+
+fn main() {
+    println!("Figure 2 — time costs to uncover the DRAM mapping (simulated seconds)");
+    println!(
+        "{:<6} {:<12} {:>14} {:>14} {:>16} {:>16} {:>8}",
+        "No.", "Setting", "DRAMDig (s)", "DRAMA (s)", "DRAMDig meas.", "DRAMA meas.", "ratio"
+    );
+    let mut dramdig_total = 0.0;
+    let mut count = 0usize;
+    for setting in MachineSetting::all() {
+        let dramdig = run_dramdig(&setting, DramDigConfig::default(), 0xF162);
+        let mut drama_probe = probe_for(&setting, 0xF162);
+        let drama = Drama::new(DramaConfig::default())
+            .run(&mut drama_probe, setting.system.address_bits());
+
+        let (dig_s, dig_m) = match &dramdig {
+            Ok(r) => (r.elapsed_seconds(), r.total.measurements),
+            Err(_) => (f64::NAN, 0),
+        };
+        let (drama_s, drama_m, drama_note) = match &drama {
+            Ok(o) => (o.elapsed_seconds(), o.measurements, ""),
+            Err(dram_baselines::BaselineError::Stuck {
+                elapsed_ns,
+                measurements,
+                ..
+            }) => (*elapsed_ns as f64 / 1e9, *measurements, " (stuck)"),
+            Err(_) => (f64::NAN, 0, " (failed)"),
+        };
+        if dig_s.is_finite() {
+            dramdig_total += dig_s;
+            count += 1;
+        }
+        println!(
+            "{:<6} {:<12} {:>10} ({:>4.1}) {:>10} ({:>5.1}) {:>16} {:>16} {:>7.1}x{}",
+            setting.label(),
+            format!("{} {}GiB", setting.system.generation, setting.capacity_gib()),
+            format_duration(dig_s),
+            dig_s,
+            format_duration(drama_s),
+            drama_s,
+            dig_m,
+            drama_m,
+            drama_s / dig_s,
+            drama_note,
+        );
+    }
+    if count > 0 {
+        println!();
+        println!(
+            "DRAMDig average: {:.1} s simulated ({}) across {count} settings",
+            dramdig_total / count as f64,
+            format_duration(dramdig_total / count as f64)
+        );
+        println!("Paper reports a 7.8 minute average on real hardware; the shape to compare is");
+        println!("the DRAMDig-vs-DRAMA ratio per setting and the dependence on the selected pool size.");
+    }
+}

@@ -1,0 +1,526 @@
+//! Command-line front end for the DRAMDig reproduction.
+//!
+//! The binary is called `dramdig` and offers one sub-command per workflow:
+//!
+//! ```text
+//! dramdig list-machines
+//! dramdig uncover  --machine 4 [--seed 7] [--ablate spec|sysinfo|empirical]
+//! dramdig compare  --machine 2
+//! dramdig hammer   --machine 1 [--tool dramdig|drama|truth] [--tests 5]
+//! dramdig decode   --machine 6 --addr 0x3fe4c40
+//! dramdig validate --funcs "(13, 16), (14, 17), (15, 18)" --rows 16~31 --cols 0~12
+//! ```
+//!
+//! Everything runs against the simulated machines of Table II; on a real
+//! machine the same library calls can be driven with
+//! [`mem_probe::HwProbe`] instead (see the `hardware_probe` example).
+//!
+//! Argument parsing is deliberately dependency-free: [`Command::parse`]
+//! understands `--flag value` pairs and returns a typed command that
+//! [`execute`] turns into a plain-text report.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use dram_baselines::{BaselineError, Drama, DramaConfig, Xiao};
+use dram_model::{parse, MachineSetting, PhysAddr};
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use mem_probe::SimProbe;
+use rowhammer::{run_double_sided, AttackerView, HammerConfig};
+
+/// Which knowledge group to disable in an `uncover --ablate` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// Drop the DDR specification (row/column bit counts).
+    Specifications,
+    /// Drop the system information (total bank count).
+    SystemInfo,
+    /// Drop the empirical observations.
+    Empirical,
+}
+
+/// Which tool's mapping to hammer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HammerTool {
+    /// The mapping DRAMDig uncovers.
+    DramDig,
+    /// The (partial) mapping DRAMA uncovers.
+    Drama,
+    /// The simulator's ground truth (upper bound).
+    Truth,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `dramdig list-machines`
+    ListMachines,
+    /// `dramdig uncover --machine N [--seed S] [--ablate GROUP]`
+    Uncover {
+        /// Table-II machine number (1–9).
+        machine: u8,
+        /// Simulator noise seed.
+        seed: u64,
+        /// Optional knowledge group to disable.
+        ablate: Option<Ablation>,
+    },
+    /// `dramdig compare --machine N`
+    Compare {
+        /// Table-II machine number (1–9).
+        machine: u8,
+    },
+    /// `dramdig hammer --machine N [--tool T] [--tests K]`
+    Hammer {
+        /// Table-II machine number (1–9).
+        machine: u8,
+        /// Whose mapping to hammer with.
+        tool: HammerTool,
+        /// Number of repeated tests.
+        tests: u32,
+    },
+    /// `dramdig decode --machine N --addr A`
+    Decode {
+        /// Table-II machine number (1–9).
+        machine: u8,
+        /// Physical address to decode.
+        addr: u64,
+    },
+    /// `dramdig validate --funcs F --rows R --cols C`
+    Validate {
+        /// Bank functions in paper notation.
+        funcs: String,
+        /// Row bits in range notation.
+        rows: String,
+        /// Column bits in range notation.
+        cols: String,
+    },
+    /// `dramdig help`
+    Help,
+}
+
+/// Errors produced while parsing or executing a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be parsed.
+    Usage(String),
+    /// The requested machine number does not exist.
+    UnknownMachine(u8),
+    /// A library call failed.
+    Tool(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::UnknownMachine(n) => {
+                write!(f, "unknown machine number {n}; expected 1..=9 (see `dramdig list-machines`)")
+            }
+            CliError::Tool(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage string printed on parse errors and by `dramdig help`.
+pub fn usage() -> String {
+    concat!(
+        "dramdig — knowledge-assisted DRAM address mapping reverse engineering\n",
+        "\n",
+        "USAGE:\n",
+        "  dramdig list-machines\n",
+        "  dramdig uncover  --machine <1-9> [--seed <u64>] [--ablate spec|sysinfo|empirical]\n",
+        "  dramdig compare  --machine <1-9>\n",
+        "  dramdig hammer   --machine <1-9> [--tool dramdig|drama|truth] [--tests <n>]\n",
+        "  dramdig decode   --machine <1-9> --addr <hex or decimal physical address>\n",
+        "  dramdig validate --funcs \"(13, 16), ...\" --rows 16~31 --cols 0~12\n",
+        "  dramdig help\n",
+    )
+    .to_string()
+}
+
+/// Extracts `--key value` pairs from an argument list.
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_u64(text: &str) -> Result<u64, CliError> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| CliError::Usage(format!("`{text}` is not a valid number")))
+}
+
+fn required<'a>(args: &'a [String], key: &str, command: &str) -> Result<&'a str, CliError> {
+    flag_value(args, key)
+        .ok_or_else(|| CliError::Usage(format!("`dramdig {command}` requires {key} <value>")))
+}
+
+impl Command {
+    /// Parses a command line (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] describing what is missing or malformed.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let Some(sub) = args.first() else {
+            return Err(CliError::Usage("no sub-command given".into()));
+        };
+        let rest = &args[1..];
+        match sub.as_str() {
+            "list-machines" => Ok(Command::ListMachines),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "uncover" => {
+                let machine = parse_u64(required(rest, "--machine", "uncover")?)? as u8;
+                let seed = match flag_value(rest, "--seed") {
+                    Some(s) => parse_u64(s)?,
+                    None => 0xD16,
+                };
+                let ablate = match flag_value(rest, "--ablate") {
+                    None => None,
+                    Some("spec") => Some(Ablation::Specifications),
+                    Some("sysinfo") => Some(Ablation::SystemInfo),
+                    Some("empirical") => Some(Ablation::Empirical),
+                    Some(other) => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --ablate group `{other}` (expected spec, sysinfo or empirical)"
+                        )))
+                    }
+                };
+                Ok(Command::Uncover { machine, seed, ablate })
+            }
+            "compare" => Ok(Command::Compare {
+                machine: parse_u64(required(rest, "--machine", "compare")?)? as u8,
+            }),
+            "hammer" => {
+                let machine = parse_u64(required(rest, "--machine", "hammer")?)? as u8;
+                let tool = match flag_value(rest, "--tool") {
+                    None | Some("dramdig") => HammerTool::DramDig,
+                    Some("drama") => HammerTool::Drama,
+                    Some("truth") => HammerTool::Truth,
+                    Some(other) => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --tool `{other}` (expected dramdig, drama or truth)"
+                        )))
+                    }
+                };
+                let tests = match flag_value(rest, "--tests") {
+                    Some(t) => parse_u64(t)? as u32,
+                    None => 1,
+                };
+                Ok(Command::Hammer { machine, tool, tests })
+            }
+            "decode" => Ok(Command::Decode {
+                machine: parse_u64(required(rest, "--machine", "decode")?)? as u8,
+                addr: parse_u64(required(rest, "--addr", "decode")?)?,
+            }),
+            "validate" => Ok(Command::Validate {
+                funcs: required(rest, "--funcs", "validate")?.to_string(),
+                rows: required(rest, "--rows", "validate")?.to_string(),
+                cols: required(rest, "--cols", "validate")?.to_string(),
+            }),
+            other => Err(CliError::Usage(format!("unknown sub-command `{other}`"))),
+        }
+    }
+}
+
+fn setting_for(machine: u8) -> Result<MachineSetting, CliError> {
+    MachineSetting::by_number(machine).ok_or(CliError::UnknownMachine(machine))
+}
+
+fn probe_for(setting: &MachineSetting, seed: u64) -> SimProbe {
+    let machine = SimMachine::from_setting(setting, SimConfig::default().with_seed(seed));
+    SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes))
+}
+
+/// Executes a parsed command and returns its textual report.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the machine number is unknown or a library call
+/// fails.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(usage()),
+        Command::ListMachines => {
+            let mut out = String::new();
+            writeln!(out, "Table II machine settings:").expect("write to string");
+            for setting in MachineSetting::all() {
+                writeln!(out, "  {setting}").expect("write to string");
+            }
+            Ok(out)
+        }
+        Command::Uncover { machine, seed, ablate } => {
+            let setting = setting_for(*machine)?;
+            let mut knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+            knowledge = match ablate {
+                Some(Ablation::Specifications) => knowledge.without_specifications(),
+                Some(Ablation::SystemInfo) => knowledge.without_system_info(),
+                Some(Ablation::Empirical) => knowledge.without_empirical(),
+                None => knowledge,
+            };
+            let mut probe = probe_for(&setting, *seed);
+            let report = DramDig::new(knowledge, DramDigConfig::default().with_seed(*seed))
+                .run(&mut probe)
+                .map_err(|e| CliError::Tool(e.to_string()))?;
+            let mut out = String::new();
+            writeln!(out, "machine        : {setting}").expect("write to string");
+            writeln!(out, "{report}").expect("write to string");
+            writeln!(
+                out,
+                "ground truth   : {} (recovered mapping {})",
+                setting.mapping(),
+                if report.mapping.equivalent_to(setting.mapping()) {
+                    "matches"
+                } else {
+                    "DOES NOT match"
+                }
+            )
+            .expect("write to string");
+            Ok(out)
+        }
+        Command::Compare { machine } => {
+            let setting = setting_for(*machine)?;
+            let mut out = String::new();
+            writeln!(out, "comparing tools on {setting}").expect("write to string");
+
+            let mut probe = probe_for(&setting, 1);
+            let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+            match DramDig::new(knowledge, DramDigConfig::default()).run(&mut probe) {
+                Ok(r) => writeln!(
+                    out,
+                    "  DRAMDig    : correct={} measurements={} time={:.1}s",
+                    r.mapping.equivalent_to(setting.mapping()),
+                    r.total.measurements,
+                    r.elapsed_seconds()
+                )
+                .expect("write to string"),
+                Err(e) => writeln!(out, "  DRAMDig    : failed ({e})").expect("write to string"),
+            }
+
+            let mut probe = probe_for(&setting, 1);
+            match Drama::new(DramaConfig::fast()).run(&mut probe, setting.system.address_bits()) {
+                Ok(o) => writeln!(
+                    out,
+                    "  DRAMA      : bank-partition-correct={} full-mapping={} measurements={} time={:.1}s",
+                    o.bank_partition_matches(setting.mapping()),
+                    o.mapping.is_some(),
+                    o.measurements,
+                    o.elapsed_seconds()
+                )
+                .expect("write to string"),
+                Err(e) => writeln!(out, "  DRAMA      : failed ({e})").expect("write to string"),
+            }
+
+            let mut probe = probe_for(&setting, 1);
+            match Xiao::with_defaults().run(&mut probe, &setting.system) {
+                Ok(o) => writeln!(
+                    out,
+                    "  Xiao et al.: correct={} measurements={} time={:.1}s",
+                    o.matches(setting.mapping()),
+                    o.measurements,
+                    o.elapsed_seconds()
+                )
+                .expect("write to string"),
+                Err(BaselineError::Stuck { reason, .. }) => {
+                    writeln!(out, "  Xiao et al.: stuck ({reason})").expect("write to string")
+                }
+                Err(e) => writeln!(out, "  Xiao et al.: not applicable ({e})").expect("write to string"),
+            }
+            Ok(out)
+        }
+        Command::Hammer { machine, tool, tests } => {
+            let setting = setting_for(*machine)?;
+            let view = match tool {
+                HammerTool::Truth => AttackerView::from_mapping(setting.mapping()),
+                HammerTool::DramDig => {
+                    let mut probe = probe_for(&setting, 2);
+                    let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+                    let report = DramDig::new(knowledge, DramDigConfig::default())
+                        .run(&mut probe)
+                        .map_err(|e| CliError::Tool(e.to_string()))?;
+                    AttackerView::from_mapping(&report.mapping)
+                }
+                HammerTool::Drama => {
+                    let mut probe = probe_for(&setting, 2);
+                    let outcome = Drama::new(DramaConfig::fast())
+                        .run(&mut probe, setting.system.address_bits())
+                        .map_err(|e| CliError::Tool(e.to_string()))?;
+                    AttackerView::new(outcome.functions, outcome.row_bits)
+                }
+            };
+            let mut out = String::new();
+            writeln!(
+                out,
+                "double-sided rowhammer on {} with the {:?} mapping:",
+                setting.label(),
+                tool
+            )
+            .expect("write to string");
+            let mut total = 0usize;
+            for test in 0..*tests {
+                let mut sim = SimMachine::from_setting(
+                    &setting,
+                    SimConfig::fast_rowhammer().with_seed(0xCC + u64::from(test)),
+                );
+                let cfg = HammerConfig::timed(300 * 2_000_000, u64::from(test));
+                let result = run_double_sided(&mut sim, &view, &cfg);
+                total += result.flips;
+                writeln!(
+                    out,
+                    "  test {:>2}: {:>5} flips ({} pairs, {:.0}% truly adjacent)",
+                    test + 1,
+                    result.flips,
+                    result.pairs_attempted,
+                    result.adjacency_rate() * 100.0
+                )
+                .expect("write to string");
+            }
+            writeln!(out, "  total  : {total} flips over {tests} tests").expect("write to string");
+            Ok(out)
+        }
+        Command::Decode { machine, addr } => {
+            let setting = setting_for(*machine)?;
+            let mapping = setting.mapping();
+            let capacity = mapping.capacity_bytes();
+            if *addr >= capacity {
+                return Err(CliError::Tool(format!(
+                    "address {addr:#x} is beyond the {capacity:#x}-byte module"
+                )));
+            }
+            let dram = mapping.to_dram(PhysAddr::new(*addr));
+            let back = mapping
+                .to_phys(dram)
+                .map_err(|e| CliError::Tool(e.to_string()))?;
+            Ok(format!(
+                "machine {}: {:#x} -> {dram} (round-trips to {back})\n",
+                setting.label(),
+                addr
+            ))
+        }
+        Command::Validate { funcs, rows, cols } => {
+            match parse::parse_mapping(funcs, rows, cols) {
+                Ok(mapping) => Ok(format!(
+                    "valid mapping: {mapping}\n  banks: {}, rows per bank: {}, row size: {} bytes\n",
+                    mapping.num_banks(),
+                    mapping.num_rows(),
+                    mapping.row_size_bytes()
+                )),
+                Err(e) => Err(CliError::Tool(format!("invalid mapping: {e}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_every_sub_command() {
+        assert_eq!(
+            Command::parse(&args(&["list-machines"])).unwrap(),
+            Command::ListMachines
+        );
+        assert_eq!(Command::parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(
+            Command::parse(&args(&["uncover", "--machine", "4", "--seed", "9"])).unwrap(),
+            Command::Uncover { machine: 4, seed: 9, ablate: None }
+        );
+        assert_eq!(
+            Command::parse(&args(&["uncover", "--machine", "4", "--ablate", "spec"])).unwrap(),
+            Command::Uncover { machine: 4, seed: 0xD16, ablate: Some(Ablation::Specifications) }
+        );
+        assert_eq!(
+            Command::parse(&args(&["compare", "--machine", "2"])).unwrap(),
+            Command::Compare { machine: 2 }
+        );
+        assert_eq!(
+            Command::parse(&args(&["hammer", "--machine", "1", "--tool", "drama", "--tests", "3"]))
+                .unwrap(),
+            Command::Hammer { machine: 1, tool: HammerTool::Drama, tests: 3 }
+        );
+        assert_eq!(
+            Command::parse(&args(&["decode", "--machine", "6", "--addr", "0x1f00"])).unwrap(),
+            Command::Decode { machine: 6, addr: 0x1f00 }
+        );
+        assert!(matches!(
+            Command::parse(&args(&["validate", "--funcs", "(6)", "--rows", "1~2", "--cols", "0"])),
+            Ok(Command::Validate { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_command_lines() {
+        assert!(Command::parse(&[]).is_err());
+        assert!(Command::parse(&args(&["frobnicate"])).is_err());
+        assert!(Command::parse(&args(&["uncover"])).is_err());
+        assert!(Command::parse(&args(&["uncover", "--machine", "four"])).is_err());
+        assert!(Command::parse(&args(&["uncover", "--machine", "4", "--ablate", "magic"])).is_err());
+        assert!(Command::parse(&args(&["hammer", "--machine", "1", "--tool", "hope"])).is_err());
+        assert!(Command::parse(&args(&["decode", "--machine", "1"])).is_err());
+    }
+
+    #[test]
+    fn list_machines_mentions_all_nine() {
+        let out = execute(&Command::ListMachines).unwrap();
+        for n in 1..=9 {
+            assert!(out.contains(&format!("No.{n}")), "{out}");
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_and_validates_range() {
+        let out = execute(&Command::Decode { machine: 4, addr: 0x1234_5678 }).unwrap();
+        assert!(out.contains("bank"));
+        assert!(execute(&Command::Decode { machine: 4, addr: u64::MAX }).is_err());
+        assert!(execute(&Command::Decode { machine: 42, addr: 0 }).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_table_ii_and_rejects_garbage() {
+        let ok = execute(&Command::Validate {
+            funcs: "(13, 16), (14, 17), (15, 18)".into(),
+            rows: "16~31".into(),
+            cols: "0~12".into(),
+        })
+        .unwrap();
+        assert!(ok.contains("valid mapping"));
+        assert!(ok.contains("banks: 8"));
+        assert!(execute(&Command::Validate {
+            funcs: "(13, 16)".into(),
+            rows: "16~31".into(),
+            cols: "0~12".into(),
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn uncover_runs_on_a_small_machine() {
+        let out = execute(&Command::Uncover { machine: 4, seed: 1, ablate: None }).unwrap();
+        assert!(out.contains("matches"));
+        assert!(out.contains("recovered mapping"));
+    }
+
+    #[test]
+    fn usage_mentions_every_sub_command() {
+        let text = usage();
+        for cmd in ["uncover", "compare", "hammer", "decode", "validate", "list-machines"] {
+            assert!(text.contains(cmd));
+        }
+    }
+}

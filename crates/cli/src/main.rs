@@ -1,0 +1,20 @@
+//! The `dramdig` command-line tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dramdig_cli::Command::parse(&args) {
+        Ok(command) => match dramdig_cli::execute(&command) {
+            Ok(output) => print!("{output}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", dramdig_cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

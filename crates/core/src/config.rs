@@ -1,0 +1,103 @@
+//! Tunable parameters of the DRAMDig algorithm.
+
+/// Configuration knobs for [`crate::DramDig`].
+///
+/// The defaults correspond to the values reported in the paper
+/// (δ = 0.2, per-threshold = 85%) and to conservative measurement budgets
+/// that work across all nine Table-II machine settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramDigConfig {
+    /// Tolerance δ on the expected pile size during Algorithm 2: a pile is
+    /// accepted when its size is within `[1-δ, 1+δ] · pool/#banks`.
+    pub delta: f64,
+    /// Fraction of the selected address pool that must be partitioned before
+    /// Algorithm 2 stops (the paper's `per_threshold`, 85%).
+    pub per_threshold: f64,
+    /// Number of random pairs measured to calibrate the conflict threshold.
+    pub calibration_samples: usize,
+    /// Majority-vote repetitions per SBDR query (1 = single measurement).
+    pub measure_repeat: u32,
+    /// How many different base addresses to try when looking for a
+    /// single-bit-flip pair inside the available page pool (Step 1).
+    pub max_bases_per_bit: u32,
+    /// Upper bound on the number of bits per candidate bank function
+    /// enumerated by Algorithm 3. The widest function observed on Intel
+    /// platforms has 7 bits (Table II), so the default is 7.
+    pub max_func_bits: usize,
+    /// Maximum number of pivot attempts in Algorithm 2 before giving up.
+    pub max_partition_attempts: u32,
+    /// Optional cap on the selected address pool size (per-faithful runs use
+    /// `None`; tests may cap it to keep runtimes low).
+    pub max_pool: Option<usize>,
+    /// Whether to run the measurement-based validation pass after Step 3.
+    pub validate: bool,
+    /// Number of random consistency checks performed during validation.
+    pub validation_samples: usize,
+    /// Seed for the tool's internal randomness (base-address choices, pivot
+    /// selection). Two runs with the same seed and probe behave identically.
+    pub rng_seed: u64,
+}
+
+impl Default for DramDigConfig {
+    fn default() -> Self {
+        DramDigConfig {
+            delta: 0.2,
+            per_threshold: 0.85,
+            calibration_samples: 400,
+            measure_repeat: 1,
+            max_bases_per_bit: 16,
+            max_func_bits: 7,
+            max_partition_attempts: 4096,
+            max_pool: None,
+            validate: true,
+            validation_samples: 64,
+            rng_seed: 0xD16_5EED,
+        }
+    }
+}
+
+impl DramDigConfig {
+    /// A configuration tuned for fast unit/integration tests: smaller
+    /// calibration and validation budgets. The recovered mapping is
+    /// identical; only the measurement budget changes.
+    pub fn fast() -> Self {
+        DramDigConfig {
+            calibration_samples: 200,
+            validation_samples: 32,
+            ..DramDigConfig::default()
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = DramDigConfig::default();
+        assert!((c.delta - 0.2).abs() < 1e-12);
+        assert!((c.per_threshold - 0.85).abs() < 1e-12);
+        assert_eq!(c.max_func_bits, 7);
+        assert!(c.validate);
+    }
+
+    #[test]
+    fn fast_config_keeps_paper_constants() {
+        let c = DramDigConfig::fast();
+        assert_eq!(c.max_pool, None);
+        assert!(c.calibration_samples < DramDigConfig::default().calibration_samples);
+        assert!((c.delta - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_seed_changes_seed() {
+        assert_eq!(DramDigConfig::default().with_seed(9).rng_seed, 9);
+    }
+}

@@ -1,0 +1,380 @@
+//! The end-to-end DRAMDig driver (Figure 1 of the paper).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dram_model::AddressMapping;
+use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, ProbeStats};
+
+use crate::coarse::{self, CoarseBits};
+use crate::config::DramDigConfig;
+use crate::error::DramDigError;
+use crate::fine::{self, FineBits, ValidationReport};
+use crate::functions::{self, DetectedFunctions};
+use crate::knowledge::DomainKnowledge;
+use crate::partition::{self, Partition};
+use crate::select::{self, SelectedPool};
+
+/// Measurement cost of one pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCosts {
+    /// Pair-latency measurements issued during the phase.
+    pub measurements: u64,
+    /// Individual memory accesses issued during the phase.
+    pub accesses: u64,
+    /// Simulated (or wall-clock, for the hardware probe) nanoseconds spent.
+    pub elapsed_ns: u64,
+}
+
+impl PhaseCosts {
+    fn between(before: ProbeStats, after: ProbeStats) -> Self {
+        PhaseCosts {
+            measurements: after.measurements - before.measurements,
+            accesses: after.accesses - before.accesses,
+            elapsed_ns: after.elapsed_ns - before.elapsed_ns,
+        }
+    }
+
+    /// Elapsed time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_ns as f64 / 1e9
+    }
+}
+
+/// Names of the pipeline phases, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Latency threshold calibration.
+    Calibration,
+    /// Step 1: coarse row/column detection.
+    CoarseDetection,
+    /// Step 2a/2b: address selection and pile partition.
+    Partition,
+    /// Step 2c: bank-function detection (no measurements, pure computation).
+    FunctionDetection,
+    /// Step 3: fine-grained shared-bit detection.
+    FineDetection,
+    /// Optional measurement-based validation.
+    Validation,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Calibration => "calibration",
+            Phase::CoarseDetection => "coarse row/column detection",
+            Phase::Partition => "address selection & partition",
+            Phase::FunctionDetection => "bank function detection",
+            Phase::FineDetection => "fine-grained detection",
+            Phase::Validation => "validation",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Everything DRAMDig learned during one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The recovered physical-address → DRAM mapping.
+    pub mapping: AddressMapping,
+    /// Step-1 result (coarse bits).
+    pub coarse: CoarseBits,
+    /// Step-2 result: selected pool size and accepted piles.
+    pub pool_size: usize,
+    /// Number of accepted same-bank piles.
+    pub pile_count: usize,
+    /// Step-2c result (detected functions plus all consistent masks).
+    pub functions: DetectedFunctions,
+    /// Step-3 result (full bit classification).
+    pub fine: FineBits,
+    /// Validation outcome, when enabled.
+    pub validation: Option<ValidationReport>,
+    /// The calibrated conflict threshold in nanoseconds.
+    pub threshold_ns: u64,
+    /// Per-phase measurement costs.
+    pub phase_costs: Vec<(Phase, PhaseCosts)>,
+    /// Total cost across all phases.
+    pub total: PhaseCosts,
+}
+
+impl RunReport {
+    /// Cost of one phase, if it ran.
+    pub fn cost_of(&self, phase: Phase) -> Option<PhaseCosts> {
+        self.phase_costs
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, c)| *c)
+    }
+
+    /// Total simulated seconds spent, the quantity plotted in Figure 2.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.total.elapsed_seconds()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "recovered mapping: {}", self.mapping)?;
+        writeln!(
+            f,
+            "pool: {} addresses in {} piles; threshold {} ns",
+            self.pool_size, self.pile_count, self.threshold_ns
+        )?;
+        for (phase, cost) in &self.phase_costs {
+            writeln!(
+                f,
+                "  {phase}: {} measurements, {:.3} s",
+                cost.measurements,
+                cost.elapsed_seconds()
+            )?;
+        }
+        write!(
+            f,
+            "total: {} measurements, {:.3} s simulated",
+            self.total.measurements,
+            self.total.elapsed_seconds()
+        )
+    }
+}
+
+/// The knowledge-assisted reverse-engineering tool.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct DramDig {
+    knowledge: DomainKnowledge,
+    config: DramDigConfig,
+}
+
+impl DramDig {
+    /// Creates a tool instance for a machine described by `knowledge`.
+    pub fn new(knowledge: DomainKnowledge, config: DramDigConfig) -> Self {
+        DramDig { knowledge, config }
+    }
+
+    /// The domain knowledge this instance uses.
+    pub fn knowledge(&self) -> &DomainKnowledge {
+        &self.knowledge
+    }
+
+    /// The configuration this instance uses.
+    pub fn config(&self) -> &DramDigConfig {
+        &self.config
+    }
+
+    /// Runs the full three-step pipeline against a probe and returns the
+    /// recovered mapping plus cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// Any phase can fail; the error names the phase and the reason (see
+    /// [`DramDigError`]). In particular a validation agreement below 90%
+    /// yields [`DramDigError::Validation`].
+    pub fn run<P: MemoryProbe>(&mut self, probe: &mut P) -> Result<RunReport, DramDigError> {
+        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+        let mut phase_costs: Vec<(Phase, PhaseCosts)> = Vec::new();
+        let start_stats = probe.stats();
+
+        // --- Calibration --------------------------------------------------
+        let before = probe.stats();
+        let calibration = LatencyCalibration::calibrate(
+            &mut *probe,
+            self.config.calibration_samples,
+            self.config.rng_seed ^ 0xCA11,
+        )?;
+        let threshold_ns = calibration.threshold_ns();
+        let mut oracle =
+            ConflictOracle::new(&mut *probe, calibration).with_repeat(self.config.measure_repeat);
+        phase_costs.push((Phase::Calibration, PhaseCosts::between(before, oracle.stats())));
+
+        // --- Step 1: coarse row/column detection --------------------------
+        let before = oracle.stats();
+        let address_bits = self.knowledge.address_bits();
+        let coarse_bits = coarse::detect(&mut oracle, address_bits, &self.config, &mut rng)?;
+        phase_costs.push((
+            Phase::CoarseDetection,
+            PhaseCosts::between(before, oracle.stats()),
+        ));
+
+        // --- Step 2: selection, partition, function detection -------------
+        let before = oracle.stats();
+        let memory = oracle.probe().memory().clone();
+        let pool: SelectedPool =
+            select::select_addresses(&memory, &coarse_bits.bank_bits, self.config.max_pool)?;
+        let num_banks = self.knowledge.total_banks()?;
+        let partition: Partition = partition::partition_into_piles(
+            &mut oracle,
+            &pool.addresses,
+            num_banks,
+            &self.config,
+            &mut rng,
+        )?;
+        phase_costs.push((Phase::Partition, PhaseCosts::between(before, oracle.stats())));
+
+        let before = oracle.stats();
+        let detected = functions::detect_bank_functions(
+            &partition.piles,
+            &coarse_bits.bank_bits,
+            num_banks,
+            &self.config,
+        )?;
+        phase_costs.push((
+            Phase::FunctionDetection,
+            PhaseCosts::between(before, oracle.stats()),
+        ));
+
+        // --- Step 3: fine-grained detection --------------------------------
+        let before = oracle.stats();
+        let fine_bits = fine::refine(
+            &mut oracle,
+            &memory,
+            &coarse_bits,
+            &detected.functions,
+            &self.knowledge,
+            &self.config,
+            &mut rng,
+        )?;
+        phase_costs.push((
+            Phase::FineDetection,
+            PhaseCosts::between(before, oracle.stats()),
+        ));
+
+        let mapping = AddressMapping::new(
+            detected.functions.clone(),
+            fine_bits.row_bits.clone(),
+            fine_bits.column_bits.clone(),
+        )?;
+
+        // --- Validation -----------------------------------------------------
+        let mut validation = None;
+        if self.config.validate {
+            let before = oracle.stats();
+            let report = fine::validate(
+                &mut oracle,
+                &memory,
+                &fine_bits,
+                &detected.functions,
+                &mapping,
+                &self.config,
+                &mut rng,
+            )?;
+            phase_costs.push((Phase::Validation, PhaseCosts::between(before, oracle.stats())));
+            if report.agreement() < 0.90 {
+                return Err(DramDigError::Validation {
+                    reason: format!(
+                        "only {:.1}% of follow-up measurements agree with the recovered mapping",
+                        report.agreement() * 100.0
+                    ),
+                });
+            }
+            validation = Some(report);
+        }
+
+        let total = PhaseCosts::between(start_stats, oracle.stats());
+        Ok(RunReport {
+            mapping,
+            coarse: coarse_bits,
+            pool_size: pool.len(),
+            pile_count: partition.piles.len(),
+            functions: detected,
+            fine: fine_bits,
+            validation,
+            threshold_ns,
+            phase_costs,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::MachineSetting;
+    use dram_sim::{PhysMemory, SimConfig, SimMachine};
+    use mem_probe::SimProbe;
+
+    fn probe_for(number: u8) -> (SimProbe, MachineSetting) {
+        let setting = MachineSetting::by_number(number).unwrap();
+        let machine = SimMachine::from_setting(&setting, SimConfig::default());
+        let probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+        (probe, setting)
+    }
+
+    fn run_setting(number: u8, config: DramDigConfig) -> (RunReport, MachineSetting) {
+        let (mut probe, setting) = probe_for(number);
+        let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+        let mut tool = DramDig::new(knowledge, config);
+        let report = tool.run(&mut probe).unwrap();
+        (report, setting)
+    }
+
+    #[test]
+    fn recovers_haswell_mapping_end_to_end() {
+        let (report, setting) = run_setting(4, DramDigConfig::fast());
+        assert!(report.mapping.equivalent_to(setting.mapping()));
+        assert_eq!(report.pile_count, 8);
+        assert!(report.validation.unwrap().agreement() > 0.95);
+        assert!(report.total.measurements > 0);
+        assert!(report.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn recovers_skylake_single_channel_mapping() {
+        let (report, setting) = run_setting(7, DramDigConfig::fast());
+        assert!(report.mapping.equivalent_to(setting.mapping()));
+        assert_eq!(report.mapping.row_bits(), setting.mapping().row_bits());
+        assert_eq!(report.mapping.column_bits(), setting.mapping().column_bits());
+    }
+
+    #[test]
+    fn report_exposes_phase_costs_in_order() {
+        let (report, _) = run_setting(4, DramDigConfig::fast());
+        let phases: Vec<Phase> = report.phase_costs.iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            phases,
+            vec![
+                Phase::Calibration,
+                Phase::CoarseDetection,
+                Phase::Partition,
+                Phase::FunctionDetection,
+                Phase::FineDetection,
+                Phase::Validation,
+            ]
+        );
+        // The partition dominates the measurement budget, as the paper notes.
+        let partition = report.cost_of(Phase::Partition).unwrap();
+        let coarse = report.cost_of(Phase::CoarseDetection).unwrap();
+        assert!(partition.measurements > coarse.measurements);
+        let text = report.to_string();
+        assert!(text.contains("partition"));
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let (a, _) = run_setting(7, DramDigConfig::fast());
+        let (b, _) = run_setting(7, DramDigConfig::fast());
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.total.measurements, b.total.measurements);
+    }
+
+    #[test]
+    fn disabled_system_info_fails_cleanly() {
+        let (mut probe, setting) = probe_for(4);
+        let knowledge =
+            DomainKnowledge::new(setting.system, Some(setting.microarch)).without_system_info();
+        let mut tool = DramDig::new(knowledge, DramDigConfig::fast());
+        let err = tool.run(&mut probe).unwrap_err();
+        assert!(matches!(err, DramDigError::MissingKnowledge { .. }));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let (_, setting) = probe_for(4);
+        let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+        let tool = DramDig::new(knowledge.clone(), DramDigConfig::fast());
+        assert_eq!(tool.knowledge(), &knowledge);
+        assert_eq!(tool.config(), &DramDigConfig::fast());
+    }
+}

@@ -1,0 +1,271 @@
+//! Step 2c — bank address function detection (Algorithm 3 of the paper).
+//!
+//! Candidate XOR masks over the bank bits are tested against every pile: a
+//! mask that evaluates to the same parity for all addresses of every pile is
+//! a possible bank address function. Candidates that are GF(2) linear
+//! combinations of smaller candidates are redundant and removed
+//! (`prioritize` + `remove_redundant`), and finally a set of exactly
+//! `log2(#banks)` functions is chosen that numbers the piles `0 .. #banks-1`
+//! distinctly (`check_numbering`).
+
+use dram_model::{bits, gf2, XorFunc};
+
+use crate::config::DramDigConfig;
+use crate::error::DramDigError;
+use crate::partition::Pile;
+
+/// Outcome of Algorithm 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectedFunctions {
+    /// The selected bank address functions (exactly `log2(#banks)` of them),
+    /// in canonical order (fewest bits first).
+    pub functions: Vec<XorFunc>,
+    /// All masks that were constant on every pile (before redundancy
+    /// removal) — exposed for diagnostics and the ablation study.
+    pub consistent_masks: Vec<XorFunc>,
+}
+
+/// Returns `true` if `mask` evaluates to the same parity for every address in
+/// the pile (the paper's `apply_xor_mask_to_pile`).
+pub fn mask_constant_on_pile(mask: u64, pile: &Pile) -> bool {
+    let mut iter = pile.members.iter();
+    let Some(first) = iter.next() else {
+        return true;
+    };
+    let expected = first.masked_parity(mask);
+    iter.all(|a| a.masked_parity(mask) == expected)
+}
+
+/// Numbers each pile by evaluating the candidate functions on its pivot.
+fn pile_numbers(functions: &[XorFunc], piles: &[Pile]) -> Vec<u32> {
+    piles
+        .iter()
+        .map(|pile| {
+            let mut value = 0u32;
+            for (i, f) in functions.iter().enumerate() {
+                if f.evaluate(pile.pivot) {
+                    value |= 1 << i;
+                }
+            }
+            value
+        })
+        .collect()
+}
+
+/// Returns `true` if the candidate function set assigns a distinct number to
+/// every pile (the paper's `check_numbering`: with `#banks` piles and
+/// `log2(#banks)` functions, distinctness is equivalent to counting the piles
+/// from `0` to `#banks - 1`).
+pub fn numbering_is_valid(functions: &[XorFunc], piles: &[Pile]) -> bool {
+    let mut numbers = pile_numbers(functions, piles);
+    numbers.sort_unstable();
+    numbers.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Runs Algorithm 3 over the piles.
+///
+/// # Errors
+///
+/// Returns [`DramDigError::FunctionDetection`] when no candidate masks
+/// survive, when fewer than `log2(#banks)` independent functions exist, or
+/// when no combination of the surviving functions numbers the piles
+/// distinctly.
+pub fn detect_bank_functions(
+    piles: &[Pile],
+    bank_bits: &[u8],
+    num_banks: u32,
+    cfg: &DramDigConfig,
+) -> Result<DetectedFunctions, DramDigError> {
+    if piles.is_empty() {
+        return Err(DramDigError::FunctionDetection {
+            reason: "no piles to analyse".into(),
+        });
+    }
+    let needed = num_banks.trailing_zeros() as usize;
+    if !num_banks.is_power_of_two() || needed == 0 {
+        return Err(DramDigError::FunctionDetection {
+            reason: format!("bank count {num_banks} is not a power of two greater than one"),
+        });
+    }
+
+    // Enumerate candidate masks by increasing size and keep those constant on
+    // every pile. The intersection over piles is computed incrementally.
+    let masks = bits::gen_xor_masks(bank_bits, cfg.max_func_bits.min(bank_bits.len()));
+    let mut consistent: Vec<XorFunc> = Vec::new();
+    'mask: for mask in masks {
+        for pile in piles {
+            if !mask_constant_on_pile(mask, pile) {
+                continue 'mask;
+            }
+        }
+        consistent.push(XorFunc::from_mask(mask));
+    }
+    if consistent.is_empty() {
+        return Err(DramDigError::FunctionDetection {
+            reason: "no XOR mask is constant across all piles".into(),
+        });
+    }
+
+    // Prioritise small functions and drop GF(2)-redundant ones.
+    let independent = gf2::remove_redundant(&consistent);
+    if independent.len() < needed {
+        return Err(DramDigError::FunctionDetection {
+            reason: format!(
+                "only {} independent candidate functions but log2(#banks) = {needed}",
+                independent.len()
+            ),
+        });
+    }
+
+    // Pick the combination of `needed` functions that numbers the piles
+    // distinctly. The canonical order of `remove_redundant` means the first
+    // valid combination is also the one built from the smallest functions.
+    if independent.len() == needed {
+        if !numbering_is_valid(&independent, piles) {
+            return Err(DramDigError::FunctionDetection {
+                reason: "the independent functions do not number the piles distinctly".into(),
+            });
+        }
+        return Ok(DetectedFunctions {
+            functions: independent,
+            consistent_masks: consistent,
+        });
+    }
+    for combo in bits::Combinations::new(&independent, needed) {
+        if gf2::functions_independent(&combo) && numbering_is_valid(&combo, piles) {
+            return Ok(DetectedFunctions {
+                functions: combo,
+                consistent_masks: consistent,
+            });
+        }
+    }
+    Err(DramDigError::FunctionDetection {
+        reason: format!(
+            "no combination of {needed} candidate functions numbers the {} piles distinctly",
+            piles.len()
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::{AddressMapping, MachineSetting, PhysAddr};
+
+    /// Builds noise-free piles directly from a ground-truth mapping: every
+    /// combination of the bank bits, grouped by true bank.
+    fn synthetic_piles(mapping: &AddressMapping) -> Vec<Pile> {
+        let bank_bits = mapping.bank_function_bits();
+        let mut piles: std::collections::BTreeMap<u32, Vec<PhysAddr>> = Default::default();
+        for combo in 0..(1u64 << bank_bits.len()) {
+            let raw = bits::scatter_bits(combo, &bank_bits);
+            let addr = PhysAddr::new(raw);
+            piles.entry(mapping.bank_of(addr)).or_default().push(addr);
+        }
+        piles
+            .into_values()
+            .map(|members| Pile {
+                pivot: members[0],
+                members,
+            })
+            .collect()
+    }
+
+    fn detect_for(setting: &MachineSetting) -> DetectedFunctions {
+        let mapping = setting.mapping();
+        let piles = synthetic_piles(mapping);
+        detect_bank_functions(
+            &piles,
+            &mapping.bank_function_bits(),
+            setting.system.total_banks(),
+            &DramDigConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_equivalent_functions_on_every_table_ii_setting() {
+        for setting in MachineSetting::all() {
+            let detected = detect_for(&setting);
+            let truth = gf2::Gf2Matrix::from_funcs(setting.mapping().bank_funcs());
+            let mine = gf2::Gf2Matrix::from_funcs(&detected.functions);
+            assert_eq!(
+                detected.functions.len(),
+                setting.mapping().bank_funcs().len(),
+                "{}",
+                setting.label()
+            );
+            for f in &detected.functions {
+                assert!(truth.spans(f.mask()), "{}: {f} not in ground-truth span", setting.label());
+            }
+            for f in setting.mapping().bank_funcs() {
+                assert!(mine.spans(f.mask()), "{}: {f} not recovered", setting.label());
+            }
+        }
+    }
+
+    #[test]
+    fn two_bit_functions_are_recovered_exactly() {
+        // On settings whose functions are all 1- or 2-bit masks the minimal
+        // basis is unique, so the recovered set matches the paper verbatim.
+        for number in [1u8, 3, 4, 7, 8] {
+            let setting = MachineSetting::by_number(number).unwrap();
+            let detected = detect_for(&setting);
+            let mut expected = setting.mapping().bank_funcs().to_vec();
+            dram_model::xor_func::canonical_order(&mut expected);
+            assert_eq!(detected.functions, expected, "{}", setting.label());
+        }
+    }
+
+    #[test]
+    fn mask_constant_on_pile_detects_inconsistency() {
+        let pile = Pile {
+            pivot: PhysAddr::new(0),
+            members: vec![PhysAddr::new(0), PhysAddr::new(0b100)],
+        };
+        assert!(!mask_constant_on_pile(0b100, &pile));
+        assert!(mask_constant_on_pile(0b1000, &pile));
+        let empty = Pile {
+            pivot: PhysAddr::new(0),
+            members: vec![],
+        };
+        assert!(mask_constant_on_pile(0b1, &empty));
+    }
+
+    #[test]
+    fn rejects_impossible_inputs() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let piles = synthetic_piles(setting.mapping());
+        let bank_bits = setting.mapping().bank_function_bits();
+        let cfg = DramDigConfig::default();
+        assert!(matches!(
+            detect_bank_functions(&[], &bank_bits, 8, &cfg),
+            Err(DramDigError::FunctionDetection { .. })
+        ));
+        assert!(matches!(
+            detect_bank_functions(&piles, &bank_bits, 12, &cfg),
+            Err(DramDigError::FunctionDetection { .. })
+        ));
+        // A mask budget of one bit cannot express the two-bit functions.
+        let tiny = DramDigConfig {
+            max_func_bits: 1,
+            ..DramDigConfig::default()
+        };
+        assert!(matches!(
+            detect_bank_functions(&piles, &bank_bits, 8, &tiny),
+            Err(DramDigError::FunctionDetection { .. })
+        ));
+    }
+
+    #[test]
+    fn numbering_check_rejects_dependent_choices() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let piles = synthetic_piles(setting.mapping());
+        let funcs = setting.mapping().bank_funcs();
+        assert!(numbering_is_valid(funcs, &piles));
+        // Replacing one function with a duplicate of another collapses the
+        // numbering.
+        let bad = vec![funcs[0], funcs[1], funcs[1]];
+        assert!(!numbering_is_valid(&bad, &piles));
+    }
+}

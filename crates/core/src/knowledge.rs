@@ -1,0 +1,167 @@
+//! The domain knowledge that makes DRAMDig "knowledge-assisted"
+//! (Section III-A of the paper).
+
+use dram_model::{DdrSpec, Microarch, SystemInfo};
+
+use crate::error::DramDigError;
+
+/// The three knowledge groups the paper feeds into the algorithm.
+///
+/// * **Specifications** — DDR3/DDR4 data sheets give the number of row,
+///   column and bank bits ([`DdrSpec`]).
+/// * **System information** — `decode-dimms` / `dmidecode` give the total
+///   number of banks, memory size and ECC presence ([`SystemInfo`]).
+/// * **Empirical observations** — bank functions are XORs of physical
+///   address bits, and since Ivy Bridge the lowest bit of the widest bank
+///   function is not a column bit.
+///
+/// Each group can be disabled individually, which the ablation experiment in
+/// `dramdig-bench` uses to quantify how much each contributes; with a group
+/// disabled the algorithm falls back to weaker heuristics (and may lose the
+/// determinism and efficiency the paper advertises).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainKnowledge {
+    /// System information (always required to know the address width).
+    pub system: SystemInfo,
+    /// CPU microarchitecture, if known (decides whether the "widest function"
+    /// empirical rule applies; it holds since Ivy Bridge).
+    pub microarch: Option<Microarch>,
+    /// Whether DDR-specification knowledge (row/column/bank bit counts) may
+    /// be used.
+    pub use_specifications: bool,
+    /// Whether system-information knowledge (total bank count) may be used.
+    pub use_system_info: bool,
+    /// Whether the empirical observations may be used.
+    pub use_empirical: bool,
+}
+
+impl DomainKnowledge {
+    /// Creates fully-enabled domain knowledge for a machine.
+    pub fn new(system: SystemInfo, microarch: Option<Microarch>) -> Self {
+        DomainKnowledge {
+            system,
+            microarch,
+            use_specifications: true,
+            use_system_info: true,
+            use_empirical: true,
+        }
+    }
+
+    /// Disables the DDR-specification group (ablation).
+    pub fn without_specifications(mut self) -> Self {
+        self.use_specifications = false;
+        self
+    }
+
+    /// Disables the system-information group (ablation).
+    pub fn without_system_info(mut self) -> Self {
+        self.use_system_info = false;
+        self
+    }
+
+    /// Disables the empirical-observation group (ablation).
+    pub fn without_empirical(mut self) -> Self {
+        self.use_empirical = false;
+        self
+    }
+
+    /// Width of the physical address space in bits.
+    pub fn address_bits(&self) -> u8 {
+        self.system.address_bits()
+    }
+
+    /// Total number of banks, if system information may be used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::MissingKnowledge`] when the system-information
+    /// group is disabled.
+    pub fn total_banks(&self) -> Result<u32, DramDigError> {
+        if self.use_system_info {
+            Ok(self.system.total_banks())
+        } else {
+            Err(DramDigError::MissingKnowledge {
+                group: "system information (total banks)",
+            })
+        }
+    }
+
+    /// The DDR specification (row/column/bank bit counts), if the
+    /// specification group may be used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::MissingKnowledge`] when disabled, or
+    /// [`DramDigError::Model`] if the capacity/geometry are inconsistent.
+    pub fn spec(&self) -> Result<DdrSpec, DramDigError> {
+        if !self.use_specifications {
+            return Err(DramDigError::MissingKnowledge {
+                group: "DDR specifications (row/column bit counts)",
+            });
+        }
+        Ok(self.system.spec()?)
+    }
+
+    /// Whether the "lowest bit of the widest bank function is not a column
+    /// bit" observation applies: requires the empirical group and an Ivy
+    /// Bridge or newer microarchitecture (or an unknown one, in which case we
+    /// assume a modern CPU).
+    pub fn widest_func_rule_applies(&self) -> bool {
+        self.use_empirical
+            && self
+                .microarch
+                .map_or(true, |m| m.widest_func_low_bit_not_column())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::{DdrGeneration, DramGeometry, MachineSetting};
+
+    fn knowledge_for(n: u8) -> DomainKnowledge {
+        let s = MachineSetting::by_number(n).unwrap();
+        DomainKnowledge::new(s.system, Some(s.microarch))
+    }
+
+    #[test]
+    fn full_knowledge_exposes_everything() {
+        let k = knowledge_for(6);
+        assert_eq!(k.total_banks().unwrap(), 64);
+        let spec = k.spec().unwrap();
+        assert_eq!(spec.row_bits, 15);
+        assert_eq!(spec.column_bits, 13);
+        assert_eq!(k.address_bits(), 34);
+        assert!(k.widest_func_rule_applies());
+    }
+
+    #[test]
+    fn sandy_bridge_disables_widest_func_rule() {
+        let k = knowledge_for(1);
+        assert!(!k.widest_func_rule_applies());
+    }
+
+    #[test]
+    fn unknown_microarch_assumes_modern_cpu() {
+        let system = SystemInfo::new(
+            4 << 30,
+            DramGeometry::new(1, 1, 1, 8),
+            DdrGeneration::Ddr3,
+        );
+        let k = DomainKnowledge::new(system, None);
+        assert!(k.widest_func_rule_applies());
+    }
+
+    #[test]
+    fn ablation_toggles_report_missing_knowledge() {
+        let k = knowledge_for(4).without_system_info();
+        assert!(matches!(
+            k.total_banks(),
+            Err(DramDigError::MissingKnowledge { .. })
+        ));
+        let k = knowledge_for(4).without_specifications();
+        assert!(matches!(k.spec(), Err(DramDigError::MissingKnowledge { .. })));
+        let k = knowledge_for(4).without_empirical();
+        assert!(!k.widest_func_rule_applies());
+    }
+}

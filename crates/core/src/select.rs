@@ -1,0 +1,253 @@
+//! Step 2a — physical-address selection (Algorithm 1 of the paper).
+//!
+//! Given the candidate bank bits `B` from Step 1, the selection picks a set
+//! of physical addresses that covers *every combination* of those bits while
+//! keeping all other bits fixed, so that the later pile partition exposes all
+//! bank address functions. Bits inside the `[b_min, b_max]` range that are
+//! not in `B` are forced to 1 through the paper's `miss_mask`, which keeps
+//! the pool size at `2^|B|` instead of `2^(b_max - b_min + 1)`.
+
+use dram_model::{PhysAddr, PAGE_SIZE};
+use dram_sim::PhysMemory;
+
+use crate::error::DramDigError;
+
+/// Outcome of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedPool {
+    /// The selected physical addresses (deduplicated, ascending).
+    pub addresses: Vec<PhysAddr>,
+    /// Start of the contiguous physical range the pool was drawn from.
+    pub range_start: PhysAddr,
+    /// Exclusive end of that range.
+    pub range_end: PhysAddr,
+    /// The `miss_mask` of Algorithm 1: bits inside the bank-bit span that do
+    /// not belong to `B` and were therefore pinned to 1.
+    pub miss_mask: u64,
+}
+
+impl SelectedPool {
+    /// Number of selected addresses.
+    pub fn len(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Returns `true` if no addresses were selected.
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+}
+
+/// Runs Algorithm 1: selects physical addresses covering all combinations of
+/// the candidate bank bits.
+///
+/// # Errors
+///
+/// Returns [`DramDigError::Selection`] when `bank_bits` is empty, when no
+/// allocated page has all bank-range bits set (so no suitable range exists),
+/// or when the resulting pool is too small to partition.
+pub fn select_addresses(
+    memory: &PhysMemory,
+    bank_bits: &[u8],
+    max_pool: Option<usize>,
+) -> Result<SelectedPool, DramDigError> {
+    if bank_bits.is_empty() {
+        return Err(DramDigError::Selection {
+            reason: "no candidate bank bits".into(),
+        });
+    }
+    let b_min = *bank_bits.iter().min().expect("non-empty");
+    let b_max = *bank_bits.iter().max().expect("non-empty");
+    let range_mask = (1u128 << (b_max + 1)) as u64 - (1u64 << b_min);
+    let mut miss_mask = 0u64;
+    for b in b_min..=b_max {
+        if !bank_bits.contains(&b) {
+            miss_mask |= 1u64 << b;
+        }
+    }
+
+    // Find a page whose (page-granular) bank-range bits are all ones and
+    // whose preceding range is fully backed by allocated pages (the paper's
+    // `page_miss` check). Bits below the page shift are offsets within a
+    // page and are always available. Fall back to the last candidate page
+    // even if the range has holes — individual addresses are
+    // membership-checked below anyway.
+    let page_range_mask = range_mask & !(PAGE_SIZE - 1);
+    let mut chosen: Option<PhysAddr> = None;
+    let mut fallback: Option<PhysAddr> = None;
+    for page in memory.page_addresses() {
+        if page.raw() & page_range_mask != page_range_mask {
+            continue;
+        }
+        if page.raw() < page_range_mask {
+            continue;
+        }
+        fallback = Some(page);
+        let start = page - page_range_mask;
+        let end = page + PAGE_SIZE;
+        if memory.covers_range(start, end) {
+            chosen = Some(page);
+            break;
+        }
+    }
+    let anchor = chosen.or(fallback).ok_or_else(|| DramDigError::Selection {
+        reason: format!(
+            "no allocated page has all bank-range bits [{b_min}, {b_max}] set; \
+             the page pool does not cover the required range"
+        ),
+    })?;
+    let range_start = anchor - page_range_mask;
+    let range_end = anchor + PAGE_SIZE;
+
+    // Walk the range with a stride of 2^b_min, pin the miss-mask bits to one
+    // and keep the addresses whose pages we actually own.
+    let stride = 1u64 << b_min;
+    let mut addresses = Vec::new();
+    let mut p = range_start.raw();
+    while p < range_end.raw() {
+        let candidate = PhysAddr::new(p | miss_mask);
+        if memory.contains(candidate) {
+            addresses.push(candidate);
+        }
+        p += stride;
+    }
+    addresses.sort_unstable();
+    addresses.dedup();
+
+    if let Some(cap) = max_pool {
+        if addresses.len() > cap {
+            // Keep a seeded random subsample. Every bank bit keeps varying
+            // (unlike a strided subsample, which would pin the low bank
+            // bits), but pile sizes become less uniform, so capping trades
+            // partition robustness for speed — the default configuration
+            // therefore does not cap.
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(addresses.len() as u64);
+            addresses.shuffle(&mut rng);
+            addresses.truncate(cap);
+            addresses.sort_unstable();
+        }
+    }
+
+    if addresses.len() < 2 {
+        return Err(DramDigError::Selection {
+            reason: format!(
+                "only {} addresses selected; the page pool is too sparse over the bank-bit range",
+                addresses.len()
+            ),
+        });
+    }
+
+    Ok(SelectedPool {
+        addresses,
+        range_start,
+        range_end,
+        miss_mask,
+    })
+}
+
+/// Expected pool size when the page pool fully covers the bank-bit range:
+/// one address per combination of the bank bits at or above the page shift,
+/// times one per combination of sub-page bank bits.
+pub fn expected_pool_size(bank_bits: &[u8]) -> usize {
+    1usize << bank_bits.len()
+}
+
+/// Convenience: the span mask `[b_min, b_max]` of a bank-bit set.
+pub fn range_mask_of(bank_bits: &[u8]) -> u64 {
+    if bank_bits.is_empty() {
+        return 0;
+    }
+    let b_min = *bank_bits.iter().min().expect("non-empty");
+    let b_max = *bank_bits.iter().max().expect("non-empty");
+    ((1u128 << (b_max + 1)) as u64).wrapping_sub(1u64 << b_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::{bits, MachineSetting};
+
+    fn coarse_bank_bits(setting: &MachineSetting) -> Vec<u8> {
+        setting.mapping().bank_function_bits()
+    }
+
+    #[test]
+    fn full_pool_covers_every_bank_bit_combination() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let bank_bits = coarse_bank_bits(&setting);
+        let memory = PhysMemory::full(setting.system.capacity_bytes);
+        let pool = select_addresses(&memory, &bank_bits, None).unwrap();
+        assert_eq!(pool.len(), expected_pool_size(&bank_bits));
+        // Every combination of the bank bits appears exactly once.
+        let mut combos: Vec<u64> = pool
+            .addresses
+            .iter()
+            .map(|a| bits::gather_bits(a.raw(), &bank_bits))
+            .collect();
+        combos.sort_unstable();
+        combos.dedup();
+        assert_eq!(combos.len(), pool.len());
+    }
+
+    #[test]
+    fn miss_mask_pins_non_bank_bits() {
+        let setting = MachineSetting::no8_coffee_lake_ddr4_8g();
+        let bank_bits = coarse_bank_bits(&setting); // {6, 13..19}
+        let memory = PhysMemory::full(setting.system.capacity_bytes);
+        let pool = select_addresses(&memory, &bank_bits, None).unwrap();
+        assert_ne!(pool.miss_mask, 0);
+        for addr in &pool.addresses {
+            assert_eq!(addr.raw() & pool.miss_mask, pool.miss_mask);
+        }
+    }
+
+    #[test]
+    fn addresses_differ_only_in_bank_bits_and_low_bits() {
+        let setting = MachineSetting::no7_skylake_ddr4_4g();
+        let bank_bits = coarse_bank_bits(&setting);
+        let memory = PhysMemory::full(setting.system.capacity_bytes);
+        let pool = select_addresses(&memory, &bank_bits, None).unwrap();
+        let allowed = bits::mask_of(&bank_bits);
+        let base = pool.addresses[0].raw() & !allowed;
+        for addr in &pool.addresses {
+            assert_eq!(addr.raw() & !allowed, base);
+        }
+    }
+
+    #[test]
+    fn pool_cap_subsamples_uniformly() {
+        let setting = MachineSetting::no6_skylake_ddr4_16g();
+        let bank_bits = coarse_bank_bits(&setting);
+        let memory = PhysMemory::full(setting.system.capacity_bytes);
+        let capped = select_addresses(&memory, &bank_bits, Some(1000)).unwrap();
+        assert!(capped.len() <= 1000);
+        assert!(capped.len() >= 900);
+    }
+
+    #[test]
+    fn empty_bank_bits_is_rejected() {
+        let memory = PhysMemory::full(1 << 20);
+        assert!(matches!(
+            select_addresses(&memory, &[], None),
+            Err(DramDigError::Selection { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_pool_without_required_range_is_rejected() {
+        // Only the first 16 pages of a 1 GiB module: bit 25 can never be set.
+        let memory = PhysMemory::from_frames((0..16).collect(), (1 << 30) / PAGE_SIZE);
+        assert!(matches!(
+            select_addresses(&memory, &[13, 25], None),
+            Err(DramDigError::Selection { .. })
+        ));
+    }
+
+    #[test]
+    fn range_mask_helper() {
+        assert_eq!(range_mask_of(&[6, 13]), (1 << 14) - (1 << 6));
+        assert_eq!(range_mask_of(&[]), 0);
+    }
+}

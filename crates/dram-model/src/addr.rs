@@ -1,0 +1,276 @@
+//! Physical and DRAM address types.
+
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Sub};
+
+/// A physical (machine) address.
+///
+/// The reverse-engineering tools in this workspace reason exclusively about
+/// physical addresses; translating from virtual addresses (via
+/// `/proc/self/pagemap` or hugepages) is the job of the probe layer.
+///
+/// ```
+/// use dram_model::PhysAddr;
+/// let a = PhysAddr::new(0b1010_0000);
+/// assert!(a.bit(5));
+/// assert!(!a.bit(6));
+/// assert_eq!(a.with_bit_flipped(6).raw(), 0b1110_0000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from its raw integer value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if bit `bit` is set.
+    pub const fn bit(self, bit: u8) -> bool {
+        (self.0 >> bit) & 1 == 1
+    }
+
+    /// Returns a copy with bit `bit` set to `value`.
+    pub const fn with_bit(self, bit: u8, value: bool) -> Self {
+        let mask = 1u64 << bit;
+        if value {
+            PhysAddr(self.0 | mask)
+        } else {
+            PhysAddr(self.0 & !mask)
+        }
+    }
+
+    /// Returns a copy with bit `bit` flipped.
+    pub const fn with_bit_flipped(self, bit: u8) -> Self {
+        PhysAddr(self.0 ^ (1u64 << bit))
+    }
+
+    /// Returns the 4 KiB page frame number of this address.
+    pub const fn page_frame(self) -> u64 {
+        self.0 >> crate::PAGE_SHIFT
+    }
+
+    /// Returns the offset of this address within its 4 KiB page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (crate::PAGE_SIZE - 1)
+    }
+
+    /// Returns the address of the first byte of the page containing `self`.
+    pub const fn page_base(self) -> Self {
+        PhysAddr(self.0 & !(crate::PAGE_SIZE - 1))
+    }
+
+    /// Parity (XOR of all bits) of `self & mask`.
+    ///
+    /// This is the core operation used when evaluating bank address
+    /// functions.
+    pub const fn masked_parity(self, mask: u64) -> bool {
+        (self.0 & mask).count_ones() % 2 == 1
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(addr: PhysAddr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn sub(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 - rhs)
+    }
+}
+
+impl BitAnd<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn bitand(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 & rhs)
+    }
+}
+
+impl BitOr<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn bitor(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 | rhs)
+    }
+}
+
+impl BitXor<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn bitxor(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 ^ rhs)
+    }
+}
+
+/// A fully decoded DRAM address: the 3-tuple of the paper (bank, row, column),
+/// where "bank" folds in channel, DIMM and rank as in Section II-A.
+///
+/// ```
+/// use dram_model::DramAddress;
+/// let d = DramAddress::new(3, 0x1f2, 0x40);
+/// assert_eq!(d.bank, 3);
+/// assert_eq!(d.row, 0x1f2);
+/// assert_eq!(d.column, 0x40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DramAddress {
+    /// Flat bank index (channel, DIMM, rank and bank folded together).
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column (byte) index within the row.
+    pub column: u32,
+}
+
+impl DramAddress {
+    /// Creates a DRAM address from its components.
+    pub const fn new(bank: u32, row: u32, column: u32) -> Self {
+        DramAddress { bank, row, column }
+    }
+
+    /// Returns `true` when `self` and `other` lie in the same bank.
+    pub const fn same_bank(&self, other: &DramAddress) -> bool {
+        self.bank == other.bank
+    }
+
+    /// Returns `true` when `self` and `other` lie in the same bank but in
+    /// different rows — the "SBDR" condition that produces a row-buffer
+    /// conflict and therefore a measurably higher access latency.
+    pub const fn is_sbdr_with(&self, other: &DramAddress) -> bool {
+        self.bank == other.bank && self.row != other.row
+    }
+
+    /// Returns `true` when `self` and `other` are in the same bank and their
+    /// rows are exactly `distance` apart (used to select double-sided
+    /// rowhammer aggressors with `distance == 2` around a victim).
+    pub const fn rows_apart(&self, other: &DramAddress, distance: u32) -> bool {
+        self.bank == other.bank && self.row.abs_diff(other.row) == distance
+    }
+}
+
+impl fmt::Display for DramAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bank {} row {:#x} col {:#x}",
+            self.bank, self.row, self.column
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_get_set_flip_roundtrip() {
+        let a = PhysAddr::new(0);
+        let b = a.with_bit(13, true);
+        assert!(b.bit(13));
+        assert!(!b.bit(12));
+        assert_eq!(b.with_bit(13, false), a);
+        assert_eq!(b.with_bit_flipped(13), a);
+    }
+
+    #[test]
+    fn page_helpers() {
+        let a = PhysAddr::new(0x12345);
+        assert_eq!(a.page_frame(), 0x12);
+        assert_eq!(a.page_offset(), 0x345);
+        assert_eq!(a.page_base(), PhysAddr::new(0x12000));
+    }
+
+    #[test]
+    fn masked_parity_counts_bits_under_mask() {
+        let a = PhysAddr::new(0b1011_0100);
+        assert!(a.masked_parity(0b0001_0000)); // one bit set
+        assert!(!a.masked_parity(0b0011_0000)); // two bits set
+        assert!(!a.masked_parity(0b0000_1000)); // zero bits set
+        assert!(!a.masked_parity(0b1011_0100)); // four bits set
+    }
+
+    #[test]
+    fn arithmetic_and_bit_ops() {
+        let a = PhysAddr::new(0x1000);
+        assert_eq!((a + 0x234).raw(), 0x1234);
+        assert_eq!((a - 0x800).raw(), 0x800);
+        assert_eq!((a | 0xff).raw(), 0x10ff);
+        assert_eq!((a & 0xff00).raw(), 0x1000);
+        assert_eq!((a ^ 0x1001).raw(), 0x1);
+    }
+
+    #[test]
+    fn dram_address_predicates() {
+        let a = DramAddress::new(2, 100, 0);
+        let same_row = DramAddress::new(2, 100, 64);
+        let other_row = DramAddress::new(2, 102, 0);
+        let other_bank = DramAddress::new(3, 100, 0);
+        assert!(a.same_bank(&same_row));
+        assert!(!a.is_sbdr_with(&same_row));
+        assert!(a.is_sbdr_with(&other_row));
+        assert!(!a.is_sbdr_with(&other_bank));
+        assert!(a.rows_apart(&other_row, 2));
+        assert!(!a.rows_apart(&other_bank, 2));
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = PhysAddr::new(255);
+        assert_eq!(format!("{a}"), "0xff");
+        assert_eq!(format!("{a:x}"), "ff");
+        assert_eq!(format!("{a:X}"), "FF");
+        assert_eq!(format!("{a:b}"), "11111111");
+        let d = DramAddress::new(1, 2, 3);
+        assert!(format!("{d}").contains("bank 1"));
+    }
+
+    #[test]
+    fn conversions() {
+        let a: PhysAddr = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+    }
+}

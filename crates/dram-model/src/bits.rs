@@ -1,0 +1,224 @@
+//! Bit-manipulation helpers shared by the reverse-engineering algorithms.
+
+/// Returns the positions (LSB-first) of all set bits in `mask`.
+///
+/// ```
+/// assert_eq!(dram_model::bits::bit_positions(0b1010_0010), vec![1, 5, 7]);
+/// ```
+pub fn bit_positions(mask: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        let b = m.trailing_zeros() as u8;
+        out.push(b);
+        m &= m - 1;
+    }
+    out
+}
+
+/// Builds a bit mask with the given bit positions set.
+///
+/// ```
+/// assert_eq!(dram_model::bits::mask_of(&[1, 5, 7]), 0b1010_0010);
+/// ```
+pub fn mask_of(bits: &[u8]) -> u64 {
+    bits.iter().fold(0u64, |m, &b| m | (1u64 << b))
+}
+
+/// Gathers the bits of `value` at the given positions (LSB-first order) into a
+/// dense integer: position `positions[0]` becomes bit 0 of the result.
+///
+/// ```
+/// // value = 0b1101, positions 0 and 3 -> bits 1 and 1 -> 0b11
+/// assert_eq!(dram_model::bits::gather_bits(0b1101, &[0, 3]), 0b11);
+/// ```
+pub fn gather_bits(value: u64, positions: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for (i, &p) in positions.iter().enumerate() {
+        if (value >> p) & 1 == 1 {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Scatters the low bits of `value` to the given positions: bit `i` of
+/// `value` is placed at `positions[i]`. Inverse of [`gather_bits`].
+///
+/// ```
+/// assert_eq!(dram_model::bits::scatter_bits(0b11, &[0, 3]), 0b1001);
+/// ```
+pub fn scatter_bits(value: u64, positions: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for (i, &p) in positions.iter().enumerate() {
+        if (value >> i) & 1 == 1 {
+            out |= 1 << p;
+        }
+    }
+    out
+}
+
+/// Iterator over all `k`-combinations of the items of a slice.
+///
+/// Used by the bank-function search (Algorithm 3) to enumerate candidate
+/// XOR masks built from the detected bank bits, ordered by combination size.
+#[derive(Debug, Clone)]
+pub struct Combinations<'a, T> {
+    items: &'a [T],
+    indices: Vec<usize>,
+    first: bool,
+    done: bool,
+}
+
+impl<'a, T: Copy> Combinations<'a, T> {
+    /// Creates an iterator over all `k`-element combinations of `items`.
+    pub fn new(items: &'a [T], k: usize) -> Self {
+        let done = k > items.len();
+        Combinations {
+            items,
+            indices: (0..k).collect(),
+            first: true,
+            done,
+        }
+    }
+}
+
+impl<'a, T: Copy> Iterator for Combinations<'a, T> {
+    type Item = Vec<T>;
+
+    fn next(&mut self) -> Option<Vec<T>> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            return Some(self.indices.iter().map(|&i| self.items[i]).collect());
+        }
+        let k = self.indices.len();
+        let n = self.items.len();
+        if k == 0 {
+            self.done = true;
+            return None;
+        }
+        // Advance the combination indices in lexicographic order.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+            if self.indices[i] != i + n - k {
+                break;
+            }
+        }
+        self.indices[i] += 1;
+        for j in i + 1..k {
+            self.indices[j] = self.indices[j - 1] + 1;
+        }
+        Some(self.indices.iter().map(|&i| self.items[i]).collect())
+    }
+}
+
+/// Convenience wrapper returning all `k`-combinations of `items` as vectors.
+pub fn combinations<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    Combinations::new(items, k).collect()
+}
+
+/// Enumerates candidate XOR masks from `bits`, grouped by combination size
+/// from 1 up to `max_size` bits, in the order used by Algorithm 3 of the
+/// paper (`gen_xor_masks`).
+pub fn gen_xor_masks(bits: &[u8], max_size: usize) -> Vec<u64> {
+    let mut masks = Vec::new();
+    for k in 1..=max_size.min(bits.len()) {
+        for combo in Combinations::new(bits, k) {
+            masks.push(mask_of(&combo));
+        }
+    }
+    masks
+}
+
+/// Binomial coefficient `n choose k` (saturating; used for cost estimation).
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_and_mask_roundtrip() {
+        let mask = 0b1001_0110_0000;
+        let pos = bit_positions(mask);
+        assert_eq!(pos, vec![5, 6, 8, 11]);
+        assert_eq!(mask_of(&pos), mask);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let positions = [2u8, 5, 9, 17];
+        for value in 0..16u64 {
+            let scattered = scatter_bits(value, &positions);
+            assert_eq!(gather_bits(scattered, &positions), value);
+        }
+    }
+
+    #[test]
+    fn gather_ignores_unlisted_bits() {
+        assert_eq!(gather_bits(u64::MAX, &[3, 60]), 0b11);
+    }
+
+    #[test]
+    fn combinations_counts_match_binomial() {
+        let items: Vec<u8> = (0..6).collect();
+        for k in 0..=6usize {
+            let combos = combinations(&items, k);
+            assert_eq!(combos.len() as u64, binomial(6, k as u64), "k = {k}");
+            // all distinct
+            let mut sorted = combos.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), combos.len());
+        }
+    }
+
+    #[test]
+    fn combinations_of_more_than_available_is_empty() {
+        let items = [1u8, 2, 3];
+        assert!(combinations(&items, 4).is_empty());
+    }
+
+    #[test]
+    fn combinations_zero_k_yields_single_empty() {
+        let items = [1u8, 2, 3];
+        let combos = combinations(&items, 0);
+        assert_eq!(combos, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn gen_xor_masks_orders_by_size() {
+        let masks = gen_xor_masks(&[1, 2, 3], 3);
+        // 3 singles, 3 pairs, 1 triple
+        assert_eq!(masks.len(), 7);
+        assert_eq!(masks[0].count_ones(), 1);
+        assert_eq!(masks[3].count_ones(), 2);
+        assert_eq!(masks[6].count_ones(), 3);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 1), 10);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(5, 7), 0);
+    }
+}

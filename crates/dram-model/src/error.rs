@@ -1,0 +1,97 @@
+//! Error types for the model crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or using DRAM address mappings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The mapping does not cover every physical-address bit exactly once
+    /// (after accounting for shared bank bits), so it cannot be a bijection.
+    NotBijective {
+        /// Human readable explanation of what is inconsistent.
+        reason: String,
+    },
+    /// A bank-address function set is linearly dependent over GF(2).
+    LinearlyDependentFunctions,
+    /// The requested bit index exceeds the physical address width.
+    BitOutOfRange {
+        /// The offending bit index.
+        bit: u8,
+        /// The physical address width in bits.
+        width: u8,
+    },
+    /// A DRAM coordinate (bank, row or column) exceeds the geometry limits.
+    CoordinateOutOfRange {
+        /// Which coordinate was out of range ("bank", "row" or "column").
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The exclusive upper bound.
+        limit: u64,
+    },
+    /// The total capacity is not a power of two or does not match geometry.
+    InvalidCapacity {
+        /// The offending capacity in bytes.
+        capacity: u64,
+    },
+    /// The mapping inverse could not be computed because the pure-bank-bit
+    /// system is singular over GF(2).
+    SingularBankSystem,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotBijective { reason } => {
+                write!(f, "address mapping is not a bijection: {reason}")
+            }
+            ModelError::LinearlyDependentFunctions => {
+                write!(f, "bank address functions are linearly dependent over GF(2)")
+            }
+            ModelError::BitOutOfRange { bit, width } => {
+                write!(f, "bit index {bit} out of range for {width}-bit physical addresses")
+            }
+            ModelError::CoordinateOutOfRange { field, value, limit } => {
+                write!(f, "{field} value {value} out of range (limit {limit})")
+            }
+            ModelError::InvalidCapacity { capacity } => {
+                write!(f, "invalid DRAM capacity {capacity} bytes")
+            }
+            ModelError::SingularBankSystem => {
+                write!(f, "pure bank bit system is singular; cannot invert mapping")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = vec![
+            ModelError::NotBijective { reason: "x".into() },
+            ModelError::LinearlyDependentFunctions,
+            ModelError::BitOutOfRange { bit: 40, width: 33 },
+            ModelError::CoordinateOutOfRange { field: "row", value: 10, limit: 5 },
+            ModelError::InvalidCapacity { capacity: 3 },
+            ModelError::SingularBankSystem,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,384 @@
+//! Dense linear algebra over GF(2).
+//!
+//! Bank address functions are linear forms over GF(2) of the physical address
+//! bits, so questions such as "is this candidate function redundant?" or "do
+//! these `log2(#banks)` functions actually number all piles distinctly?"
+//! reduce to rank computations over GF(2). Rows are stored as `u64` bit
+//! masks, which comfortably covers physical addresses up to 64 bits.
+
+use crate::XorFunc;
+
+/// A matrix over GF(2) whose rows are stored as 64-bit masks.
+///
+/// ```
+/// use dram_model::gf2::Gf2Matrix;
+/// let m = Gf2Matrix::from_rows(vec![0b011, 0b101, 0b110]);
+/// // the third row is the XOR of the first two
+/// assert_eq!(m.rank(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Gf2Matrix {
+    rows: Vec<u64>,
+}
+
+impl Gf2Matrix {
+    /// Creates an empty matrix with no rows.
+    pub fn new() -> Self {
+        Gf2Matrix { rows: Vec::new() }
+    }
+
+    /// Creates a matrix from row bit masks.
+    pub fn from_rows(rows: Vec<u64>) -> Self {
+        Gf2Matrix { rows }
+    }
+
+    /// Creates a matrix whose rows are the masks of the given functions.
+    pub fn from_funcs(funcs: &[XorFunc]) -> Self {
+        Gf2Matrix {
+            rows: funcs.iter().map(|f| f.mask()).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the rows of the matrix.
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: u64) {
+        self.rows.push(row);
+    }
+
+    /// Computes the rank of the matrix by Gaussian elimination.
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows.clone();
+        rank_in_place(&mut rows)
+    }
+
+    /// Returns a row-echelon basis (pivot rows only) of the row space.
+    pub fn row_basis(&self) -> Vec<u64> {
+        let mut basis: Vec<u64> = Vec::new();
+        for &row in &self.rows {
+            let reduced = reduce_against(row, &basis);
+            if reduced != 0 {
+                basis.push(reduced);
+                basis.sort_unstable_by(|a, b| b.cmp(a));
+            }
+        }
+        basis
+    }
+
+    /// Returns `true` if `candidate` lies in the row space of the matrix,
+    /// i.e. it is a XOR (linear combination) of existing rows.
+    pub fn spans(&self, candidate: u64) -> bool {
+        let basis = self.row_basis();
+        reduce_against(candidate, &basis) == 0
+    }
+}
+
+/// Reduces `value` against a set of basis rows (each used by its leading bit).
+fn reduce_against(mut value: u64, basis: &[u64]) -> u64 {
+    for &b in basis {
+        if b == 0 {
+            continue;
+        }
+        let lead = 63 - b.leading_zeros();
+        if value >> lead & 1 == 1 {
+            value ^= b;
+        }
+    }
+    value
+}
+
+/// Computes the rank of a set of row masks, destroying them in the process.
+fn rank_in_place(rows: &mut [u64]) -> usize {
+    let mut rank = 0;
+    for bit in (0..64).rev() {
+        // Find a pivot row with this leading bit.
+        let mut pivot = None;
+        for (i, &row) in rows.iter().enumerate().skip(rank) {
+            if (row >> bit) & 1 == 1 {
+                pivot = Some(i);
+                break;
+            }
+        }
+        let Some(p) = pivot else { continue };
+        rows.swap(rank, p);
+        let pivot_row = rows[rank];
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i != rank && (*row >> bit) & 1 == 1 {
+                *row ^= pivot_row;
+            }
+        }
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    rank
+}
+
+/// Returns `true` if the given functions are linearly independent over GF(2).
+pub fn functions_independent(funcs: &[XorFunc]) -> bool {
+    Gf2Matrix::from_funcs(funcs).rank() == funcs.len()
+}
+
+/// Returns `true` if `candidate` is a linear combination (XOR) of `funcs`.
+pub fn is_linear_combination(candidate: XorFunc, funcs: &[XorFunc]) -> bool {
+    Gf2Matrix::from_funcs(funcs).spans(candidate.mask())
+}
+
+/// Removes functions that are linear combinations of *higher-priority*
+/// functions, where priority is "fewer participating bits first" as in
+/// Algorithm 3 (`prioritize` + `remove_redundant`).
+///
+/// The surviving set is linearly independent and every removed function is a
+/// XOR of surviving ones.
+pub fn remove_redundant(funcs: &[XorFunc]) -> Vec<XorFunc> {
+    let mut sorted: Vec<XorFunc> = funcs.to_vec();
+    crate::xor_func::canonical_order(&mut sorted);
+    let mut kept: Vec<XorFunc> = Vec::new();
+    for f in sorted {
+        if f.is_empty() {
+            continue;
+        }
+        if !is_linear_combination(f, &kept) {
+            kept.push(f);
+        }
+    }
+    kept
+}
+
+/// Solves the square GF(2) system `A x = b` where row `i` of `a_rows` holds
+/// the coefficients of equation `i` over `n` unknowns (bit `j` of the row is
+/// the coefficient of unknown `j`) and bit `i` of `b` is the right-hand side.
+///
+/// Returns `None` when the system is singular.
+pub fn solve_square(a_rows: &[u64], b: u64, n: usize) -> Option<u64> {
+    assert!(a_rows.len() == n, "system must be square");
+    assert!(n <= 64, "at most 64 unknowns supported");
+    // Augment: keep rhs bit alongside each row.
+    let mut rows: Vec<(u64, bool)> = a_rows
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, (b >> i) & 1 == 1))
+        .collect();
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; n];
+    let mut used = vec![false; n];
+    for col in 0..n {
+        // Find an unused row with a 1 in this column.
+        let pivot = (0..n).find(|&r| !used[r] && (rows[r].0 >> col) & 1 == 1)?;
+        used[pivot] = true;
+        pivot_of_col[col] = Some(pivot);
+        let (prow, pb) = rows[pivot];
+        for r in 0..n {
+            if r != pivot && (rows[r].0 >> col) & 1 == 1 {
+                rows[r].0 ^= prow;
+                rows[r].1 ^= pb;
+            }
+        }
+    }
+    // After full elimination every pivot row has exactly one column left.
+    let mut x = 0u64;
+    for col in 0..n {
+        let p = pivot_of_col[col]?;
+        if rows[p].1 {
+            x |= 1 << col;
+        }
+    }
+    Some(x)
+}
+
+/// Solves the (possibly non-square, possibly under-determined) GF(2) system
+/// `A x = b` with `n` unknowns and `a_rows.len()` equations, returning *any*
+/// solution with free variables set to zero, or `None` when the system is
+/// inconsistent.
+pub fn solve_any(a_rows: &[u64], b: u64, n: usize) -> Option<u64> {
+    assert!(n <= 64, "at most 64 unknowns supported");
+    let m = a_rows.len();
+    let mut rows: Vec<(u64, bool)> = a_rows
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, (b >> i) & 1 == 1))
+        .collect();
+    let mut pivot_col_of_row: Vec<usize> = Vec::with_capacity(m);
+    let mut next_row = 0usize;
+    for col in 0..n {
+        let Some(p) = (next_row..m).find(|&i| (rows[i].0 >> col) & 1 == 1) else {
+            continue;
+        };
+        rows.swap(next_row, p);
+        let (prow, pb) = rows[next_row];
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i != next_row && (row.0 >> col) & 1 == 1 {
+                row.0 ^= prow;
+                row.1 ^= pb;
+            }
+        }
+        pivot_col_of_row.push(col);
+        next_row += 1;
+        if next_row == m {
+            break;
+        }
+    }
+    // Rows without a pivot are all-zero; a non-zero right-hand side there
+    // makes the system inconsistent.
+    if rows[next_row..].iter().any(|&(coeff, rhs)| coeff == 0 && rhs) {
+        return None;
+    }
+    let mut x = 0u64;
+    for (i, &col) in pivot_col_of_row.iter().enumerate() {
+        if rows[i].1 {
+            x |= 1 << col;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_any_underdetermined_system() {
+        // One equation, three unknowns: x0 ^ x2 = 1.
+        let x = solve_any(&[0b101], 0b1, 3).unwrap();
+        assert_eq!((x & 0b101).count_ones() % 2, 1);
+        // Inconsistent: 0 = 1.
+        assert!(solve_any(&[0b000], 0b1, 3).is_none());
+        // Consistent homogeneous system.
+        assert_eq!(solve_any(&[0b11, 0b11], 0b00, 2), Some(0));
+        // Redundant but consistent equations.
+        let x = solve_any(&[0b11, 0b11], 0b11, 2).unwrap();
+        assert_eq!((x & 0b11).count_ones() % 2, 1);
+    }
+
+    #[test]
+    fn solve_any_matches_solve_square_on_square_systems() {
+        let mats = [vec![0b011u64, 0b010, 0b100], vec![0b111, 0b011, 0b001]];
+        for a in &mats {
+            for b in 0..8u64 {
+                assert_eq!(solve_any(a, b, 3), solve_square(a, b, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_independent_rows() {
+        let m = Gf2Matrix::from_rows(vec![0b001, 0b010, 0b100]);
+        assert_eq!(m.rank(), 3);
+    }
+
+    #[test]
+    fn rank_detects_dependence() {
+        // row3 = row1 ^ row2
+        let m = Gf2Matrix::from_rows(vec![0b0110, 0b1010, 0b1100]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rank_of_empty_and_zero() {
+        assert_eq!(Gf2Matrix::new().rank(), 0);
+        assert_eq!(Gf2Matrix::from_rows(vec![0, 0]).rank(), 0);
+    }
+
+    #[test]
+    fn spans_detects_linear_combination() {
+        let m = Gf2Matrix::from_rows(vec![0b0011, 0b0101]);
+        assert!(m.spans(0b0110)); // xor of the two rows
+        assert!(m.spans(0b0011));
+        assert!(m.spans(0)); // zero vector is always spanned
+        assert!(!m.spans(0b1000));
+    }
+
+    #[test]
+    fn paper_example_redundancy() {
+        // The paper's example: (14,18), (15,19) have priority over
+        // (14,15,18,19) which is their combination and must be removed.
+        let funcs = vec![
+            XorFunc::from_bits(&[14, 15, 18, 19]),
+            XorFunc::from_bits(&[14, 18]),
+            XorFunc::from_bits(&[15, 19]),
+        ];
+        let kept = remove_redundant(&funcs);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&XorFunc::from_bits(&[14, 18])));
+        assert!(kept.contains(&XorFunc::from_bits(&[15, 19])));
+    }
+
+    #[test]
+    fn remove_redundant_keeps_independent_sets_intact() {
+        let funcs = vec![
+            XorFunc::from_bits(&[6]),
+            XorFunc::from_bits(&[14, 17]),
+            XorFunc::from_bits(&[15, 18]),
+            XorFunc::from_bits(&[16, 19]),
+        ];
+        let kept = remove_redundant(&funcs);
+        assert_eq!(kept.len(), 4);
+    }
+
+    #[test]
+    fn functions_independent_matches_rank() {
+        let indep = vec![XorFunc::from_bits(&[1]), XorFunc::from_bits(&[2])];
+        let dep = vec![
+            XorFunc::from_bits(&[1]),
+            XorFunc::from_bits(&[2]),
+            XorFunc::from_bits(&[1, 2]),
+        ];
+        assert!(functions_independent(&indep));
+        assert!(!functions_independent(&dep));
+    }
+
+    #[test]
+    fn solve_square_identity() {
+        // x0 = 1, x1 = 0, x2 = 1
+        let a = vec![0b001, 0b010, 0b100];
+        let x = solve_square(&a, 0b101, 3).unwrap();
+        assert_eq!(x, 0b101);
+    }
+
+    #[test]
+    fn solve_square_coupled() {
+        // eq0: x0 ^ x1 = 1, eq1: x1 = 1  => x0 = 0, x1 = 1
+        let a = vec![0b11, 0b10];
+        let x = solve_square(&a, 0b11, 2).unwrap();
+        assert_eq!(x, 0b10);
+    }
+
+    #[test]
+    fn solve_square_singular_returns_none() {
+        let a = vec![0b11, 0b11];
+        assert!(solve_square(&a, 0b01, 2).is_none());
+    }
+
+    #[test]
+    fn solve_square_roundtrip_random_like() {
+        // A small deterministic sweep: for every invertible 3x3 matrix from a
+        // fixed list, A * solve(A, b) == b for all b.
+        let mats = [
+            vec![0b001u64, 0b010, 0b100],
+            vec![0b011, 0b010, 0b100],
+            vec![0b111, 0b011, 0b001],
+            vec![0b101, 0b110, 0b010],
+        ];
+        for a in &mats {
+            for b in 0..8u64 {
+                let x = solve_square(a, b, 3).expect("invertible");
+                // recompute A x
+                let mut bx = 0u64;
+                for (i, &row) in a.iter().enumerate() {
+                    if (row & x).count_ones() % 2 == 1 {
+                        bx |= 1 << i;
+                    }
+                }
+                assert_eq!(bx, b, "A = {a:?}, b = {b}");
+            }
+        }
+    }
+}

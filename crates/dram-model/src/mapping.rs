@@ -1,0 +1,679 @@
+//! The physical-address → DRAM-address mapping and its inverse.
+
+use std::fmt;
+
+use crate::bits;
+use crate::error::ModelError;
+use crate::gf2;
+use crate::{DramAddress, PhysAddr, XorFunc};
+
+/// A complete DRAM address mapping: how the memory controller turns a
+/// physical address into a (bank, row, column) triple.
+///
+/// * Each [`XorFunc`] yields one bit of the flat bank index.
+/// * `row_bits` / `column_bits` list the physical-address bits that form the
+///   row and column indices (gathered LSB-first).
+///
+/// A valid mapping is a bijection between physical addresses of
+/// `physical_bits()` bits and DRAM coordinates; [`AddressMapping::to_phys`]
+/// is the inverse direction and is used by the simulator and the rowhammer
+/// harness to materialise addresses with desired DRAM coordinates.
+///
+/// ```
+/// use dram_model::{AddressMapping, PhysAddr, XorFunc};
+/// let mapping = AddressMapping::new(
+///     vec![XorFunc::from_bits(&[13, 16]), XorFunc::from_bits(&[14, 17]), XorFunc::from_bits(&[15, 18])],
+///     (16..=31).collect(),
+///     (0..=12).collect(),
+/// )?;
+/// let d = mapping.to_dram(PhysAddr::new(0xdead_b000));
+/// assert_eq!(mapping.to_phys(d)?, PhysAddr::new(0xdead_b000));
+/// # Ok::<(), dram_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMapping {
+    bank_funcs: Vec<XorFunc>,
+    row_bits: Vec<u8>,
+    column_bits: Vec<u8>,
+    physical_bits: u8,
+    /// Bits that participate in bank functions but are neither row nor
+    /// column bits ("pure" bank bits), sorted ascending.
+    pure_bank_bits: Vec<u8>,
+}
+
+impl AddressMapping {
+    /// Builds and validates a mapping.
+    ///
+    /// The physical address width is inferred as
+    /// `row_bits.len() + column_bits.len() + bank_funcs.len()`, which is the
+    /// width of the bijection.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::LinearlyDependentFunctions`] if the bank functions are
+    ///   not linearly independent over GF(2).
+    /// * [`ModelError::NotBijective`] if the bit sets overlap, leave gaps, or
+    ///   the pure-bank-bit count does not equal the function count.
+    /// * [`ModelError::SingularBankSystem`] if pure bank bits cannot be
+    ///   recovered from the bank index (the mapping would not be invertible).
+    pub fn new(
+        bank_funcs: Vec<XorFunc>,
+        row_bits: Vec<u8>,
+        column_bits: Vec<u8>,
+    ) -> Result<Self, ModelError> {
+        let mut row_bits = row_bits;
+        let mut column_bits = column_bits;
+        row_bits.sort_unstable();
+        row_bits.dedup();
+        column_bits.sort_unstable();
+        column_bits.dedup();
+
+        if bank_funcs.iter().any(|f| f.is_empty()) {
+            return Err(ModelError::NotBijective {
+                reason: "a bank function uses no physical address bits".into(),
+            });
+        }
+        if !gf2::functions_independent(&bank_funcs) {
+            return Err(ModelError::LinearlyDependentFunctions);
+        }
+
+        let physical_bits = (row_bits.len() + column_bits.len() + bank_funcs.len()) as u8;
+        if physical_bits > 63 {
+            return Err(ModelError::NotBijective {
+                reason: format!("physical address width {physical_bits} exceeds 63 bits"),
+            });
+        }
+
+        let row_mask = bits::mask_of(&row_bits);
+        let col_mask = bits::mask_of(&column_bits);
+        if row_mask & col_mask != 0 {
+            return Err(ModelError::NotBijective {
+                reason: "row bits and column bits overlap".into(),
+            });
+        }
+
+        let func_mask: u64 = bank_funcs.iter().fold(0, |m, f| m | f.mask());
+        let full_mask: u64 = if physical_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << physical_bits) - 1
+        };
+        let covered = row_mask | col_mask | func_mask;
+        if covered & full_mask != full_mask {
+            let missing = bits::bit_positions(full_mask & !covered);
+            return Err(ModelError::NotBijective {
+                reason: format!("physical bits {missing:?} are not used by any coordinate"),
+            });
+        }
+        if covered & !full_mask != 0 {
+            let extra = bits::bit_positions(covered & !full_mask);
+            return Err(ModelError::NotBijective {
+                reason: format!(
+                    "bits {extra:?} exceed the {physical_bits}-bit physical address width"
+                ),
+            });
+        }
+
+        let pure_bank_mask = func_mask & !(row_mask | col_mask);
+        let pure_bank_bits = bits::bit_positions(pure_bank_mask);
+        if pure_bank_bits.len() != bank_funcs.len() {
+            return Err(ModelError::NotBijective {
+                reason: format!(
+                    "{} pure bank bits but {} bank functions",
+                    pure_bank_bits.len(),
+                    bank_funcs.len()
+                ),
+            });
+        }
+
+        let mapping = AddressMapping {
+            bank_funcs,
+            row_bits,
+            column_bits,
+            physical_bits,
+            pure_bank_bits,
+        };
+        // Verify invertibility of the pure-bank-bit system once, up front.
+        if mapping.pure_bank_matrix_rank() != mapping.bank_funcs.len() {
+            return Err(ModelError::SingularBankSystem);
+        }
+        Ok(mapping)
+    }
+
+    fn pure_bank_matrix_rank(&self) -> usize {
+        let rows: Vec<u64> = self
+            .bank_funcs
+            .iter()
+            .map(|f| bits::gather_bits(f.mask(), &self.pure_bank_bits))
+            .collect();
+        gf2::Gf2Matrix::from_rows(rows).rank()
+    }
+
+    /// The bank address functions, one per bank-index bit (bit `i` of the
+    /// bank index is `bank_funcs()[i]` evaluated on the physical address).
+    pub fn bank_funcs(&self) -> &[XorFunc] {
+        &self.bank_funcs
+    }
+
+    /// Physical-address bits forming the row index, ascending.
+    pub fn row_bits(&self) -> &[u8] {
+        &self.row_bits
+    }
+
+    /// Physical-address bits forming the column index, ascending.
+    pub fn column_bits(&self) -> &[u8] {
+        &self.column_bits
+    }
+
+    /// Width of the physical addresses this mapping covers, in bits.
+    pub fn physical_bits(&self) -> u8 {
+        self.physical_bits
+    }
+
+    /// Total capacity covered by the mapping, in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        1u64 << self.physical_bits
+    }
+
+    /// Number of banks (2^number of bank functions).
+    pub fn num_banks(&self) -> u32 {
+        1u32 << self.bank_funcs.len()
+    }
+
+    /// Number of rows per bank.
+    pub fn num_rows(&self) -> u32 {
+        1u32 << self.row_bits.len()
+    }
+
+    /// Number of column (byte) positions per row.
+    pub fn num_columns(&self) -> u32 {
+        1u32 << self.column_bits.len()
+    }
+
+    /// Row size in bytes (equal to [`Self::num_columns`]).
+    pub fn row_size_bytes(&self) -> u64 {
+        1u64 << self.column_bits.len()
+    }
+
+    /// Bits that participate in bank functions but index neither rows nor
+    /// columns.
+    pub fn pure_bank_bits(&self) -> &[u8] {
+        &self.pure_bank_bits
+    }
+
+    /// All physical-address bits that participate in at least one bank
+    /// function, ascending.
+    pub fn bank_function_bits(&self) -> Vec<u8> {
+        let mask = self.bank_funcs.iter().fold(0u64, |m, f| m | f.mask());
+        bits::bit_positions(mask)
+    }
+
+    /// Row bits that are *shared* with bank functions (the lined boxes of
+    /// Figure 1 in the paper).
+    pub fn shared_row_bits(&self) -> Vec<u8> {
+        let func_mask = self.bank_funcs.iter().fold(0u64, |m, f| m | f.mask());
+        bits::bit_positions(func_mask & bits::mask_of(&self.row_bits))
+    }
+
+    /// Column bits that are shared with bank functions.
+    pub fn shared_column_bits(&self) -> Vec<u8> {
+        let func_mask = self.bank_funcs.iter().fold(0u64, |m, f| m | f.mask());
+        bits::bit_positions(func_mask & bits::mask_of(&self.column_bits))
+    }
+
+    /// Computes the flat bank index of a physical address.
+    pub fn bank_of(&self, addr: PhysAddr) -> u32 {
+        let mut bank = 0u32;
+        for (i, f) in self.bank_funcs.iter().enumerate() {
+            if f.evaluate(addr) {
+                bank |= 1 << i;
+            }
+        }
+        bank
+    }
+
+    /// Computes the row index of a physical address.
+    pub fn row_of(&self, addr: PhysAddr) -> u32 {
+        bits::gather_bits(addr.raw(), &self.row_bits) as u32
+    }
+
+    /// Computes the column index of a physical address.
+    pub fn column_of(&self, addr: PhysAddr) -> u32 {
+        bits::gather_bits(addr.raw(), &self.column_bits) as u32
+    }
+
+    /// Decodes a physical address into its DRAM coordinates.
+    pub fn to_dram(&self, addr: PhysAddr) -> DramAddress {
+        DramAddress {
+            bank: self.bank_of(addr),
+            row: self.row_of(addr),
+            column: self.column_of(addr),
+        }
+    }
+
+    /// Encodes DRAM coordinates back into the unique physical address that
+    /// maps to them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CoordinateOutOfRange`] if any coordinate exceeds
+    /// the geometry, or [`ModelError::SingularBankSystem`] if the pure bank
+    /// bits cannot be solved (cannot happen for a mapping accepted by
+    /// [`AddressMapping::new`]).
+    pub fn to_phys(&self, dram: DramAddress) -> Result<PhysAddr, ModelError> {
+        if u64::from(dram.bank) >= u64::from(self.num_banks()) {
+            return Err(ModelError::CoordinateOutOfRange {
+                field: "bank",
+                value: dram.bank.into(),
+                limit: self.num_banks().into(),
+            });
+        }
+        if u64::from(dram.row) >= u64::from(self.num_rows()) {
+            return Err(ModelError::CoordinateOutOfRange {
+                field: "row",
+                value: dram.row.into(),
+                limit: self.num_rows().into(),
+            });
+        }
+        if u64::from(dram.column) >= u64::from(self.num_columns()) {
+            return Err(ModelError::CoordinateOutOfRange {
+                field: "column",
+                value: dram.column.into(),
+                limit: self.num_columns().into(),
+            });
+        }
+
+        // Place row and column bits.
+        let mut raw = bits::scatter_bits(dram.row.into(), &self.row_bits)
+            | bits::scatter_bits(dram.column.into(), &self.column_bits);
+
+        // Solve for the pure bank bits: for each function i,
+        //   parity(pure part) = bank_bit_i XOR parity(known part).
+        let n = self.bank_funcs.len();
+        let mut a_rows = Vec::with_capacity(n);
+        let mut rhs = 0u64;
+        for (i, f) in self.bank_funcs.iter().enumerate() {
+            let pure_part = bits::gather_bits(f.mask(), &self.pure_bank_bits);
+            a_rows.push(pure_part);
+            let known_parity = PhysAddr::new(raw).masked_parity(f.mask());
+            let bank_bit = (dram.bank >> i) & 1 == 1;
+            if known_parity ^ bank_bit {
+                rhs |= 1 << i;
+            }
+        }
+        let pure_values =
+            gf2::solve_square(&a_rows, rhs, n).ok_or(ModelError::SingularBankSystem)?;
+        raw |= bits::scatter_bits(pure_values, &self.pure_bank_bits);
+        Ok(PhysAddr::new(raw))
+    }
+
+    /// Returns `true` if two physical addresses map to the same bank.
+    pub fn same_bank(&self, a: PhysAddr, b: PhysAddr) -> bool {
+        self.bank_of(a) == self.bank_of(b)
+    }
+
+    /// Returns `true` if two physical addresses are in the same bank but
+    /// different rows (the SBDR condition that causes row-buffer conflicts).
+    pub fn is_sbdr(&self, a: PhysAddr, b: PhysAddr) -> bool {
+        self.same_bank(a, b) && self.row_of(a) != self.row_of(b)
+    }
+
+    /// Returns `true` if the recovered mapping `other` is *functionally
+    /// equivalent* to `self`: identical row and column bit sets and bank
+    /// functions spanning the same GF(2) row space (individual functions may
+    /// differ by linear combinations without changing which addresses share a
+    /// bank).
+    pub fn equivalent_to(&self, other: &AddressMapping) -> bool {
+        if self.row_bits != other.row_bits || self.column_bits != other.column_bits {
+            return false;
+        }
+        if self.bank_funcs.len() != other.bank_funcs.len() {
+            return false;
+        }
+        let mine = gf2::Gf2Matrix::from_funcs(&self.bank_funcs);
+        let theirs = gf2::Gf2Matrix::from_funcs(&other.bank_funcs);
+        other.bank_funcs.iter().all(|f| mine.spans(f.mask()))
+            && self.bank_funcs.iter().all(|f| theirs.spans(f.mask()))
+    }
+
+    /// Returns `true` if `other` induces the same *bank partition* as `self`
+    /// (same-bank relation identical), regardless of row/column assignment.
+    pub fn same_bank_partition(&self, other: &AddressMapping) -> bool {
+        if self.bank_funcs.len() != other.bank_funcs.len() {
+            return false;
+        }
+        let mine = gf2::Gf2Matrix::from_funcs(&self.bank_funcs);
+        let theirs = gf2::Gf2Matrix::from_funcs(&other.bank_funcs);
+        other.bank_funcs.iter().all(|f| mine.spans(f.mask()))
+            && self.bank_funcs.iter().all(|f| theirs.spans(f.mask()))
+    }
+}
+
+impl fmt::Display for AddressMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank functions: ")?;
+        for (i, func) in self.bank_funcs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{func}")?;
+        }
+        write!(
+            f,
+            "; row bits: {}; column bits: {}",
+            format_bit_ranges(&self.row_bits),
+            format_bit_ranges(&self.column_bits)
+        )
+    }
+}
+
+/// Formats a sorted bit list the way Table II does, e.g. `0~5, 7~13`.
+pub fn format_bit_ranges(sorted_bits: &[u8]) -> String {
+    if sorted_bits.is_empty() {
+        return "-".to_string();
+    }
+    let mut parts = Vec::new();
+    let mut start = sorted_bits[0];
+    let mut prev = sorted_bits[0];
+    for &b in &sorted_bits[1..] {
+        if b == prev + 1 {
+            prev = b;
+            continue;
+        }
+        parts.push(range_str(start, prev));
+        start = b;
+        prev = b;
+    }
+    parts.push(range_str(start, prev));
+    parts.join(", ")
+}
+
+fn range_str(start: u8, end: u8) -> String {
+    if start == end {
+        format!("{start}")
+    } else {
+        format!("{start}~{end}")
+    }
+}
+
+/// Builder for [`AddressMapping`] offering range-based convenience methods.
+///
+/// ```
+/// use dram_model::MappingBuilder;
+/// let mapping = MappingBuilder::new()
+///     .bank_func(&[13, 16])
+///     .bank_func(&[14, 17])
+///     .bank_func(&[15, 18])
+///     .row_bit_range(16, 31)
+///     .column_bit_range(0, 12)
+///     .build()?;
+/// assert_eq!(mapping.num_banks(), 8);
+/// # Ok::<(), dram_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MappingBuilder {
+    bank_funcs: Vec<XorFunc>,
+    row_bits: Vec<u8>,
+    column_bits: Vec<u8>,
+}
+
+impl MappingBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a bank function given its participating bit indices.
+    pub fn bank_func(mut self, bit_indices: &[u8]) -> Self {
+        self.bank_funcs.push(XorFunc::from_bits(bit_indices));
+        self
+    }
+
+    /// Adds an already constructed bank function.
+    pub fn bank_func_raw(mut self, func: XorFunc) -> Self {
+        self.bank_funcs.push(func);
+        self
+    }
+
+    /// Adds a single row bit.
+    pub fn row_bit(mut self, bit: u8) -> Self {
+        self.row_bits.push(bit);
+        self
+    }
+
+    /// Adds an inclusive range of row bits.
+    pub fn row_bit_range(mut self, low: u8, high: u8) -> Self {
+        self.row_bits.extend(low..=high);
+        self
+    }
+
+    /// Adds a single column bit.
+    pub fn column_bit(mut self, bit: u8) -> Self {
+        self.column_bits.push(bit);
+        self
+    }
+
+    /// Adds an inclusive range of column bits.
+    pub fn column_bit_range(mut self, low: u8, high: u8) -> Self {
+        self.column_bits.extend(low..=high);
+        self
+    }
+
+    /// Builds the mapping.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressMapping::new`].
+    pub fn build(self) -> Result<AddressMapping, ModelError> {
+        AddressMapping::new(self.bank_funcs, self.row_bits, self.column_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn haswell_4g() -> AddressMapping {
+        // Machine No.4 of Table II.
+        MappingBuilder::new()
+            .bank_func(&[13, 16])
+            .bank_func(&[14, 17])
+            .bank_func(&[15, 18])
+            .row_bit_range(16, 31)
+            .column_bit_range(0, 12)
+            .build()
+            .unwrap()
+    }
+
+    fn skylake_16g() -> AddressMapping {
+        // Machine No.6 of Table II.
+        MappingBuilder::new()
+            .bank_func(&[7, 14])
+            .bank_func(&[15, 19])
+            .bank_func(&[16, 20])
+            .bank_func(&[17, 21])
+            .bank_func(&[18, 22])
+            .bank_func(&[8, 9, 12, 13, 18, 19])
+            .row_bit_range(19, 33)
+            .column_bit_range(0, 7)
+            .column_bit_range(9, 13)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn geometry_counts() {
+        let m = haswell_4g();
+        assert_eq!(m.physical_bits(), 32);
+        assert_eq!(m.capacity_bytes(), 4 << 30);
+        assert_eq!(m.num_banks(), 8);
+        assert_eq!(m.num_rows(), 1 << 16);
+        assert_eq!(m.num_columns(), 1 << 13);
+        assert_eq!(m.row_size_bytes(), 8192);
+        assert_eq!(m.pure_bank_bits(), &[13, 14, 15]);
+        assert_eq!(m.shared_row_bits(), vec![16, 17, 18]);
+        assert!(m.shared_column_bits().is_empty());
+    }
+
+    #[test]
+    fn skylake_shared_bits() {
+        let m = skylake_16g();
+        assert_eq!(m.physical_bits(), 34);
+        assert_eq!(m.num_banks(), 64);
+        assert_eq!(m.pure_bank_bits(), &[8, 14, 15, 16, 17, 18]);
+        assert_eq!(m.shared_row_bits(), vec![19, 20, 21, 22]);
+        assert_eq!(m.shared_column_bits(), vec![7, 9, 12, 13]);
+    }
+
+    #[test]
+    fn roundtrip_haswell() {
+        let m = haswell_4g();
+        for raw in [0u64, 1, 0xfff, 0x1234_5678, 0xdead_beef, (4u64 << 30) - 1] {
+            let addr = PhysAddr::new(raw);
+            let dram = m.to_dram(addr);
+            assert_eq!(m.to_phys(dram).unwrap(), addr, "raw = {raw:#x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_skylake_both_directions() {
+        let m = skylake_16g();
+        // phys -> dram -> phys
+        for raw in [0u64, 0xabc_def0, 0x3_5678_9abc, (16u64 << 30) - 4096] {
+            let addr = PhysAddr::new(raw);
+            assert_eq!(m.to_phys(m.to_dram(addr)).unwrap(), addr);
+        }
+        // dram -> phys -> dram
+        for (bank, row, col) in [(0, 0, 0), (63, 100, 8000), (17, 0x7abc, 1)] {
+            let d = DramAddress::new(bank, row, col);
+            let addr = m.to_phys(d).unwrap();
+            assert_eq!(m.to_dram(addr), d);
+        }
+    }
+
+    #[test]
+    fn to_phys_rejects_out_of_range() {
+        let m = haswell_4g();
+        assert!(m.to_phys(DramAddress::new(8, 0, 0)).is_err());
+        assert!(m.to_phys(DramAddress::new(0, 1 << 16, 0)).is_err());
+        assert!(m.to_phys(DramAddress::new(0, 0, 1 << 13)).is_err());
+    }
+
+    #[test]
+    fn sbdr_and_same_bank() {
+        let m = haswell_4g();
+        let a = m.to_phys(DramAddress::new(3, 100, 0)).unwrap();
+        let b = m.to_phys(DramAddress::new(3, 200, 64)).unwrap();
+        let c = m.to_phys(DramAddress::new(3, 100, 64)).unwrap();
+        let d = m.to_phys(DramAddress::new(4, 100, 0)).unwrap();
+        assert!(m.is_sbdr(a, b));
+        assert!(!m.is_sbdr(a, c));
+        assert!(m.same_bank(a, c));
+        assert!(!m.same_bank(a, d));
+    }
+
+    #[test]
+    fn rejects_dependent_functions() {
+        let err = MappingBuilder::new()
+            .bank_func(&[13, 16])
+            .bank_func(&[14, 17])
+            .bank_func(&[13, 14, 16, 17])
+            .row_bit_range(16, 31)
+            .column_bit_range(0, 12)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::LinearlyDependentFunctions);
+    }
+
+    #[test]
+    fn rejects_gap_in_coverage() {
+        // Bit 13 is not used anywhere -> 32-bit space cannot be covered.
+        let err = MappingBuilder::new()
+            .bank_func(&[14, 17])
+            .bank_func(&[15, 18])
+            .bank_func(&[16, 19])
+            .row_bit_range(17, 31)
+            .column_bit_range(0, 12)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NotBijective { .. }));
+    }
+
+    #[test]
+    fn rejects_overlapping_row_and_column_bits() {
+        let err = MappingBuilder::new()
+            .bank_func(&[13, 16])
+            .bank_func(&[14, 17])
+            .bank_func(&[15, 18])
+            .row_bit_range(12, 31)
+            .column_bit_range(0, 12)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NotBijective { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_function() {
+        let err = AddressMapping::new(
+            vec![XorFunc::default()],
+            (14..=31).collect(),
+            (0..=12).collect(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::NotBijective { .. }));
+    }
+
+    #[test]
+    fn equivalence_up_to_linear_combination() {
+        let a = haswell_4g();
+        // Replace (14,17) by (14,17)^(15,18) = (14,15,17,18): same row space.
+        let b = MappingBuilder::new()
+            .bank_func(&[13, 16])
+            .bank_func(&[14, 15, 17, 18])
+            .bank_func(&[15, 18])
+            .row_bit_range(16, 31)
+            .column_bit_range(0, 12)
+            .build()
+            .unwrap();
+        assert!(a.equivalent_to(&b));
+        assert!(a.same_bank_partition(&b));
+        let c = skylake_16g();
+        assert!(!a.equivalent_to(&c));
+    }
+
+    #[test]
+    fn display_matches_table_notation() {
+        let m = haswell_4g();
+        let s = m.to_string();
+        assert!(s.contains("(13, 16)"));
+        assert!(s.contains("16~31"));
+        assert!(s.contains("0~12"));
+    }
+
+    #[test]
+    fn format_bit_ranges_handles_gaps_and_singletons() {
+        assert_eq!(format_bit_ranges(&[]), "-");
+        assert_eq!(format_bit_ranges(&[5]), "5");
+        assert_eq!(format_bit_ranges(&[0, 1, 2, 3, 4, 5, 7, 8, 9]), "0~5, 7~9");
+        assert_eq!(format_bit_ranges(&[1, 3, 5]), "1, 3, 5");
+    }
+
+    #[test]
+    fn bank_partition_counts_are_uniform() {
+        // Every bank receives exactly capacity / num_banks bytes. Check on a
+        // small synthetic mapping to keep the loop cheap.
+        let m = MappingBuilder::new()
+            .bank_func(&[2, 4])
+            .bank_func(&[3, 5])
+            .row_bit_range(4, 7)
+            .column_bit_range(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(m.physical_bits(), 8);
+        let mut counts = vec![0u32; m.num_banks() as usize];
+        for raw in 0..m.capacity_bytes() {
+            counts[m.bank_of(PhysAddr::new(raw)) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 256 / 4));
+    }
+}

@@ -1,0 +1,263 @@
+//! Parsing of the Table-II textual notation for mappings.
+//!
+//! The paper (and this workspace's reports) present mappings as bank
+//! functions like `(7, 14), (15, 19)` plus bit ranges like `0~7, 9~13`. This
+//! module parses that notation back into the typed representation so
+//! mappings can be stored in plain-text files, passed on a command line, or
+//! compared against published tables.
+
+use std::fmt;
+
+use crate::bits;
+use crate::mapping::AddressMapping;
+use crate::xor_func::XorFunc;
+use crate::ModelError;
+
+/// Error produced when parsing the textual mapping notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMappingError {
+    /// A bit index could not be parsed as an integer in `0..64`.
+    InvalidBit {
+        /// The offending token.
+        token: String,
+    },
+    /// A function group was empty or malformed (e.g. unbalanced parentheses).
+    InvalidFunction {
+        /// The offending fragment.
+        fragment: String,
+    },
+    /// A bit range was malformed (e.g. `9~3`).
+    InvalidRange {
+        /// The offending fragment.
+        fragment: String,
+    },
+    /// The parsed pieces do not form a valid bijective mapping.
+    Inconsistent(ModelError),
+}
+
+impl fmt::Display for ParseMappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMappingError::InvalidBit { token } => write!(f, "invalid bit index `{token}`"),
+            ParseMappingError::InvalidFunction { fragment } => {
+                write!(f, "invalid bank function `{fragment}`")
+            }
+            ParseMappingError::InvalidRange { fragment } => {
+                write!(f, "invalid bit range `{fragment}`")
+            }
+            ParseMappingError::Inconsistent(e) => write!(f, "parsed mapping is inconsistent: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseMappingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseMappingError::Inconsistent(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ParseMappingError {
+    fn from(e: ModelError) -> Self {
+        ParseMappingError::Inconsistent(e)
+    }
+}
+
+fn parse_bit(token: &str) -> Result<u8, ParseMappingError> {
+    let trimmed = token.trim();
+    let bit: u8 = trimmed.parse().map_err(|_| ParseMappingError::InvalidBit {
+        token: trimmed.to_string(),
+    })?;
+    if bit >= 64 {
+        return Err(ParseMappingError::InvalidBit {
+            token: trimmed.to_string(),
+        });
+    }
+    Ok(bit)
+}
+
+/// Parses a comma/whitespace separated list of bank functions in the paper's
+/// notation, e.g. `"(6), (14, 17), (15, 18)"`.
+///
+/// # Errors
+///
+/// Returns [`ParseMappingError::InvalidFunction`] for unbalanced or empty
+/// groups and [`ParseMappingError::InvalidBit`] for non-numeric bits.
+pub fn parse_functions(text: &str) -> Result<Vec<XorFunc>, ParseMappingError> {
+    let mut funcs = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let Some(open) = rest.find('(') else {
+            if rest.trim_matches([',', ' ']).is_empty() {
+                break;
+            }
+            return Err(ParseMappingError::InvalidFunction {
+                fragment: rest.to_string(),
+            });
+        };
+        let Some(close_rel) = rest[open..].find(')') else {
+            return Err(ParseMappingError::InvalidFunction {
+                fragment: rest[open..].to_string(),
+            });
+        };
+        let inner = &rest[open + 1..open + close_rel];
+        let mut func_bits = Vec::new();
+        for token in inner.split([',', ' ']).filter(|t| !t.trim().is_empty()) {
+            func_bits.push(parse_bit(token)?);
+        }
+        if func_bits.is_empty() {
+            return Err(ParseMappingError::InvalidFunction {
+                fragment: rest[open..=open + close_rel].to_string(),
+            });
+        }
+        funcs.push(XorFunc::from_bits(&func_bits));
+        rest = &rest[open + close_rel + 1..];
+    }
+    Ok(funcs)
+}
+
+/// Parses a bit list in the Table-II range notation, e.g. `"0~5, 7~13"` or
+/// `"17~32"` or `"4, 6, 9"`. The placeholder `"-"` parses to an empty list.
+///
+/// # Errors
+///
+/// Returns [`ParseMappingError::InvalidRange`] for descending or malformed
+/// ranges and [`ParseMappingError::InvalidBit`] for non-numeric bits.
+pub fn parse_bit_ranges(text: &str) -> Result<Vec<u8>, ParseMappingError> {
+    let trimmed = text.trim();
+    if trimmed == "-" || trimmed.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for part in trimmed.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        if let Some((lo, hi)) = part.split_once(['~', '-']) {
+            let lo = parse_bit(lo)?;
+            let hi = parse_bit(hi)?;
+            if hi < lo {
+                return Err(ParseMappingError::InvalidRange {
+                    fragment: part.to_string(),
+                });
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(parse_bit(part)?);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Parses a full mapping from its three textual components.
+///
+/// # Errors
+///
+/// Any parse error from the components, or
+/// [`ParseMappingError::Inconsistent`] if the pieces do not form a bijection.
+pub fn parse_mapping(
+    functions: &str,
+    row_bits: &str,
+    column_bits: &str,
+) -> Result<AddressMapping, ParseMappingError> {
+    let funcs = parse_functions(functions)?;
+    let rows = parse_bit_ranges(row_bits)?;
+    let cols = parse_bit_ranges(column_bits)?;
+    Ok(AddressMapping::new(funcs, rows, cols)?)
+}
+
+/// Renders a mapping into the three textual components accepted by
+/// [`parse_mapping`] (functions, row bits, column bits).
+pub fn render_mapping(mapping: &AddressMapping) -> (String, String, String) {
+    let funcs: Vec<String> = mapping.bank_funcs().iter().map(|f| f.to_string()).collect();
+    (
+        funcs.join(", "),
+        crate::mapping::format_bit_ranges(mapping.row_bits()),
+        crate::mapping::format_bit_ranges(mapping.column_bits()),
+    )
+}
+
+/// Convenience: parses a bit list and returns it as a mask (used by CLI
+/// tooling when specifying candidate bank bits).
+pub fn parse_bit_mask(text: &str) -> Result<u64, ParseMappingError> {
+    Ok(bits::mask_of(&parse_bit_ranges(text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineSetting;
+
+    #[test]
+    fn parses_paper_notation() {
+        let funcs = parse_functions("(6), (14, 17), (15, 18), (16, 19)").unwrap();
+        assert_eq!(funcs.len(), 4);
+        assert_eq!(funcs[0], XorFunc::from_bits(&[6]));
+        assert_eq!(funcs[3], XorFunc::from_bits(&[16, 19]));
+
+        assert_eq!(parse_bit_ranges("17~32").unwrap(), (17..=32).collect::<Vec<u8>>());
+        assert_eq!(
+            parse_bit_ranges("0~5, 7~13").unwrap(),
+            vec![0, 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 13]
+        );
+        assert_eq!(parse_bit_ranges("4, 9, 2").unwrap(), vec![2, 4, 9]);
+        assert_eq!(parse_bit_ranges("-").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrips_every_table_ii_mapping() {
+        for setting in MachineSetting::all() {
+            let (funcs, rows, cols) = render_mapping(setting.mapping());
+            let parsed = parse_mapping(&funcs, &rows, &cols).unwrap();
+            assert_eq!(&parsed, setting.mapping(), "{}", setting.label());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            parse_functions("(14, 17"),
+            Err(ParseMappingError::InvalidFunction { .. })
+        ));
+        assert!(matches!(
+            parse_functions("()"),
+            Err(ParseMappingError::InvalidFunction { .. })
+        ));
+        assert!(matches!(
+            parse_functions("14, 17"),
+            Err(ParseMappingError::InvalidFunction { .. })
+        ));
+        assert!(matches!(
+            parse_functions("(14, x)"),
+            Err(ParseMappingError::InvalidBit { .. })
+        ));
+        assert!(matches!(
+            parse_bit_ranges("9~3"),
+            Err(ParseMappingError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            parse_bit_ranges("70"),
+            Err(ParseMappingError::InvalidBit { .. })
+        ));
+        // Pieces that parse but do not form a bijection.
+        assert!(matches!(
+            parse_mapping("(13, 16)", "16~31", "0~12"),
+            Err(ParseMappingError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn parse_bit_mask_builds_masks() {
+        assert_eq!(parse_bit_mask("0~3").unwrap(), 0b1111);
+        assert_eq!(parse_bit_mask("6, 13").unwrap(), (1 << 6) | (1 << 13));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = parse_functions("(x)").unwrap_err();
+        assert!(e.to_string().contains("invalid bit"));
+        let e = parse_mapping("(13, 16)", "16~31", "0~12").unwrap_err();
+        assert!(e.to_string().contains("inconsistent"));
+    }
+}

@@ -1,0 +1,447 @@
+//! The nine evaluation machine settings of Table II with their ground-truth
+//! DRAM address mappings.
+//!
+//! These mappings are the "answer key" of the reproduction: the simulator in
+//! `dram-sim` is configured with one of them and the reverse-engineering
+//! tools must rediscover it from timing measurements alone.
+
+use std::fmt;
+
+use crate::mapping::{AddressMapping, MappingBuilder};
+use crate::spec::{DdrGeneration, DramGeometry, SystemInfo, GIB};
+
+/// Intel CPU microarchitecture of a machine setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Microarch {
+    /// Sandy Bridge (2nd gen Core).
+    SandyBridge,
+    /// Ivy Bridge (3rd gen Core).
+    IvyBridge,
+    /// Haswell (4th gen Core).
+    Haswell,
+    /// Skylake (6th gen Core).
+    Skylake,
+    /// Coffee Lake (8th/9th gen Core).
+    CoffeeLake,
+}
+
+impl fmt::Display for Microarch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Microarch::SandyBridge => "Sandy Bridge",
+            Microarch::IvyBridge => "Ivy Bridge",
+            Microarch::Haswell => "Haswell",
+            Microarch::Skylake => "Skylake",
+            Microarch::CoffeeLake => "Coffee Lake",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl Microarch {
+    /// Whether the "lowest bit of the widest bank function is not a column
+    /// bit" empirical observation applies (it does since Ivy Bridge).
+    pub const fn widest_func_low_bit_not_column(self) -> bool {
+        !matches!(self, Microarch::SandyBridge)
+    }
+}
+
+/// One of the evaluated machine settings (a row of Table II), bundling
+/// system information, CPU model and the ground-truth address mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSetting {
+    /// Table II machine number (1–9).
+    pub number: u8,
+    /// CPU microarchitecture.
+    pub microarch: Microarch,
+    /// Marketing CPU model (e.g. "i5-2400").
+    pub cpu_model: &'static str,
+    /// System information (capacity, geometry, DDR generation).
+    pub system: SystemInfo,
+    /// Ground-truth physical-address → DRAM mapping.
+    mapping: AddressMapping,
+}
+
+impl MachineSetting {
+    /// The ground-truth address mapping used by the simulator.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// A short identifier such as `"No.3"`.
+    pub fn label(&self) -> String {
+        format!("No.{}", self.number)
+    }
+
+    /// DRAM capacity in GiB.
+    pub fn capacity_gib(&self) -> u64 {
+        self.system.capacity_bytes / GIB
+    }
+
+    /// All nine Table-II settings in order.
+    pub fn all() -> Vec<MachineSetting> {
+        vec![
+            Self::no1_sandy_bridge_ddr3_8g(),
+            Self::no2_ivy_bridge_ddr3_8g(),
+            Self::no3_ivy_bridge_ddr3_4g(),
+            Self::no4_haswell_ddr3_4g(),
+            Self::no5_haswell_ddr3_16g(),
+            Self::no6_skylake_ddr4_16g(),
+            Self::no7_skylake_ddr4_4g(),
+            Self::no8_coffee_lake_ddr4_8g(),
+            Self::no9_coffee_lake_ddr4_16g(),
+        ]
+    }
+
+    /// Looks a setting up by its Table-II number (1–9).
+    pub fn by_number(number: u8) -> Option<MachineSetting> {
+        Self::all().into_iter().find(|s| s.number == number)
+    }
+
+    /// Machine No.1: Sandy Bridge i5-2400, DDR3 8 GiB, config (2, 1, 1, 8).
+    ///
+    /// Bank functions `(6), (14,17), (15,18), (16,19)`, rows `17~32`,
+    /// columns `0~5, 7~13`.
+    pub fn no1_sandy_bridge_ddr3_8g() -> MachineSetting {
+        let geometry = DramGeometry::new(2, 1, 1, 8);
+        MachineSetting {
+            number: 1,
+            microarch: Microarch::SandyBridge,
+            cpu_model: "i5-2400",
+            system: SystemInfo::new(8 * GIB, geometry, DdrGeneration::Ddr3),
+            mapping: MappingBuilder::new()
+                .bank_func(&[6])
+                .bank_func(&[14, 17])
+                .bank_func(&[15, 18])
+                .bank_func(&[16, 19])
+                .row_bit_range(17, 32)
+                .column_bit_range(0, 5)
+                .column_bit_range(7, 13)
+                .build()
+                .expect("table II no.1 mapping is consistent"),
+        }
+    }
+
+    /// Machine No.2: Ivy Bridge i5-3230M, DDR3 8 GiB, config (2, 1, 2, 8).
+    ///
+    /// Bank functions `(14,18), (15,19), (16,20), (17,21),
+    /// (7,8,9,12,13,18,19)`, rows `18~32`, columns `0~6, 8~13`.
+    pub fn no2_ivy_bridge_ddr3_8g() -> MachineSetting {
+        let geometry = DramGeometry::new(2, 1, 2, 8);
+        MachineSetting {
+            number: 2,
+            microarch: Microarch::IvyBridge,
+            cpu_model: "i5-3230M",
+            system: SystemInfo::new(8 * GIB, geometry, DdrGeneration::Ddr3),
+            mapping: MappingBuilder::new()
+                .bank_func(&[14, 18])
+                .bank_func(&[15, 19])
+                .bank_func(&[16, 20])
+                .bank_func(&[17, 21])
+                .bank_func(&[7, 8, 9, 12, 13, 18, 19])
+                .row_bit_range(18, 32)
+                .column_bit_range(0, 6)
+                .column_bit_range(8, 13)
+                .build()
+                .expect("table II no.2 mapping is consistent"),
+        }
+    }
+
+    /// Machine No.3: Ivy Bridge i5-3230M, DDR3 4 GiB, config (1, 1, 2, 8).
+    ///
+    /// Bank functions `(13,17), (14,18), (15,19), (16,20)`, rows `17~31`,
+    /// columns `0~12`.
+    pub fn no3_ivy_bridge_ddr3_4g() -> MachineSetting {
+        let geometry = DramGeometry::new(1, 1, 2, 8);
+        MachineSetting {
+            number: 3,
+            microarch: Microarch::IvyBridge,
+            cpu_model: "i5-3230M",
+            system: SystemInfo::new(4 * GIB, geometry, DdrGeneration::Ddr3),
+            mapping: MappingBuilder::new()
+                .bank_func(&[13, 17])
+                .bank_func(&[14, 18])
+                .bank_func(&[15, 19])
+                .bank_func(&[16, 20])
+                .row_bit_range(17, 31)
+                .column_bit_range(0, 12)
+                .build()
+                .expect("table II no.3 mapping is consistent"),
+        }
+    }
+
+    /// Machine No.4: Haswell i5-4210U, DDR3 4 GiB, config (1, 1, 1, 8).
+    ///
+    /// Bank functions `(13,16), (14,17), (15,18)`, rows `16~31`, columns
+    /// `0~12`.
+    pub fn no4_haswell_ddr3_4g() -> MachineSetting {
+        let geometry = DramGeometry::new(1, 1, 1, 8);
+        MachineSetting {
+            number: 4,
+            microarch: Microarch::Haswell,
+            cpu_model: "i5-4210U",
+            system: SystemInfo::new(4 * GIB, geometry, DdrGeneration::Ddr3),
+            mapping: MappingBuilder::new()
+                .bank_func(&[13, 16])
+                .bank_func(&[14, 17])
+                .bank_func(&[15, 18])
+                .row_bit_range(16, 31)
+                .column_bit_range(0, 12)
+                .build()
+                .expect("table II no.4 mapping is consistent"),
+        }
+    }
+
+    /// Machine No.5: Haswell i7-4790, DDR3 16 GiB, config (2, 1, 2, 8).
+    ///
+    /// Bank functions `(14,18), (15,19), (16,20), (17,21),
+    /// (7,8,9,12,13,18,19)`, columns `0~6, 8~13`.
+    ///
+    /// Table II prints the row bits as `18~32`, but a 16 GiB (34-bit) module
+    /// with 5 bank bits and 13 column bits requires 16 row bits; we use
+    /// `18~33` (No.2 scaled up), as recorded in `DESIGN.md`.
+    pub fn no5_haswell_ddr3_16g() -> MachineSetting {
+        let geometry = DramGeometry::new(2, 1, 2, 8);
+        MachineSetting {
+            number: 5,
+            microarch: Microarch::Haswell,
+            cpu_model: "i7-4790",
+            system: SystemInfo::new(16 * GIB, geometry, DdrGeneration::Ddr3),
+            mapping: MappingBuilder::new()
+                .bank_func(&[14, 18])
+                .bank_func(&[15, 19])
+                .bank_func(&[16, 20])
+                .bank_func(&[17, 21])
+                .bank_func(&[7, 8, 9, 12, 13, 18, 19])
+                .row_bit_range(18, 33)
+                .column_bit_range(0, 6)
+                .column_bit_range(8, 13)
+                .build()
+                .expect("table II no.5 mapping is consistent"),
+        }
+    }
+
+    /// Machine No.6: Skylake i5-6600, DDR4 16 GiB, config (2, 1, 2, 16).
+    ///
+    /// Bank functions `(7,14), (15,19), (16,20), (17,21), (18,22),
+    /// (8,9,12,13,18,19)`, rows `19~33`, columns `0~7, 9~13`.
+    pub fn no6_skylake_ddr4_16g() -> MachineSetting {
+        let geometry = DramGeometry::new(2, 1, 2, 16);
+        MachineSetting {
+            number: 6,
+            microarch: Microarch::Skylake,
+            cpu_model: "i5-6600",
+            system: SystemInfo::new(16 * GIB, geometry, DdrGeneration::Ddr4),
+            mapping: MappingBuilder::new()
+                .bank_func(&[7, 14])
+                .bank_func(&[15, 19])
+                .bank_func(&[16, 20])
+                .bank_func(&[17, 21])
+                .bank_func(&[18, 22])
+                .bank_func(&[8, 9, 12, 13, 18, 19])
+                .row_bit_range(19, 33)
+                .column_bit_range(0, 7)
+                .column_bit_range(9, 13)
+                .build()
+                .expect("table II no.6 mapping is consistent"),
+        }
+    }
+
+    /// Machine No.7: Skylake i5-6200U, DDR4 4 GiB, config (1, 1, 1, 8).
+    ///
+    /// Bank functions `(6,13), (14,16), (15,17)`, rows `16~31`, columns
+    /// `0~12`.
+    pub fn no7_skylake_ddr4_4g() -> MachineSetting {
+        let geometry = DramGeometry::new(1, 1, 1, 8);
+        MachineSetting {
+            number: 7,
+            microarch: Microarch::Skylake,
+            cpu_model: "i5-6200U",
+            system: SystemInfo::new(4 * GIB, geometry, DdrGeneration::Ddr4),
+            mapping: MappingBuilder::new()
+                .bank_func(&[6, 13])
+                .bank_func(&[14, 16])
+                .bank_func(&[15, 17])
+                .row_bit_range(16, 31)
+                .column_bit_range(0, 12)
+                .build()
+                .expect("table II no.7 mapping is consistent"),
+        }
+    }
+
+    /// Machine No.8: Coffee Lake i5-9400, DDR4 8 GiB, config (1, 1, 1, 16).
+    ///
+    /// Bank functions `(6,13), (14,17), (15,18), (16,19)`, rows `17~32`,
+    /// columns `0~12`.
+    pub fn no8_coffee_lake_ddr4_8g() -> MachineSetting {
+        let geometry = DramGeometry::new(1, 1, 1, 16);
+        MachineSetting {
+            number: 8,
+            microarch: Microarch::CoffeeLake,
+            cpu_model: "i5-9400",
+            system: SystemInfo::new(8 * GIB, geometry, DdrGeneration::Ddr4),
+            mapping: MappingBuilder::new()
+                .bank_func(&[6, 13])
+                .bank_func(&[14, 17])
+                .bank_func(&[15, 18])
+                .bank_func(&[16, 19])
+                .row_bit_range(17, 32)
+                .column_bit_range(0, 12)
+                .build()
+                .expect("table II no.8 mapping is consistent"),
+        }
+    }
+
+    /// Machine No.9: Coffee Lake i5-9400, DDR4 16 GiB, config (2, 1, 2, 16).
+    ///
+    /// Same mapping as machine No.6.
+    pub fn no9_coffee_lake_ddr4_16g() -> MachineSetting {
+        let no6 = Self::no6_skylake_ddr4_16g();
+        MachineSetting {
+            number: 9,
+            microarch: Microarch::CoffeeLake,
+            cpu_model: "i5-9400",
+            system: SystemInfo::new(16 * GIB, no6.system.geometry, DdrGeneration::Ddr4),
+            mapping: no6.mapping,
+        }
+    }
+}
+
+impl fmt::Display for MachineSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {} GiB ({})",
+            self.label(),
+            self.microarch,
+            self.cpu_model,
+            self.system.generation,
+            self.capacity_gib(),
+            self.system.geometry
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhysAddr;
+
+    #[test]
+    fn all_settings_present_and_ordered() {
+        let all = MachineSetting::all();
+        assert_eq!(all.len(), 9);
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s.number as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn by_number_lookup() {
+        assert_eq!(MachineSetting::by_number(4).unwrap().microarch, Microarch::Haswell);
+        assert!(MachineSetting::by_number(0).is_none());
+        assert!(MachineSetting::by_number(10).is_none());
+    }
+
+    #[test]
+    fn function_count_matches_bank_bits() {
+        for s in MachineSetting::all() {
+            let expected = s.system.geometry.bank_bits() as usize;
+            assert_eq!(
+                s.mapping().bank_funcs().len(),
+                expected,
+                "{}: log2(#banks) must equal number of bank functions",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_matches_mapping_width() {
+        for s in MachineSetting::all() {
+            assert_eq!(
+                s.mapping().capacity_bytes(),
+                s.system.capacity_bytes,
+                "{}: mapping must cover the full module capacity",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_derivation_agrees_with_ground_truth() {
+        for s in MachineSetting::all() {
+            let spec = s.system.spec().unwrap();
+            assert_eq!(
+                spec.row_bits as usize,
+                s.mapping().row_bits().len(),
+                "{}: spec row bits",
+                s.label()
+            );
+            assert_eq!(
+                spec.column_bits as usize,
+                s.mapping().column_bits().len(),
+                "{}: spec column bits",
+                s.label()
+            );
+            assert_eq!(
+                spec.bank_bits as usize,
+                s.mapping().bank_funcs().len(),
+                "{}: spec bank bits",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn mappings_roundtrip_on_sample_addresses() {
+        for s in MachineSetting::all() {
+            let m = s.mapping();
+            let max = m.capacity_bytes();
+            for raw in [0, max / 3, max / 2 + 12345, max - 64] {
+                let a = PhysAddr::new(raw & !0x3); // keep aligned-ish, arbitrary
+                assert_eq!(m.to_phys(m.to_dram(a)).unwrap(), a, "{}", s.label());
+            }
+        }
+    }
+
+    #[test]
+    fn table_ii_no1_exact_functions() {
+        let s = MachineSetting::no1_sandy_bridge_ddr3_8g();
+        let rendered: Vec<String> = s.mapping().bank_funcs().iter().map(|f| f.to_string()).collect();
+        assert_eq!(rendered, vec!["(6)", "(14, 17)", "(15, 18)", "(16, 19)"]);
+        assert_eq!(
+            crate::mapping::format_bit_ranges(s.mapping().row_bits()),
+            "17~32"
+        );
+        assert_eq!(
+            crate::mapping::format_bit_ranges(s.mapping().column_bits()),
+            "0~5, 7~13"
+        );
+    }
+
+    #[test]
+    fn no6_and_no9_share_the_mapping() {
+        let a = MachineSetting::no6_skylake_ddr4_16g();
+        let b = MachineSetting::no9_coffee_lake_ddr4_16g();
+        assert!(a.mapping().equivalent_to(b.mapping()));
+        assert_ne!(a.microarch, b.microarch);
+    }
+
+    #[test]
+    fn sandy_bridge_is_the_only_pre_ivy_arch() {
+        for s in MachineSetting::all() {
+            let expect = s.microarch != Microarch::SandyBridge;
+            assert_eq!(s.microarch.widest_func_low_bit_not_column(), expect);
+        }
+    }
+
+    #[test]
+    fn display_mentions_label_and_arch() {
+        let s = MachineSetting::no8_coffee_lake_ddr4_8g();
+        let text = s.to_string();
+        assert!(text.contains("No.8"));
+        assert!(text.contains("Coffee Lake"));
+        assert!(text.contains("DDR4"));
+    }
+}

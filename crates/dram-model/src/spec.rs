@@ -1,0 +1,278 @@
+//! Domain knowledge: DDR specifications, DRAM geometry and system information.
+//!
+//! DRAMDig's key idea (Section III-A of the paper) is to feed three kinds of
+//! knowledge into the reverse-engineering process:
+//!
+//! 1. **Specifications** — DDR3/DDR4 data sheets give the number of row,
+//!    column and bank address bits of a chip ([`DdrSpec`]).
+//! 2. **System information** — `decode-dimms` / `dmidecode` output gives the
+//!    total number of banks, the physical memory size and whether ECC is
+//!    present ([`SystemInfo`], [`DramGeometry`]).
+//! 3. **Empirical observations** — bank functions are XORs of physical
+//!    address bits, and since Ivy Bridge the lowest bit of the widest bank
+//!    function is not a column bit (encoded in the `dramdig` crate).
+
+use std::fmt;
+
+use crate::error::ModelError;
+
+/// DRAM generation of the installed DIMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DdrGeneration {
+    /// DDR3 SDRAM (e.g. Micron MT41K…, 8 banks per rank).
+    Ddr3,
+    /// DDR4 SDRAM (e.g. Micron MT40A…, 16 banks per rank in 4 bank groups).
+    Ddr4,
+}
+
+impl fmt::Display for DdrGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdrGeneration::Ddr3 => write!(f, "DDR3"),
+            DdrGeneration::Ddr4 => write!(f, "DDR4"),
+        }
+    }
+}
+
+impl DdrGeneration {
+    /// Banks per rank mandated by the specification.
+    pub const fn banks_per_rank(self) -> u32 {
+        match self {
+            DdrGeneration::Ddr3 => 8,
+            DdrGeneration::Ddr4 => 16,
+        }
+    }
+
+    /// Typical column-address width in bits for x8/x16 parts addressed at
+    /// byte granularity over a 64-bit channel (8 KiB row ⇒ 13 column bits).
+    pub const fn typical_column_bits(self) -> u8 {
+        13
+    }
+}
+
+/// Specification-derived bit counts for one DRAM configuration
+/// (the paper's "Specifications" knowledge group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DdrSpec {
+    /// DRAM generation.
+    pub generation: DdrGeneration,
+    /// Number of physical-address bits used to index rows.
+    pub row_bits: u8,
+    /// Number of physical-address bits used to index columns (byte offset in
+    /// an open row as seen over the full channel width).
+    pub column_bits: u8,
+    /// Number of bank-address bits (`log2` of total banks across channels,
+    /// DIMMs, ranks and banks per rank).
+    pub bank_bits: u8,
+}
+
+impl DdrSpec {
+    /// Derives the spec for a system from its geometry and capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidCapacity`] if the capacity is not a power
+    /// of two or is too small to hold the implied bank/column structure.
+    pub fn derive(
+        generation: DdrGeneration,
+        geometry: DramGeometry,
+        capacity_bytes: u64,
+    ) -> Result<Self, ModelError> {
+        if capacity_bytes == 0 || !capacity_bytes.is_power_of_two() {
+            return Err(ModelError::InvalidCapacity {
+                capacity: capacity_bytes,
+            });
+        }
+        let total_bits = capacity_bytes.trailing_zeros() as u8;
+        let bank_bits = geometry.bank_bits();
+        let column_bits = generation.typical_column_bits();
+        if total_bits < bank_bits + column_bits {
+            return Err(ModelError::InvalidCapacity {
+                capacity: capacity_bytes,
+            });
+        }
+        let row_bits = total_bits - bank_bits - column_bits;
+        Ok(DdrSpec {
+            generation,
+            row_bits,
+            column_bits,
+            bank_bits,
+        })
+    }
+
+    /// Total number of physical-address bits described by this spec.
+    pub const fn total_bits(&self) -> u8 {
+        self.row_bits + self.column_bits + self.bank_bits
+    }
+}
+
+/// DRAM geometry: the `Config.` quadruple of Table II —
+/// (channels, DIMMs per channel, ranks per DIMM, banks per rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    /// Number of memory channels.
+    pub channels: u32,
+    /// DIMMs per channel.
+    pub dimms_per_channel: u32,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+}
+
+impl DramGeometry {
+    /// Creates a geometry from the Table-II quadruple.
+    pub const fn new(
+        channels: u32,
+        dimms_per_channel: u32,
+        ranks_per_dimm: u32,
+        banks_per_rank: u32,
+    ) -> Self {
+        DramGeometry {
+            channels,
+            dimms_per_channel,
+            ranks_per_dimm,
+            banks_per_rank,
+        }
+    }
+
+    /// Total number of banks across channels, DIMMs and ranks.
+    pub const fn total_banks(&self) -> u32 {
+        self.channels * self.dimms_per_channel * self.ranks_per_dimm * self.banks_per_rank
+    }
+
+    /// `log2` of the total number of banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total number of banks is not a power of two; real
+    /// systems always have power-of-two bank counts.
+    pub const fn bank_bits(&self) -> u8 {
+        let total = self.total_banks();
+        assert!(total.is_power_of_two(), "bank count must be a power of two");
+        total.trailing_zeros() as u8
+    }
+}
+
+impl fmt::Display for DramGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}, {}, {}, {}",
+            self.channels, self.dimms_per_channel, self.ranks_per_dimm, self.banks_per_rank
+        )
+    }
+}
+
+/// System information as obtained from `dmidecode`/`decode-dimms`
+/// (the paper's "System Information" knowledge group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemInfo {
+    /// Total physical memory size in bytes.
+    pub capacity_bytes: u64,
+    /// DRAM geometry.
+    pub geometry: DramGeometry,
+    /// DRAM generation.
+    pub generation: DdrGeneration,
+    /// Whether the DIMMs are ECC-protected.
+    pub ecc: bool,
+}
+
+impl SystemInfo {
+    /// Creates system information for a non-ECC machine.
+    pub const fn new(
+        capacity_bytes: u64,
+        geometry: DramGeometry,
+        generation: DdrGeneration,
+    ) -> Self {
+        SystemInfo {
+            capacity_bytes,
+            geometry,
+            generation,
+            ecc: false,
+        }
+    }
+
+    /// Total number of banks reported by the system.
+    pub const fn total_banks(&self) -> u32 {
+        self.geometry.total_banks()
+    }
+
+    /// Physical address width in bits implied by the capacity.
+    pub const fn address_bits(&self) -> u8 {
+        // capacity is a power of two on all evaluated machines
+        self.capacity_bytes.trailing_zeros() as u8
+    }
+
+    /// Derives the DDR specification for this system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::InvalidCapacity`] from [`DdrSpec::derive`].
+    pub fn spec(&self) -> Result<DdrSpec, ModelError> {
+        DdrSpec::derive(self.generation, self.geometry, self.capacity_bytes)
+    }
+}
+
+/// Convenience constant: one GiB in bytes.
+pub const GIB: u64 = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_bank_math() {
+        let g = DramGeometry::new(2, 1, 2, 8);
+        assert_eq!(g.total_banks(), 32);
+        assert_eq!(g.bank_bits(), 5);
+        assert_eq!(g.to_string(), "2, 1, 2, 8");
+    }
+
+    #[test]
+    fn ddr_generation_properties() {
+        assert_eq!(DdrGeneration::Ddr3.banks_per_rank(), 8);
+        assert_eq!(DdrGeneration::Ddr4.banks_per_rank(), 16);
+        assert_eq!(DdrGeneration::Ddr3.to_string(), "DDR3");
+        assert_eq!(DdrGeneration::Ddr4.to_string(), "DDR4");
+    }
+
+    #[test]
+    fn spec_derivation_sandy_bridge_8g() {
+        // Machine No.1: 8 GiB, (2,1,1,8) = 16 banks = 4 bank bits.
+        let g = DramGeometry::new(2, 1, 1, 8);
+        let spec = DdrSpec::derive(DdrGeneration::Ddr3, g, 8 * GIB).unwrap();
+        assert_eq!(spec.bank_bits, 4);
+        assert_eq!(spec.column_bits, 13);
+        assert_eq!(spec.row_bits, 16);
+        assert_eq!(spec.total_bits(), 33);
+    }
+
+    #[test]
+    fn spec_derivation_skylake_16g() {
+        // Machine No.6: 16 GiB, (2,1,2,16) = 64 banks = 6 bank bits.
+        let g = DramGeometry::new(2, 1, 2, 16);
+        let spec = DdrSpec::derive(DdrGeneration::Ddr4, g, 16 * GIB).unwrap();
+        assert_eq!(spec.bank_bits, 6);
+        assert_eq!(spec.row_bits, 15);
+        assert_eq!(spec.total_bits(), 34);
+    }
+
+    #[test]
+    fn spec_rejects_bad_capacity() {
+        let g = DramGeometry::new(1, 1, 1, 8);
+        assert!(DdrSpec::derive(DdrGeneration::Ddr3, g, 3 * GIB).is_err());
+        assert!(DdrSpec::derive(DdrGeneration::Ddr3, g, 0).is_err());
+        assert!(DdrSpec::derive(DdrGeneration::Ddr3, g, 4096).is_err());
+    }
+
+    #[test]
+    fn system_info_accessors() {
+        let info = SystemInfo::new(4 * GIB, DramGeometry::new(1, 1, 1, 8), DdrGeneration::Ddr3);
+        assert_eq!(info.total_banks(), 8);
+        assert_eq!(info.address_bits(), 32);
+        assert!(!info.ecc);
+        let spec = info.spec().unwrap();
+        assert_eq!(spec.row_bits, 16);
+    }
+}

@@ -1,0 +1,202 @@
+//! Bank-address XOR functions.
+
+use std::fmt;
+
+use crate::bits;
+use crate::PhysAddr;
+
+/// A bank address function on Intel microarchitectures: a set of physical
+/// address bits whose XOR yields one bit of the (flat) bank index.
+///
+/// Internally stored as a bit mask over the physical address. The paper's
+/// empirical observation (Section III-A) is that all Intel bank functions
+/// have this linear-over-GF(2) form.
+///
+/// ```
+/// use dram_model::{PhysAddr, XorFunc};
+/// let f = XorFunc::from_bits(&[14, 17]);
+/// assert!(f.evaluate(PhysAddr::new(1 << 14)));
+/// assert!(!f.evaluate(PhysAddr::new((1 << 14) | (1 << 17))));
+/// assert_eq!(f.to_string(), "(14, 17)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct XorFunc {
+    mask: u64,
+}
+
+impl XorFunc {
+    /// Creates a function from a raw bit mask over physical address bits.
+    pub const fn from_mask(mask: u64) -> Self {
+        XorFunc { mask }
+    }
+
+    /// Creates a function from a list of physical-address bit indices.
+    pub fn from_bits(bit_indices: &[u8]) -> Self {
+        XorFunc {
+            mask: bits::mask_of(bit_indices),
+        }
+    }
+
+    /// The raw bit mask of this function.
+    pub const fn mask(self) -> u64 {
+        self.mask
+    }
+
+    /// The physical-address bit indices participating in this function,
+    /// lowest first.
+    pub fn bits(self) -> Vec<u8> {
+        bits::bit_positions(self.mask)
+    }
+
+    /// Number of physical-address bits participating in this function.
+    pub const fn len(self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Returns `true` if the function uses no bits (the zero function).
+    pub const fn is_empty(self) -> bool {
+        self.mask == 0
+    }
+
+    /// Returns `true` if physical-address bit `bit` participates.
+    pub const fn contains_bit(self, bit: u8) -> bool {
+        (self.mask >> bit) & 1 == 1
+    }
+
+    /// Lowest participating bit, if any.
+    pub fn lowest_bit(self) -> Option<u8> {
+        if self.mask == 0 {
+            None
+        } else {
+            Some(self.mask.trailing_zeros() as u8)
+        }
+    }
+
+    /// Highest participating bit, if any.
+    pub fn highest_bit(self) -> Option<u8> {
+        if self.mask == 0 {
+            None
+        } else {
+            Some(63 - self.mask.leading_zeros() as u8)
+        }
+    }
+
+    /// Evaluates the function on a physical address: the XOR (parity) of the
+    /// participating address bits.
+    pub const fn evaluate(self, addr: PhysAddr) -> bool {
+        addr.masked_parity(self.mask)
+    }
+
+    /// XOR-combines two functions (their GF(2) sum).
+    pub const fn combine(self, other: XorFunc) -> XorFunc {
+        XorFunc {
+            mask: self.mask ^ other.mask,
+        }
+    }
+}
+
+impl fmt::Display for XorFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.bits();
+        write!(f, "(")?;
+        for (i, bit) in b.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{bit}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<u64> for XorFunc {
+    fn from(mask: u64) -> Self {
+        XorFunc::from_mask(mask)
+    }
+}
+
+impl From<XorFunc> for u64 {
+    fn from(f: XorFunc) -> Self {
+        f.mask
+    }
+}
+
+/// Sorts a set of functions into the paper's canonical presentation order:
+/// fewer participating bits first, then by lowest participating bit.
+pub fn canonical_order(funcs: &mut [XorFunc]) {
+    funcs.sort_by_key(|f| (f.len(), f.lowest_bit().unwrap_or(0), f.mask()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let f = XorFunc::from_bits(&[7, 8, 9, 12, 13, 18, 19]);
+        assert_eq!(f.bits(), vec![7, 8, 9, 12, 13, 18, 19]);
+        assert_eq!(f.len(), 7);
+        assert_eq!(f.lowest_bit(), Some(7));
+        assert_eq!(f.highest_bit(), Some(19));
+        assert!(f.contains_bit(12));
+        assert!(!f.contains_bit(11));
+    }
+
+    #[test]
+    fn evaluate_is_parity() {
+        let f = XorFunc::from_bits(&[14, 17]);
+        assert!(!f.evaluate(PhysAddr::new(0)));
+        assert!(f.evaluate(PhysAddr::new(1 << 14)));
+        assert!(f.evaluate(PhysAddr::new(1 << 17)));
+        assert!(!f.evaluate(PhysAddr::new((1 << 14) | (1 << 17))));
+        // Unrelated bits do not matter.
+        assert!(!f.evaluate(PhysAddr::new(0xff)));
+    }
+
+    #[test]
+    fn empty_function() {
+        let f = XorFunc::default();
+        assert!(f.is_empty());
+        assert_eq!(f.lowest_bit(), None);
+        assert_eq!(f.highest_bit(), None);
+        assert!(!f.evaluate(PhysAddr::new(u64::MAX)));
+    }
+
+    #[test]
+    fn combine_is_xor_of_masks() {
+        let a = XorFunc::from_bits(&[14, 18]);
+        let b = XorFunc::from_bits(&[15, 19]);
+        let c = a.combine(b);
+        assert_eq!(c.bits(), vec![14, 15, 18, 19]);
+        // Combining with itself yields the zero function.
+        assert!(a.combine(a).is_empty());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(XorFunc::from_bits(&[6]).to_string(), "(6)");
+        assert_eq!(XorFunc::from_bits(&[16, 20]).to_string(), "(16, 20)");
+    }
+
+    #[test]
+    fn canonical_order_sorts_by_size_then_bit() {
+        let mut funcs = vec![
+            XorFunc::from_bits(&[7, 8, 9, 12, 13, 18, 19]),
+            XorFunc::from_bits(&[15, 19]),
+            XorFunc::from_bits(&[6]),
+            XorFunc::from_bits(&[14, 18]),
+        ];
+        canonical_order(&mut funcs);
+        assert_eq!(funcs[0], XorFunc::from_bits(&[6]));
+        assert_eq!(funcs[1], XorFunc::from_bits(&[14, 18]));
+        assert_eq!(funcs[2], XorFunc::from_bits(&[15, 19]));
+        assert_eq!(funcs[3].len(), 7);
+    }
+
+    #[test]
+    fn conversions() {
+        let f: XorFunc = 0b110u64.into();
+        let m: u64 = f.into();
+        assert_eq!(m, 0b110);
+    }
+}

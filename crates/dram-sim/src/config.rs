@@ -1,0 +1,159 @@
+//! Simulator configuration: DRAM timing, noise and rowhammer parameters.
+
+use crate::rowhammer::FlipModelParams;
+
+/// DRAM access latencies in simulated nanoseconds plus measurement noise.
+///
+/// The absolute numbers are loosely modelled on an uncached DDR3/DDR4 access
+/// from an Intel client core; only their *ordering* (hit < closed < conflict)
+/// matters for the reverse-engineering algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Latency of an access that hits the open row in its bank.
+    pub row_hit_ns: u64,
+    /// Latency of an access to a bank with no open row (first touch after a
+    /// refresh or precharge).
+    pub row_closed_ns: u64,
+    /// Latency of a row-buffer conflict: another row is open and must be
+    /// precharged before the new row is activated.
+    pub row_conflict_ns: u64,
+    /// Standard deviation of the Gaussian noise added to every measurement.
+    pub noise_sigma_ns: f64,
+    /// Probability of an outlier measurement (system interference such as a
+    /// refresh or an interrupt on real hardware).
+    pub outlier_probability: f64,
+    /// Extra latency added to an outlier measurement.
+    pub outlier_extra_ns: u64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams {
+            row_hit_ns: 200,
+            row_closed_ns: 250,
+            row_conflict_ns: 380,
+            noise_sigma_ns: 12.0,
+            outlier_probability: 0.01,
+            outlier_extra_ns: 600,
+        }
+    }
+}
+
+impl TimingParams {
+    /// A noise-free variant, useful for deterministic unit tests.
+    pub fn noiseless() -> Self {
+        TimingParams {
+            noise_sigma_ns: 0.0,
+            outlier_probability: 0.0,
+            outlier_extra_ns: 0,
+            ..TimingParams::default()
+        }
+    }
+
+    /// Midpoint between hit and conflict latency — a perfect oracle threshold,
+    /// useful for tests that bypass calibration.
+    pub fn oracle_threshold_ns(&self) -> u64 {
+        (self.row_hit_ns + self.row_conflict_ns) / 2
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// DRAM timing and measurement-noise parameters.
+    pub timing: TimingParams,
+    /// Rowhammer charge-leakage model parameters.
+    pub flip_params: FlipModelParams,
+    /// Length of one refresh window in simulated nanoseconds. All rows are
+    /// refreshed (and hammer counters reset) once per window.
+    pub refresh_interval_ns: u64,
+    /// Seed for the simulator's random number generator (noise, flips).
+    pub rng_seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            timing: TimingParams::default(),
+            flip_params: FlipModelParams::default(),
+            // 64 ms, the standard DDR refresh interval.
+            refresh_interval_ns: 64_000_000,
+            rng_seed: 0xD1A3_D16,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with no measurement noise (tests, calibration checks).
+    pub fn noiseless() -> Self {
+        SimConfig {
+            timing: TimingParams::noiseless(),
+            ..SimConfig::default()
+        }
+    }
+
+    /// A configuration scaled down for fast rowhammer experiments: shorter
+    /// refresh windows and lower activation thresholds so that bit flips
+    /// appear after thousands rather than hundreds of thousands of
+    /// activations. The *relative* behaviour (double-sided ≫ single-sided ≫
+    /// wrong mapping) is preserved.
+    pub fn fast_rowhammer() -> Self {
+        SimConfig {
+            timing: TimingParams::default(),
+            flip_params: FlipModelParams::fast(),
+            refresh_interval_ns: 2_000_000,
+            rng_seed: 0xD1A3_D16,
+        }
+    }
+
+    /// Overrides the RNG seed (e.g. to model run-to-run variation across the
+    /// paper's five rowhammer tests).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_are_ordered() {
+        let t = TimingParams::default();
+        assert!(t.row_hit_ns < t.row_closed_ns);
+        assert!(t.row_closed_ns < t.row_conflict_ns);
+    }
+
+    #[test]
+    fn oracle_threshold_sits_between_hit_and_conflict() {
+        let t = TimingParams::default();
+        let thr = t.oracle_threshold_ns();
+        assert!(thr > t.row_hit_ns && thr < t.row_conflict_ns);
+    }
+
+    #[test]
+    fn noiseless_removes_randomness() {
+        let t = TimingParams::noiseless();
+        assert_eq!(t.noise_sigma_ns, 0.0);
+        assert_eq!(t.outlier_probability, 0.0);
+    }
+
+    #[test]
+    fn fast_rowhammer_shrinks_window() {
+        let fast = SimConfig::fast_rowhammer();
+        let default = SimConfig::default();
+        assert!(fast.refresh_interval_ns < default.refresh_interval_ns);
+        assert!(
+            fast.flip_params.double_sided_threshold < default.flip_params.double_sided_threshold
+        );
+    }
+
+    #[test]
+    fn with_seed_only_changes_seed() {
+        let a = SimConfig::default();
+        let b = SimConfig::default().with_seed(7);
+        assert_eq!(a.timing, b.timing);
+        assert_ne!(a.rng_seed, b.rng_seed);
+    }
+}

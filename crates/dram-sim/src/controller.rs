@@ -1,0 +1,368 @@
+//! The simulated memory controller.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dram_model::{AddressMapping, DramAddress, MachineSetting, PhysAddr};
+
+use crate::config::SimConfig;
+use crate::rowhammer::{sample_standard_normal, BitFlip, FlipModel};
+use crate::stats::SimStats;
+
+/// A simulated memory controller in front of one DRAM module.
+///
+/// Each access is decoded through the configured (ground-truth)
+/// [`AddressMapping`], served by the per-bank row buffer and charged a
+/// latency that depends on whether it hit the open row, found the bank
+/// precharged, or conflicted with a different open row. Latencies include
+/// configurable Gaussian noise and rare outliers so that the
+/// reverse-engineering algorithms have to cope with realistic measurements.
+///
+/// Row activations feed the [`FlipModel`]; refresh windows close all rows and
+/// materialise rowhammer bit flips.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    mapping: AddressMapping,
+    config: SimConfig,
+    open_rows: Vec<Option<u32>>,
+    flip_model: FlipModel,
+    rng: StdRng,
+    stats: SimStats,
+    next_refresh_ns: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller for a module wired according to `mapping`.
+    pub fn new(mapping: AddressMapping, config: SimConfig) -> Self {
+        let banks = mapping.num_banks() as usize;
+        let rows = mapping.num_rows();
+        MemoryController {
+            open_rows: vec![None; banks],
+            flip_model: FlipModel::new(config.flip_params, rows),
+            rng: StdRng::seed_from_u64(config.rng_seed),
+            stats: SimStats::new(),
+            next_refresh_ns: config.refresh_interval_ns,
+            mapping,
+            config,
+        }
+    }
+
+    /// The ground-truth mapping the controller decodes addresses with.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Simulated nanoseconds elapsed since construction.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.stats.elapsed_ns
+    }
+
+    /// Performs one uncached memory access and returns its latency in
+    /// simulated nanoseconds.
+    ///
+    /// This models the `clflush`-then-load measurement loop used by the real
+    /// tools: caches play no role, only the DRAM row-buffer state does.
+    pub fn access(&mut self, addr: PhysAddr) -> u64 {
+        let dram = self.mapping.to_dram(addr);
+        let timing = self.config.timing;
+        let slot = &mut self.open_rows[dram.bank as usize];
+        let base = match *slot {
+            Some(open) if open == dram.row => {
+                self.stats.row_hits += 1;
+                timing.row_hit_ns
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                self.flip_model.record_activation(dram.bank, dram.row);
+                timing.row_conflict_ns
+            }
+            None => {
+                self.stats.row_empty += 1;
+                self.flip_model.record_activation(dram.bank, dram.row);
+                timing.row_closed_ns
+            }
+        };
+        *slot = Some(dram.row);
+
+        let mut latency = base as f64;
+        if timing.noise_sigma_ns > 0.0 {
+            latency += timing.noise_sigma_ns * sample_standard_normal(&mut self.rng);
+        }
+        if timing.outlier_probability > 0.0 && self.rng.gen::<f64>() < timing.outlier_probability {
+            latency += timing.outlier_extra_ns as f64;
+        }
+        let latency = latency.max(1.0).round() as u64;
+
+        self.stats.accesses += 1;
+        self.stats.elapsed_ns += latency;
+        while self.stats.elapsed_ns >= self.next_refresh_ns {
+            self.refresh();
+        }
+        latency
+    }
+
+    /// Decodes an address without touching the row buffers (oracle access,
+    /// used only by tests and the experiment harness for verification).
+    pub fn decode(&self, addr: PhysAddr) -> DramAddress {
+        self.mapping.to_dram(addr)
+    }
+
+    /// Forces a refresh: all banks are precharged, hammer pressure is
+    /// evaluated for bit flips and then cleared.
+    pub fn refresh(&mut self) {
+        self.flip_model.refresh(&mut self.rng);
+        for slot in &mut self.open_rows {
+            *slot = None;
+        }
+        self.stats.refreshes += 1;
+        self.next_refresh_ns = self
+            .next_refresh_ns
+            .max(self.stats.elapsed_ns)
+            .saturating_add(self.config.refresh_interval_ns);
+    }
+
+    /// Precharges all banks without evaluating rowhammer pressure
+    /// (models an idle period long enough for row buffers to close).
+    pub fn close_all_rows(&mut self) {
+        for slot in &mut self.open_rows {
+            *slot = None;
+        }
+    }
+
+    /// Advances the simulated clock without performing accesses.
+    pub fn advance_time(&mut self, ns: u64) {
+        self.stats.elapsed_ns += ns;
+        while self.stats.elapsed_ns >= self.next_refresh_ns {
+            self.refresh();
+        }
+    }
+
+    /// The row currently open in `bank`, if any.
+    pub fn open_row(&self, bank: u32) -> Option<u32> {
+        self.open_rows.get(bank as usize).copied().flatten()
+    }
+
+    /// Bit flips accumulated since the last [`MemoryController::take_flips`].
+    pub fn flips(&self) -> &[BitFlip] {
+        self.flip_model.flips()
+    }
+
+    /// Returns and clears the accumulated bit flips.
+    pub fn take_flips(&mut self) -> Vec<BitFlip> {
+        self.flip_model.take_flips()
+    }
+
+    /// Access to the flip model (tests and the rowhammer harness).
+    pub fn flip_model(&self) -> &FlipModel {
+        &self.flip_model
+    }
+}
+
+/// A simulated machine: the memory controller plus the machine setting it
+/// was built from (if any).
+#[derive(Debug, Clone)]
+pub struct SimMachine {
+    controller: MemoryController,
+    setting: Option<MachineSetting>,
+}
+
+impl SimMachine {
+    /// Creates a machine from an explicit ground-truth mapping.
+    pub fn new(mapping: AddressMapping, config: SimConfig) -> Self {
+        SimMachine {
+            controller: MemoryController::new(mapping, config),
+            setting: None,
+        }
+    }
+
+    /// Creates a machine simulating one of the paper's Table-II settings.
+    pub fn from_setting(setting: &MachineSetting, config: SimConfig) -> Self {
+        SimMachine {
+            controller: MemoryController::new(setting.mapping().clone(), config),
+            setting: Some(setting.clone()),
+        }
+    }
+
+    /// The machine setting this simulator models, if it was built from one.
+    pub fn setting(&self) -> Option<&MachineSetting> {
+        self.setting.as_ref()
+    }
+
+    /// The ground-truth mapping (the "answer key" for verification).
+    pub fn ground_truth(&self) -> &AddressMapping {
+        self.controller.mapping()
+    }
+
+    /// Shared access to the memory controller.
+    pub fn controller(&self) -> &MemoryController {
+        &self.controller
+    }
+
+    /// Exclusive access to the memory controller.
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.controller
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::MappingBuilder;
+
+    fn small_mapping() -> AddressMapping {
+        // A tiny 1 MiB module: 4 banks, 64 rows, 4 KiB rows.
+        MappingBuilder::new()
+            .bank_func(&[12, 14])
+            .bank_func(&[13, 15])
+            .row_bit_range(14, 19)
+            .column_bit_range(0, 11)
+            .build()
+            .unwrap()
+    }
+
+    fn controller_noiseless() -> MemoryController {
+        MemoryController::new(small_mapping(), SimConfig::noiseless())
+    }
+
+    #[test]
+    fn first_access_finds_bank_empty() {
+        let mut c = controller_noiseless();
+        let lat = c.access(PhysAddr::new(0));
+        assert_eq!(lat, c.config().timing.row_closed_ns);
+        assert_eq!(c.stats().row_empty, 1);
+    }
+
+    #[test]
+    fn same_row_hits_after_open() {
+        let mut c = controller_noiseless();
+        let a = PhysAddr::new(0x10);
+        c.access(a);
+        let lat = c.access(a + 8);
+        assert_eq!(lat, c.config().timing.row_hit_ns);
+        assert_eq!(c.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn sbdr_pair_conflicts_every_time() {
+        let mut c = controller_noiseless();
+        let m = c.mapping().clone();
+        let a = m.to_phys(DramAddress::new(1, 3, 0)).unwrap();
+        let b = m.to_phys(DramAddress::new(1, 7, 0)).unwrap();
+        c.access(a);
+        let mut conflict_lat = 0;
+        for _ in 0..10 {
+            conflict_lat = c.access(b).max(c.access(a));
+        }
+        assert_eq!(conflict_lat, c.config().timing.row_conflict_ns);
+        assert!(c.stats().row_conflicts >= 20);
+    }
+
+    #[test]
+    fn different_banks_do_not_conflict() {
+        let mut c = controller_noiseless();
+        let m = c.mapping().clone();
+        let a = m.to_phys(DramAddress::new(0, 3, 0)).unwrap();
+        let b = m.to_phys(DramAddress::new(2, 9, 0)).unwrap();
+        c.access(a);
+        c.access(b);
+        // Alternating accesses now always hit their own open row.
+        for _ in 0..10 {
+            assert_eq!(c.access(a), c.config().timing.row_hit_ns);
+            assert_eq!(c.access(b), c.config().timing.row_hit_ns);
+        }
+    }
+
+    #[test]
+    fn open_row_tracking_and_close_all() {
+        let mut c = controller_noiseless();
+        let m = c.mapping().clone();
+        let a = m.to_phys(DramAddress::new(3, 5, 0)).unwrap();
+        c.access(a);
+        assert_eq!(c.open_row(3), Some(5));
+        c.close_all_rows();
+        assert_eq!(c.open_row(3), None);
+        assert_eq!(c.open_row(99), None);
+    }
+
+    #[test]
+    fn refresh_advances_schedule_and_counts() {
+        let mut c = controller_noiseless();
+        let before = c.stats().refreshes;
+        c.refresh();
+        assert_eq!(c.stats().refreshes, before + 1);
+        // A long idle period triggers automatic refreshes.
+        c.advance_time(c.config().refresh_interval_ns * 3);
+        assert!(c.stats().refreshes >= before + 2);
+    }
+
+    #[test]
+    fn elapsed_time_accumulates_latencies() {
+        let mut c = controller_noiseless();
+        let l1 = c.access(PhysAddr::new(0));
+        let l2 = c.access(PhysAddr::new(0x100000 - 8));
+        assert_eq!(c.elapsed_ns(), l1 + l2);
+        assert_eq!(c.stats().accesses, 2);
+    }
+
+    #[test]
+    fn noise_produces_varying_latencies() {
+        let mut c = MemoryController::new(small_mapping(), SimConfig::default());
+        let a = PhysAddr::new(0);
+        let lats: Vec<u64> = (0..50).map(|_| c.access(a)).collect();
+        let distinct: std::collections::HashSet<u64> = lats.iter().copied().collect();
+        assert!(distinct.len() > 3, "noisy latencies should vary");
+    }
+
+    #[test]
+    fn decode_matches_mapping() {
+        let c = controller_noiseless();
+        let m = c.mapping().clone();
+        let addr = PhysAddr::new(0x4_2000);
+        assert_eq!(c.decode(addr), m.to_dram(addr));
+    }
+
+    #[test]
+    fn sim_machine_from_setting_exposes_ground_truth() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let machine = SimMachine::from_setting(&setting, SimConfig::noiseless());
+        assert!(machine.ground_truth().equivalent_to(setting.mapping()));
+        assert_eq!(machine.setting().unwrap().number, 4);
+        let anon = SimMachine::new(small_mapping(), SimConfig::noiseless());
+        assert!(anon.setting().is_none());
+    }
+
+    #[test]
+    fn hammering_through_controller_produces_flips() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let mut machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+        let truth = machine.ground_truth().clone();
+        // Find a vulnerable victim row and hammer its neighbours.
+        let flip_model = machine.controller().flip_model().clone();
+        let victim_row = (1..5_000u32)
+            .find(|&r| flip_model.row_vulnerability(0, r) > 0.3)
+            .unwrap();
+        let above = truth.to_phys(DramAddress::new(0, victim_row + 1, 0)).unwrap();
+        let below = truth.to_phys(DramAddress::new(0, victim_row - 1, 0)).unwrap();
+        let c = machine.controller_mut();
+        for _ in 0..40_000 {
+            c.access(above);
+            c.access(below);
+        }
+        c.refresh();
+        let flips = c.take_flips();
+        assert!(
+            flips.iter().any(|f| f.row == victim_row),
+            "alternating access to the two neighbours must flip the victim"
+        );
+    }
+}

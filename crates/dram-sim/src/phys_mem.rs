@@ -1,0 +1,257 @@
+//! A synthetic physical-page allocator.
+//!
+//! The reverse-engineering tools do not get to pick arbitrary physical
+//! addresses: they can only touch pages the operating system actually handed
+//! to their process. DRAMDig's Algorithm 1 explicitly deals with holes in
+//! that pool ("if there are some pages missed in phys_pages, we try again"),
+//! so the allocator here can produce contiguous pools, fragmented pools with
+//! pseudo-random holes, or scattered pools, letting the tests exercise every
+//! branch of the selection logic.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use dram_model::{PhysAddr, PAGE_SIZE};
+
+/// How the synthetic OS hands out physical pages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocationPolicy {
+    /// One physically contiguous block starting at `start_frame`.
+    Contiguous {
+        /// First allocated page frame number.
+        start_frame: u64,
+    },
+    /// A mostly contiguous block in which each page is independently missing
+    /// with probability `hole_probability` (fragmentation, other processes).
+    Fragmented {
+        /// First allocated page frame number.
+        start_frame: u64,
+        /// Probability that any individual page is *not* part of the pool.
+        hole_probability: f64,
+    },
+    /// Pages drawn uniformly at random from the whole module (worst case for
+    /// tools that assume contiguity).
+    Scattered,
+}
+
+/// The set of physical pages available to the reverse-engineering tool.
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    frames: Vec<u64>,
+    total_frames: u64,
+    policy_desc: &'static str,
+}
+
+impl PhysMemory {
+    /// Allocates `fraction` of a module containing `capacity_bytes` bytes
+    /// according to `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `(0, 1]`.
+    pub fn allocate(
+        capacity_bytes: u64,
+        fraction: f64,
+        policy: AllocationPolicy,
+        seed: u64,
+    ) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let total_frames = capacity_bytes / PAGE_SIZE;
+        let want = ((total_frames as f64 * fraction) as u64).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (frames, policy_desc) = match policy {
+            AllocationPolicy::Contiguous { start_frame } => {
+                let start = start_frame.min(total_frames.saturating_sub(want));
+                ((start..start + want).collect(), "contiguous")
+            }
+            AllocationPolicy::Fragmented {
+                start_frame,
+                hole_probability,
+            } => {
+                let start = start_frame.min(total_frames.saturating_sub(want));
+                let frames: Vec<u64> = (start..total_frames)
+                    .filter(|_| rng.gen::<f64>() >= hole_probability)
+                    .take(want as usize)
+                    .collect();
+                (frames, "fragmented")
+            }
+            AllocationPolicy::Scattered => {
+                let mut all: Vec<u64> = (0..total_frames).collect();
+                all.shuffle(&mut rng);
+                all.truncate(want as usize);
+                all.sort_unstable();
+                (all, "scattered")
+            }
+        };
+        PhysMemory {
+            frames,
+            total_frames,
+            policy_desc,
+        }
+    }
+
+    /// A pool containing every page of the module (hugepage-style access).
+    pub fn full(capacity_bytes: u64) -> Self {
+        PhysMemory {
+            frames: (0..capacity_bytes / PAGE_SIZE).collect(),
+            total_frames: capacity_bytes / PAGE_SIZE,
+            policy_desc: "full",
+        }
+    }
+
+    /// Builds a pool directly from page frame numbers (tests).
+    pub fn from_frames(frames: Vec<u64>, total_frames: u64) -> Self {
+        let mut frames = frames;
+        frames.sort_unstable();
+        frames.dedup();
+        PhysMemory {
+            frames,
+            total_frames,
+            policy_desc: "custom",
+        }
+    }
+
+    /// Allocated page frame numbers, ascending.
+    pub fn frames(&self) -> &[u64] {
+        &self.frames
+    }
+
+    /// Number of allocated pages.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns `true` if no pages are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total number of frames in the underlying module.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// A short human-readable description of the allocation policy.
+    pub fn policy(&self) -> &'static str {
+        self.policy_desc
+    }
+
+    /// Returns `true` if the pool contains the page holding `addr`.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        self.frames.binary_search(&addr.page_frame()).is_ok()
+    }
+
+    /// Returns `true` if every page in `[start, end)` (byte addresses) is in
+    /// the pool — the `page_miss` check of Algorithm 1 inverted.
+    pub fn covers_range(&self, start: PhysAddr, end: PhysAddr) -> bool {
+        if end.raw() <= start.raw() {
+            return true;
+        }
+        let first = start.page_frame();
+        let last = (end.raw() - 1) / PAGE_SIZE;
+        (first..=last).all(|f| self.frames.binary_search(&f).is_ok())
+    }
+
+    /// Iterates over the base physical addresses of all allocated pages.
+    pub fn page_addresses(&self) -> impl Iterator<Item = PhysAddr> + '_ {
+        self.frames.iter().map(|&f| PhysAddr::new(f * PAGE_SIZE))
+    }
+
+    /// Picks a uniformly random allocated page base address.
+    pub fn random_page(&self, rng: &mut StdRng) -> Option<PhysAddr> {
+        self.frames
+            .choose(rng)
+            .map(|&f| PhysAddr::new(f * PAGE_SIZE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: u64 = 64 << 20; // 64 MiB keeps tests fast
+
+    #[test]
+    fn contiguous_allocation_has_no_holes() {
+        let mem = PhysMemory::allocate(CAP, 0.25, AllocationPolicy::Contiguous { start_frame: 8 }, 1);
+        let frames = mem.frames();
+        assert_eq!(frames.len() as u64, CAP / PAGE_SIZE / 4);
+        for w in frames.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+        assert_eq!(mem.policy(), "contiguous");
+    }
+
+    #[test]
+    fn fragmented_allocation_has_holes() {
+        let mem = PhysMemory::allocate(
+            CAP,
+            0.25,
+            AllocationPolicy::Fragmented {
+                start_frame: 0,
+                hole_probability: 0.2,
+            },
+            7,
+        );
+        let frames = mem.frames();
+        let contiguous = frames.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(!contiguous, "fragmented pool should contain at least one hole");
+    }
+
+    #[test]
+    fn scattered_allocation_is_sorted_and_unique() {
+        let mem = PhysMemory::allocate(CAP, 0.1, AllocationPolicy::Scattered, 3);
+        let frames = mem.frames();
+        assert!(frames.windows(2).all(|w| w[1] > w[0]));
+        assert!(frames.iter().all(|&f| f < mem.total_frames()));
+    }
+
+    #[test]
+    fn full_pool_contains_everything() {
+        let mem = PhysMemory::full(CAP);
+        assert_eq!(mem.len() as u64, CAP / PAGE_SIZE);
+        assert!(mem.contains(PhysAddr::new(CAP - 1)));
+        assert!(mem.covers_range(PhysAddr::new(0), PhysAddr::new(CAP)));
+    }
+
+    #[test]
+    fn contains_and_covers_range() {
+        let mem = PhysMemory::from_frames(vec![0, 1, 2, 5], 16);
+        assert!(mem.contains(PhysAddr::new(0)));
+        assert!(mem.contains(PhysAddr::new(2 * PAGE_SIZE + 17)));
+        assert!(!mem.contains(PhysAddr::new(3 * PAGE_SIZE)));
+        assert!(mem.covers_range(PhysAddr::new(0), PhysAddr::new(3 * PAGE_SIZE)));
+        assert!(!mem.covers_range(PhysAddr::new(0), PhysAddr::new(4 * PAGE_SIZE)));
+        // Empty range is trivially covered.
+        assert!(mem.covers_range(PhysAddr::new(100), PhysAddr::new(100)));
+    }
+
+    #[test]
+    fn from_frames_sorts_and_dedups() {
+        let mem = PhysMemory::from_frames(vec![5, 1, 5, 3], 16);
+        assert_eq!(mem.frames(), &[1, 3, 5]);
+        assert_eq!(mem.policy(), "custom");
+        assert!(!mem.is_empty());
+    }
+
+    #[test]
+    fn random_page_comes_from_pool() {
+        let mem = PhysMemory::from_frames(vec![2, 9], 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let p = mem.random_page(&mut rng).unwrap();
+            assert!(mem.contains(p));
+            assert_eq!(p.page_offset(), 0);
+        }
+        let empty = PhysMemory::from_frames(vec![], 16);
+        assert!(empty.random_page(&mut rng).is_none());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        PhysMemory::allocate(CAP, 0.0, AllocationPolicy::Scattered, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulation statistics and the simulated clock.
+
+use std::fmt;
+
+/// Counters accumulated by the [`crate::MemoryController`].
+///
+/// Besides bookkeeping, the simulated elapsed time is what the experiment
+/// harness reports for Figure 2 ("time costs"): every memory access advances
+/// the simulated clock by its latency, so an algorithm that issues more
+/// latency measurements spends proportionally more simulated time, exactly as
+/// on real hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total number of memory accesses served.
+    pub accesses: u64,
+    /// Accesses that hit the open row in their bank.
+    pub row_hits: u64,
+    /// Accesses that found the bank precharged (no open row).
+    pub row_empty: u64,
+    /// Accesses that conflicted with a different open row.
+    pub row_conflicts: u64,
+    /// Number of refresh windows completed.
+    pub refreshes: u64,
+    /// Simulated nanoseconds elapsed.
+    pub elapsed_ns: u64,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Simulated elapsed time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_ns as f64 / 1e9
+    }
+
+    /// Fraction of accesses that caused a row-buffer conflict.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_conflicts as f64 / self.accesses as f64
+        }
+    }
+
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &SimStats) -> SimStats {
+        SimStats {
+            accesses: self.accesses - earlier.accesses,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_empty: self.row_empty - earlier.row_empty,
+            row_conflicts: self.row_conflicts - earlier.row_conflicts,
+            refreshes: self.refreshes - earlier.refreshes,
+            elapsed_ns: self.elapsed_ns - earlier.elapsed_ns,
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} hits, {} empty, {} conflicts), {} refreshes, {:.3} s simulated",
+            self.accesses,
+            self.row_hits,
+            self.row_empty,
+            self.row_conflicts,
+            self.refreshes,
+            self.elapsed_seconds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_rate_handles_zero_accesses() {
+        assert_eq!(SimStats::new().conflict_rate(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts_fields() {
+        let earlier = SimStats {
+            accesses: 10,
+            row_hits: 4,
+            row_empty: 1,
+            row_conflicts: 5,
+            refreshes: 1,
+            elapsed_ns: 1000,
+        };
+        let later = SimStats {
+            accesses: 25,
+            row_hits: 10,
+            row_empty: 2,
+            row_conflicts: 13,
+            refreshes: 3,
+            elapsed_ns: 5000,
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.accesses, 15);
+        assert_eq!(d.row_conflicts, 8);
+        assert_eq!(d.elapsed_ns, 4000);
+        assert_eq!(d.elapsed_seconds(), 4e-6);
+    }
+
+    #[test]
+    fn display_contains_key_counters() {
+        let s = SimStats {
+            accesses: 7,
+            row_hits: 3,
+            row_empty: 1,
+            row_conflicts: 3,
+            refreshes: 0,
+            elapsed_ns: 2_000_000_000,
+        };
+        let text = s.to_string();
+        assert!(text.contains("7 accesses"));
+        assert!(text.contains("2.000 s"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for probe construction and calibration.
+
+use std::fmt;
+
+/// Errors produced by probes and calibration.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProbeError {
+    /// The physical page pool is too small for the requested operation.
+    PoolTooSmall {
+        /// Pages available.
+        available: usize,
+        /// Pages required.
+        required: usize,
+    },
+    /// Calibration could not separate hit and conflict latencies.
+    CalibrationFailed {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The hardware probe could not be constructed (not root, missing
+    /// pagemap, unsupported platform, allocation failure…).
+    Hardware {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// An underlying I/O error (pagemap access).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::PoolTooSmall { available, required } => write!(
+                f,
+                "physical page pool too small: {available} pages available, {required} required"
+            ),
+            ProbeError::CalibrationFailed { reason } => {
+                write!(f, "latency calibration failed: {reason}")
+            }
+            ProbeError::Hardware { reason } => write!(f, "hardware probe unavailable: {reason}"),
+            ProbeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProbeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProbeError {
+    fn from(e: std::io::Error) -> Self {
+        ProbeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ProbeError::PoolTooSmall { available: 1, required: 10 };
+        assert!(e.to_string().contains("1 pages"));
+        let e = ProbeError::CalibrationFailed { reason: "flat histogram".into() };
+        assert!(e.to_string().contains("flat histogram"));
+        let e = ProbeError::Hardware { reason: "not root".into() };
+        assert!(e.to_string().contains("not root"));
+        let e: ProbeError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(e.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProbeError>();
+    }
+}

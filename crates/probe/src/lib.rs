@@ -1,0 +1,56 @@
+//! The row-buffer-conflict timing primitive.
+//!
+//! All DRAM-mapping reverse-engineering tools in this workspace observe the
+//! memory system exclusively through the [`MemoryProbe`] trait: "how long
+//! does it take to access these two physical addresses alternately?". If the
+//! two addresses lie in the same bank but different rows (SBDR), the bank's
+//! row buffer is re-loaded on every access and the latency is measurably
+//! higher (Section III-B of the paper).
+//!
+//! Two implementations are provided:
+//!
+//! * [`SimProbe`] drives the [`dram_sim`] substrate and is what the tests,
+//!   examples and experiments use.
+//! * [`HwProbe`](hw) is the real-hardware path (x86_64 Linux only): it uses
+//!   `clflush`/`rdtscp` and translates virtual to physical addresses through
+//!   `/proc/self/pagemap`, exactly like the original tool. It requires root
+//!   (for pagemap physical frame numbers) and is therefore exercised only by
+//!   the `hardware_probe` example, never by the test-suite.
+//!
+//! [`LatencyCalibration`] turns raw latencies into a binary
+//! conflict/no-conflict decision by clustering a sample of measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use dram_model::MachineSetting;
+//! use dram_sim::{SimConfig, SimMachine, PhysMemory};
+//! use mem_probe::{MemoryProbe, SimProbe, LatencyCalibration};
+//!
+//! let setting = MachineSetting::no4_haswell_ddr3_4g();
+//! let machine = SimMachine::from_setting(&setting, SimConfig::default());
+//! let memory = PhysMemory::full(64 << 20);
+//! let mut probe = SimProbe::new(machine, memory);
+//! let calibration = LatencyCalibration::calibrate(&mut probe, 300, 7)?;
+//! assert!(calibration.threshold_ns() > 0);
+//! # Ok::<(), mem_probe::ProbeError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod calibrate;
+pub mod error;
+pub mod hw;
+pub mod oracle;
+pub mod probe;
+pub mod sim_probe;
+
+pub use calibrate::LatencyCalibration;
+pub use error::ProbeError;
+pub use oracle::ConflictOracle;
+pub use probe::{MemoryProbe, ProbeStats};
+pub use sim_probe::SimProbe;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub use hw::HwProbe;

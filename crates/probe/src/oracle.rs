@@ -1,0 +1,150 @@
+//! A probe + calibration bundle answering the SBDR question directly.
+
+use dram_model::PhysAddr;
+
+use crate::calibrate::LatencyCalibration;
+use crate::probe::{MemoryProbe, ProbeStats};
+
+/// Combines a [`MemoryProbe`] with a [`LatencyCalibration`] so that callers
+/// can ask the binary question the algorithms actually need: *are these two
+/// addresses in the same bank but different rows?*
+///
+/// Every reverse-engineering tool in this workspace (DRAMDig and the
+/// baselines) is written against this type, which keeps their measurement
+/// budget accounting in one place.
+#[derive(Debug)]
+pub struct ConflictOracle<P> {
+    probe: P,
+    calibration: LatencyCalibration,
+    repeat: u32,
+}
+
+impl<P: MemoryProbe> ConflictOracle<P> {
+    /// Creates an oracle from a probe and its calibration.
+    pub fn new(probe: P, calibration: LatencyCalibration) -> Self {
+        ConflictOracle {
+            probe,
+            calibration,
+            repeat: 1,
+        }
+    }
+
+    /// Repeats each query `repeat` times and takes a majority vote — used by
+    /// tools that want extra robustness at the cost of more measurements.
+    pub fn with_repeat(mut self, repeat: u32) -> Self {
+        assert!(repeat >= 1, "repeat must be at least 1");
+        self.repeat = repeat;
+        self
+    }
+
+    /// The calibration in use.
+    pub fn calibration(&self) -> &LatencyCalibration {
+        &self.calibration
+    }
+
+    /// The underlying probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Exclusive access to the underlying probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the oracle and returns the probe.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// Cost accounting so far (delegates to the probe).
+    pub fn stats(&self) -> ProbeStats {
+        self.probe.stats()
+    }
+
+    /// Measures a pair once and returns the raw latency.
+    pub fn latency(&mut self, a: PhysAddr, b: PhysAddr) -> u64 {
+        self.probe.measure_pair(a, b)
+    }
+
+    /// Returns `true` if `a` and `b` are observed to be in the same bank but
+    /// different rows (high latency / row-buffer conflict).
+    pub fn is_sbdr(&mut self, a: PhysAddr, b: PhysAddr) -> bool {
+        if self.repeat == 1 {
+            let lat = self.probe.measure_pair(a, b);
+            return self.calibration.is_conflict(lat);
+        }
+        let mut votes = 0u32;
+        for _ in 0..self.repeat {
+            if self.calibration.is_conflict(self.probe.measure_pair(a, b)) {
+                votes += 1;
+            }
+        }
+        votes * 2 > self.repeat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_probe::SimProbe;
+    use dram_model::{DramAddress, MachineSetting};
+    use dram_sim::{PhysMemory, SimConfig, SimMachine};
+
+    fn oracle(noise: bool) -> ConflictOracle<SimProbe> {
+        let setting = MachineSetting::no7_skylake_ddr4_4g();
+        let config = if noise {
+            SimConfig::default()
+        } else {
+            SimConfig::noiseless()
+        };
+        let machine = SimMachine::from_setting(&setting, config);
+        let timing = machine.controller().config().timing;
+        let probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+        ConflictOracle::new(probe, LatencyCalibration::from_threshold(timing.oracle_threshold_ns()))
+    }
+
+    #[test]
+    fn oracle_agrees_with_ground_truth() {
+        let mut o = oracle(false);
+        let truth = o.probe().machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(3, 50, 0)).unwrap();
+        let sbdr = truth.to_phys(DramAddress::new(3, 70, 0)).unwrap();
+        let same_row = truth.to_phys(DramAddress::new(3, 50, 128)).unwrap();
+        let other_bank = truth.to_phys(DramAddress::new(6, 50, 0)).unwrap();
+        assert!(o.is_sbdr(a, sbdr));
+        assert!(!o.is_sbdr(a, same_row));
+        assert!(!o.is_sbdr(a, other_bank));
+    }
+
+    #[test]
+    fn majority_vote_with_noise_is_stable() {
+        let mut o = oracle(true).with_repeat(3);
+        let truth = o.probe().machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(1, 10, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(1, 4000, 0)).unwrap();
+        let c = truth.to_phys(DramAddress::new(2, 10, 0)).unwrap();
+        for _ in 0..25 {
+            assert!(o.is_sbdr(a, b));
+            assert!(!o.is_sbdr(a, c));
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_through_oracle() {
+        let mut o = oracle(false);
+        let truth = o.probe().machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(0, 1, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(0, 2, 0)).unwrap();
+        let before = o.stats().measurements;
+        o.is_sbdr(a, b);
+        o.latency(a, b);
+        assert_eq!(o.stats().measurements, before + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat")]
+    fn zero_repeat_rejected() {
+        let _ = oracle(false).with_repeat(0);
+    }
+}

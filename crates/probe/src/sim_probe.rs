@@ -1,0 +1,171 @@
+//! Probe backed by the [`dram_sim`] substrate.
+
+use dram_model::PhysAddr;
+use dram_sim::{PhysMemory, SimMachine};
+
+use crate::probe::{MemoryProbe, ProbeStats};
+
+/// Default number of alternating access rounds per measurement.
+pub const DEFAULT_ROUNDS: u32 = 12;
+
+/// A [`MemoryProbe`] that measures latencies on a [`SimMachine`].
+///
+/// For each measurement the probe accesses the two addresses alternately for
+/// a number of rounds and reports the *median* per-access latency, which
+/// suppresses the occasional outlier the simulator injects (as real tools
+/// suppress interrupts/refresh spikes).
+#[derive(Debug, Clone)]
+pub struct SimProbe {
+    machine: SimMachine,
+    memory: PhysMemory,
+    rounds: u32,
+    measurements: u64,
+}
+
+impl SimProbe {
+    /// Creates a probe over a simulated machine and page pool.
+    pub fn new(machine: SimMachine, memory: PhysMemory) -> Self {
+        SimProbe {
+            machine,
+            memory,
+            rounds: DEFAULT_ROUNDS,
+            measurements: 0,
+        }
+    }
+
+    /// Sets the number of alternating rounds per measurement.
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        assert!(rounds >= 1, "at least one round is required");
+        self.rounds = rounds;
+        self
+    }
+
+    /// Shared access to the underlying simulated machine (e.g. to read the
+    /// ground truth for verification after reverse engineering).
+    pub fn machine(&self) -> &SimMachine {
+        &self.machine
+    }
+
+    /// Exclusive access to the underlying simulated machine (the rowhammer
+    /// harness hammers through the same controller the probe measured).
+    pub fn machine_mut(&mut self) -> &mut SimMachine {
+        &mut self.machine
+    }
+
+    /// Consumes the probe and returns the machine.
+    pub fn into_machine(self) -> SimMachine {
+        self.machine
+    }
+}
+
+impl MemoryProbe for SimProbe {
+    fn measure_pair(&mut self, a: PhysAddr, b: PhysAddr) -> u64 {
+        let controller = self.machine.controller_mut();
+        // Start from a clean row-buffer state, as real tools do by touching
+        // unrelated memory / waiting between measurements.
+        controller.close_all_rows();
+        let mut latencies = Vec::with_capacity((self.rounds as usize) * 2);
+        // Warm-up access: opens a's row so the loop measures the steady state.
+        controller.access(a);
+        for _ in 0..self.rounds {
+            latencies.push(controller.access(b));
+            latencies.push(controller.access(a));
+        }
+        self.measurements += 1;
+        latencies.sort_unstable();
+        latencies[latencies.len() / 2]
+    }
+
+    fn memory(&self) -> &PhysMemory {
+        &self.memory
+    }
+
+    fn stats(&self) -> ProbeStats {
+        let sim = self.machine.controller().stats();
+        ProbeStats {
+            measurements: self.measurements,
+            accesses: sim.accesses,
+            elapsed_ns: sim.elapsed_ns,
+        }
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::{DramAddress, MachineSetting};
+    use dram_sim::SimConfig;
+
+    fn probe(noiseless: bool) -> SimProbe {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let config = if noiseless {
+            SimConfig::noiseless()
+        } else {
+            SimConfig::default()
+        };
+        let machine = SimMachine::from_setting(&setting, config);
+        SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes))
+    }
+
+    #[test]
+    fn sbdr_pair_measures_conflict_latency() {
+        let mut p = probe(true);
+        let truth = p.machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(2, 10, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(2, 900, 0)).unwrap();
+        let lat = p.measure_pair(a, b);
+        assert_eq!(lat, p.machine().controller().config().timing.row_conflict_ns);
+    }
+
+    #[test]
+    fn same_row_and_cross_bank_pairs_measure_hit_latency() {
+        let mut p = probe(true);
+        let truth = p.machine().ground_truth().clone();
+        let hit = p.machine().controller().config().timing.row_hit_ns;
+        let a = truth.to_phys(DramAddress::new(2, 10, 0)).unwrap();
+        let same_row = truth.to_phys(DramAddress::new(2, 10, 256)).unwrap();
+        let other_bank = truth.to_phys(DramAddress::new(5, 10, 0)).unwrap();
+        assert_eq!(p.measure_pair(a, same_row), hit);
+        assert_eq!(p.measure_pair(a, other_bank), hit);
+    }
+
+    #[test]
+    fn median_suppresses_noise_outliers() {
+        let mut p = probe(false).with_rounds(16);
+        let truth = p.machine().ground_truth().clone();
+        let timing = p.machine().controller().config().timing;
+        let a = truth.to_phys(DramAddress::new(1, 5, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(1, 700, 0)).unwrap();
+        let c = truth.to_phys(DramAddress::new(4, 9, 0)).unwrap();
+        for _ in 0..20 {
+            let conflict = p.measure_pair(a, b);
+            let no_conflict = p.measure_pair(a, c);
+            assert!(conflict > timing.oracle_threshold_ns(), "conflict {conflict}");
+            assert!(no_conflict < timing.oracle_threshold_ns(), "no conflict {no_conflict}");
+        }
+    }
+
+    #[test]
+    fn stats_track_measurements_and_accesses() {
+        let mut p = probe(true);
+        let truth = p.machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(0, 1, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(0, 2, 0)).unwrap();
+        p.measure_pair(a, b);
+        p.measure_pair(a, b);
+        let s = p.stats();
+        assert_eq!(s.measurements, 2);
+        assert_eq!(s.accesses, u64::from(p.rounds()) * 4 + 2);
+        assert!(s.elapsed_ns > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let _ = probe(true).with_rounds(0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The attacker's model of the DRAM address mapping.
+
+use dram_model::{bits, gf2, AddressMapping, PhysAddr, XorFunc};
+
+/// What the attacker believes about the machine's DRAM address mapping.
+///
+/// A perfect view (built from a correct [`AddressMapping`]) lets the harness
+/// construct true double-sided aggressor pairs. An imperfect view — missing
+/// bank functions or missing the row bits that are shared with bank functions,
+/// as produced by the DRAMA baseline — makes the constructed "adjacent rows"
+/// land far away from the victim or in a different bank, which is exactly why
+/// incorrect mappings induce fewer bit flips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackerView {
+    bank_funcs: Vec<XorFunc>,
+    row_bits: Vec<u8>,
+    /// Bits the attacker may freely change to keep the believed bank index
+    /// constant (function bits it does not consider row bits).
+    compensation_bits: Vec<u8>,
+}
+
+impl AttackerView {
+    /// Builds a view from explicit bank functions and row bits.
+    pub fn new(bank_funcs: Vec<XorFunc>, row_bits: Vec<u8>) -> Self {
+        let mut row_bits = row_bits;
+        row_bits.sort_unstable();
+        row_bits.dedup();
+        let func_union: u64 = bank_funcs.iter().fold(0, |m, f| m | f.mask());
+        let compensation_bits = bits::bit_positions(func_union)
+            .into_iter()
+            .filter(|b| !row_bits.contains(b))
+            .collect();
+        AttackerView {
+            bank_funcs,
+            row_bits,
+            compensation_bits,
+        }
+    }
+
+    /// Builds the view an attacker with a *complete* mapping would hold.
+    pub fn from_mapping(mapping: &AddressMapping) -> Self {
+        AttackerView::new(mapping.bank_funcs().to_vec(), mapping.row_bits().to_vec())
+    }
+
+    /// The believed bank functions.
+    pub fn bank_funcs(&self) -> &[XorFunc] {
+        &self.bank_funcs
+    }
+
+    /// The believed row bits.
+    pub fn row_bits(&self) -> &[u8] {
+        &self.row_bits
+    }
+
+    /// Number of rows the attacker believes each bank has.
+    pub fn num_rows(&self) -> u64 {
+        1u64 << self.row_bits.len()
+    }
+
+    /// The believed row index of an address.
+    pub fn row_of(&self, addr: PhysAddr) -> u64 {
+        bits::gather_bits(addr.raw(), &self.row_bits)
+    }
+
+    /// The believed bank index of an address.
+    pub fn bank_of(&self, addr: PhysAddr) -> u32 {
+        let mut bank = 0;
+        for (i, f) in self.bank_funcs.iter().enumerate() {
+            if f.evaluate(addr) {
+                bank |= 1 << i;
+            }
+        }
+        bank
+    }
+
+    /// Returns `true` when the attacker believes `a` and `b` share a bank.
+    pub fn same_bank(&self, a: PhysAddr, b: PhysAddr) -> bool {
+        self.bank_of(a) == self.bank_of(b)
+    }
+
+    /// Rewrites `addr` so that its believed row index becomes `row` while the
+    /// believed bank index stays unchanged, compensating through the
+    /// function bits the attacker does not consider row bits.
+    ///
+    /// Returns `None` when `row` is out of range or no compensation exists
+    /// (the attacker's model is too inconsistent to build the address).
+    pub fn with_row(&self, addr: PhysAddr, row: u64) -> Option<PhysAddr> {
+        if row >= self.num_rows() {
+            return None;
+        }
+        let row_mask = bits::mask_of(&self.row_bits);
+        let new_raw = (addr.raw() & !row_mask) | bits::scatter_bits(row, &self.row_bits);
+        let candidate = PhysAddr::new(new_raw);
+
+        // Which believed functions changed parity due to the row rewrite?
+        let mut rhs = 0u64;
+        for (i, f) in self.bank_funcs.iter().enumerate() {
+            if f.evaluate(candidate) != f.evaluate(addr) {
+                rhs |= 1 << i;
+            }
+        }
+        if rhs == 0 {
+            return Some(candidate);
+        }
+        // Solve for a set of compensation bits restoring every parity.
+        let a_rows: Vec<u64> = self
+            .bank_funcs
+            .iter()
+            .map(|f| bits::gather_bits(f.mask(), &self.compensation_bits))
+            .collect();
+        let solution = gf2::solve_any(&a_rows, rhs, self.compensation_bits.len())?;
+        let flip = bits::scatter_bits(solution, &self.compensation_bits);
+        Some(candidate ^ flip)
+    }
+
+    /// The two addresses the attacker believes sandwich `victim` (same bank,
+    /// rows one below and one above).
+    pub fn aggressors_for(&self, victim: PhysAddr) -> Option<(PhysAddr, PhysAddr)> {
+        let row = self.row_of(victim);
+        if row == 0 || row + 1 >= self.num_rows() {
+            return None;
+        }
+        let below = self.with_row(victim, row - 1)?;
+        let above = self.with_row(victim, row + 1)?;
+        Some((below, above))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::MachineSetting;
+
+    #[test]
+    fn perfect_view_constructs_truly_adjacent_aggressors() {
+        for setting in MachineSetting::all() {
+            let truth = setting.mapping();
+            let view = AttackerView::from_mapping(truth);
+            let victim = truth
+                .to_phys(dram_model::DramAddress::new(3, 500, 0))
+                .unwrap();
+            let (below, above) = view.aggressors_for(victim).unwrap();
+            let v = truth.to_dram(victim);
+            let b = truth.to_dram(below);
+            let a = truth.to_dram(above);
+            assert_eq!(b.bank, v.bank, "{}", setting.label());
+            assert_eq!(a.bank, v.bank, "{}", setting.label());
+            assert_eq!(b.row + 1, v.row, "{}", setting.label());
+            assert_eq!(a.row, v.row + 1, "{}", setting.label());
+        }
+    }
+
+    #[test]
+    fn incomplete_view_misses_adjacency() {
+        // DRAMA-style view of machine No.1: correct functions, but only the
+        // row bits that are not shared with bank functions (20..=32).
+        let setting = MachineSetting::no1_sandy_bridge_ddr3_8g();
+        let truth = setting.mapping();
+        let shared = truth.shared_row_bits();
+        let partial_rows: Vec<u8> = truth
+            .row_bits()
+            .iter()
+            .copied()
+            .filter(|b| !shared.contains(b))
+            .collect();
+        let view = AttackerView::new(truth.bank_funcs().to_vec(), partial_rows);
+        let victim = truth
+            .to_phys(dram_model::DramAddress::new(5, 1000, 0))
+            .unwrap();
+        let (below, above) = view.aggressors_for(victim).unwrap();
+        let v = truth.to_dram(victim);
+        let b = truth.to_dram(below);
+        let a = truth.to_dram(above);
+        // Still the same bank (functions are right)…
+        assert_eq!(b.bank, v.bank);
+        assert_eq!(a.bank, v.bank);
+        // …but the "adjacent" rows are actually eight rows away.
+        assert!(a.row.abs_diff(v.row) > 1);
+        assert!(b.row.abs_diff(v.row) > 1);
+    }
+
+    #[test]
+    fn with_row_rejects_out_of_range() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let view = AttackerView::from_mapping(setting.mapping());
+        let addr = PhysAddr::new(0x1000);
+        assert!(view.with_row(addr, view.num_rows()).is_none());
+        assert!(view.aggressors_for(setting.mapping().to_phys(dram_model::DramAddress::new(0, 0, 0)).unwrap()).is_none());
+    }
+
+    #[test]
+    fn bank_and_row_accessors_match_mapping() {
+        let setting = MachineSetting::no7_skylake_ddr4_4g();
+        let truth = setting.mapping();
+        let view = AttackerView::from_mapping(truth);
+        for raw in [0x1234u64, 0xabcd_ef00, 0x7fff_f000] {
+            let addr = PhysAddr::new(raw);
+            assert_eq!(view.bank_of(addr), truth.bank_of(addr));
+            assert_eq!(view.row_of(addr), u64::from(truth.row_of(addr)));
+        }
+        let a = PhysAddr::new(0x1000);
+        let b = PhysAddr::new(0x2000);
+        assert_eq!(view.same_bank(a, b), truth.same_bank(a, b));
+        assert_eq!(view.bank_funcs().len(), 3);
+        assert_eq!(view.row_bits(), truth.row_bits());
+    }
+}

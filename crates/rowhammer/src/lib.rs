@@ -1,0 +1,41 @@
+//! Rowhammer test harness driven by a (possibly imperfect) DRAM mapping.
+//!
+//! The DRAMDig paper justifies the correctness of its recovered mappings by
+//! running double-sided rowhammer tests: a correct mapping lets the attacker
+//! place two aggressor rows exactly one row above and below a victim row in
+//! the same bank, which induces far more bit flips than an incorrect mapping
+//! whose "adjacent" rows are actually far apart or even in different banks
+//! (Table III).
+//!
+//! This crate provides:
+//!
+//! * [`AttackerView`] — what the attacker *believes* about the mapping (bank
+//!   functions and row bits), constructed either from a full
+//!   [`dram_model::AddressMapping`] or from the partial output of a baseline
+//!   tool.
+//! * [`harness`] — the double-sided (and single-sided) hammering loops that
+//!   drive a [`dram_sim::SimMachine`] and count the bit flips its
+//!   charge-leakage model produces.
+//!
+//! # Example
+//!
+//! ```
+//! use dram_model::MachineSetting;
+//! use dram_sim::{SimConfig, SimMachine};
+//! use rowhammer::{AttackerView, HammerConfig, run_double_sided};
+//!
+//! let setting = MachineSetting::no1_sandy_bridge_ddr3_8g();
+//! let mut machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+//! let view = AttackerView::from_mapping(setting.mapping());
+//! let result = run_double_sided(&mut machine, &view, &HammerConfig::quick());
+//! assert!(result.pairs_attempted > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod attacker;
+pub mod harness;
+
+pub use attacker::AttackerView;
+pub use harness::{run_double_sided, run_single_sided, HammerConfig, HammerResult};

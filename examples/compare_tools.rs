@@ -1,0 +1,82 @@
+//! Run DRAMDig and the three baselines on the same simulated machine and
+//! compare what each tool recovers and what it costs — a one-machine slice of
+//! the paper's Table I / Figure 2 story.
+//!
+//! ```text
+//! cargo run --release --example compare_tools [machine-number]
+//! ```
+
+use dram_baselines::{BaselineError, Drama, DramaConfig, Seaborn, Xiao};
+use dram_model::MachineSetting;
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use mem_probe::SimProbe;
+
+fn probe_for(setting: &MachineSetting) -> SimProbe {
+    let machine = SimMachine::from_setting(setting, SimConfig::default());
+    SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let number: u8 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(2);
+    let setting = MachineSetting::by_number(number)
+        .ok_or_else(|| format!("machine number must be 1..=9, got {number}"))?;
+    println!("comparing tools on {setting}\n");
+
+    // DRAMDig.
+    let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+    let mut probe = probe_for(&setting);
+    match DramDig::new(knowledge, DramDigConfig::default()).run(&mut probe) {
+        Ok(report) => println!(
+            "DRAMDig       : correct = {}, {:>8} measurements, {:>7.1} s simulated",
+            report.mapping.equivalent_to(setting.mapping()),
+            report.total.measurements,
+            report.elapsed_seconds()
+        ),
+        Err(e) => println!("DRAMDig       : failed — {e}"),
+    }
+
+    // DRAMA.
+    let mut probe = probe_for(&setting);
+    match Drama::new(DramaConfig::default()).run(&mut probe, setting.system.address_bits()) {
+        Ok(outcome) => println!(
+            "DRAMA         : bank partition correct = {}, full mapping = {}, {:>8} measurements, {:>7.1} s simulated",
+            outcome.bank_partition_matches(setting.mapping()),
+            outcome.mapping.is_some(),
+            outcome.measurements,
+            outcome.elapsed_seconds()
+        ),
+        Err(e) => println!("DRAMA         : failed — {e}"),
+    }
+
+    // Xiao et al.
+    let mut probe = probe_for(&setting);
+    match Xiao::with_defaults().run(&mut probe, &setting.system) {
+        Ok(outcome) => println!(
+            "Xiao et al.   : correct = {}, {:>8} measurements, {:>7.1} s simulated",
+            outcome.matches(setting.mapping()),
+            outcome.measurements,
+            outcome.elapsed_seconds()
+        ),
+        Err(BaselineError::Stuck { reason, measurements, .. }) => {
+            println!("Xiao et al.   : stuck ({reason}; {measurements} measurements spent)")
+        }
+        Err(e) => println!("Xiao et al.   : not applicable — {e}"),
+    }
+
+    // Seaborn et al.
+    let mut machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+    match Seaborn::with_defaults().run(&mut machine, setting.microarch) {
+        Ok(outcome) => println!(
+            "Seaborn et al.: correct = {}, blind survey {:>5.1} s simulated",
+            outcome.matches(setting.mapping()),
+            outcome.elapsed_seconds()
+        ),
+        Err(e) => println!("Seaborn et al.: not applicable — {e}"),
+    }
+    Ok(())
+}

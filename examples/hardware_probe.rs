@@ -1,0 +1,48 @@
+//! Demonstrates the real-hardware probe path (x86_64 Linux, run as root).
+//!
+//! On a bare-metal machine this allocates a buffer, resolves physical frames
+//! through `/proc/self/pagemap`, calibrates the row-buffer-conflict threshold
+//! with `clflush`/`rdtscp` timings and prints the latency histogram summary.
+//! Inside containers or without root it explains why the hardware path is
+//! unavailable and exits cleanly — the rest of the workspace runs on the
+//! simulator instead.
+//!
+//! ```text
+//! sudo cargo run --release --example hardware_probe
+//! ```
+
+fn main() {
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    {
+        use mem_probe::{HwProbe, LatencyCalibration, MemoryProbe};
+
+        match HwProbe::new(64 << 20) {
+            Ok(mut probe) => {
+                println!(
+                    "hardware probe ready: {} resident pages, {} timing rounds per measurement",
+                    probe.memory().len(),
+                    probe.rounds()
+                );
+                match LatencyCalibration::calibrate(&mut probe, 500, 0xCAFE) {
+                    Ok(cal) => {
+                        println!(
+                            "calibrated threshold: {} cycles (hit cluster {:.0}, conflict cluster {:.0}, {} samples)",
+                            cal.threshold_ns(),
+                            cal.low_mean_ns(),
+                            cal.high_mean_ns(),
+                            cal.samples()
+                        );
+                        println!("next step: feed this probe to dramdig::DramDig exactly like the simulator probe.");
+                    }
+                    Err(e) => println!("calibration failed: {e}"),
+                }
+            }
+            Err(e) => {
+                println!("hardware probe unavailable: {e}");
+                println!("(this is expected in containers/CI; use the simulator-backed examples instead)");
+            }
+        }
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    println!("the hardware probe requires x86_64 Linux; use the simulator-backed examples instead");
+}

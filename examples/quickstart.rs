@@ -1,0 +1,37 @@
+//! Quickstart: reverse engineer the DRAM address mapping of a simulated
+//! Haswell machine (Table II, machine No.4) and print what was found.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dram_model::MachineSetting;
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use mem_probe::SimProbe;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a machine setting and build the simulated substrate. On real
+    //    hardware this would be `mem_probe::HwProbe` instead.
+    let setting = MachineSetting::no4_haswell_ddr3_4g();
+    println!("machine under test : {setting}");
+    let machine = SimMachine::from_setting(&setting, SimConfig::default());
+    let memory = PhysMemory::full(setting.system.capacity_bytes);
+    let mut probe = SimProbe::new(machine, memory);
+
+    // 2. Collect the domain knowledge the paper describes: dmidecode-style
+    //    system information plus the CPU microarchitecture.
+    let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+
+    // 3. Run the three-step pipeline.
+    let mut tool = DramDig::new(knowledge, DramDigConfig::default());
+    let report = tool.run(&mut probe)?;
+
+    println!("\n{report}\n");
+    println!("ground truth       : {}", setting.mapping());
+    println!(
+        "recovered correctly: {}",
+        report.mapping.equivalent_to(setting.mapping())
+    );
+    Ok(())
+}

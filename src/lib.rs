@@ -1,0 +1,22 @@
+//! Workspace umbrella crate for the DRAMDig reproduction.
+//!
+//! This crate exists so the repository-level `examples/` and `tests/`
+//! directories can exercise every member crate through one dependency. The
+//! actual functionality lives in:
+//!
+//! * [`dram_model`] — addresses, mappings, GF(2) algebra, machine settings;
+//! * [`dram_sim`] — the simulated DRAM substrate;
+//! * [`mem_probe`] — the row-buffer-conflict timing primitive;
+//! * [`dramdig`] — the paper's knowledge-assisted reverse-engineering tool;
+//! * [`dram_baselines`] — DRAMA, Xiao et al. and Seaborn et al.;
+//! * [`rowhammer`] — the double-sided rowhammer harness.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use dram_baselines;
+pub use dram_model;
+pub use dram_sim;
+pub use dramdig;
+pub use mem_probe;
+pub use rowhammer;

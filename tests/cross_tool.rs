@@ -1,0 +1,111 @@
+//! Integration tests comparing DRAMDig with the baseline tools — the
+//! qualitative claims behind Table I.
+
+use dram_baselines::{BaselineError, Drama, DramaConfig, Seaborn, Xiao};
+use dram_model::MachineSetting;
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use mem_probe::SimProbe;
+
+fn probe_for(setting: &MachineSetting, seed: u64) -> SimProbe {
+    let machine = SimMachine::from_setting(setting, SimConfig::default().with_seed(seed));
+    SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes))
+}
+
+#[test]
+fn dramdig_is_deterministic_across_runs_and_noise_seeds() {
+    let setting = MachineSetting::no7_skylake_ddr4_4g();
+    let mut mappings = Vec::new();
+    for seed in 0..3u64 {
+        let mut probe = probe_for(&setting, seed);
+        let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+        let report = DramDig::new(knowledge, DramDigConfig::fast())
+            .run(&mut probe)
+            .expect("run succeeds");
+        mappings.push(report.mapping);
+    }
+    assert!(mappings.windows(2).all(|w| w[0] == w[1]), "DRAMDig must be deterministic");
+    assert!(mappings[0].equivalent_to(setting.mapping()));
+}
+
+#[test]
+fn xiao_is_not_generic_but_dramdig_is() {
+    // Xiao et al. handles the simple DDR3 single-DIMM settings and gets stuck
+    // or refuses elsewhere; DRAMDig handles both.
+    let works = MachineSetting::no4_haswell_ddr3_4g();
+    let fails = MachineSetting::no6_skylake_ddr4_16g();
+
+    let mut probe = probe_for(&works, 0);
+    let outcome = Xiao::with_defaults().run(&mut probe, &works.system).unwrap();
+    assert!(outcome.matches(works.mapping()));
+
+    let mut probe = probe_for(&fails, 0);
+    let err = Xiao::with_defaults().run(&mut probe, &fails.system).unwrap_err();
+    assert!(matches!(
+        err,
+        BaselineError::NotApplicable { .. } | BaselineError::Stuck { .. }
+    ));
+
+    for setting in [&works, &fails] {
+        let mut probe = probe_for(setting, 0);
+        let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+        let report = DramDig::new(knowledge, DramDigConfig::fast())
+            .run(&mut probe)
+            .expect("DRAMDig is generic");
+        assert!(report.mapping.equivalent_to(setting.mapping()));
+    }
+}
+
+#[test]
+fn drama_costs_more_measurements_than_dramdig_on_small_machines() {
+    let setting = MachineSetting::no4_haswell_ddr3_4g();
+    let mut probe = probe_for(&setting, 1);
+    let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+    let dramdig_report = DramDig::new(knowledge, DramDigConfig::default())
+        .run(&mut probe)
+        .unwrap();
+
+    let mut probe = probe_for(&setting, 1);
+    let drama_outcome = Drama::new(DramaConfig::fast())
+        .run(&mut probe, setting.system.address_bits())
+        .unwrap();
+
+    assert!(
+        drama_outcome.measurements > dramdig_report.total.measurements,
+        "DRAMA {} vs DRAMDig {}",
+        drama_outcome.measurements,
+        dramdig_report.total.measurements
+    );
+    assert!(drama_outcome.elapsed_ns > dramdig_report.total.elapsed_ns);
+}
+
+#[test]
+fn drama_never_recovers_shared_row_bits() {
+    let setting = MachineSetting::no1_sandy_bridge_ddr3_8g();
+    let mut probe = probe_for(&setting, 2);
+    let outcome = Drama::new(DramaConfig::fast())
+        .run(&mut probe, setting.system.address_bits())
+        .unwrap();
+    for shared in setting.mapping().shared_row_bits() {
+        assert!(
+            !outcome.row_bits.contains(&shared),
+            "DRAMA has no fine-grained step and cannot classify bit {shared}"
+        );
+    }
+}
+
+#[test]
+fn seaborn_only_covers_sandy_bridge() {
+    let sandy = MachineSetting::no1_sandy_bridge_ddr3_8g();
+    let skylake = MachineSetting::no6_skylake_ddr4_16g();
+    let mut machine = SimMachine::from_setting(&sandy, SimConfig::fast_rowhammer());
+    let outcome = Seaborn::with_defaults()
+        .run(&mut machine, sandy.microarch)
+        .unwrap();
+    assert!(outcome.matches(sandy.mapping()));
+
+    let mut machine = SimMachine::from_setting(&skylake, SimConfig::fast_rowhammer());
+    assert!(Seaborn::with_defaults()
+        .run(&mut machine, skylake.microarch)
+        .is_err());
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use dram_model::{bits, gf2, AddressMapping, DramAddress, PhysAddr, XorFunc};
+use rowhammer::AttackerView;
+
+/// Strategy producing a random but *valid* address mapping: `k` bank
+/// functions that each XOR one pure bank bit with one row bit, a contiguous
+/// row range above and a contiguous column range below — the shape every
+/// Intel mapping in Table II follows.
+fn arb_mapping() -> impl Strategy<Value = AddressMapping> {
+    (1usize..=5, 6u8..=13, 10u8..=14).prop_map(|(k, column_bits, row_count)| {
+        let col_end = column_bits - 1; // columns 0..=col_end
+        let pure_start = column_bits; // k pure bank bits
+        let row_start = pure_start + k as u8;
+        let row_end = row_start + row_count - 1;
+        let funcs: Vec<XorFunc> = (0..k as u8)
+            .map(|i| XorFunc::from_bits(&[pure_start + i, row_start + i]))
+            .collect();
+        AddressMapping::new(
+            funcs,
+            (row_start..=row_end).collect(),
+            (0..=col_end).collect(),
+        )
+        .expect("constructed mapping is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapping_roundtrips_every_address(mapping in arb_mapping(), seed in any::<u64>()) {
+        let capacity = mapping.capacity_bytes();
+        let addr = PhysAddr::new(seed % capacity);
+        let dram = mapping.to_dram(addr);
+        prop_assert!(u64::from(dram.bank) < u64::from(mapping.num_banks()));
+        prop_assert!(u64::from(dram.row) < u64::from(mapping.num_rows()));
+        prop_assert!(u64::from(dram.column) < u64::from(mapping.num_columns()));
+        prop_assert_eq!(mapping.to_phys(dram).unwrap(), addr);
+    }
+
+    #[test]
+    fn mapping_inverse_roundtrips_every_coordinate(
+        mapping in arb_mapping(),
+        bank in any::<u32>(),
+        row in any::<u32>(),
+        column in any::<u32>(),
+    ) {
+        let dram = DramAddress::new(
+            bank % mapping.num_banks(),
+            row % mapping.num_rows(),
+            column % mapping.num_columns(),
+        );
+        let addr = mapping.to_phys(dram).unwrap();
+        prop_assert!(addr.raw() < mapping.capacity_bytes());
+        prop_assert_eq!(mapping.to_dram(addr), dram);
+    }
+
+    #[test]
+    fn single_bit_flips_behave_as_the_coarse_detector_assumes(
+        mapping in arb_mapping(),
+        seed in any::<u64>(),
+        bit in 0u8..32,
+    ) {
+        prop_assume!(bit < mapping.physical_bits());
+        let addr = PhysAddr::new(seed % mapping.capacity_bytes());
+        let flipped = addr.with_bit_flipped(bit);
+        let a = mapping.to_dram(addr);
+        let b = mapping.to_dram(flipped);
+        let in_function = mapping.bank_funcs().iter().any(|f| f.contains_bit(bit));
+        let is_row = mapping.row_bits().contains(&bit);
+        if in_function {
+            prop_assert_ne!(a.bank, b.bank, "function bits always change the bank");
+        } else if is_row {
+            prop_assert!(a.bank == b.bank && a.row != b.row, "pure row bits are SBDR");
+        } else {
+            prop_assert!(a.bank == b.bank && a.row == b.row, "column bits change neither");
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip(positions in proptest::collection::btree_set(0u8..60, 1..12), value in any::<u64>()) {
+        let positions: Vec<u8> = positions.into_iter().collect();
+        let truncated = value & ((1u64 << positions.len()) - 1);
+        let scattered = bits::scatter_bits(truncated, &positions);
+        prop_assert_eq!(bits::gather_bits(scattered, &positions), truncated);
+    }
+
+    #[test]
+    fn remove_redundant_preserves_the_span(masks in proptest::collection::vec(1u64..(1 << 20), 1..10)) {
+        let funcs: Vec<XorFunc> = masks.iter().map(|&m| XorFunc::from_mask(m)).collect();
+        let reduced = gf2::remove_redundant(&funcs);
+        // Reduced set is linearly independent…
+        prop_assert!(gf2::functions_independent(&reduced));
+        // …and spans exactly the same space.
+        let original = gf2::Gf2Matrix::from_funcs(&funcs);
+        let basis = gf2::Gf2Matrix::from_funcs(&reduced);
+        for f in &funcs {
+            prop_assert!(basis.spans(f.mask()));
+        }
+        for f in &reduced {
+            prop_assert!(original.spans(f.mask()));
+        }
+        prop_assert_eq!(reduced.len(), original.rank());
+    }
+
+    #[test]
+    fn solve_any_produces_real_solutions(
+        rows in proptest::collection::vec(any::<u64>(), 1..8),
+        rhs in any::<u64>(),
+        n in 1usize..16,
+    ) {
+        let rows: Vec<u64> = rows.iter().map(|r| r & ((1u64 << n) - 1)).collect();
+        let rhs = rhs & ((1u64 << rows.len()) - 1);
+        if let Some(x) = gf2::solve_any(&rows, rhs, n) {
+            for (i, &row) in rows.iter().enumerate() {
+                let lhs = (row & x).count_ones() % 2 == 1;
+                prop_assert_eq!(lhs, (rhs >> i) & 1 == 1, "equation {} not satisfied", i);
+            }
+        }
+    }
+
+    #[test]
+    fn attacker_with_full_knowledge_always_builds_adjacent_rows(
+        mapping in arb_mapping(),
+        seed in any::<u64>(),
+    ) {
+        let view = AttackerView::from_mapping(&mapping);
+        let addr = PhysAddr::new(seed % mapping.capacity_bytes());
+        let row = mapping.row_of(addr);
+        prop_assume!(row > 0 && u64::from(row) + 1 < u64::from(mapping.num_rows()));
+        let (below, above) = view.aggressors_for(addr).expect("interior rows have aggressors");
+        let v = mapping.to_dram(addr);
+        let b = mapping.to_dram(below);
+        let a = mapping.to_dram(above);
+        prop_assert_eq!(b.bank, v.bank);
+        prop_assert_eq!(a.bank, v.bank);
+        prop_assert_eq!(b.row + 1, v.row);
+        prop_assert_eq!(a.row, v.row + 1);
+    }
+
+    #[test]
+    fn xor_func_combine_matches_pointwise_xor(mask_a in any::<u64>(), mask_b in any::<u64>(), addr in any::<u64>()) {
+        let a = XorFunc::from_mask(mask_a);
+        let b = XorFunc::from_mask(mask_b);
+        let addr = PhysAddr::new(addr);
+        prop_assert_eq!(
+            a.combine(b).evaluate(addr),
+            a.evaluate(addr) ^ b.evaluate(addr)
+        );
+    }
+}
