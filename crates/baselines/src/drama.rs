@@ -73,7 +73,7 @@ impl Default for DramaConfig {
             lowest_bit: 6,
             calibration_samples: 400,
             measurement_budget: 3_000_000,
-            rng_seed: 0xD2A_3A,
+            rng_seed: 0x000D_2A3A,
         }
     }
 }
@@ -157,8 +157,7 @@ impl Drama {
             let mut covered: std::collections::HashSet<PhysAddr> = std::collections::HashSet::new();
             let mut pass_sets = 0usize;
             while pass_sets < self.config.sets_to_collect && covered.len() < coverage_goal {
-                if oracle.stats().measurements - start.measurements
-                    > self.config.measurement_budget
+                if oracle.stats().measurements - start.measurements > self.config.measurement_budget
                 {
                     let spent = oracle.stats();
                     return Err(BaselineError::Stuck {
@@ -283,10 +282,7 @@ mod tests {
     fn run_on(number: u8, config: DramaConfig) -> (ToolOutcome, MachineSetting) {
         let setting = MachineSetting::by_number(number).unwrap();
         let machine = SimMachine::from_setting(&setting, SimConfig::default());
-        let mut probe = SimProbe::new(
-            machine,
-            PhysMemory::full(setting.system.capacity_bytes),
-        );
+        let mut probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
         let outcome = Drama::new(config)
             .run(&mut probe, setting.system.address_bits())
             .unwrap();
@@ -313,7 +309,10 @@ mod tests {
         // 6 bits and therefore cannot recover the full bank partition.
         let (outcome, setting) = run_on(2, DramaConfig::fast());
         assert!(!outcome.bank_partition_matches(setting.mapping()));
-        assert!(outcome.functions.len() < setting.mapping().bank_funcs().len() || outcome.mapping.is_none());
+        assert!(
+            outcome.functions.len() < setting.mapping().bank_funcs().len()
+                || outcome.mapping.is_none()
+        );
     }
 
     #[test]

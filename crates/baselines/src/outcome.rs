@@ -124,7 +124,10 @@ impl fmt::Display for BaselineError {
                 reason,
                 measurements,
                 ..
-            } => write!(f, "{tool} got stuck after {measurements} measurements: {reason}"),
+            } => write!(
+                f,
+                "{tool} got stuck after {measurements} measurements: {reason}"
+            ),
             BaselineError::Calibration(e) => write!(f, "calibration failed: {e}"),
         }
     }

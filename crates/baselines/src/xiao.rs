@@ -249,7 +249,10 @@ mod tests {
         // functions cannot express.
         for number in [2u8, 5] {
             let err = run_on(number).unwrap_err();
-            assert!(matches!(err, BaselineError::Stuck { .. }), "machine {number}");
+            assert!(
+                matches!(err, BaselineError::Stuck { .. }),
+                "machine {number}"
+            );
         }
     }
 
@@ -278,7 +281,9 @@ mod tests {
             ddr3_only: false,
             ..XiaoConfig::default()
         };
-        let err = Xiao::new(config).run(&mut probe, &setting.system).unwrap_err();
+        let err = Xiao::new(config)
+            .run(&mut probe, &setting.system)
+            .unwrap_err();
         match err {
             BaselineError::Stuck { reason, .. } => assert!(reason.contains("2 of 3")),
             other => panic!("expected Stuck, got {other}"),

@@ -20,12 +20,9 @@ fn bench_end_to_end(c: &mut Criterion) {
             |b, setting| {
                 b.iter(|| {
                     let machine = SimMachine::from_setting(setting, SimConfig::default());
-                    let mut probe = SimProbe::new(
-                        machine,
-                        PhysMemory::full(setting.system.capacity_bytes),
-                    );
-                    let knowledge =
-                        DomainKnowledge::new(setting.system, Some(setting.microarch));
+                    let mut probe =
+                        SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+                    let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
                     let report = DramDig::new(knowledge, DramDigConfig::fast())
                         .run(&mut probe)
                         .unwrap();

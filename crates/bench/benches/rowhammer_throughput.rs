@@ -28,11 +28,13 @@ fn bench_double_sided(c: &mut Criterion) {
         rng_seed: 3,
     };
 
-    for (name, view) in [("correct_mapping", &full_view), ("drama_mapping", &partial_view)] {
+    for (name, view) in [
+        ("correct_mapping", &full_view),
+        ("drama_mapping", &partial_view),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), view, |b, view| {
             b.iter(|| {
-                let mut machine =
-                    SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+                let mut machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
                 std::hint::black_box(run_double_sided(&mut machine, view, &cfg))
             })
         });

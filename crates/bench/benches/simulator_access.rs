@@ -38,7 +38,7 @@ fn bench_decode(c: &mut Criterion) {
     c.bench_function("mapping_to_dram_and_back", |b| {
         b.iter(|| {
             for i in 0..256u64 {
-                let addr = PhysAddr::new(i * 0xABCD_EF);
+                let addr = PhysAddr::new(i * 0x00AB_CDEF);
                 let dram = mapping.to_dram(std::hint::black_box(addr));
                 std::hint::black_box(mapping.to_phys(dram).unwrap());
             }

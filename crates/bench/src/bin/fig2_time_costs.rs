@@ -25,8 +25,8 @@ fn main() {
     for setting in MachineSetting::all() {
         let dramdig = run_dramdig(&setting, DramDigConfig::default(), 0xF162);
         let mut drama_probe = probe_for(&setting, 0xF162);
-        let drama = Drama::new(DramaConfig::default())
-            .run(&mut drama_probe, setting.system.address_bits());
+        let drama =
+            Drama::new(DramaConfig::default()).run(&mut drama_probe, setting.system.address_bits());
 
         let (dig_s, dig_m) = match &dramdig {
             Ok(r) => (r.elapsed_seconds(), r.total.measurements),
@@ -48,7 +48,11 @@ fn main() {
         println!(
             "{:<6} {:<12} {:>10} ({:>4.1}) {:>10} ({:>5.1}) {:>16} {:>16} {:>7.1}x{}",
             setting.label(),
-            format!("{} {}GiB", setting.system.generation, setting.capacity_gib()),
+            format!(
+                "{} {}GiB",
+                setting.system.generation,
+                setting.capacity_gib()
+            ),
             format_duration(dig_s),
             dig_s,
             format_duration(drama_s),
@@ -67,6 +71,8 @@ fn main() {
             format_duration(dramdig_total / count as f64)
         );
         println!("Paper reports a 7.8 minute average on real hardware; the shape to compare is");
-        println!("the DRAMDig-vs-DRAMA ratio per setting and the dependence on the selected pool size.");
+        println!(
+            "the DRAMDig-vs-DRAMA ratio per setting and the dependence on the selected pool size."
+        );
     }
 }

@@ -29,12 +29,27 @@ struct Tally {
 
 fn main() {
     let settings = MachineSetting::all();
-    println!("Table I — properties of the uncovering tools ({} settings, {TRIALS} trials each)", settings.len());
+    println!(
+        "Table I — properties of the uncovering tools ({} settings, {TRIALS} trials each)",
+        settings.len()
+    );
 
-    let mut seaborn = Tally { deterministic: true, ..Tally::default() };
-    let mut xiao = Tally { deterministic: true, ..Tally::default() };
-    let mut drama = Tally { deterministic: true, ..Tally::default() };
-    let mut dramdig = Tally { deterministic: true, ..Tally::default() };
+    let mut seaborn = Tally {
+        deterministic: true,
+        ..Tally::default()
+    };
+    let mut xiao = Tally {
+        deterministic: true,
+        ..Tally::default()
+    };
+    let mut drama = Tally {
+        deterministic: true,
+        ..Tally::default()
+    };
+    let mut dramdig = Tally {
+        deterministic: true,
+        ..Tally::default()
+    };
 
     for setting in &settings {
         // Seaborn et al. — blind rowhammer plus an educated Sandy Bridge guess.
@@ -45,10 +60,15 @@ fn main() {
             let r = Seaborn::with_defaults().run(&mut machine, setting.microarch);
             outcomes.push(r.ok().map(|o| (o.mapping, o.elapsed_ns)));
         }
-        if outcomes.iter().all(|o| o.as_ref().is_some_and(|(m, _)| m.is_some())) {
+        if outcomes
+            .iter()
+            .all(|o| o.as_ref().is_some_and(|(m, _)| m.is_some()))
+        {
             seaborn.settings_ok += 1;
-            seaborn.total_seconds +=
-                outcomes[0].as_ref().map(|(_, ns)| *ns as f64 / 1e9).unwrap_or(0.0);
+            seaborn.total_seconds += outcomes[0]
+                .as_ref()
+                .map(|(_, ns)| *ns as f64 / 1e9)
+                .unwrap_or(0.0);
             if outcomes.windows(2).any(|w| {
                 w[0].as_ref().map(|(m, _)| m.clone()) != w[1].as_ref().map(|(m, _)| m.clone())
             }) {
@@ -65,8 +85,14 @@ fn main() {
         }
         if outcomes.iter().all(Option::is_some) {
             xiao.settings_ok += 1;
-            xiao.total_seconds += outcomes[0].as_ref().map(|(_, ns)| *ns as f64 / 1e9).unwrap();
-            if outcomes.windows(2).any(|w| w[0].as_ref().map(|(m, _)| m) != w[1].as_ref().map(|(m, _)| m)) {
+            xiao.total_seconds += outcomes[0]
+                .as_ref()
+                .map(|(_, ns)| *ns as f64 / 1e9)
+                .unwrap();
+            if outcomes
+                .windows(2)
+                .any(|w| w[0].as_ref().map(|(m, _)| m) != w[1].as_ref().map(|(m, _)| m))
+            {
                 xiao.deterministic = false;
             }
         }
@@ -104,12 +130,15 @@ fn main() {
         for trial in 0..TRIALS {
             let config = DramDigConfig::fast().with_seed(0xD16 + trial);
             let r = run_dramdig(setting, config, trial);
-            outcomes.push(r.ok().map(|rep| (rep.mapping.clone(), rep.elapsed_seconds())));
+            outcomes.push(
+                r.ok()
+                    .map(|rep| (rep.mapping.clone(), rep.elapsed_seconds())),
+            );
         }
-        if outcomes
-            .iter()
-            .all(|o| o.as_ref().is_some_and(|(m, _)| m.equivalent_to(setting.mapping())))
-        {
+        if outcomes.iter().all(|o| {
+            o.as_ref()
+                .is_some_and(|(m, _)| m.equivalent_to(setting.mapping()))
+        }) {
             dramdig.settings_ok += 1;
             dramdig.total_seconds += outcomes[0].as_ref().unwrap().1;
         } else {
@@ -164,8 +193,13 @@ fn main() {
         );
     }
     println!();
-    println!("Notes: Seaborn's blind rowhammer survey is truncated to {} pairs here; at the", 200);
-    println!("survey sizes the published attack needed, its time cost is hours, i.e. not efficient.");
+    println!(
+        "Notes: Seaborn's blind rowhammer survey is truncated to {} pairs here; at the",
+        200
+    );
+    println!(
+        "survey sizes the published attack needed, its time cost is hours, i.e. not efficient."
+    );
     println!("DRAMA counts as handling a setting only when it assembles a complete bijective");
     println!("mapping, which it never does because it cannot classify row bits shared with bank");
     println!("functions — this is the paper's \"fails to output a deterministic mapping\".");

@@ -13,8 +13,8 @@ use dramdig_bench::{format_mapping, run_dramdig};
 fn main() {
     println!("Table II — reverse-engineered DRAM mappings (DRAMDig, simulated machines)");
     println!(
-        "{:<6} {:<14} {:<12} {:<10} {:<75} {}",
-        "No.", "Microarch", "DRAM", "Config", "Recovered mapping", "Matches ground truth"
+        "{:<6} {:<14} {:<12} {:<10} {:<75} Matches ground truth",
+        "No.", "Microarch", "DRAM", "Config", "Recovered mapping"
     );
     for setting in MachineSetting::all() {
         let result = run_dramdig(&setting, DramDigConfig::default(), 0x7AB1E2);
@@ -25,7 +25,11 @@ fn main() {
                     "{:<6} {:<14} {:<12} {:<10} {:<75} {}",
                     setting.label(),
                     setting.microarch.to_string(),
-                    format!("{}, {}GiB", setting.system.generation, setting.capacity_gib()),
+                    format!(
+                        "{}, {}GiB",
+                        setting.system.generation,
+                        setting.capacity_gib()
+                    ),
                     setting.system.geometry.to_string(),
                     format_mapping(&report.mapping),
                     if equivalent { "yes" } else { "NO" }
@@ -39,9 +43,7 @@ fn main() {
         }
     }
     println!();
-    println!(
-        "Note: bank functions are reported up to GF(2) linear combinations; \"matches ground"
-    );
+    println!("Note: bank functions are reported up to GF(2) linear combinations; \"matches ground");
     println!(
         "truth\" means the recovered functions span the same space and the row/column bits are"
     );

@@ -23,7 +23,9 @@ const TESTS: u64 = 5;
 const TEST_DURATION_NS: u64 = 300 * 2_000_000;
 
 fn main() {
-    println!("Table III — double-sided rowhammer bit flips (DRAMDig / DRAMA), {TESTS} tests per setting");
+    println!(
+        "Table III — double-sided rowhammer bit flips (DRAMDig / DRAMA), {TESTS} tests per setting"
+    );
     println!(
         "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>16}",
         "No.", "T1", "T2", "T3", "T4", "T5", "Total"
@@ -37,8 +39,8 @@ fn main() {
             .map(|r| AttackerView::from_mapping(&r.mapping))
             .expect("DRAMDig uncovers every Table II setting");
         let mut drama_probe = probe_for(&setting, 0x7AB3);
-        let drama_outcome = Drama::new(DramaConfig::default())
-            .run(&mut drama_probe, setting.system.address_bits());
+        let drama_outcome =
+            Drama::new(DramaConfig::default()).run(&mut drama_probe, setting.system.address_bits());
         let drama_view = drama_outcome
             .ok()
             .map(|o| AttackerView::new(o.functions, o.row_bits));
@@ -80,7 +82,9 @@ fn main() {
     }
     println!();
     println!("Each cell is DRAMDig-flips/DRAMA-flips for one test. A correct mapping places both");
-    println!("aggressors exactly one row from the victim; DRAMA's mapping misses the row bits that");
+    println!(
+        "aggressors exactly one row from the victim; DRAMA's mapping misses the row bits that"
+    );
     println!("are shared with bank functions (and the 7-bit channel hash on No.2/No.5), so its");
     println!("\"double-sided\" pairs rarely sandwich a victim and induce far fewer flips.");
 }

@@ -118,7 +118,10 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::UnknownMachine(n) => {
-                write!(f, "unknown machine number {n}; expected 1..=9 (see `dramdig list-machines`)")
+                write!(
+                    f,
+                    "unknown machine number {n}; expected 1..=9 (see `dramdig list-machines`)"
+                )
             }
             CliError::Tool(msg) => write!(f, "{msg}"),
         }
@@ -197,7 +200,11 @@ impl Command {
                         )))
                     }
                 };
-                Ok(Command::Uncover { machine, seed, ablate })
+                Ok(Command::Uncover {
+                    machine,
+                    seed,
+                    ablate,
+                })
             }
             "compare" => Ok(Command::Compare {
                 machine: parse_u64(required(rest, "--machine", "compare")?)? as u8,
@@ -218,7 +225,11 @@ impl Command {
                     Some(t) => parse_u64(t)? as u32,
                     None => 1,
                 };
-                Ok(Command::Hammer { machine, tool, tests })
+                Ok(Command::Hammer {
+                    machine,
+                    tool,
+                    tests,
+                })
             }
             "decode" => Ok(Command::Decode {
                 machine: parse_u64(required(rest, "--machine", "decode")?)? as u8,
@@ -260,7 +271,11 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Uncover { machine, seed, ablate } => {
+        Command::Uncover {
+            machine,
+            seed,
+            ablate,
+        } => {
             let setting = setting_for(*machine)?;
             let mut knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
             knowledge = match ablate {
@@ -335,11 +350,17 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 Err(BaselineError::Stuck { reason, .. }) => {
                     writeln!(out, "  Xiao et al.: stuck ({reason})").expect("write to string")
                 }
-                Err(e) => writeln!(out, "  Xiao et al.: not applicable ({e})").expect("write to string"),
+                Err(e) => {
+                    writeln!(out, "  Xiao et al.: not applicable ({e})").expect("write to string")
+                }
             }
             Ok(out)
         }
-        Command::Hammer { machine, tool, tests } => {
+        Command::Hammer {
+            machine,
+            tool,
+            tests,
+        } => {
             let setting = setting_for(*machine)?;
             let view = match tool {
                 HammerTool::Truth => AttackerView::from_mapping(setting.mapping()),
@@ -408,17 +429,15 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 addr
             ))
         }
-        Command::Validate { funcs, rows, cols } => {
-            match parse::parse_mapping(funcs, rows, cols) {
-                Ok(mapping) => Ok(format!(
-                    "valid mapping: {mapping}\n  banks: {}, rows per bank: {}, row size: {} bytes\n",
-                    mapping.num_banks(),
-                    mapping.num_rows(),
-                    mapping.row_size_bytes()
-                )),
-                Err(e) => Err(CliError::Tool(format!("invalid mapping: {e}"))),
-            }
-        }
+        Command::Validate { funcs, rows, cols } => match parse::parse_mapping(funcs, rows, cols) {
+            Ok(mapping) => Ok(format!(
+                "valid mapping: {mapping}\n  banks: {}, rows per bank: {}, row size: {} bytes\n",
+                mapping.num_banks(),
+                mapping.num_rows(),
+                mapping.row_size_bytes()
+            )),
+            Err(e) => Err(CliError::Tool(format!("invalid mapping: {e}"))),
+        },
     }
 }
 
@@ -439,27 +458,52 @@ mod tests {
         assert_eq!(Command::parse(&args(&["help"])).unwrap(), Command::Help);
         assert_eq!(
             Command::parse(&args(&["uncover", "--machine", "4", "--seed", "9"])).unwrap(),
-            Command::Uncover { machine: 4, seed: 9, ablate: None }
+            Command::Uncover {
+                machine: 4,
+                seed: 9,
+                ablate: None
+            }
         );
         assert_eq!(
             Command::parse(&args(&["uncover", "--machine", "4", "--ablate", "spec"])).unwrap(),
-            Command::Uncover { machine: 4, seed: 0xD16, ablate: Some(Ablation::Specifications) }
+            Command::Uncover {
+                machine: 4,
+                seed: 0xD16,
+                ablate: Some(Ablation::Specifications)
+            }
         );
         assert_eq!(
             Command::parse(&args(&["compare", "--machine", "2"])).unwrap(),
             Command::Compare { machine: 2 }
         );
         assert_eq!(
-            Command::parse(&args(&["hammer", "--machine", "1", "--tool", "drama", "--tests", "3"]))
-                .unwrap(),
-            Command::Hammer { machine: 1, tool: HammerTool::Drama, tests: 3 }
+            Command::parse(&args(&[
+                "hammer",
+                "--machine",
+                "1",
+                "--tool",
+                "drama",
+                "--tests",
+                "3"
+            ]))
+            .unwrap(),
+            Command::Hammer {
+                machine: 1,
+                tool: HammerTool::Drama,
+                tests: 3
+            }
         );
         assert_eq!(
             Command::parse(&args(&["decode", "--machine", "6", "--addr", "0x1f00"])).unwrap(),
-            Command::Decode { machine: 6, addr: 0x1f00 }
+            Command::Decode {
+                machine: 6,
+                addr: 0x1f00
+            }
         );
         assert!(matches!(
-            Command::parse(&args(&["validate", "--funcs", "(6)", "--rows", "1~2", "--cols", "0"])),
+            Command::parse(&args(&[
+                "validate", "--funcs", "(6)", "--rows", "1~2", "--cols", "0"
+            ])),
             Ok(Command::Validate { .. })
         ));
     }
@@ -470,7 +514,9 @@ mod tests {
         assert!(Command::parse(&args(&["frobnicate"])).is_err());
         assert!(Command::parse(&args(&["uncover"])).is_err());
         assert!(Command::parse(&args(&["uncover", "--machine", "four"])).is_err());
-        assert!(Command::parse(&args(&["uncover", "--machine", "4", "--ablate", "magic"])).is_err());
+        assert!(
+            Command::parse(&args(&["uncover", "--machine", "4", "--ablate", "magic"])).is_err()
+        );
         assert!(Command::parse(&args(&["hammer", "--machine", "1", "--tool", "hope"])).is_err());
         assert!(Command::parse(&args(&["decode", "--machine", "1"])).is_err());
     }
@@ -485,10 +531,22 @@ mod tests {
 
     #[test]
     fn decode_round_trips_and_validates_range() {
-        let out = execute(&Command::Decode { machine: 4, addr: 0x1234_5678 }).unwrap();
+        let out = execute(&Command::Decode {
+            machine: 4,
+            addr: 0x1234_5678,
+        })
+        .unwrap();
         assert!(out.contains("bank"));
-        assert!(execute(&Command::Decode { machine: 4, addr: u64::MAX }).is_err());
-        assert!(execute(&Command::Decode { machine: 42, addr: 0 }).is_err());
+        assert!(execute(&Command::Decode {
+            machine: 4,
+            addr: u64::MAX
+        })
+        .is_err());
+        assert!(execute(&Command::Decode {
+            machine: 42,
+            addr: 0
+        })
+        .is_err());
     }
 
     #[test]
@@ -511,7 +569,12 @@ mod tests {
 
     #[test]
     fn uncover_runs_on_a_small_machine() {
-        let out = execute(&Command::Uncover { machine: 4, seed: 1, ablate: None }).unwrap();
+        let out = execute(&Command::Uncover {
+            machine: 4,
+            seed: 1,
+            ablate: None,
+        })
+        .unwrap();
         assert!(out.contains("matches"));
         assert!(out.contains("recovered mapping"));
     }
@@ -519,7 +582,14 @@ mod tests {
     #[test]
     fn usage_mentions_every_sub_command() {
         let text = usage();
-        for cmd in ["uncover", "compare", "hammer", "decode", "validate", "list-machines"] {
+        for cmd in [
+            "uncover",
+            "compare",
+            "hammer",
+            "decode",
+            "validate",
+            "list-machines",
+        ] {
             assert!(text.contains(cmd));
         }
     }

@@ -207,7 +207,10 @@ mod tests {
         // Shared bits must have fallen through to the bank candidates.
         let truth_funcs = setting.mapping().bank_function_bits();
         for bit in truth_funcs {
-            assert!(coarse.bank_bits.contains(&bit), "bit {bit} should be a bank candidate");
+            assert!(
+                coarse.bank_bits.contains(&bit),
+                "bit {bit} should be a bank candidate"
+            );
         }
     }
 
@@ -231,10 +234,10 @@ mod tests {
         let threshold = machine.controller().config().timing.oracle_threshold_ns();
         // Only the low 1 MiB of the module is available: bits ≥ 20 can never
         // be flipped within the pool.
-        let memory = PhysMemory::from_frames((0..256).collect(), setting.system.capacity_bytes / 4096);
+        let memory =
+            PhysMemory::from_frames((0..256).collect(), setting.system.capacity_bytes / 4096);
         let probe = SimProbe::new(machine, memory);
-        let mut oracle =
-            ConflictOracle::new(probe, LatencyCalibration::from_threshold(threshold));
+        let mut oracle = ConflictOracle::new(probe, LatencyCalibration::from_threshold(threshold));
         let mut rng = StdRng::seed_from_u64(4);
         let coarse = detect(
             &mut oracle,

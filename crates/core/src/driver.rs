@@ -187,7 +187,10 @@ impl DramDig {
         let threshold_ns = calibration.threshold_ns();
         let mut oracle =
             ConflictOracle::new(&mut *probe, calibration).with_repeat(self.config.measure_repeat);
-        phase_costs.push((Phase::Calibration, PhaseCosts::between(before, oracle.stats())));
+        phase_costs.push((
+            Phase::Calibration,
+            PhaseCosts::between(before, oracle.stats()),
+        ));
 
         // --- Step 1: coarse row/column detection --------------------------
         let before = oracle.stats();
@@ -211,7 +214,10 @@ impl DramDig {
             &self.config,
             &mut rng,
         )?;
-        phase_costs.push((Phase::Partition, PhaseCosts::between(before, oracle.stats())));
+        phase_costs.push((
+            Phase::Partition,
+            PhaseCosts::between(before, oracle.stats()),
+        ));
 
         let before = oracle.stats();
         let detected = functions::detect_bank_functions(
@@ -260,7 +266,10 @@ impl DramDig {
                 &self.config,
                 &mut rng,
             )?;
-            phase_costs.push((Phase::Validation, PhaseCosts::between(before, oracle.stats())));
+            phase_costs.push((
+                Phase::Validation,
+                PhaseCosts::between(before, oracle.stats()),
+            ));
             if report.agreement() < 0.90 {
                 return Err(DramDigError::Validation {
                     reason: format!(
@@ -325,7 +334,10 @@ mod tests {
         let (report, setting) = run_setting(7, DramDigConfig::fast());
         assert!(report.mapping.equivalent_to(setting.mapping()));
         assert_eq!(report.mapping.row_bits(), setting.mapping().row_bits());
-        assert_eq!(report.mapping.column_bits(), setting.mapping().column_bits());
+        assert_eq!(
+            report.mapping.column_bits(),
+            setting.mapping().column_bits()
+        );
     }
 
     #[test]

@@ -113,7 +113,9 @@ mod tests {
         };
         assert!(e.to_string().contains("partition"));
         assert!(e.to_string().contains("3 piles"));
-        let e = DramDigError::MissingKnowledge { group: "specifications" };
+        let e = DramDigError::MissingKnowledge {
+            group: "specifications",
+        };
         assert!(e.to_string().contains("specifications"));
     }
 

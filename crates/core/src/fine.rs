@@ -211,7 +211,12 @@ pub fn refine<P: MemoryProbe>(
             push_unique(&mut inferred, bit);
         }
         unclassified.retain(|b| !rows.contains(b));
-        unclassified.extend(not_row.iter().copied().filter(|b| func_union >> *b & 1 == 0));
+        unclassified.extend(
+            not_row
+                .iter()
+                .copied()
+                .filter(|b| func_union >> *b & 1 == 0),
+        );
     }
 
     // Everything left over feeds only the bank functions.
@@ -314,8 +319,12 @@ pub fn validate<P: MemoryProbe>(
     // Random pair-consistency checks: the recovered mapping must predict the
     // measured SBDR relation.
     for _ in 0..cfg.validation_samples {
-        let Some(a) = memory.random_page(rng) else { break };
-        let Some(b) = memory.random_page(rng) else { break };
+        let Some(a) = memory.random_page(rng) else {
+            break;
+        };
+        let Some(b) = memory.random_page(rng) else {
+            break;
+        };
         if a == b {
             continue;
         }
@@ -357,8 +366,8 @@ mod tests {
         let memory = oracle.probe().memory().clone();
         let cfg = DramDigConfig::default();
         let mut rng = StdRng::seed_from_u64(77);
-        let coarse = coarse::detect(&mut oracle, setting.system.address_bits(), &cfg, &mut rng)
-            .unwrap();
+        let coarse =
+            coarse::detect(&mut oracle, setting.system.address_bits(), &cfg, &mut rng).unwrap();
         let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
         let fine = refine(
             &mut oracle,
@@ -377,7 +386,12 @@ mod tests {
     fn refinement_recovers_exact_bits_on_all_settings() {
         for number in 1..=9u8 {
             let (fine, setting) = refine_setting(number);
-            assert_eq!(fine.row_bits, setting.mapping().row_bits(), "{} rows", setting.label());
+            assert_eq!(
+                fine.row_bits,
+                setting.mapping().row_bits(),
+                "{} rows",
+                setting.label()
+            );
             assert_eq!(
                 fine.column_bits,
                 setting.mapping().column_bits(),
@@ -416,13 +430,25 @@ mod tests {
     #[test]
     fn widest_rule_detection() {
         let no6 = MachineSetting::no6_skylake_ddr4_16g();
-        assert_eq!(lowest_bit_of_unique_widest(no6.mapping().bank_funcs()), Some(8));
+        assert_eq!(
+            lowest_bit_of_unique_widest(no6.mapping().bank_funcs()),
+            Some(8)
+        );
         let no2 = MachineSetting::no2_ivy_bridge_ddr3_8g();
-        assert_eq!(lowest_bit_of_unique_widest(no2.mapping().bank_funcs()), Some(7));
+        assert_eq!(
+            lowest_bit_of_unique_widest(no2.mapping().bank_funcs()),
+            Some(7)
+        );
         let no7 = MachineSetting::no7_skylake_ddr4_4g();
-        assert_eq!(lowest_bit_of_unique_widest(no7.mapping().bank_funcs()), None);
+        assert_eq!(
+            lowest_bit_of_unique_widest(no7.mapping().bank_funcs()),
+            None
+        );
         let no1 = MachineSetting::no1_sandy_bridge_ddr3_8g();
-        assert_eq!(lowest_bit_of_unique_widest(no1.mapping().bank_funcs()), None);
+        assert_eq!(
+            lowest_bit_of_unique_widest(no1.mapping().bank_funcs()),
+            None
+        );
         assert_eq!(lowest_bit_of_unique_widest(&[]), None);
     }
 
@@ -451,7 +477,11 @@ mod tests {
         .unwrap();
         assert!(report.bit_checks > 0);
         assert!(report.pair_checks > 0);
-        assert!(report.agreement() > 0.95, "agreement {}", report.agreement());
+        assert!(
+            report.agreement() > 0.95,
+            "agreement {}",
+            report.agreement()
+        );
     }
 
     #[test]
@@ -494,8 +524,8 @@ mod tests {
         let memory = oracle.probe().memory().clone();
         let cfg = DramDigConfig::default();
         let mut rng = StdRng::seed_from_u64(8);
-        let coarse = coarse::detect(&mut oracle, setting.system.address_bits(), &cfg, &mut rng)
-            .unwrap();
+        let coarse =
+            coarse::detect(&mut oracle, setting.system.address_bits(), &cfg, &mut rng).unwrap();
         let knowledge =
             DomainKnowledge::new(setting.system, Some(setting.microarch)).without_specifications();
         let fine = refine(

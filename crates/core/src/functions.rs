@@ -196,10 +196,18 @@ mod tests {
                 setting.label()
             );
             for f in &detected.functions {
-                assert!(truth.spans(f.mask()), "{}: {f} not in ground-truth span", setting.label());
+                assert!(
+                    truth.spans(f.mask()),
+                    "{}: {f} not in ground-truth span",
+                    setting.label()
+                );
             }
             for f in setting.mapping().bank_funcs() {
-                assert!(mine.spans(f.mask()), "{}: {f} not recovered", setting.label());
+                assert!(
+                    mine.spans(f.mask()),
+                    "{}: {f} not recovered",
+                    setting.label()
+                );
             }
         }
     }

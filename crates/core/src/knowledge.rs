@@ -110,7 +110,7 @@ impl DomainKnowledge {
         self.use_empirical
             && self
                 .microarch
-                .map_or(true, |m| m.widest_func_low_bit_not_column())
+                .is_none_or(|m| m.widest_func_low_bit_not_column())
     }
 }
 
@@ -143,11 +143,7 @@ mod tests {
 
     #[test]
     fn unknown_microarch_assumes_modern_cpu() {
-        let system = SystemInfo::new(
-            4 << 30,
-            DramGeometry::new(1, 1, 1, 8),
-            DdrGeneration::Ddr3,
-        );
+        let system = SystemInfo::new(4 << 30, DramGeometry::new(1, 1, 1, 8), DdrGeneration::Ddr3);
         let k = DomainKnowledge::new(system, None);
         assert!(k.widest_func_rule_applies());
     }
@@ -160,7 +156,10 @@ mod tests {
             Err(DramDigError::MissingKnowledge { .. })
         ));
         let k = knowledge_for(4).without_specifications();
-        assert!(matches!(k.spec(), Err(DramDigError::MissingKnowledge { .. })));
+        assert!(matches!(
+            k.spec(),
+            Err(DramDigError::MissingKnowledge { .. })
+        ));
         let k = knowledge_for(4).without_empirical();
         assert!(!k.widest_func_rule_applies());
     }

@@ -232,7 +232,11 @@ mod tests {
         // are far below the expected pool/#banks, so nothing is ever accepted.
         let truth = oracle.probe().machine().ground_truth().clone();
         let pool: Vec<PhysAddr> = (0..8u32)
-            .map(|bank| truth.to_phys(dram_model::DramAddress::new(bank, 0, 0)).unwrap())
+            .map(|bank| {
+                truth
+                    .to_phys(dram_model::DramAddress::new(bank, 0, 0))
+                    .unwrap()
+            })
             .collect();
         let cfg = DramDigConfig {
             max_partition_attempts: 5,

@@ -47,12 +47,22 @@ impl fmt::Display for ModelError {
                 write!(f, "address mapping is not a bijection: {reason}")
             }
             ModelError::LinearlyDependentFunctions => {
-                write!(f, "bank address functions are linearly dependent over GF(2)")
+                write!(
+                    f,
+                    "bank address functions are linearly dependent over GF(2)"
+                )
             }
             ModelError::BitOutOfRange { bit, width } => {
-                write!(f, "bit index {bit} out of range for {width}-bit physical addresses")
+                write!(
+                    f,
+                    "bit index {bit} out of range for {width}-bit physical addresses"
+                )
             }
-            ModelError::CoordinateOutOfRange { field, value, limit } => {
+            ModelError::CoordinateOutOfRange {
+                field,
+                value,
+                limit,
+            } => {
                 write!(f, "{field} value {value} out of range (limit {limit})")
             }
             ModelError::InvalidCapacity { capacity } => {
@@ -77,7 +87,11 @@ mod tests {
             ModelError::NotBijective { reason: "x".into() },
             ModelError::LinearlyDependentFunctions,
             ModelError::BitOutOfRange { bit: 40, width: 33 },
-            ModelError::CoordinateOutOfRange { field: "row", value: 10, limit: 5 },
+            ModelError::CoordinateOutOfRange {
+                field: "row",
+                value: 10,
+                limit: 5,
+            },
             ModelError::InvalidCapacity { capacity: 3 },
             ModelError::SingularBankSystem,
         ];

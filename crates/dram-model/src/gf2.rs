@@ -170,23 +170,23 @@ pub fn solve_square(a_rows: &[u64], b: u64, n: usize) -> Option<u64> {
         .collect();
     let mut pivot_of_col: Vec<Option<usize>> = vec![None; n];
     let mut used = vec![false; n];
-    for col in 0..n {
+    for (col, slot) in pivot_of_col.iter_mut().enumerate() {
         // Find an unused row with a 1 in this column.
         let pivot = (0..n).find(|&r| !used[r] && (rows[r].0 >> col) & 1 == 1)?;
         used[pivot] = true;
-        pivot_of_col[col] = Some(pivot);
+        *slot = Some(pivot);
         let (prow, pb) = rows[pivot];
-        for r in 0..n {
-            if r != pivot && (rows[r].0 >> col) & 1 == 1 {
-                rows[r].0 ^= prow;
-                rows[r].1 ^= pb;
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != pivot && (row.0 >> col) & 1 == 1 {
+                row.0 ^= prow;
+                row.1 ^= pb;
             }
         }
     }
     // After full elimination every pivot row has exactly one column left.
     let mut x = 0u64;
-    for col in 0..n {
-        let p = pivot_of_col[col]?;
+    for (col, pivot) in pivot_of_col.iter().enumerate() {
+        let p = (*pivot)?;
         if rows[p].1 {
             x |= 1 << col;
         }
@@ -228,7 +228,10 @@ pub fn solve_any(a_rows: &[u64], b: u64, n: usize) -> Option<u64> {
     }
     // Rows without a pivot are all-zero; a non-zero right-hand side there
     // makes the system inconsistent.
-    if rows[next_row..].iter().any(|&(coeff, rhs)| coeff == 0 && rhs) {
+    if rows[next_row..]
+        .iter()
+        .any(|&(coeff, rhs)| coeff == 0 && rhs)
+    {
         return None;
     }
     let mut x = 0u64;

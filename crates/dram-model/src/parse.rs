@@ -196,7 +196,10 @@ mod tests {
         assert_eq!(funcs[0], XorFunc::from_bits(&[6]));
         assert_eq!(funcs[3], XorFunc::from_bits(&[16, 19]));
 
-        assert_eq!(parse_bit_ranges("17~32").unwrap(), (17..=32).collect::<Vec<u8>>());
+        assert_eq!(
+            parse_bit_ranges("17~32").unwrap(),
+            (17..=32).collect::<Vec<u8>>()
+        );
         assert_eq!(
             parse_bit_ranges("0~5, 7~13").unwrap(),
             vec![0, 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 13]

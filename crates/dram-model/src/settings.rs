@@ -338,7 +338,10 @@ mod tests {
 
     #[test]
     fn by_number_lookup() {
-        assert_eq!(MachineSetting::by_number(4).unwrap().microarch, Microarch::Haswell);
+        assert_eq!(
+            MachineSetting::by_number(4).unwrap().microarch,
+            Microarch::Haswell
+        );
         assert!(MachineSetting::by_number(0).is_none());
         assert!(MachineSetting::by_number(10).is_none());
     }
@@ -408,7 +411,12 @@ mod tests {
     #[test]
     fn table_ii_no1_exact_functions() {
         let s = MachineSetting::no1_sandy_bridge_ddr3_8g();
-        let rendered: Vec<String> = s.mapping().bank_funcs().iter().map(|f| f.to_string()).collect();
+        let rendered: Vec<String> = s
+            .mapping()
+            .bank_funcs()
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
         assert_eq!(rendered, vec!["(6)", "(14, 17)", "(15, 18)", "(16, 19)"]);
         assert_eq!(
             crate::mapping::format_bit_ranges(s.mapping().row_bits()),

@@ -78,7 +78,7 @@ impl Default for SimConfig {
             flip_params: FlipModelParams::default(),
             // 64 ms, the standard DDR refresh interval.
             refresh_interval_ns: 64_000_000,
-            rng_seed: 0xD1A3_D16,
+            rng_seed: 0x0D1A_3D16,
         }
     }
 }
@@ -102,7 +102,7 @@ impl SimConfig {
             timing: TimingParams::default(),
             flip_params: FlipModelParams::fast(),
             refresh_interval_ns: 2_000_000,
-            rng_seed: 0xD1A3_D16,
+            rng_seed: 0x0D1A_3D16,
         }
     }
 

@@ -351,8 +351,12 @@ mod tests {
         let victim_row = (1..5_000u32)
             .find(|&r| flip_model.row_vulnerability(0, r) > 0.3)
             .unwrap();
-        let above = truth.to_phys(DramAddress::new(0, victim_row + 1, 0)).unwrap();
-        let below = truth.to_phys(DramAddress::new(0, victim_row - 1, 0)).unwrap();
+        let above = truth
+            .to_phys(DramAddress::new(0, victim_row + 1, 0))
+            .unwrap();
+        let below = truth
+            .to_phys(DramAddress::new(0, victim_row - 1, 0))
+            .unwrap();
         let c = machine.controller_mut();
         for _ in 0..40_000 {
             c.access(above);

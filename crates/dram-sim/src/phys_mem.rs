@@ -56,7 +56,10 @@ impl PhysMemory {
         policy: AllocationPolicy,
         seed: u64,
     ) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let total_frames = capacity_bytes / PAGE_SIZE;
         let want = ((total_frames as f64 * fraction) as u64).max(1);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -174,7 +177,12 @@ mod tests {
 
     #[test]
     fn contiguous_allocation_has_no_holes() {
-        let mem = PhysMemory::allocate(CAP, 0.25, AllocationPolicy::Contiguous { start_frame: 8 }, 1);
+        let mem = PhysMemory::allocate(
+            CAP,
+            0.25,
+            AllocationPolicy::Contiguous { start_frame: 8 },
+            1,
+        );
         let frames = mem.frames();
         assert_eq!(frames.len() as u64, CAP / PAGE_SIZE / 4);
         for w in frames.windows(2) {
@@ -196,7 +204,10 @@ mod tests {
         );
         let frames = mem.frames();
         let contiguous = frames.windows(2).all(|w| w[1] == w[0] + 1);
-        assert!(!contiguous, "fragmented pool should contain at least one hole");
+        assert!(
+            !contiguous,
+            "fragmented pool should contain at least one hole"
+        );
     }
 
     #[test]

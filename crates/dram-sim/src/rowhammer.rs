@@ -120,16 +120,10 @@ impl FlipModel {
     /// Records one activation of `row` in `bank`, pressuring its neighbours.
     pub fn record_activation(&mut self, bank: u32, row: u32) {
         if row > 0 {
-            self.pressure
-                .entry((bank, row - 1))
-                .or_default()
-                .from_above += 1;
+            self.pressure.entry((bank, row - 1)).or_default().from_above += 1;
         }
         if row + 1 < self.rows_per_bank {
-            self.pressure
-                .entry((bank, row + 1))
-                .or_default()
-                .from_below += 1;
+            self.pressure.entry((bank, row + 1)).or_default().from_below += 1;
         }
     }
 
@@ -420,7 +414,9 @@ mod tests {
         let mut r = rng();
         for &mean in &[0.5f64, 3.0, 20.0, 100.0] {
             let n = 3000;
-            let total: u64 = (0..n).map(|_| u64::from(sample_poisson(&mut r, mean))).sum();
+            let total: u64 = (0..n)
+                .map(|_| u64::from(sample_poisson(&mut r, mean)))
+                .sum();
             let observed = total as f64 / n as f64;
             assert!(
                 (observed - mean).abs() < mean.max(1.0) * 0.15 + 0.2,

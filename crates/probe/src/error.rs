@@ -31,7 +31,10 @@ pub enum ProbeError {
 impl fmt::Display for ProbeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProbeError::PoolTooSmall { available, required } => write!(
+            ProbeError::PoolTooSmall {
+                available,
+                required,
+            } => write!(
                 f,
                 "physical page pool too small: {available} pages available, {required} required"
             ),
@@ -65,13 +68,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = ProbeError::PoolTooSmall { available: 1, required: 10 };
+        let e = ProbeError::PoolTooSmall {
+            available: 1,
+            required: 10,
+        };
         assert!(e.to_string().contains("1 pages"));
-        let e = ProbeError::CalibrationFailed { reason: "flat histogram".into() };
+        let e = ProbeError::CalibrationFailed {
+            reason: "flat histogram".into(),
+        };
         assert!(e.to_string().contains("flat histogram"));
-        let e = ProbeError::Hardware { reason: "not root".into() };
+        let e = ProbeError::Hardware {
+            reason: "not root".into(),
+        };
         assert!(e.to_string().contains("not root"));
-        let e: ProbeError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: ProbeError = std::io::Error::other("x").into();
         assert!(e.to_string().contains("i/o"));
     }
 

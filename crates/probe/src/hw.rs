@@ -161,9 +161,8 @@ mod imp {
             let vb = self
                 .virt_of(b)
                 .expect("address b is not backed by the probe's buffer");
-            let mut samples: Vec<u64> = (0..self.rounds)
-                .map(|_| Self::time_round(va, vb))
-                .collect();
+            let mut samples: Vec<u64> =
+                (0..self.rounds).map(|_| Self::time_round(va, vb)).collect();
             self.measurements += 1;
             self.accesses += u64::from(self.rounds) * 2;
             samples.sort_unstable();

@@ -101,7 +101,10 @@ mod tests {
         let machine = SimMachine::from_setting(&setting, config);
         let timing = machine.controller().config().timing;
         let probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
-        ConflictOracle::new(probe, LatencyCalibration::from_threshold(timing.oracle_threshold_ns()))
+        ConflictOracle::new(
+            probe,
+            LatencyCalibration::from_threshold(timing.oracle_threshold_ns()),
+        )
     }
 
     #[test]

@@ -118,7 +118,10 @@ mod tests {
         let a = truth.to_phys(DramAddress::new(2, 10, 0)).unwrap();
         let b = truth.to_phys(DramAddress::new(2, 900, 0)).unwrap();
         let lat = p.measure_pair(a, b);
-        assert_eq!(lat, p.machine().controller().config().timing.row_conflict_ns);
+        assert_eq!(
+            lat,
+            p.machine().controller().config().timing.row_conflict_ns
+        );
     }
 
     #[test]
@@ -144,8 +147,14 @@ mod tests {
         for _ in 0..20 {
             let conflict = p.measure_pair(a, b);
             let no_conflict = p.measure_pair(a, c);
-            assert!(conflict > timing.oracle_threshold_ns(), "conflict {conflict}");
-            assert!(no_conflict < timing.oracle_threshold_ns(), "no conflict {no_conflict}");
+            assert!(
+                conflict > timing.oracle_threshold_ns(),
+                "conflict {conflict}"
+            );
+            assert!(
+                no_conflict < timing.oracle_threshold_ns(),
+                "no conflict {no_conflict}"
+            );
         }
     }
 

@@ -185,7 +185,14 @@ mod tests {
         let view = AttackerView::from_mapping(setting.mapping());
         let addr = PhysAddr::new(0x1000);
         assert!(view.with_row(addr, view.num_rows()).is_none());
-        assert!(view.aggressors_for(setting.mapping().to_phys(dram_model::DramAddress::new(0, 0, 0)).unwrap()).is_none());
+        assert!(view
+            .aggressors_for(
+                setting
+                    .mapping()
+                    .to_phys(dram_model::DramAddress::new(0, 0, 0))
+                    .unwrap()
+            )
+            .is_none());
     }
 
     #[test]

@@ -217,7 +217,10 @@ mod tests {
         let result = run_double_sided(&mut m, &view, &test_config());
         assert_eq!(result.pairs_attempted + result.pairs_skipped, 24);
         assert_eq!(result.truly_double_sided, result.pairs_attempted);
-        assert!(result.flips > 0, "correct double-sided hammering must flip bits");
+        assert!(
+            result.flips > 0,
+            "correct double-sided hammering must flip bits"
+        );
         assert!(result.elapsed_ns > 0);
     }
 

@@ -62,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             outcome.measurements,
             outcome.elapsed_seconds()
         ),
-        Err(BaselineError::Stuck { reason, measurements, .. }) => {
+        Err(BaselineError::Stuck {
+            reason,
+            measurements,
+            ..
+        }) => {
             println!("Xiao et al.   : stuck ({reason}; {measurements} measurements spent)")
         }
         Err(e) => println!("Xiao et al.   : not applicable — {e}"),

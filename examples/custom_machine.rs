@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .column_bit_range(0, 12)
         .build()?;
     let system = SystemInfo::new(capacity, geometry, DdrGeneration::Ddr4);
-    println!("custom machine: {} banks, {} GiB", geometry.total_banks(), capacity >> 30);
+    println!(
+        "custom machine: {} banks, {} GiB",
+        geometry.total_banks(),
+        capacity >> 30
+    );
     println!("ground truth  : {ground_truth}");
 
     let machine = SimMachine::new(ground_truth.clone(), SimConfig::default());

@@ -24,7 +24,10 @@ fn dramdig_is_deterministic_across_runs_and_noise_seeds() {
             .expect("run succeeds");
         mappings.push(report.mapping);
     }
-    assert!(mappings.windows(2).all(|w| w[0] == w[1]), "DRAMDig must be deterministic");
+    assert!(
+        mappings.windows(2).all(|w| w[0] == w[1]),
+        "DRAMDig must be deterministic"
+    );
     assert!(mappings[0].equivalent_to(setting.mapping()));
 }
 
@@ -36,11 +39,15 @@ fn xiao_is_not_generic_but_dramdig_is() {
     let fails = MachineSetting::no6_skylake_ddr4_16g();
 
     let mut probe = probe_for(&works, 0);
-    let outcome = Xiao::with_defaults().run(&mut probe, &works.system).unwrap();
+    let outcome = Xiao::with_defaults()
+        .run(&mut probe, &works.system)
+        .unwrap();
     assert!(outcome.matches(works.mapping()));
 
     let mut probe = probe_for(&fails, 0);
-    let err = Xiao::with_defaults().run(&mut probe, &fails.system).unwrap_err();
+    let err = Xiao::with_defaults()
+        .run(&mut probe, &fails.system)
+        .unwrap_err();
     assert!(matches!(
         err,
         BaselineError::NotApplicable { .. } | BaselineError::Stuck { .. }

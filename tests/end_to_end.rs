@@ -1,13 +1,17 @@
 //! Cross-crate integration tests: the full pipeline from simulated machine to
 //! recovered mapping to rowhammer impact, spanning every workspace crate.
 
-use dram_model::MachineSetting;
+use dram_model::{MachineSetting, PhysAddr};
 use dram_sim::{AllocationPolicy, PhysMemory, SimConfig, SimMachine};
 use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
 use mem_probe::SimProbe;
 use rowhammer::{run_double_sided, AttackerView, HammerConfig};
 
-fn run_dramdig_on(setting: &MachineSetting, memory: PhysMemory, config: DramDigConfig) -> dramdig::RunReport {
+fn run_dramdig_on(
+    setting: &MachineSetting,
+    memory: PhysMemory,
+    config: DramDigConfig,
+) -> dramdig::RunReport {
     let machine = SimMachine::from_setting(setting, SimConfig::default());
     let mut probe = SimProbe::new(machine, memory);
     let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
@@ -44,6 +48,47 @@ fn dramdig_recovers_every_table_ii_setting() {
         );
         let validation = report.validation.expect("validation is enabled by default");
         assert!(validation.agreement() > 0.9, "{}", setting.label());
+    }
+}
+
+#[test]
+fn recovered_no4_mapping_round_trips_addresses_exactly() {
+    // The full driver on the paper's machine No.4 (Haswell, DDR3 4 GiB):
+    // the recovered mapping must not only be equivalent to the ground truth
+    // up to GF(2) combinations, it must be a bijection that round-trips
+    // physical addresses exactly and decodes every address to the same
+    // bank the simulated memory controller uses.
+    let setting = MachineSetting::no4_haswell_ddr3_4g();
+    let memory = PhysMemory::full(setting.system.capacity_bytes);
+    let report = run_dramdig_on(&setting, memory, DramDigConfig::default());
+    let recovered = &report.mapping;
+    let truth = setting.mapping();
+    assert!(recovered.equivalent_to(truth));
+
+    let capacity = recovered.capacity_bytes();
+    assert_eq!(capacity, setting.system.capacity_bytes);
+    // A deterministic sweep of addresses spread over the whole module,
+    // plus the boundary addresses.
+    let samples = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % capacity)
+        .chain([0, 1, capacity - 1]);
+    for raw in samples {
+        let addr = PhysAddr::new(raw);
+        let dram = recovered.to_dram(addr);
+        assert_eq!(
+            recovered
+                .to_phys(dram)
+                .expect("recovered mapping is a bijection"),
+            addr,
+            "address {raw:#x} does not round-trip through the recovered mapping"
+        );
+        // Same-bank behaviour must agree with the hardware's ground truth,
+        // otherwise rowhammer aggressor placement silently degrades.
+        assert_eq!(
+            truth.bank_of(addr) == truth.bank_of(PhysAddr::new(0)),
+            recovered.bank_of(addr) == recovered.bank_of(PhysAddr::new(0)),
+            "address {raw:#x} lands in a different bank partition than the ground truth"
+        );
     }
 }
 
@@ -123,6 +168,8 @@ fn phase_costs_reflect_pool_size_differences() {
     );
     assert!(report_large.pool_size >= report_small.pool_size);
     assert!(report_large.total.elapsed_ns > report_small.total.elapsed_ns);
-    let partition = report_large.cost_of(dramdig::driver::Phase::Partition).unwrap();
+    let partition = report_large
+        .cost_of(dramdig::driver::Phase::Partition)
+        .unwrap();
     assert!(partition.measurements * 2 > report_large.total.measurements);
 }

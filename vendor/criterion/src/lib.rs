@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this crate implements
+//! just enough of the `criterion 0.5` API for the workspace's five bench
+//! targets to compile and run: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Timing is a simple "median of N wall-clock samples" — good enough to
+//! spot order-of-magnitude regressions locally and to keep
+//! `cargo bench --no-run` meaningful in CI, but not a statistics engine.
+//! Swap in the real crate when registry access is available.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (each sample is one routine call).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    median_ns: u128,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            median_ns: 0,
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call.
+        std::hint::black_box(routine());
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = Duration::from_nanos(bencher.median_ns as u64);
+    let mut line = format!("{name:<48} median {per_iter:>12.3?}/iter");
+    if let Some(Throughput::Elements(n)) = throughput {
+        if bencher.median_ns > 0 {
+            let rate = n as f64 * 1e9 / bencher.median_ns as f64;
+            line.push_str(&format!("  ({rate:.0} elem/s)"));
+        }
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        if bencher.median_ns > 0 {
+            let rate = n as f64 * 1e9 / bencher.median_ns as f64;
+            line.push_str(&format!("  ({rate:.0} B/s)"));
+        }
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        // The real criterion collects `n` statistical samples; here each
+        // sample is one routine call, so cap the count to keep runs short.
+        self.sample_size = n.min(20);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Runs a benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The stand-in recognises (and
+    /// ignores) criterion's standard flags so `cargo bench -- <filter>`
+    /// does not error out.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: DEFAULT_SAMPLES,
+            criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher::new(DEFAULT_SAMPLES);
+        routine(&mut bencher);
+        report(&name.to_string(), &bencher, None);
+        self.benchmarks_run += 1;
+        self
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {
+        println!("ran {} benchmark(s)", self.benchmarks_run);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter("sum"), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("direct", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_function_benches_run() {
+        let mut c = Criterion::default().configure_from_args();
+        sample_bench(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| black_box(1)));
+        assert_eq!(c.benchmarks_run, 3);
+    }
+
+    criterion_group!(test_group, sample_bench);
+
+    #[test]
+    fn macros_produce_runnable_groups() {
+        test_group();
+    }
+}
