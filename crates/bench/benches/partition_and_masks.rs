@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use dram_model::MachineSetting;
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::functions::detect_bank_functions;
-use dramdig::partition::{partition_into_piles, Pile};
+use dramdig::partition::{partition_into_piles, synthetic_piles};
 use dramdig::select::select_addresses;
 use dramdig::DramDigConfig;
 use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, SimProbe};
@@ -37,30 +37,12 @@ fn bench_partition(c: &mut Criterion) {
     });
 }
 
-fn synthetic_piles(setting: &MachineSetting) -> Vec<Pile> {
-    let mapping = setting.mapping();
-    let bank_bits = mapping.bank_function_bits();
-    let mut piles: std::collections::BTreeMap<u32, Vec<dram_model::PhysAddr>> = Default::default();
-    for combo in 0..(1u64 << bank_bits.len()) {
-        let raw = dram_model::bits::scatter_bits(combo, &bank_bits);
-        let addr = dram_model::PhysAddr::new(raw);
-        piles.entry(mapping.bank_of(addr)).or_default().push(addr);
-    }
-    piles
-        .into_values()
-        .map(|members| Pile {
-            pivot: members[0],
-            members,
-        })
-        .collect()
-}
-
 fn bench_mask_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("bank_function_search");
     group.sample_size(20);
     for number in [4u8, 6] {
         let setting = MachineSetting::by_number(number).unwrap();
-        let piles = synthetic_piles(&setting);
+        let piles = synthetic_piles(setting.mapping());
         let bank_bits = setting.mapping().bank_function_bits();
         let banks = setting.system.total_banks();
         let cfg = DramDigConfig::default();

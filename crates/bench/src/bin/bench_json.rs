@@ -1,0 +1,296 @@
+//! Emits `BENCH_dramdig.json`: the machine-readable performance trajectory
+//! of the reverse-engineering pipeline, comparing the seed-faithful *naive*
+//! profile against the *optimized* profile (GF(2) pile-basis verification,
+//! cached/batched probing, kernel-decomposition partition) on the paper's
+//! machine No.4 plus a sweep over every Table-II setting.
+//!
+//! ```text
+//! cargo run --release -p dramdig-bench --bin bench_json
+//! ```
+//!
+//! The JSON records, per profile, the probe budget (`measure_pair` calls,
+//! memory accesses, simulated seconds) per pipeline phase and end-to-end
+//! wall time, plus standalone micro-timings of `detect_bank_functions`
+//! (naive member-scan vs pile-basis path) and the two partition strategies.
+//! A differential check asserts both profiles recover equivalent mappings
+//! that match the simulator's ground truth — the binary exits non-zero
+//! otherwise, so CI smoke-runs also act as a regression gate.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dram_model::MachineSetting;
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::driver::{Phase, RunReport};
+use dramdig::functions::{
+    detect_bank_functions_naive, detect_bank_functions_with_basis, merged_difference_basis,
+};
+use dramdig::partition::{partition_decompose, partition_into_piles};
+use dramdig::select::select_addresses;
+use dramdig::{DramDigConfig, DramDigError};
+use dramdig_bench::run_dramdig;
+use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, SimProbe};
+
+/// Simulator seed shared by every run so the two profiles face the same
+/// machine (noise stream included).
+const SIM_SEED: u64 = 0x7AB1E2;
+
+/// Minimum time spent per micro-timing loop, in nanoseconds.
+const MICRO_BUDGET_NS: u128 = 50_000_000;
+
+struct ProfileRun {
+    report: RunReport,
+    wall_ms: f64,
+}
+
+fn run_profile(
+    setting: &MachineSetting,
+    config: DramDigConfig,
+) -> Result<ProfileRun, DramDigError> {
+    let start = Instant::now();
+    let report = run_dramdig(setting, config, SIM_SEED)?;
+    Ok(ProfileRun {
+        report,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+fn oracle_for(setting: &MachineSetting) -> ConflictOracle<SimProbe> {
+    let machine = SimMachine::from_setting(setting, SimConfig::default().with_seed(SIM_SEED));
+    let threshold = machine.controller().config().timing.oracle_threshold_ns();
+    let probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+    ConflictOracle::new(probe, LatencyCalibration::from_threshold(threshold))
+}
+
+/// Times `f` repeatedly until the budget is spent; returns ns per call.
+fn time_per_call<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut reps: u64 = 0;
+    let start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        reps += 1;
+        if start.elapsed().as_nanos() >= MICRO_BUDGET_NS && reps >= 10 {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn phase_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Calibration => "calibration",
+        Phase::CoarseDetection => "coarse",
+        Phase::Partition => "partition",
+        Phase::FunctionDetection => "detect",
+        Phase::FineDetection => "fine",
+        Phase::Validation => "validation",
+    }
+}
+
+fn profile_json(out: &mut String, indent: &str, run: &ProfileRun) {
+    let r = &run.report;
+    let _ = writeln!(out, "{indent}\"wall_ms\": {:.3},", run.wall_ms);
+    let _ = writeln!(
+        out,
+        "{indent}\"measure_pair_calls\": {},",
+        r.total.measurements
+    );
+    let _ = writeln!(out, "{indent}\"memory_accesses\": {},", r.total.accesses);
+    let _ = writeln!(
+        out,
+        "{indent}\"simulated_seconds\": {:.6},",
+        r.total.elapsed_seconds()
+    );
+    let _ = writeln!(out, "{indent}\"cache_hits\": {},", r.total.cache_hits);
+    let _ = writeln!(out, "{indent}\"cache_misses\": {},", r.total.cache_misses);
+    let _ = writeln!(out, "{indent}\"phases\": {{");
+    for (i, (phase, cost)) in r.phase_costs.iter().enumerate() {
+        let comma = if i + 1 == r.phase_costs.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "{indent}  \"{}\": {{\"measure_pair_calls\": {}, \"accesses\": {}, \"simulated_seconds\": {:.6}, \"cache_hits\": {}}}{comma}",
+            phase_name(*phase),
+            cost.measurements,
+            cost.accesses,
+            cost.elapsed_seconds(),
+            cost.cache_hits,
+        );
+    }
+    let _ = writeln!(out, "{indent}}}");
+}
+
+fn main() {
+    let setting = MachineSetting::no4_haswell_ddr3_4g();
+
+    // --- End-to-end pipeline, both profiles --------------------------------
+    let naive = run_profile(&setting, DramDigConfig::naive()).unwrap_or_else(|e| {
+        eprintln!("naive pipeline failed on {}: {e}", setting.label());
+        std::process::exit(1);
+    });
+    let fast = run_profile(&setting, DramDigConfig::optimized()).unwrap_or_else(|e| {
+        eprintln!("optimized pipeline failed on {}: {e}", setting.label());
+        std::process::exit(1);
+    });
+
+    // Differential gate: both profiles must recover the ground-truth mapping
+    // and agree with each other.
+    let truth_ok = naive.report.mapping.equivalent_to(setting.mapping())
+        && fast.report.mapping.equivalent_to(setting.mapping());
+    let profiles_agree = naive.report.mapping.equivalent_to(&fast.report.mapping);
+    if !truth_ok || !profiles_agree {
+        eprintln!(
+            "differential check failed: truth_ok={truth_ok} profiles_agree={profiles_agree}\n  naive: {}\n  fast:  {}",
+            naive.report.mapping, fast.report.mapping
+        );
+        std::process::exit(1);
+    }
+    let measurement_reduction =
+        naive.report.total.measurements as f64 / fast.report.total.measurements.max(1) as f64;
+
+    // --- Standalone detect_bank_functions micro-benchmark ------------------
+    // Same inputs the two pipelines actually feed to Algorithm 3: the
+    // exhaustive piles for the naive scan, the decomposition piles plus the
+    // pre-learned kernel basis for the fast path.
+    let bank_bits = setting.mapping().bank_function_bits();
+    let banks = setting.system.total_banks();
+    let cfg = DramDigConfig::default();
+
+    let mut oracle = oracle_for(&setting);
+    let pool = select_addresses(oracle.probe().memory(), &bank_bits, None).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.rng_seed);
+    let naive_partition =
+        partition_into_piles(&mut oracle, &pool.addresses, banks, &cfg, &mut rng).unwrap();
+    let naive_partition_measurements = oracle.stats().measurements;
+
+    let mut oracle2 = oracle_for(&setting);
+    let mut rng2 = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.rng_seed);
+    let fast_partition =
+        partition_decompose(&mut oracle2, &pool.addresses, banks, &cfg, &mut rng2).unwrap();
+    let fast_partition_measurements = oracle2.stats().measurements;
+    let kernel = fast_partition
+        .kernel
+        .clone()
+        .expect("decompose sets kernel");
+
+    let naive_detect_ns = time_per_call(|| {
+        detect_bank_functions_naive(&naive_partition.piles, &bank_bits, banks, &cfg).unwrap()
+    });
+    let fast_detect_ns = time_per_call(|| {
+        detect_bank_functions_with_basis(&kernel, &fast_partition.piles, &bank_bits, banks, &cfg)
+            .unwrap()
+    });
+    // Rebuilding the merged basis from scratch (what detect_bank_functions
+    // does when no kernel was learned) is reported separately.
+    let fast_detect_with_build_ns = time_per_call(|| {
+        let basis = merged_difference_basis(&fast_partition.piles);
+        detect_bank_functions_with_basis(&basis, &fast_partition.piles, &bank_bits, banks, &cfg)
+            .unwrap()
+    });
+    let detect_speedup = naive_detect_ns / fast_detect_ns;
+
+    let naive_detected =
+        detect_bank_functions_naive(&naive_partition.piles, &bank_bits, banks, &cfg).unwrap();
+    let fast_detected =
+        detect_bank_functions_with_basis(&kernel, &fast_partition.piles, &bank_bits, banks, &cfg)
+            .unwrap();
+    if naive_detected.functions != fast_detected.functions {
+        eprintln!("differential check failed: detect paths disagree on recovered functions");
+        std::process::exit(1);
+    }
+
+    // --- Table-II sweep with the optimized profile -------------------------
+    let mut sweep = String::new();
+    let all = MachineSetting::all();
+    for (i, s) in all.iter().enumerate() {
+        let run = run_profile(s, DramDigConfig::optimized()).unwrap_or_else(|e| {
+            eprintln!("optimized pipeline failed on {}: {e}", s.label());
+            std::process::exit(1);
+        });
+        if !run.report.mapping.equivalent_to(s.mapping()) {
+            eprintln!("optimized profile mis-recovered {}", s.label());
+            std::process::exit(1);
+        }
+        let comma = if i + 1 == all.len() { "" } else { "," };
+        let _ = writeln!(
+            sweep,
+            "    {{\"setting\": \"{}\", \"measure_pair_calls\": {}, \"wall_ms\": {:.3}, \"simulated_seconds\": {:.6}}}{comma}",
+            s.label(),
+            run.report.total.measurements,
+            run.wall_ms,
+            run.report.total.elapsed_seconds()
+        );
+    }
+
+    // --- Assemble the JSON -------------------------------------------------
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"dramdig-bench-v1\",");
+    let _ = writeln!(out, "  \"setting\": \"{}\",", setting.label());
+    let _ = writeln!(out, "  \"sim_seed\": {SIM_SEED},");
+    let _ = writeln!(out, "  \"profiles\": {{");
+    let _ = writeln!(out, "    \"naive\": {{");
+    profile_json(&mut out, "      ", &naive);
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"optimized\": {{");
+    profile_json(&mut out, "      ", &fast);
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"partition\": {{");
+    let _ = writeln!(
+        out,
+        "    \"exhaustive_measure_pair_calls\": {naive_partition_measurements},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"decompose_measure_pair_calls\": {fast_partition_measurements},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"measurement_reduction\": {:.2}",
+        naive_partition_measurements as f64 / fast_partition_measurements.max(1) as f64
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"detect_bank_functions\": {{");
+    let _ = writeln!(out, "    \"naive_ns_per_call\": {naive_detect_ns:.1},");
+    let _ = writeln!(out, "    \"basis_ns_per_call\": {fast_detect_ns:.1},");
+    let _ = writeln!(
+        out,
+        "    \"basis_with_build_ns_per_call\": {fast_detect_with_build_ns:.1},"
+    );
+    let _ = writeln!(out, "    \"speedup\": {detect_speedup:.2}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"end_to_end\": {{");
+    let _ = writeln!(
+        out,
+        "    \"measurement_reduction\": {measurement_reduction:.2},"
+    );
+    let _ = writeln!(out, "    \"mappings_equivalent\": {profiles_agree},");
+    let _ = writeln!(out, "    \"ground_truth_recovered\": {truth_ok}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"table2_optimized_sweep\": [");
+    out.push_str(&sweep);
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+
+    std::fs::write("BENCH_dramdig.json", &out).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_dramdig.json: {e}");
+        std::process::exit(1);
+    });
+
+    println!("wrote BENCH_dramdig.json");
+    println!(
+        "end-to-end measure_pair calls: naive {} -> optimized {} ({measurement_reduction:.1}x fewer)",
+        naive.report.total.measurements, fast.report.total.measurements
+    );
+    println!(
+        "partition measure_pair calls: exhaustive {naive_partition_measurements} -> decompose {fast_partition_measurements} ({:.1}x fewer)",
+        naive_partition_measurements as f64 / fast_partition_measurements.max(1) as f64
+    );
+    println!(
+        "detect_bank_functions: naive {naive_detect_ns:.0} ns -> basis {fast_detect_ns:.0} ns ({detect_speedup:.1}x faster)"
+    );
+}

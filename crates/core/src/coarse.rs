@@ -85,15 +85,20 @@ pub fn detect<P: MemoryProbe>(
     let memory = oracle.probe().memory().clone();
     let mut result = CoarseBits::default();
 
-    // Row bits: flip one bit at a time.
+    // Row bits: flip one bit at a time. The pairs are built first (so the
+    // RNG sequence matches the historical per-bit loop) and measured as one
+    // batch through the probe's batched entry point.
+    let mut row_probes: Vec<(u8, (PhysAddr, PhysAddr))> = Vec::new();
     for bit in 0..address_bits {
         match find_flip_pair(&memory, 1u64 << bit, rng, cfg.max_bases_per_bit) {
-            Some((a, b)) => {
-                if oracle.is_sbdr(a, b) {
-                    result.row_bits.push(bit);
-                }
-            }
+            Some(pair) => row_probes.push((bit, pair)),
             None => result.undetermined.push(bit),
+        }
+    }
+    let row_pairs: Vec<(PhysAddr, PhysAddr)> = row_probes.iter().map(|&(_, p)| p).collect();
+    for (&(bit, _), conflict) in row_probes.iter().zip(oracle.are_sbdr(&row_pairs)) {
+        if conflict {
+            result.row_bits.push(bit);
         }
     }
     if result.row_bits.is_empty() {
@@ -103,7 +108,10 @@ pub fn detect<P: MemoryProbe>(
     }
 
     // Column bits: flip a known row bit together with the candidate bit.
+    // Only the first reachable (candidate, row-bit) pair per candidate is
+    // measured, exactly as before — but again as one batch.
     let reference_rows: Vec<u8> = result.row_bits.clone();
+    let mut col_probes: Vec<(u8, (PhysAddr, PhysAddr))> = Vec::new();
     for bit in 0..address_bits {
         if result.row_bits.contains(&bit) || result.undetermined.contains(&bit) {
             continue;
@@ -111,16 +119,20 @@ pub fn detect<P: MemoryProbe>(
         let mut classified = false;
         for &row_bit in &reference_rows {
             let mask = (1u64 << bit) | (1u64 << row_bit);
-            if let Some((a, b)) = find_flip_pair(&memory, mask, rng, cfg.max_bases_per_bit) {
-                if oracle.is_sbdr(a, b) {
-                    result.column_bits.push(bit);
-                }
+            if let Some(pair) = find_flip_pair(&memory, mask, rng, cfg.max_bases_per_bit) {
+                col_probes.push((bit, pair));
                 classified = true;
                 break;
             }
         }
         if !classified {
             result.undetermined.push(bit);
+        }
+    }
+    let col_pairs: Vec<(PhysAddr, PhysAddr)> = col_probes.iter().map(|&(_, p)| p).collect();
+    for (&(bit, _), conflict) in col_probes.iter().zip(oracle.are_sbdr(&col_pairs)) {
+        if conflict {
+            result.column_bits.push(bit);
         }
     }
 

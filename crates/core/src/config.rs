@@ -1,5 +1,23 @@
 //! Tunable parameters of the DRAMDig algorithm.
 
+/// How Algorithm 2 splits the selected pool into same-bank piles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// The paper's Algorithm 2: draw a pivot, measure it against *every*
+    /// remaining address, accept the pile when its size is within tolerance.
+    /// Maximal measurement budget, maximal robustness.
+    #[default]
+    Exhaustive,
+    /// GF(2) decomposition: learn a basis of the same-bank difference space
+    /// (the kernel of the bank functions over the pool's varying bits) from
+    /// a small number of targeted measurements, then assign every pool
+    /// address to its coset computationally and spot-check one pair per
+    /// pile. An order of magnitude fewer measurements; falls back to
+    /// [`PartitionStrategy::Exhaustive`] when the kernel cannot be
+    /// completed (excess noise, irregular pools).
+    Decompose,
+}
+
 /// Configuration knobs for [`crate::DramDig`].
 ///
 /// The defaults correspond to the values reported in the paper
@@ -36,6 +54,27 @@ pub struct DramDigConfig {
     /// Seed for the tool's internal randomness (base-address choices, pivot
     /// selection). Two runs with the same seed and probe behave identically.
     pub rng_seed: u64,
+    /// Capacity of the pair-keyed SBDR classification cache attached to the
+    /// conflict oracle, so no stage ever re-times a pair another stage (or a
+    /// rejected pivot attempt) already classified. `None` disables caching.
+    pub probe_cache_capacity: Option<usize>,
+    /// Which partition strategy Algorithm 2 uses (see [`PartitionStrategy`]).
+    pub partition_strategy: PartitionStrategy,
+    /// Measurement budget for the [`PartitionStrategy::Decompose`] kernel
+    /// search before it gives up and falls back to the exhaustive strategy.
+    pub max_decompose_queries: u32,
+    /// Calibrate adaptively: stop sampling once the threshold estimate is
+    /// stable across two consecutive chunks instead of always spending the
+    /// full `calibration_samples` budget.
+    pub adaptive_calibration: bool,
+    /// Chunk size for adaptive calibration.
+    pub calibration_chunk: usize,
+    /// Stop a `measure_repeat` majority vote as soon as one side holds a
+    /// strict majority (identical verdicts, fewer measurements).
+    pub early_exit_votes: bool,
+    /// Replay the probe-cache contents as free validation checks and shrink
+    /// the fresh random-pair budget accordingly.
+    pub validate_from_cache: bool,
 }
 
 impl Default for DramDigConfig {
@@ -52,6 +91,13 @@ impl Default for DramDigConfig {
             validate: true,
             validation_samples: 64,
             rng_seed: 0xD16_5EED,
+            probe_cache_capacity: Some(mem_probe::DEFAULT_CACHE_CAPACITY),
+            partition_strategy: PartitionStrategy::Exhaustive,
+            max_decompose_queries: 1024,
+            adaptive_calibration: false,
+            calibration_chunk: 40,
+            early_exit_votes: false,
+            validate_from_cache: false,
         }
     }
 }
@@ -72,6 +118,31 @@ impl DramDigConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.rng_seed = seed;
         self
+    }
+
+    /// The measurement-minimal profile: GF(2) kernel decomposition instead
+    /// of the exhaustive pile partition, adaptive calibration, early-exit
+    /// majority votes, and cache-backed validation. The recovered mapping is
+    /// the same as with [`DramDigConfig::default`] on every Table-II
+    /// setting; only the probe budget shrinks (see `BENCH_dramdig.json`).
+    pub fn optimized() -> Self {
+        DramDigConfig {
+            partition_strategy: PartitionStrategy::Decompose,
+            adaptive_calibration: true,
+            early_exit_votes: true,
+            validate_from_cache: true,
+            ..DramDigConfig::default()
+        }
+    }
+
+    /// The seed-faithful baseline with every acceleration disabled — no
+    /// probe cache, exhaustive partition, full-budget calibration. Used by
+    /// the benchmarks as the naive comparison point.
+    pub fn naive() -> Self {
+        DramDigConfig {
+            probe_cache_capacity: None,
+            ..DramDigConfig::default()
+        }
     }
 }
 
@@ -99,5 +170,26 @@ mod tests {
     #[test]
     fn with_seed_changes_seed() {
         assert_eq!(DramDigConfig::default().with_seed(9).rng_seed, 9);
+    }
+
+    #[test]
+    fn optimized_flips_only_the_accelerators() {
+        let c = DramDigConfig::optimized();
+        assert_eq!(c.partition_strategy, PartitionStrategy::Decompose);
+        assert!(c.adaptive_calibration);
+        assert!(c.early_exit_votes);
+        assert!(c.validate_from_cache);
+        // Paper constants are untouched.
+        assert!((c.delta - 0.2).abs() < 1e-12);
+        assert!((c.per_threshold - 0.85).abs() < 1e-12);
+        assert!(c.validate);
+    }
+
+    #[test]
+    fn naive_profile_disables_the_cache() {
+        let c = DramDigConfig::naive();
+        assert_eq!(c.probe_cache_capacity, None);
+        assert_eq!(c.partition_strategy, PartitionStrategy::Exhaustive);
+        assert!(!c.adaptive_calibration && !c.early_exit_votes);
     }
 }

@@ -26,6 +26,10 @@ pub struct PhaseCosts {
     pub accesses: u64,
     /// Simulated (or wall-clock, for the hardware probe) nanoseconds spent.
     pub elapsed_ns: u64,
+    /// SBDR queries answered from the probe cache during the phase.
+    pub cache_hits: u64,
+    /// SBDR queries that missed the probe cache during the phase.
+    pub cache_misses: u64,
 }
 
 impl PhaseCosts {
@@ -34,6 +38,8 @@ impl PhaseCosts {
             measurements: after.measurements - before.measurements,
             accesses: after.accesses - before.accesses,
             elapsed_ns: after.elapsed_ns - before.elapsed_ns,
+            cache_hits: after.cache_hits - before.cache_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
         }
     }
 
@@ -130,6 +136,13 @@ impl fmt::Display for RunReport {
                 cost.elapsed_seconds()
             )?;
         }
+        if self.total.cache_hits + self.total.cache_misses > 0 {
+            writeln!(
+                f,
+                "probe cache: {} hits, {} misses",
+                self.total.cache_hits, self.total.cache_misses
+            )?;
+        }
         write!(
             f,
             "total: {} measurements, {:.3} s simulated",
@@ -179,14 +192,27 @@ impl DramDig {
 
         // --- Calibration --------------------------------------------------
         let before = probe.stats();
-        let calibration = LatencyCalibration::calibrate(
-            &mut *probe,
-            self.config.calibration_samples,
-            self.config.rng_seed ^ 0xCA11,
-        )?;
+        let calibration = if self.config.adaptive_calibration {
+            LatencyCalibration::calibrate_adaptive(
+                &mut *probe,
+                self.config.calibration_samples,
+                self.config.calibration_chunk,
+                self.config.rng_seed ^ 0xCA11,
+            )?
+        } else {
+            LatencyCalibration::calibrate(
+                &mut *probe,
+                self.config.calibration_samples,
+                self.config.rng_seed ^ 0xCA11,
+            )?
+        };
         let threshold_ns = calibration.threshold_ns();
-        let mut oracle =
-            ConflictOracle::new(&mut *probe, calibration).with_repeat(self.config.measure_repeat);
+        let mut oracle = ConflictOracle::new(&mut *probe, calibration)
+            .with_repeat(self.config.measure_repeat)
+            .with_early_exit(self.config.early_exit_votes);
+        if let Some(capacity) = self.config.probe_cache_capacity {
+            oracle = oracle.with_cache(capacity);
+        }
         phase_costs.push((
             Phase::Calibration,
             PhaseCosts::between(before, oracle.stats()),
@@ -207,7 +233,7 @@ impl DramDig {
         let pool: SelectedPool =
             select::select_addresses(&memory, &coarse_bits.bank_bits, self.config.max_pool)?;
         let num_banks = self.knowledge.total_banks()?;
-        let partition: Partition = partition::partition_into_piles(
+        let partition: Partition = partition::partition_with_strategy(
             &mut oracle,
             &pool.addresses,
             num_banks,
@@ -220,12 +246,24 @@ impl DramDig {
         ));
 
         let before = oracle.stats();
-        let detected = functions::detect_bank_functions(
-            &partition.piles,
-            &coarse_bits.bank_bits,
-            num_banks,
-            &self.config,
-        )?;
+        // The decomposition partition already learned the same-bank
+        // difference basis; reuse it instead of re-deriving it from every
+        // pile member.
+        let detected = match &partition.kernel {
+            Some(kernel) => functions::detect_bank_functions_with_basis(
+                kernel,
+                &partition.piles,
+                &coarse_bits.bank_bits,
+                num_banks,
+                &self.config,
+            )?,
+            None => functions::detect_bank_functions(
+                &partition.piles,
+                &coarse_bits.bank_bits,
+                num_banks,
+                &self.config,
+            )?,
+        };
         phase_costs.push((
             Phase::FunctionDetection,
             PhaseCosts::between(before, oracle.stats()),
@@ -361,6 +399,22 @@ mod tests {
         assert!(partition.measurements > coarse.measurements);
         let text = report.to_string();
         assert!(text.contains("partition"));
+    }
+
+    #[test]
+    fn optimized_profile_recovers_the_same_mapping_with_fewer_measurements() {
+        let (naive, setting) = run_setting(4, DramDigConfig::naive());
+        let (fast, _) = run_setting(4, DramDigConfig::optimized());
+        assert!(naive.mapping.equivalent_to(setting.mapping()));
+        assert!(fast.mapping.equivalent_to(setting.mapping()));
+        assert!(
+            fast.total.measurements * 3 <= naive.total.measurements,
+            "optimized {} vs naive {} measurements",
+            fast.total.measurements,
+            naive.total.measurements
+        );
+        // The naive profile never consults a cache.
+        assert_eq!(naive.total.cache_hits + naive.total.cache_misses, 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use rand::rngs::StdRng;
 
-use dram_model::{bits, gf2, XorFunc};
+use dram_model::{bits, gf2, PhysAddr, XorFunc};
 use dram_sim::PhysMemory;
 use mem_probe::{ConflictOracle, MemoryProbe};
 
@@ -58,6 +58,9 @@ pub struct ValidationReport {
     pub bit_checks: u32,
     /// Number of random pair-consistency checks performed.
     pub pair_checks: u32,
+    /// Pair classifications replayed from the probe cache (free checks: the
+    /// measurement was already paid for by an earlier stage).
+    pub cached_checks: u32,
     /// Checks whose outcome disagreed with the recovered mapping.
     pub mismatches: u32,
 }
@@ -65,7 +68,7 @@ pub struct ValidationReport {
 impl ValidationReport {
     /// Fraction of checks that agreed with the recovered mapping.
     pub fn agreement(&self) -> f64 {
-        let total = self.bit_checks + self.pair_checks;
+        let total = self.bit_checks + self.pair_checks + self.cached_checks;
         if total == 0 {
             1.0
         } else {
@@ -101,6 +104,9 @@ pub fn refine<P: MemoryProbe>(
     let mut unclassified: Vec<u8> = coarse.bank_bits.clone();
 
     // --- 1. Two-bit function measurements -------------------------------
+    // Pair construction (which consumes the RNG) runs first in function
+    // order; the measurements then go to the probe as one batch.
+    let mut probes: Vec<((u8, u8), (PhysAddr, PhysAddr))> = Vec::new();
     for f in functions.iter().filter(|f| f.len() == 2) {
         let f_bits = f.bits();
         let (low, high) = (f_bits[0], f_bits[1]);
@@ -111,10 +117,14 @@ pub fn refine<P: MemoryProbe>(
         if appears_elsewhere {
             continue;
         }
-        let Some((a, b)) = find_flip_pair(memory, f.mask(), rng, cfg.max_bases_per_bit) else {
+        let Some(pair) = find_flip_pair(memory, f.mask(), rng, cfg.max_bases_per_bit) else {
             continue;
         };
-        if oracle.is_sbdr(a, b) {
+        probes.push(((low, high), pair));
+    }
+    let pairs: Vec<(PhysAddr, PhysAddr)> = probes.iter().map(|&(_, p)| p).collect();
+    for (&((low, high), _), conflict) in probes.iter().zip(oracle.are_sbdr(&pairs)) {
+        if conflict {
             // Same bank by construction, different row: the higher bit is the
             // row bit, the lower one a pure bank bit.
             push_unique(&mut rows, high);
@@ -316,9 +326,29 @@ pub fn validate<P: MemoryProbe>(
         }
     }
 
+    // Replay the probe cache as free consistency checks: every pair an
+    // earlier stage measured must agree with the recovered mapping, and
+    // checking costs no measurement at all. A healthy cache then covers the
+    // bulk of the confidence budget and the fresh random sample below
+    // shrinks accordingly.
+    let mut fresh_budget = cfg.validation_samples;
+    if cfg.validate_from_cache {
+        if let Some(cache) = oracle.cache() {
+            for ((a, b), measured) in cache.entries().take(cfg.validation_samples * 64) {
+                report.cached_checks += 1;
+                if mapping.is_sbdr(a, b) != measured {
+                    report.mismatches += 1;
+                }
+            }
+        }
+        if report.cached_checks as usize >= cfg.validation_samples {
+            fresh_budget = (cfg.validation_samples / 8).max(4);
+        }
+    }
+
     // Random pair-consistency checks: the recovered mapping must predict the
     // measured SBDR relation.
-    for _ in 0..cfg.validation_samples {
+    for _ in 0..fresh_budget {
         let Some(a) = memory.random_page(rng) else {
             break;
         };

@@ -8,11 +8,16 @@
 //! `log2(#banks)` functions is chosen that numbers the piles `0 .. #banks-1`
 //! distinctly (`check_numbering`).
 
+use dram_model::gf2::PileBasis;
 use dram_model::{bits, gf2, XorFunc};
 
 use crate::config::DramDigConfig;
 use crate::error::DramDigError;
 use crate::partition::Pile;
+
+/// Below this many candidate masks the sweep runs on the calling thread:
+/// spawning scoped workers costs more than the whole sweep.
+const PARALLEL_SWEEP_MIN_MASKS: usize = 2048;
 
 /// Outcome of Algorithm 3.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +32,10 @@ pub struct DetectedFunctions {
 
 /// Returns `true` if `mask` evaluates to the same parity for every address in
 /// the pile (the paper's `apply_xor_mask_to_pile`).
+///
+/// This is the naive O(members) scan; the pipeline verifies candidates
+/// against a [`PileBasis`] instead (O(rank), same verdicts — the
+/// `fast_and_naive_paths_agree` differential tests pin the equivalence).
 pub fn mask_constant_on_pile(mask: u64, pile: &Pile) -> bool {
     let mut iter = pile.members.iter();
     let Some(first) = iter.next() else {
@@ -34,6 +43,70 @@ pub fn mask_constant_on_pile(mask: u64, pile: &Pile) -> bool {
     };
     let expected = first.masked_parity(mask);
     iter.all(|a| a.masked_parity(mask) == expected)
+}
+
+/// Reduces every pile's `member ⊕ pivot` differences into one row-echelon
+/// GF(2) basis. A mask is constant on *every* pile exactly when it has even
+/// parity against every row of this merged basis, so the candidate sweep
+/// costs O(rank ≤ addr_bits) per mask instead of O(total members).
+pub fn merged_difference_basis(piles: &[Pile]) -> PileBasis {
+    let mut merged = PileBasis::new(0);
+    for pile in piles {
+        for member in &pile.members {
+            merged.insert(member.raw() ^ pile.pivot.raw());
+        }
+    }
+    merged
+}
+
+/// Number of sweep workers, resolved once per process: the
+/// `available_parallelism` syscall costs more than an entire small sweep.
+fn sweep_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8)
+    })
+}
+
+/// Filters `masks` down to the ones constant on every pile, verifying each
+/// against the merged difference `basis`. Large sweeps are chunked across
+/// `std::thread::scope` workers; the result order matches the input order
+/// regardless of the worker count.
+pub fn consistent_masks(masks: &[u64], basis: &PileBasis) -> Vec<XorFunc> {
+    let workers = if masks.len() < PARALLEL_SWEEP_MIN_MASKS {
+        1
+    } else {
+        sweep_workers()
+    };
+    if workers <= 1 {
+        return masks
+            .iter()
+            .filter(|&&m| basis.mask_constant(m))
+            .map(|&m| XorFunc::from_mask(m))
+            .collect();
+    }
+    let chunk = masks.len().div_ceil(workers);
+    let per_chunk: Vec<Vec<XorFunc>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = masks
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    c.iter()
+                        .filter(|&&m| basis.mask_constant(m))
+                        .map(|&m| XorFunc::from_mask(m))
+                        .collect::<Vec<XorFunc>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Numbers each pile by evaluating the candidate functions on its pivot.
@@ -57,25 +130,33 @@ fn pile_numbers(functions: &[XorFunc], piles: &[Pile]) -> Vec<u32> {
 /// `log2(#banks)` functions, distinctness is equivalent to counting the piles
 /// from `0` to `#banks - 1`).
 pub fn numbering_is_valid(functions: &[XorFunc], piles: &[Pile]) -> bool {
+    // Up to six functions the numbers fit a u64 bitset, so distinctness
+    // needs no allocation or sort — this sits on the hot combination-search
+    // path of Algorithm 3.
+    if functions.len() <= 6 {
+        let mut seen = 0u64;
+        for pile in piles {
+            let mut value = 0u32;
+            for (i, f) in functions.iter().enumerate() {
+                if f.evaluate(pile.pivot) {
+                    value |= 1 << i;
+                }
+            }
+            if seen >> value & 1 == 1 {
+                return false;
+            }
+            seen |= 1 << value;
+        }
+        return true;
+    }
     let mut numbers = pile_numbers(functions, piles);
     numbers.sort_unstable();
     numbers.windows(2).all(|w| w[0] != w[1])
 }
 
-/// Runs Algorithm 3 over the piles.
-///
-/// # Errors
-///
-/// Returns [`DramDigError::FunctionDetection`] when no candidate masks
-/// survive, when fewer than `log2(#banks)` independent functions exist, or
-/// when no combination of the surviving functions numbers the piles
-/// distinctly.
-pub fn detect_bank_functions(
-    piles: &[Pile],
-    bank_bits: &[u8],
-    num_banks: u32,
-    cfg: &DramDigConfig,
-) -> Result<DetectedFunctions, DramDigError> {
+/// Validates the pile/bank inputs shared by every detection entry point and
+/// returns `log2(num_banks)`.
+fn check_inputs(piles: &[Pile], num_banks: u32) -> Result<usize, DramDigError> {
     if piles.is_empty() {
         return Err(DramDigError::FunctionDetection {
             reason: "no piles to analyse".into(),
@@ -87,19 +168,17 @@ pub fn detect_bank_functions(
             reason: format!("bank count {num_banks} is not a power of two greater than one"),
         });
     }
+    Ok(needed)
+}
 
-    // Enumerate candidate masks by increasing size and keep those constant on
-    // every pile. The intersection over piles is computed incrementally.
-    let masks = bits::gen_xor_masks(bank_bits, cfg.max_func_bits.min(bank_bits.len()));
-    let mut consistent: Vec<XorFunc> = Vec::new();
-    'mask: for mask in masks {
-        for pile in piles {
-            if !mask_constant_on_pile(mask, pile) {
-                continue 'mask;
-            }
-        }
-        consistent.push(XorFunc::from_mask(mask));
-    }
+/// The shared tail of Algorithm 3: prioritise small functions, drop
+/// GF(2)-redundant candidates and pick the combination that numbers the
+/// piles distinctly.
+fn resolve_functions(
+    consistent: Vec<XorFunc>,
+    piles: &[Pile],
+    needed: usize,
+) -> Result<DetectedFunctions, DramDigError> {
     if consistent.is_empty() {
         return Err(DramDigError::FunctionDetection {
             reason: "no XOR mask is constant across all piles".into(),
@@ -147,29 +226,112 @@ pub fn detect_bank_functions(
     })
 }
 
+/// Runs Algorithm 3 over the piles.
+///
+/// Candidate masks are verified against the merged [`PileBasis`] of all
+/// pile differences (built once here; see
+/// [`detect_bank_functions_with_basis`] when the partition already learned
+/// it) and swept in parallel when the candidate space is large.
+///
+/// # Errors
+///
+/// Returns [`DramDigError::FunctionDetection`] when no candidate masks
+/// survive, when fewer than `log2(#banks)` independent functions exist, or
+/// when no combination of the surviving functions numbers the piles
+/// distinctly.
+pub fn detect_bank_functions(
+    piles: &[Pile],
+    bank_bits: &[u8],
+    num_banks: u32,
+    cfg: &DramDigConfig,
+) -> Result<DetectedFunctions, DramDigError> {
+    let basis = merged_difference_basis(piles);
+    detect_bank_functions_with_basis(&basis, piles, bank_bits, num_banks, cfg)
+}
+
+/// Runs Algorithm 3 against a pre-computed merged difference basis (the
+/// decomposition partition returns exactly this structure, so the pipeline
+/// skips re-deriving it from tens of thousands of member differences).
+///
+/// # Errors
+///
+/// Same conditions as [`detect_bank_functions`].
+pub fn detect_bank_functions_with_basis(
+    basis: &PileBasis,
+    piles: &[Pile],
+    bank_bits: &[u8],
+    num_banks: u32,
+    cfg: &DramDigConfig,
+) -> Result<DetectedFunctions, DramDigError> {
+    let needed = check_inputs(piles, num_banks)?;
+    let max_bits = cfg.max_func_bits.min(bank_bits.len());
+    // The masks constant on every pile are exactly the span of the
+    // orthogonal complement of the difference basis (restricted to the bank
+    // bits), so when that complement is small it is enumerated directly by
+    // Gray code — candidate count 2^(n - rank) instead of 2^n. Degenerate
+    // low-rank bases fall back to materialising the candidate list and
+    // chunking it across scoped workers.
+    let n = bank_bits.len();
+    let gathered: Vec<u64> = basis
+        .rows()
+        .iter()
+        .map(|&row| bits::gather_bits(row, bank_bits))
+        .collect();
+    let complement = gf2::nullspace_basis(&gathered, n);
+    let consistent = if (1u64 << complement.len()) as usize <= PARALLEL_SWEEP_MIN_MASKS {
+        let mut survivors: Vec<u64> = Vec::with_capacity(1 << complement.len());
+        let mut value = 0u64;
+        for i in 1u64..(1 << complement.len()) {
+            // Gray-code walk: step i flips combination bit trailing_zeros(i),
+            // so each candidate costs exactly one XOR.
+            value ^= complement[i.trailing_zeros() as usize];
+            if value.count_ones() as usize <= max_bits {
+                survivors.push(bits::scatter_bits(value, bank_bits));
+            }
+        }
+        survivors.sort_unstable_by(|&a, &b| bits::cmp_masks_enumeration_order(a, b));
+        survivors.into_iter().map(XorFunc::from_mask).collect()
+    } else {
+        let masks = bits::gen_xor_masks(bank_bits, max_bits);
+        consistent_masks(&masks, basis)
+    };
+    resolve_functions(consistent, piles, needed)
+}
+
+/// The seed implementation of Algorithm 3: verifies every candidate mask by
+/// scanning every member of every pile on the calling thread. Kept as the
+/// reference the fast path is differentially tested against (and as the
+/// baseline the benchmarks measure).
+///
+/// # Errors
+///
+/// Same conditions as [`detect_bank_functions`].
+pub fn detect_bank_functions_naive(
+    piles: &[Pile],
+    bank_bits: &[u8],
+    num_banks: u32,
+    cfg: &DramDigConfig,
+) -> Result<DetectedFunctions, DramDigError> {
+    let needed = check_inputs(piles, num_banks)?;
+    let masks = bits::gen_xor_masks(bank_bits, cfg.max_func_bits.min(bank_bits.len()));
+    let mut consistent: Vec<XorFunc> = Vec::new();
+    'mask: for mask in masks {
+        for pile in piles {
+            if !mask_constant_on_pile(mask, pile) {
+                continue 'mask;
+            }
+        }
+        consistent.push(XorFunc::from_mask(mask));
+    }
+    resolve_functions(consistent, piles, needed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dram_model::{AddressMapping, MachineSetting, PhysAddr};
+    use dram_model::{MachineSetting, PhysAddr};
 
-    /// Builds noise-free piles directly from a ground-truth mapping: every
-    /// combination of the bank bits, grouped by true bank.
-    fn synthetic_piles(mapping: &AddressMapping) -> Vec<Pile> {
-        let bank_bits = mapping.bank_function_bits();
-        let mut piles: std::collections::BTreeMap<u32, Vec<PhysAddr>> = Default::default();
-        for combo in 0..(1u64 << bank_bits.len()) {
-            let raw = bits::scatter_bits(combo, &bank_bits);
-            let addr = PhysAddr::new(raw);
-            piles.entry(mapping.bank_of(addr)).or_default().push(addr);
-        }
-        piles
-            .into_values()
-            .map(|members| Pile {
-                pivot: members[0],
-                members,
-            })
-            .collect()
-    }
+    use crate::partition::synthetic_piles;
 
     fn detect_for(setting: &MachineSetting) -> DetectedFunctions {
         let mapping = setting.mapping();
@@ -238,6 +400,52 @@ mod tests {
             members: vec![],
         };
         assert!(mask_constant_on_pile(0b1, &empty));
+    }
+
+    #[test]
+    fn fast_and_naive_paths_agree_on_every_table_ii_setting() {
+        for setting in MachineSetting::all() {
+            let mapping = setting.mapping();
+            let piles = synthetic_piles(mapping);
+            let bank_bits = mapping.bank_function_bits();
+            let banks = setting.system.total_banks();
+            let cfg = DramDigConfig::default();
+            let fast = detect_bank_functions(&piles, &bank_bits, banks, &cfg).unwrap();
+            let naive = detect_bank_functions_naive(&piles, &bank_bits, banks, &cfg).unwrap();
+            assert_eq!(fast, naive, "{}", setting.label());
+        }
+    }
+
+    #[test]
+    fn merged_basis_verdicts_match_per_pile_scans() {
+        let setting = MachineSetting::no6_skylake_ddr4_16g();
+        let piles = synthetic_piles(setting.mapping());
+        let basis = merged_difference_basis(&piles);
+        let bank_bits = setting.mapping().bank_function_bits();
+        for mask in bits::gen_xor_masks(&bank_bits, 7) {
+            let naive = piles.iter().all(|p| mask_constant_on_pile(mask, p));
+            assert_eq!(basis.mask_constant(mask), naive, "mask {mask:#x}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order_and_verdicts() {
+        // A wide synthetic candidate space (16 bits, up to 5-bit masks:
+        // 6885 masks) forces the scoped-thread path; verdicts and order
+        // must match the serial filter exactly.
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let piles = synthetic_piles(setting.mapping());
+        let basis = merged_difference_basis(&piles);
+        let wide_bits: Vec<u8> = (8u8..24).collect();
+        let masks = bits::gen_xor_masks(&wide_bits, 5);
+        assert!(masks.len() >= 2048, "test must exercise the parallel path");
+        let parallel = consistent_masks(&masks, &basis);
+        let serial: Vec<XorFunc> = masks
+            .iter()
+            .filter(|&&m| basis.mask_constant(m))
+            .map(|&m| XorFunc::from_mask(m))
+            .collect();
+        assert_eq!(parallel, serial);
     }
 
     #[test]

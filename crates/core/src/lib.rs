@@ -62,7 +62,7 @@ pub mod knowledge;
 pub mod partition;
 pub mod select;
 
-pub use config::DramDigConfig;
+pub use config::{DramDigConfig, PartitionStrategy};
 pub use driver::{DramDig, PhaseCosts, RunReport};
 pub use error::DramDigError;
 pub use knowledge::DomainKnowledge;

@@ -11,10 +11,11 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
+use dram_model::gf2::PileBasis;
 use dram_model::PhysAddr;
 use mem_probe::{ConflictOracle, MemoryProbe};
 
-use crate::config::DramDigConfig;
+use crate::config::{DramDigConfig, PartitionStrategy};
 use crate::error::DramDigError;
 
 /// One same-bank pile.
@@ -29,14 +30,24 @@ pub struct Pile {
 
 impl Pile {
     /// Number of addresses in the pile (pivot included).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.members.len()
     }
 
     /// Returns `true` if the pile has no members (never produced by the
     /// partition, but kept for API completeness).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
+    }
+
+    /// Builds the row-echelon GF(2) basis of the pile's `member ⊕ pivot`
+    /// differences — the structure Algorithm 3 verifies candidate masks
+    /// against in O(rank) instead of O(members).
+    #[must_use]
+    pub fn basis(&self) -> PileBasis {
+        PileBasis::from_members(self.pivot.raw(), self.members.iter().map(|a| a.raw()))
     }
 }
 
@@ -49,17 +60,36 @@ pub struct Partition {
     pub unassigned: Vec<PhysAddr>,
     /// Number of pivot attempts that produced an out-of-tolerance pile.
     pub rejected_piles: u32,
+    /// The same-bank difference basis the decomposition strategy learned,
+    /// when that strategy produced this partition. Algorithm 3 can verify
+    /// candidate masks directly against it without re-deriving it from the
+    /// pile members.
+    pub kernel: Option<PileBasis>,
 }
 
 impl Partition {
     /// Fraction of the original pool that ended up in accepted piles.
+    ///
+    /// Addresses are counted once even when they appear in several piles
+    /// (hand-built partitions may share pivots between piles; the
+    /// measurement-driven partitions never produce overlaps).
+    #[must_use]
     pub fn assigned_fraction(&self) -> f64 {
-        let assigned: usize = self.piles.iter().map(Pile::len).sum();
-        let total = assigned + self.unassigned.len();
+        let assigned: std::collections::HashSet<PhysAddr> = self
+            .piles
+            .iter()
+            .flat_map(|p| p.members.iter().copied())
+            .collect();
+        let unassigned = self
+            .unassigned
+            .iter()
+            .filter(|a| !assigned.contains(a))
+            .count();
+        let total = assigned.len() + unassigned;
         if total == 0 {
             0.0
         } else {
-            assigned as f64 / total as f64
+            assigned.len() as f64 / total as f64
         }
     }
 }
@@ -144,6 +174,230 @@ pub fn partition_into_piles<P: MemoryProbe>(
         piles,
         unassigned: remaining,
         rejected_piles: rejected,
+        kernel: None,
+    })
+}
+
+/// Builds noise-free piles directly from a ground-truth mapping: one
+/// address per combination of the mapping's bank-function bits, grouped by
+/// true bank, with the lowest address of each bank as the pivot.
+///
+/// This is the canonical clean input to Algorithm 3, shared by the
+/// differential tests and the benchmarks so the pile shape cannot drift
+/// between them.
+#[must_use]
+pub fn synthetic_piles(mapping: &dram_model::AddressMapping) -> Vec<Pile> {
+    let bank_bits = mapping.bank_function_bits();
+    let mut piles: std::collections::BTreeMap<u32, Vec<PhysAddr>> = Default::default();
+    for combo in 0..(1u64 << bank_bits.len()) {
+        let raw = dram_model::bits::scatter_bits(combo, &bank_bits);
+        let addr = PhysAddr::new(raw);
+        piles.entry(mapping.bank_of(addr)).or_default().push(addr);
+    }
+    piles
+        .into_values()
+        .map(|members| Pile {
+            pivot: members[0],
+            members,
+        })
+        .collect()
+}
+
+/// Runs the partition strategy selected by `cfg.partition_strategy`.
+///
+/// The decomposition strategy is a measurement-budget optimisation, not a
+/// robustness improvement, so when it cannot complete (excess noise, a pool
+/// whose kernel cannot be learned within `cfg.max_decompose_queries`) this
+/// falls back to the exhaustive Algorithm 2 instead of failing the pipeline.
+///
+/// # Errors
+///
+/// Same conditions as [`partition_into_piles`].
+pub fn partition_with_strategy<P: MemoryProbe>(
+    oracle: &mut ConflictOracle<P>,
+    pool: &[PhysAddr],
+    num_banks: u32,
+    cfg: &DramDigConfig,
+    rng: &mut StdRng,
+) -> Result<Partition, DramDigError> {
+    match cfg.partition_strategy {
+        PartitionStrategy::Exhaustive => partition_into_piles(oracle, pool, num_banks, cfg, rng),
+        PartitionStrategy::Decompose => partition_decompose(oracle, pool, num_banks, cfg, rng)
+            .or_else(|_| partition_into_piles(oracle, pool, num_banks, cfg, rng)),
+    }
+}
+
+/// GF(2) decomposition partition: instead of timing every pool address
+/// against every pivot, learn a basis of the *same-bank difference space*
+/// (the kernel of the bank functions restricted to the bits the pool varies)
+/// from targeted measurements, then place every address into its coset
+/// computationally and spot-check one measured pair per pile.
+///
+/// Two addresses of the pool are in the same bank exactly when their XOR
+/// difference lies in that kernel, so `num_banks` piles need only
+/// `dim(kernel) = |varying bits| - log2(num_banks)` independent positive
+/// observations plus the probing that finds them. Candidate differences are
+/// probed in ascending Hamming weight starting at two — the shape Intel
+/// bank-function kernels overwhelmingly take (each isolated XOR function
+/// contributes its own mask as a weight-2 kernel vector) — then single
+/// bits, then random differences from random base addresses. A noisy
+/// observation cannot silently corrupt the result: a wrong kernel either
+/// changes the coset count or fails a spot check, both of which surface as
+/// an error that [`partition_with_strategy`] answers with the exhaustive
+/// fallback.
+///
+/// # Errors
+///
+/// Returns [`DramDigError::Partition`] when the pool is too small, when the
+/// kernel cannot be completed within `cfg.max_decompose_queries`
+/// measurements, when the computed cosets do not form exactly `num_banks`
+/// piles, or when a spot check fails.
+pub fn partition_decompose<P: MemoryProbe>(
+    oracle: &mut ConflictOracle<P>,
+    pool: &[PhysAddr],
+    num_banks: u32,
+    cfg: &DramDigConfig,
+    rng: &mut StdRng,
+) -> Result<Partition, DramDigError> {
+    let pool_sz = pool.len();
+    if pool_sz < num_banks as usize {
+        return Err(DramDigError::Partition {
+            reason: format!("pool of {pool_sz} addresses cannot fill {num_banks} banks"),
+        });
+    }
+    if !num_banks.is_power_of_two() || num_banks < 2 {
+        return Err(DramDigError::Partition {
+            reason: format!("bank count {num_banks} is not a power of two greater than one"),
+        });
+    }
+    let needed = num_banks.trailing_zeros() as usize;
+
+    // The bits the pool actually varies; the kernel lives inside their span.
+    let base = pool[0].raw();
+    let varying: u64 = pool.iter().fold(0, |m, a| m | (a.raw() ^ base));
+    let vbits = dram_model::bits::bit_positions(varying);
+    let dim_pool = vbits.len();
+    if dim_pool < needed {
+        return Err(DramDigError::Partition {
+            reason: format!("pool varies only {dim_pool} bits but {num_banks} banks need {needed}"),
+        });
+    }
+    let kernel_rank = dim_pool - needed;
+
+    let pool_set: std::collections::HashSet<u64> = pool.iter().map(|a| a.raw()).collect();
+    let pivot = *pool.choose(rng).expect("pool is non-empty");
+    let mut kernel = PileBasis::new(pivot.raw());
+    let mut queries = 0u32;
+    // Same-bank pairs observed while learning; their cosets need no
+    // further spot check.
+    let mut positives: Vec<PhysAddr> = Vec::new();
+
+    // Deterministic candidates: weight-2 differences, then single bits.
+    let mut candidates: Vec<u64> = Vec::new();
+    for (i, &a) in vbits.iter().enumerate() {
+        for &b in vbits.iter().skip(i + 1) {
+            candidates.push((1u64 << a) | (1u64 << b));
+        }
+    }
+    candidates.extend(vbits.iter().map(|&b| 1u64 << b));
+
+    let mut next_candidate = 0usize;
+    while kernel.rank() < kernel_rank {
+        if queries >= cfg.max_decompose_queries {
+            return Err(DramDigError::Partition {
+                reason: format!(
+                    "kernel rank stalled at {}/{kernel_rank} after {queries} decompose queries",
+                    kernel.rank()
+                ),
+            });
+        }
+        // Pick the next unspanned difference: deterministic list first, then
+        // random base/partner pairs (which also re-measure noise-suspect
+        // differences through fresh address pairs). Both phases are bounded:
+        // a pool whose pairwise differences cannot complete the kernel (the
+        // OR of differences over-estimates their XOR-span) must stall out to
+        // the exhaustive fallback, not spin here.
+        let mut picked = None;
+        while next_candidate < candidates.len() {
+            let d = candidates[next_candidate];
+            next_candidate += 1;
+            if !kernel.spans_difference(d) && pool_set.contains(&(pivot.raw() ^ d)) {
+                picked = Some((pivot, d));
+                break;
+            }
+        }
+        if picked.is_none() {
+            for _ in 0..pool_sz.max(64) {
+                let r = *pool.choose(rng).expect("pool is non-empty");
+                let c = *pool.choose(rng).expect("pool is non-empty");
+                let d = r.raw() ^ c.raw();
+                if d != 0 && !kernel.spans_difference(d) {
+                    picked = Some((r, d));
+                    break;
+                }
+            }
+        }
+        let Some((base_addr, diff)) = picked else {
+            return Err(DramDigError::Partition {
+                reason: format!(
+                    "no unspanned pool difference left with kernel rank {}/{kernel_rank}",
+                    kernel.rank()
+                ),
+            });
+        };
+        queries += 1;
+        let partner = PhysAddr::new(base_addr.raw() ^ diff);
+        if oracle.is_sbdr(base_addr, partner) {
+            kernel.insert(pivot.raw() ^ diff);
+            positives.push(base_addr);
+        }
+    }
+
+    // Assign every pool address to its coset — pure computation.
+    let mut piles_by_coset: std::collections::BTreeMap<u64, Vec<PhysAddr>> = Default::default();
+    for &addr in pool {
+        let coset = kernel.reduce(addr.raw() ^ pivot.raw());
+        piles_by_coset.entry(coset).or_default().push(addr);
+    }
+    if piles_by_coset.len() != num_banks as usize {
+        return Err(DramDigError::Partition {
+            reason: format!(
+                "decomposition produced {} cosets for {num_banks} banks",
+                piles_by_coset.len()
+            ),
+        });
+    }
+    let evidenced: std::collections::HashSet<u64> = positives
+        .iter()
+        .map(|a| kernel.reduce(a.raw() ^ pivot.raw()))
+        .collect();
+
+    // One measured spot check per pile whose purity no learning query
+    // already witnessed: a pair of computed same-bank members must conflict.
+    let mut piles = Vec::with_capacity(piles_by_coset.len());
+    for (coset, members) in piles_by_coset {
+        if members.len() >= 2 && !evidenced.contains(&coset) {
+            let a = members[0];
+            let b = members[members.len() / 2];
+            if !oracle.is_sbdr(a, b) {
+                return Err(DramDigError::Partition {
+                    reason: format!(
+                        "spot check failed: {a} and {b} share a computed pile but do not conflict"
+                    ),
+                });
+            }
+        }
+        piles.push(Pile {
+            pivot: members[0],
+            members,
+        });
+    }
+
+    Ok(Partition {
+        piles,
+        unassigned: Vec::new(),
+        rejected_piles: 0,
+        kernel: Some(kernel),
     })
 }
 
@@ -246,6 +500,131 @@ mod tests {
         // use 2 banks so expected pile size is 4 and singletons get rejected.
         let err = partition_into_piles(&mut oracle, &pool, 2, &cfg, &mut rng).unwrap_err();
         assert!(matches!(err, DramDigError::Partition { .. }));
+    }
+
+    #[test]
+    fn decompose_matches_exhaustive_bank_structure() {
+        let setting = MachineSetting::by_number(4).unwrap();
+        let mut oracle = oracle_for(4, false);
+        let bank_bits = setting.mapping().bank_function_bits();
+        let pool = select_addresses(oracle.probe().memory(), &bank_bits, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let before = oracle.stats().measurements;
+        let partition = partition_decompose(
+            &mut oracle,
+            &pool.addresses,
+            setting.system.total_banks(),
+            &DramDigConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let spent = oracle.stats().measurements - before;
+        let truth = setting.mapping();
+        assert_eq!(partition.piles.len(), 8);
+        assert!(partition.kernel.is_some());
+        assert!((partition.assigned_fraction() - 1.0).abs() < 1e-12);
+        for pile in &partition.piles {
+            let bank = truth.bank_of(pile.pivot);
+            for &member in &pile.members {
+                assert_eq!(truth.bank_of(member), bank, "pile must be single-bank");
+            }
+        }
+        // The measurement budget is a small fraction of the exhaustive
+        // strategy's (which spends ≥ pool²/banks-ish on this pool).
+        assert!(spent < 64, "decompose spent {spent} measurements");
+    }
+
+    #[test]
+    fn decompose_falls_back_cleanly_via_strategy_dispatch() {
+        // A pool with a single varying bit cannot host 8 banks: decompose
+        // must fail and partition_with_strategy must fall back to the
+        // exhaustive path (which then reports its own pool-size error).
+        let mut oracle = oracle_for(4, false);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool: Vec<PhysAddr> = (0..4u64).map(|i| PhysAddr::new(i * 4096)).collect();
+        let cfg = DramDigConfig {
+            partition_strategy: crate::config::PartitionStrategy::Decompose,
+            ..DramDigConfig::default()
+        };
+        let err = partition_with_strategy(&mut oracle, &pool, 8, &cfg, &mut rng).unwrap_err();
+        assert!(matches!(err, DramDigError::Partition { .. }));
+    }
+
+    #[test]
+    fn strategy_dispatch_uses_decompose_when_possible() {
+        let setting = MachineSetting::by_number(7).unwrap();
+        let mut oracle = oracle_for(7, false);
+        let bank_bits = setting.mapping().bank_function_bits();
+        let pool = select_addresses(oracle.probe().memory(), &bank_bits, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = DramDigConfig {
+            partition_strategy: crate::config::PartitionStrategy::Decompose,
+            ..DramDigConfig::default()
+        };
+        let partition = partition_with_strategy(
+            &mut oracle,
+            &pool.addresses,
+            setting.system.total_banks(),
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(partition.kernel.is_some(), "decompose path should be taken");
+        assert_eq!(partition.piles.len(), setting.system.total_banks() as usize);
+    }
+
+    #[test]
+    fn assigned_fraction_counts_shared_addresses_once() {
+        let a = PhysAddr::new(0x1000);
+        let b = PhysAddr::new(0x2000);
+        let c = PhysAddr::new(0x3000);
+        // Two piles sharing the pivot address `a`: 3 unique assigned, 1
+        // unassigned -> 0.75, not (4 assigned / 5 total).
+        let partition = Partition {
+            piles: vec![
+                Pile {
+                    pivot: a,
+                    members: vec![a, b],
+                },
+                Pile {
+                    pivot: a,
+                    members: vec![a, c],
+                },
+            ],
+            unassigned: vec![PhysAddr::new(0x4000)],
+            rejected_piles: 0,
+            kernel: None,
+        };
+        assert!((partition.assigned_fraction() - 0.75).abs() < 1e-12);
+        // An address listed both assigned and unassigned counts as assigned.
+        let overlap = Partition {
+            piles: vec![Pile {
+                pivot: a,
+                members: vec![a, b],
+            }],
+            unassigned: vec![b],
+            rejected_piles: 0,
+            kernel: None,
+        };
+        assert!((overlap.assigned_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pile_basis_spans_member_differences() {
+        let pile = Pile {
+            pivot: PhysAddr::new(0b0000),
+            members: vec![
+                PhysAddr::new(0b0000),
+                PhysAddr::new(0b0110),
+                PhysAddr::new(0b1010),
+                PhysAddr::new(0b1100),
+            ],
+        };
+        let basis = pile.basis();
+        assert_eq!(basis.rank(), 2);
+        for m in &pile.members {
+            assert!(basis.spans_difference(m.raw() ^ pile.pivot.raw()));
+        }
     }
 
     #[test]

@@ -138,6 +138,20 @@ pub fn gen_xor_masks(bits: &[u8], max_size: usize) -> Vec<u64> {
     masks
 }
 
+/// Orders XOR masks the way [`gen_xor_masks`] emits them: fewer
+/// participating bits first, ties broken by the lexicographic order of the
+/// ascending bit-position sequences. Sorting an unordered candidate set
+/// with this comparator reproduces the enumeration order exactly.
+pub fn cmp_masks_enumeration_order(a: u64, b: u64) -> std::cmp::Ordering {
+    // Lexicographic order on the ascending bit-position sequences is the
+    // *descending* numeric order of the bit-reversed masks: the first
+    // position where the sequences differ is the highest differing bit of
+    // the reversals, and the smaller position is the one that is set there.
+    a.count_ones()
+        .cmp(&b.count_ones())
+        .then_with(|| b.reverse_bits().cmp(&a.reverse_bits()))
+}
+
 /// Binomial coefficient `n choose k` (saturating; used for cost estimation).
 pub fn binomial(n: u64, k: u64) -> u64 {
     if k > n {
@@ -212,6 +226,23 @@ mod tests {
         assert_eq!(masks[0].count_ones(), 1);
         assert_eq!(masks[3].count_ones(), 2);
         assert_eq!(masks[6].count_ones(), 3);
+    }
+
+    #[test]
+    fn enumeration_order_comparator_reproduces_gen_xor_masks() {
+        for bits_set in [
+            vec![1u8, 2, 3, 4],
+            vec![0, 5, 9, 13, 21],
+            vec![6, 13, 14, 15, 16, 17],
+        ] {
+            for max in 1..=bits_set.len() {
+                let reference = gen_xor_masks(&bits_set, max);
+                let mut shuffled: Vec<u64> = reference.clone();
+                shuffled.reverse();
+                shuffled.sort_unstable_by(|&a, &b| cmp_masks_enumeration_order(a, b));
+                assert_eq!(shuffled, reference, "bits {bits_set:?} max {max}");
+            }
+        }
     }
 
     #[test]

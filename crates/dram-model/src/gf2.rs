@@ -81,6 +81,110 @@ impl Gf2Matrix {
     }
 }
 
+/// Incremental row-echelon GF(2) basis of the differences `member ⊕ pivot`
+/// of one same-bank pile.
+///
+/// A XOR mask evaluates to the same parity for *every* address of a pile if
+/// and only if it is orthogonal (even parity) to every difference
+/// `member ⊕ pivot` — and parity is linear over GF(2), so it suffices to
+/// check the mask against a basis of the difference space. The basis has at
+/// most `addr_bits` rows, so a candidate mask is verified in O(rank)
+/// popcount-parity checks instead of O(members), with bit-identical results
+/// to the naive per-member scan.
+///
+/// ```
+/// use dram_model::gf2::PileBasis;
+/// // Pile {0b000, 0b011, 0b101, 0b110}: differences span {011, 101}.
+/// let basis = PileBasis::from_members(0b000, [0b011, 0b101, 0b110]);
+/// assert_eq!(basis.rank(), 2);
+/// assert!(basis.mask_constant(0b111)); // even parity on every member
+/// assert!(!basis.mask_constant(0b001)); // splits the pile
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PileBasis {
+    pivot: u64,
+    basis: Vec<u64>,
+}
+
+impl PileBasis {
+    /// Creates an empty basis around a pivot address.
+    #[must_use]
+    pub fn new(pivot: u64) -> Self {
+        PileBasis {
+            pivot,
+            basis: Vec::new(),
+        }
+    }
+
+    /// Builds the basis of a whole pile in one pass over its members.
+    #[must_use]
+    pub fn from_members(pivot: u64, members: impl IntoIterator<Item = u64>) -> Self {
+        let mut b = PileBasis::new(pivot);
+        for m in members {
+            b.insert(m);
+        }
+        b
+    }
+
+    /// Folds one member into the basis. Returns `true` when the member's
+    /// difference to the pivot was linearly independent of the differences
+    /// seen so far (i.e. the rank grew).
+    pub fn insert(&mut self, member: u64) -> bool {
+        let reduced = reduce_against(member ^ self.pivot, &self.basis);
+        if reduced == 0 {
+            return false;
+        }
+        self.basis.push(reduced);
+        self.basis.sort_unstable_by(|a, b| b.cmp(a));
+        true
+    }
+
+    /// The pivot address the differences are taken against.
+    #[must_use]
+    pub fn pivot(&self) -> u64 {
+        self.pivot
+    }
+
+    /// Rank of the difference space (number of basis rows).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// The row-echelon basis rows of the difference space.
+    #[must_use]
+    pub fn rows(&self) -> &[u64] {
+        &self.basis
+    }
+
+    /// Returns `true` if `difference` lies in the span of the differences
+    /// folded in so far (so inserting a member at `pivot ^ difference` would
+    /// not grow the rank).
+    #[must_use]
+    pub fn spans_difference(&self, difference: u64) -> bool {
+        reduce_against(difference, &self.basis) == 0
+    }
+
+    /// Reduces `value` against the basis, returning the canonical coset
+    /// representative of `value` modulo the spanned difference space (zero
+    /// exactly when the value is spanned). Two values reduce to the same
+    /// representative if and only if they lie in the same coset.
+    #[must_use]
+    pub fn reduce(&self, value: u64) -> u64 {
+        reduce_against(value, &self.basis)
+    }
+
+    /// Returns `true` if `mask` evaluates to the same parity on every member
+    /// folded into the basis — the fast equivalent of the naive
+    /// `apply_xor_mask_to_pile` scan.
+    #[must_use]
+    pub fn mask_constant(&self, mask: u64) -> bool {
+        self.basis
+            .iter()
+            .all(|&d| (d & mask).count_ones().is_multiple_of(2))
+    }
+}
+
 /// Reduces `value` against a set of basis rows (each used by its leading bit).
 fn reduce_against(mut value: u64, basis: &[u64]) -> u64 {
     for &b in basis {
@@ -143,15 +247,73 @@ pub fn remove_redundant(funcs: &[XorFunc]) -> Vec<XorFunc> {
     let mut sorted: Vec<XorFunc> = funcs.to_vec();
     crate::xor_func::canonical_order(&mut sorted);
     let mut kept: Vec<XorFunc> = Vec::new();
+    // Incremental row-echelon basis of the kept functions: each candidate is
+    // a linear combination of the kept set exactly when it reduces to zero,
+    // so redundancy costs O(rank) per candidate instead of re-running
+    // Gaussian elimination over the whole kept set every time.
+    let mut basis: Vec<u64> = Vec::new();
     for f in sorted {
         if f.is_empty() {
             continue;
         }
-        if !is_linear_combination(f, &kept) {
+        let reduced = reduce_against(f.mask(), &basis);
+        if reduced != 0 {
             kept.push(f);
+            basis.push(reduced);
+            basis.sort_unstable_by(|a, b| b.cmp(a));
         }
     }
     kept
+}
+
+/// Computes a basis of the nullspace `{x : row · x = 0 for every row}` of a
+/// GF(2) matrix over `n` columns (bit `j` of a row is the coefficient of
+/// unknown `j`).
+///
+/// The dimension of the returned basis is `n - rank(rows)`. Algorithm 3
+/// uses this to enumerate the candidate masks orthogonal to a pile
+/// difference basis directly — the span of the result — instead of testing
+/// every subset of the bank bits.
+pub fn nullspace_basis(rows_in: &[u64], n: usize) -> Vec<u64> {
+    assert!(n <= 64, "at most 64 unknowns supported");
+    let mut rows: Vec<u64> = rows_in.to_vec();
+    let mut pivot_cols: Vec<usize> = Vec::new();
+    let mut pivot_col_mask = 0u64;
+    let mut next_row = 0usize;
+    for col in 0..n {
+        let Some(p) = (next_row..rows.len()).find(|&i| rows[i] >> col & 1 == 1) else {
+            continue;
+        };
+        rows.swap(next_row, p);
+        let pivot_row = rows[next_row];
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i != next_row && *row >> col & 1 == 1 {
+                *row ^= pivot_row;
+            }
+        }
+        pivot_cols.push(col);
+        pivot_col_mask |= 1 << col;
+        next_row += 1;
+        if next_row == rows.len() {
+            break;
+        }
+    }
+    // In reduced row-echelon form, row i reads x_{pivot_i} = Σ coeffs over
+    // free columns; each free column yields one basis vector.
+    let mut basis = Vec::with_capacity(n - pivot_cols.len());
+    for free in 0..n {
+        if pivot_col_mask >> free & 1 == 1 {
+            continue;
+        }
+        let mut v = 1u64 << free;
+        for (i, &pc) in pivot_cols.iter().enumerate() {
+            if rows[i] >> free & 1 == 1 {
+                v |= 1 << pc;
+            }
+        }
+        basis.push(v);
+    }
+    basis
 }
 
 /// Solves the square GF(2) system `A x = b` where row `i` of `a_rows` holds
@@ -336,6 +498,88 @@ mod tests {
         ];
         assert!(functions_independent(&indep));
         assert!(!functions_independent(&dep));
+    }
+
+    #[test]
+    fn nullspace_is_orthogonal_complement() {
+        // rows of rank 2 over 5 unknowns -> nullspace of dimension 3.
+        let rows = [0b00110u64, 0b01010];
+        let basis = nullspace_basis(&rows, 5);
+        assert_eq!(basis.len(), 3);
+        // Every span element is orthogonal to every row; the span has full
+        // size (basis vectors are independent).
+        let mut span = std::collections::BTreeSet::new();
+        for combo in 0..(1u64 << basis.len()) {
+            let mut v = 0u64;
+            for (i, &b) in basis.iter().enumerate() {
+                if combo >> i & 1 == 1 {
+                    v ^= b;
+                }
+            }
+            span.insert(v);
+            for &r in &rows {
+                assert_eq!((v & r).count_ones() % 2, 0, "v = {v:#b}, r = {r:#b}");
+            }
+        }
+        assert_eq!(span.len(), 8);
+        // Exhaustive cross-check: exactly the orthogonal vectors are spanned.
+        for v in 0..32u64 {
+            let orthogonal = rows.iter().all(|&r| (v & r).count_ones() % 2 == 0);
+            assert_eq!(span.contains(&v), orthogonal, "v = {v:#b}");
+        }
+    }
+
+    #[test]
+    fn nullspace_of_empty_and_full_rank_systems() {
+        // No constraints: the whole space.
+        assert_eq!(nullspace_basis(&[], 3).len(), 3);
+        // Full rank: only the zero vector.
+        assert_eq!(nullspace_basis(&[0b001, 0b010, 0b100], 3).len(), 0);
+        // Redundant rows do not shrink the nullspace further.
+        assert_eq!(nullspace_basis(&[0b011, 0b011], 3).len(), 2);
+    }
+
+    #[test]
+    fn pile_basis_matches_naive_scan_exhaustively() {
+        // Pile = coset of span{0b0110, 0b1010} around an arbitrary pivot.
+        let pivot = 0b0101u64;
+        let kernel = [0b0000u64, 0b0110, 0b1010, 0b1100];
+        let members: Vec<u64> = kernel.iter().map(|k| pivot ^ k).collect();
+        let basis = PileBasis::from_members(pivot, members.iter().copied());
+        assert_eq!(basis.rank(), 2);
+        for mask in 0..16u64 {
+            let naive = {
+                let expected = (pivot & mask).count_ones() % 2;
+                members
+                    .iter()
+                    .all(|m| (m & mask).count_ones() % 2 == expected)
+            };
+            assert_eq!(basis.mask_constant(mask), naive, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn pile_basis_insert_reports_rank_growth() {
+        let mut basis = PileBasis::new(0);
+        assert!(basis.insert(0b001));
+        assert!(basis.insert(0b010));
+        assert!(!basis.insert(0b011)); // 001 ^ 010, already spanned
+        assert!(!basis.insert(0)); // the pivot itself never adds rank
+        assert_eq!(basis.rank(), 2);
+        assert!(basis.spans_difference(0b011));
+        assert!(!basis.spans_difference(0b100));
+        assert_eq!(basis.pivot(), 0);
+        assert_eq!(basis.rows().len(), 2);
+    }
+
+    #[test]
+    fn pile_basis_empty_pile_accepts_every_mask() {
+        let basis = PileBasis::new(0b1011);
+        assert_eq!(basis.rank(), 0);
+        for mask in 0..32u64 {
+            assert!(basis.mask_constant(mask));
+        }
+        assert_eq!(basis.pivot(), 0b1011);
     }
 
     #[test]

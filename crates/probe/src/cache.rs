@@ -1,0 +1,233 @@
+//! A bounded, pair-keyed cache of SBDR classifications.
+//!
+//! The DRAMDig pipeline asks the same binary question — *are these two
+//! addresses in the same bank but different rows?* — about overlapping pair
+//! sets across Algorithm 2, the coarse stage and the fine stage, and again
+//! whenever a pivot attempt is rejected and retried. Re-timing a pair the
+//! probe has already classified buys no new information, so the
+//! [`ConflictOracle`](crate::ConflictOracle) can consult a [`ConflictCache`]
+//! before touching the memory bus.
+//!
+//! The cache is **symmetric** (the pair `(a, b)` and the pair `(b, a)` hit
+//! the same entry, because the alternating access pattern is order-blind) and
+//! **bounded**: once `capacity` entries are stored, the oldest entry is
+//! evicted FIFO. Eviction only ever *forgets* a classification — a later
+//! lookup misses and the pair is re-measured — it can never return a wrong
+//! answer for a different pair.
+
+use std::collections::{HashMap, VecDeque};
+
+use dram_model::PhysAddr;
+
+/// Default number of pair classifications kept (≈ 48 MiB worst case, far
+/// beyond what one pipeline run produces).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
+/// Symmetric canonical key of an unordered address pair.
+fn key(a: PhysAddr, b: PhysAddr) -> (u64, u64) {
+    let (x, y) = (a.raw(), b.raw());
+    if x <= y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+/// A bounded FIFO cache mapping unordered address pairs to their SBDR
+/// classification, with hit/miss accounting.
+///
+/// ```
+/// use dram_model::PhysAddr;
+/// use mem_probe::ConflictCache;
+///
+/// let mut cache = ConflictCache::new(16);
+/// let (a, b) = (PhysAddr::new(0x1000), PhysAddr::new(0x2000));
+/// assert_eq!(cache.lookup(a, b), None);
+/// cache.record(a, b, true);
+/// assert_eq!(cache.lookup(b, a), Some(true)); // symmetric
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConflictCache {
+    map: HashMap<(u64, u64), bool>,
+    order: VecDeque<(u64, u64)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ConflictCache {
+    /// Creates a cache holding at most `capacity` pair classifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        ConflictCache {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            order: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the classification of an unordered pair, counting the access
+    /// as a hit or miss.
+    pub fn lookup(&mut self, a: PhysAddr, b: PhysAddr) -> Option<bool> {
+        let found = self.map.get(&key(a, b)).copied();
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Looks up the classification without touching the hit/miss counters
+    /// (used by read-only consumers such as the validation pass).
+    #[must_use]
+    pub fn peek(&self, a: PhysAddr, b: PhysAddr) -> Option<bool> {
+        self.map.get(&key(a, b)).copied()
+    }
+
+    /// Records the classification of an unordered pair, evicting the oldest
+    /// entry when the cache is full.
+    pub fn record(&mut self, a: PhysAddr, b: PhysAddr, is_conflict: bool) {
+        let k = key(a, b);
+        if self.map.insert(k, is_conflict).is_none() {
+            if self.map.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+            self.order.push_back(k);
+        }
+    }
+
+    /// Iterates over the cached classifications as
+    /// `((low_addr, high_addr), is_conflict)` triples, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = ((PhysAddr, PhysAddr), bool)> + '_ {
+        self.order.iter().filter_map(|k| {
+            self.map
+                .get(k)
+                .map(|&v| ((PhysAddr::new(k.0), PhysAddr::new(k.1)), v))
+        })
+    }
+
+    /// Number of pairs currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no pair is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The maximum number of pairs the cache retains.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that required a fresh measurement.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached classification (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pa(raw: u64) -> PhysAddr {
+        PhysAddr::new(raw)
+    }
+
+    #[test]
+    fn symmetric_lookup_and_record() {
+        let mut c = ConflictCache::new(8);
+        c.record(pa(10), pa(20), true);
+        assert_eq!(c.lookup(pa(20), pa(10)), Some(true));
+        c.record(pa(30), pa(5), false);
+        assert_eq!(c.peek(pa(5), pa(30)), Some(false));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn fifo_eviction_forgets_oldest() {
+        let mut c = ConflictCache::new(2);
+        c.record(pa(1), pa(2), true);
+        c.record(pa(3), pa(4), true);
+        c.record(pa(5), pa(6), false); // evicts (1, 2)
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(pa(1), pa(2)), None);
+        assert_eq!(c.peek(pa(3), pa(4)), Some(true));
+        assert_eq!(c.peek(pa(5), pa(6)), Some(false));
+    }
+
+    #[test]
+    fn re_recording_does_not_duplicate_or_evict() {
+        let mut c = ConflictCache::new(2);
+        c.record(pa(1), pa(2), true);
+        c.record(pa(2), pa(1), true); // same unordered pair
+        c.record(pa(3), pa(4), false);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(pa(1), pa(2)), Some(true));
+        assert_eq!(c.peek(pa(3), pa(4)), Some(false));
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c = ConflictCache::new(4);
+        assert_eq!(c.lookup(pa(7), pa(8)), None);
+        c.record(pa(7), pa(8), true);
+        assert_eq!(c.lookup(pa(7), pa(8)), Some(true));
+        assert_eq!(c.lookup(pa(8), pa(7)), Some(true));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.capacity(), 4);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 2, "clear keeps the counters");
+    }
+
+    #[test]
+    fn entries_iterates_in_insertion_order() {
+        let mut c = ConflictCache::new(8);
+        c.record(pa(1), pa(2), true);
+        c.record(pa(9), pa(3), false);
+        let got: Vec<_> = c.entries().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], ((pa(1), pa(2)), true));
+        assert_eq!(got[1], ((pa(3), pa(9)), false));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = ConflictCache::new(0);
+    }
+}

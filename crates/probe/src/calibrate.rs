@@ -62,6 +62,80 @@ impl LatencyCalibration {
         Self::from_latencies(&latencies)
     }
 
+    /// Calibrates adaptively: measures random pairs in chunks of
+    /// `chunk_size` and stops as soon as two consecutive chunks produce a
+    /// threshold within 2% of each other, instead of always paying for
+    /// `max_samples` measurements.
+    ///
+    /// On a probe whose two latency clusters separate cleanly (every machine
+    /// in Table II) the threshold converges after a small multiple of
+    /// `chunk_size`, cutting the calibration phase's measurement budget by
+    /// several times with the same resulting threshold quality. The full
+    /// budget `max_samples` is only spent when the distribution is noisy
+    /// enough to keep the estimate moving.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LatencyCalibration::calibrate`]: a too-small
+    /// page pool or a latency distribution that never separates into two
+    /// clusters within the budget.
+    pub fn calibrate_adaptive<P: MemoryProbe>(
+        probe: &mut P,
+        max_samples: usize,
+        chunk_size: usize,
+        seed: u64,
+    ) -> Result<Self, ProbeError> {
+        assert!(chunk_size >= 2, "chunk size must be at least 2");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let memory = probe.memory().clone();
+        if memory.len() < 2 {
+            return Err(ProbeError::PoolTooSmall {
+                available: memory.len(),
+                required: 2,
+            });
+        }
+        let mut latencies = Vec::with_capacity(chunk_size * 2);
+        let mut last_threshold: Option<u64> = None;
+        let mut last_error = None;
+        while latencies.len() < max_samples {
+            let budget = chunk_size.min(max_samples - latencies.len());
+            for _ in 0..budget {
+                let a = memory
+                    .random_page(&mut rng)
+                    .expect("pool checked to be non-empty");
+                let mut b = memory
+                    .random_page(&mut rng)
+                    .expect("pool checked to be non-empty");
+                if a == b {
+                    b = b + (PAGE_SIZE / 2);
+                }
+                latencies.push(probe.measure_pair(a, b));
+            }
+            match Self::from_latencies(&latencies) {
+                Ok(cal) => {
+                    if let Some(prev) = last_threshold {
+                        let delta = cal.threshold_ns.abs_diff(prev);
+                        if u128::from(delta) * 50 <= u128::from(prev) {
+                            return Ok(cal);
+                        }
+                    }
+                    last_threshold = Some(cal.threshold_ns);
+                    last_error = None;
+                }
+                Err(e) => {
+                    // Both clusters may not be represented yet; keep
+                    // sampling until the budget runs out.
+                    last_threshold = None;
+                    last_error = Some(e);
+                }
+            }
+        }
+        match last_error {
+            Some(e) => Err(e),
+            None => Self::from_latencies(&latencies),
+        }
+    }
+
     /// Builds a calibration directly from a set of observed latencies.
     ///
     /// # Errors
@@ -210,6 +284,38 @@ mod tests {
         let cal = LatencyCalibration::calibrate(&mut probe, 400, 11).unwrap();
         assert!(cal.threshold_ns() > timing.row_hit_ns);
         assert!(cal.threshold_ns() < timing.row_conflict_ns);
+    }
+
+    #[test]
+    fn adaptive_calibration_converges_early_with_same_quality() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let machine = SimMachine::from_setting(&setting, SimConfig::default());
+        let timing = machine.controller().config().timing;
+        let memory = PhysMemory::full(256 << 20);
+        let mut probe = SimProbe::new(machine, memory);
+        let before = probe.stats().measurements;
+        let cal = LatencyCalibration::calibrate_adaptive(&mut probe, 400, 40, 11).unwrap();
+        let spent = probe.stats().measurements - before;
+        assert!(cal.threshold_ns() > timing.row_hit_ns);
+        assert!(cal.threshold_ns() < timing.row_conflict_ns);
+        assert!(
+            spent < 400,
+            "adaptive calibration should converge before the full budget ({spent})"
+        );
+    }
+
+    #[test]
+    fn adaptive_calibration_propagates_degenerate_distributions() {
+        // A one-bank pool cannot be built here, but an exhausted budget over
+        // a pool too small to sample still errors out cleanly.
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let machine = SimMachine::from_setting(&setting, SimConfig::default());
+        let memory = PhysMemory::from_frames(vec![1], 16);
+        let mut probe = SimProbe::new(machine, memory);
+        assert!(matches!(
+            LatencyCalibration::calibrate_adaptive(&mut probe, 40, 10, 0),
+            Err(ProbeError::PoolTooSmall { .. })
+        ));
     }
 
     #[test]

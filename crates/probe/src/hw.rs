@@ -179,6 +179,7 @@ mod imp {
                 measurements: self.measurements,
                 accesses: self.accesses,
                 elapsed_ns: self.started.elapsed().as_nanos() as u64,
+                ..ProbeStats::default()
             }
         }
 

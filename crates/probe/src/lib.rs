@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod error;
 pub mod hw;
@@ -46,6 +47,7 @@ pub mod oracle;
 pub mod probe;
 pub mod sim_probe;
 
+pub use cache::{ConflictCache, DEFAULT_CACHE_CAPACITY};
 pub use calibrate::LatencyCalibration;
 pub use error::ProbeError;
 pub use oracle::ConflictOracle;

@@ -2,6 +2,7 @@
 
 use dram_model::PhysAddr;
 
+use crate::cache::ConflictCache;
 use crate::calibrate::LatencyCalibration;
 use crate::probe::{MemoryProbe, ProbeStats};
 
@@ -11,12 +12,21 @@ use crate::probe::{MemoryProbe, ProbeStats};
 ///
 /// Every reverse-engineering tool in this workspace (DRAMDig and the
 /// baselines) is written against this type, which keeps their measurement
-/// budget accounting in one place.
+/// budget accounting in one place. Two optional accelerators sit between the
+/// question and the memory bus:
+///
+/// * a [`ConflictCache`] ([`ConflictOracle::with_cache`]) answers repeated
+///   queries about the same unordered pair without re-timing it;
+/// * early-exit majority voting ([`ConflictOracle::with_early_exit`]) stops a
+///   `repeat`-vote query as soon as one side holds a strict majority — the
+///   outcome is provably identical to counting all votes, only cheaper.
 #[derive(Debug)]
 pub struct ConflictOracle<P> {
     probe: P,
     calibration: LatencyCalibration,
     repeat: u32,
+    early_exit: bool,
+    cache: Option<ConflictCache>,
 }
 
 impl<P: MemoryProbe> ConflictOracle<P> {
@@ -26,6 +36,8 @@ impl<P: MemoryProbe> ConflictOracle<P> {
             probe,
             calibration,
             repeat: 1,
+            early_exit: false,
+            cache: None,
         }
     }
 
@@ -34,6 +46,22 @@ impl<P: MemoryProbe> ConflictOracle<P> {
     pub fn with_repeat(mut self, repeat: u32) -> Self {
         assert!(repeat >= 1, "repeat must be at least 1");
         self.repeat = repeat;
+        self
+    }
+
+    /// Stops a majority vote as soon as either side reaches a strict
+    /// majority of `repeat`. The decision is identical to counting every
+    /// vote; only the measurement count shrinks (e.g. 2 instead of 3 when
+    /// the first two of three votes agree).
+    pub fn with_early_exit(mut self, early_exit: bool) -> Self {
+        self.early_exit = early_exit;
+        self
+    }
+
+    /// Attaches a [`ConflictCache`] of the given capacity so repeated
+    /// queries about the same unordered pair never re-time it.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(ConflictCache::new(capacity));
         self
     }
 
@@ -57,30 +85,99 @@ impl<P: MemoryProbe> ConflictOracle<P> {
         self.probe
     }
 
-    /// Cost accounting so far (delegates to the probe).
-    pub fn stats(&self) -> ProbeStats {
-        self.probe.stats()
+    /// The attached conflict cache, if any.
+    pub fn cache(&self) -> Option<&ConflictCache> {
+        self.cache.as_ref()
     }
 
-    /// Measures a pair once and returns the raw latency.
+    /// Cost accounting so far: the probe's counters plus the cache's
+    /// hit/miss counters (zero when no cache is attached).
+    pub fn stats(&self) -> ProbeStats {
+        let mut stats = self.probe.stats();
+        if let Some(cache) = &self.cache {
+            stats.cache_hits = cache.hits();
+            stats.cache_misses = cache.misses();
+        }
+        stats
+    }
+
+    /// Measures a pair once and returns the raw latency (always hits the
+    /// probe; raw latencies are not cacheable classifications).
     pub fn latency(&mut self, a: PhysAddr, b: PhysAddr) -> u64 {
         self.probe.measure_pair(a, b)
+    }
+
+    /// Runs the (possibly early-exiting) majority vote for one pair.
+    fn vote(&mut self, a: PhysAddr, b: PhysAddr) -> bool {
+        if self.repeat == 1 {
+            let lat = self.probe.measure_pair(a, b);
+            return self.calibration.is_conflict(lat);
+        }
+        let majority = self.repeat / 2 + 1;
+        let mut yes = 0u32;
+        let mut no = 0u32;
+        for _ in 0..self.repeat {
+            if self.calibration.is_conflict(self.probe.measure_pair(a, b)) {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            if self.early_exit && (yes >= majority || no >= majority) {
+                break;
+            }
+        }
+        // `yes >= majority` is exactly `yes * 2 > repeat` once all votes are
+        // in, and the early exit only fires when one side is already there.
+        yes >= majority
     }
 
     /// Returns `true` if `a` and `b` are observed to be in the same bank but
     /// different rows (high latency / row-buffer conflict).
     pub fn is_sbdr(&mut self, a: PhysAddr, b: PhysAddr) -> bool {
-        if self.repeat == 1 {
-            let lat = self.probe.measure_pair(a, b);
-            return self.calibration.is_conflict(lat);
-        }
-        let mut votes = 0u32;
-        for _ in 0..self.repeat {
-            if self.calibration.is_conflict(self.probe.measure_pair(a, b)) {
-                votes += 1;
+        if let Some(cache) = &mut self.cache {
+            if let Some(cached) = cache.lookup(a, b) {
+                return cached;
             }
         }
-        votes * 2 > self.repeat
+        let verdict = self.vote(a, b);
+        if let Some(cache) = &mut self.cache {
+            cache.record(a, b, verdict);
+        }
+        verdict
+    }
+
+    /// Classifies a batch of pairs, returning one SBDR verdict per pair in
+    /// input order.
+    ///
+    /// Cached pairs are answered for free; the uncached remainder goes to
+    /// the probe through [`MemoryProbe::measure_pairs`] in one batch (when
+    /// single-vote; majority-vote queries fall back to per-pair voting).
+    pub fn are_sbdr(&mut self, pairs: &[(PhysAddr, PhysAddr)]) -> Vec<bool> {
+        if self.repeat != 1 {
+            return pairs.iter().map(|&(a, b)| self.is_sbdr(a, b)).collect();
+        }
+        let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(pairs.len());
+        let mut to_measure: Vec<(usize, (PhysAddr, PhysAddr))> = Vec::new();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let cached = self.cache.as_mut().and_then(|cache| cache.lookup(a, b));
+            verdicts.push(cached);
+            if cached.is_none() {
+                to_measure.push((i, (a, b)));
+            }
+        }
+        let batch: Vec<(PhysAddr, PhysAddr)> = to_measure.iter().map(|&(_, p)| p).collect();
+        let latencies = self.probe.measure_pairs(&batch);
+        for (&(i, (a, b)), &lat) in to_measure.iter().zip(&latencies) {
+            let verdict = self.calibration.is_conflict(lat);
+            if let Some(cache) = &mut self.cache {
+                cache.record(a, b, verdict);
+            }
+            verdicts[i] = Some(verdict);
+        }
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("every pair is either cached or measured"))
+            .collect()
     }
 }
 
@@ -131,6 +228,74 @@ mod tests {
             assert!(o.is_sbdr(a, b));
             assert!(!o.is_sbdr(a, c));
         }
+    }
+
+    #[test]
+    fn early_exit_matches_full_vote_and_measures_less() {
+        let truth = oracle(false).probe().machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(1, 10, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(1, 900, 0)).unwrap();
+        let c = truth.to_phys(DramAddress::new(2, 10, 0)).unwrap();
+
+        let mut full = oracle(false).with_repeat(5);
+        let mut early = oracle(false).with_repeat(5).with_early_exit(true);
+        assert_eq!(full.is_sbdr(a, b), early.is_sbdr(a, b));
+        assert_eq!(full.is_sbdr(a, c), early.is_sbdr(a, c));
+        // Noiseless votes agree immediately: 3 measurements per query
+        // instead of 5.
+        assert_eq!(full.stats().measurements, 10);
+        assert_eq!(early.stats().measurements, 6);
+    }
+
+    #[test]
+    fn cache_answers_repeat_queries_without_measuring() {
+        let mut o = oracle(false).with_cache(1024);
+        let truth = o.probe().machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(0, 1, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(0, 900, 0)).unwrap();
+        assert!(o.is_sbdr(a, b));
+        let after_first = o.stats().measurements;
+        // Same pair in both orders: answered from the cache.
+        assert!(o.is_sbdr(a, b));
+        assert!(o.is_sbdr(b, a));
+        let stats = o.stats();
+        assert_eq!(stats.measurements, after_first);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert!(o.cache().is_some());
+    }
+
+    #[test]
+    fn batched_queries_mix_cache_and_measurements() {
+        let mut o = oracle(false).with_cache(1024);
+        let truth = o.probe().machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(3, 5, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(3, 77, 0)).unwrap();
+        let c = truth.to_phys(DramAddress::new(5, 5, 0)).unwrap();
+        assert!(o.is_sbdr(a, b)); // warm the cache with one pair
+        let verdicts = o.are_sbdr(&[(b, a), (a, c), (a, b)]);
+        assert_eq!(verdicts, vec![true, false, true]);
+        let stats = o.stats();
+        assert_eq!(stats.measurements, 2, "only (a, c) needed a measurement");
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn batched_queries_without_cache_match_single_queries() {
+        let mut batched = oracle(false);
+        let mut single = oracle(false);
+        let truth = batched.probe().machine().ground_truth().clone();
+        let pairs: Vec<(PhysAddr, PhysAddr)> = (0u32..6)
+            .map(|i| {
+                (
+                    truth.to_phys(DramAddress::new(i % 4, 3, 0)).unwrap(),
+                    truth.to_phys(DramAddress::new(2, 9 + i, 0)).unwrap(),
+                )
+            })
+            .collect();
+        let expected: Vec<bool> = pairs.iter().map(|&(a, b)| single.is_sbdr(a, b)).collect();
+        assert_eq!(batched.are_sbdr(&pairs), expected);
+        assert_eq!(batched.stats().measurements, single.stats().measurements);
     }
 
     #[test]

@@ -14,12 +14,29 @@ pub struct ProbeStats {
     pub accesses: u64,
     /// Time spent measuring, in (simulated or real) nanoseconds.
     pub elapsed_ns: u64,
+    /// SBDR queries answered from the [`crate::ConflictCache`] without a
+    /// measurement (zero when no cache is attached to the oracle).
+    pub cache_hits: u64,
+    /// SBDR queries that missed the cache and paid for a measurement (zero
+    /// when no cache is attached to the oracle).
+    pub cache_misses: u64,
 }
 
 impl ProbeStats {
     /// Elapsed time in seconds.
     pub fn elapsed_seconds(&self) -> f64 {
         self.elapsed_ns as f64 / 1e9
+    }
+
+    /// Fraction of cached SBDR queries answered without a measurement
+    /// (`0.0` when no query went through a cache).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -34,6 +51,22 @@ pub trait MemoryProbe {
     /// alternating access pattern over the two addresses.
     fn measure_pair(&mut self, a: PhysAddr, b: PhysAddr) -> u64;
 
+    /// Measures a batch of pairs in one call, returning one latency per pair
+    /// in input order.
+    ///
+    /// The default implementation simply loops over [`measure_pair`]
+    /// (bit-identical results); probes with per-measurement setup cost
+    /// (serialising fences, pagemap lookups, row-buffer resets) can override
+    /// it to amortise that cost across the batch.
+    ///
+    /// [`measure_pair`]: MemoryProbe::measure_pair
+    fn measure_pairs(&mut self, pairs: &[(PhysAddr, PhysAddr)]) -> Vec<u64> {
+        pairs
+            .iter()
+            .map(|&(a, b)| self.measure_pair(a, b))
+            .collect()
+    }
+
     /// The pool of physical pages the tool is allowed to use.
     fn memory(&self) -> &PhysMemory;
 
@@ -47,6 +80,9 @@ pub trait MemoryProbe {
 impl<P: MemoryProbe + ?Sized> MemoryProbe for &mut P {
     fn measure_pair(&mut self, a: PhysAddr, b: PhysAddr) -> u64 {
         (**self).measure_pair(a, b)
+    }
+    fn measure_pairs(&mut self, pairs: &[(PhysAddr, PhysAddr)]) -> Vec<u64> {
+        (**self).measure_pairs(pairs)
     }
     fn memory(&self) -> &PhysMemory {
         (**self).memory()
@@ -69,8 +105,20 @@ mod tests {
             measurements: 1,
             accesses: 2,
             elapsed_ns: 2_500_000_000,
+            ..ProbeStats::default()
         };
         assert!((s.elapsed_seconds() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero_and_mixed() {
+        assert_eq!(ProbeStats::default().cache_hit_rate(), 0.0);
+        let s = ProbeStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..ProbeStats::default()
+        };
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

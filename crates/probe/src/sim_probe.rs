@@ -86,6 +86,7 @@ impl MemoryProbe for SimProbe {
             measurements: self.measurements,
             accesses: sim.accesses,
             elapsed_ns: sim.elapsed_ns,
+            ..ProbeStats::default()
         }
     }
 

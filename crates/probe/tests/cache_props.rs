@@ -1,0 +1,77 @@
+//! Property-based tests of the [`ConflictCache`]: symmetry of the pair key
+//! and the guarantee that bounded FIFO eviction only ever *forgets* a
+//! classification, never corrupts one.
+
+use proptest::prelude::*;
+
+use dram_model::PhysAddr;
+use mem_probe::ConflictCache;
+
+/// The deterministic "ground truth" classification of an unordered pair,
+/// standing in for what a probe would measure.
+fn truth(a: u64, b: u64) -> bool {
+    (a ^ b).count_ones().is_multiple_of(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lookup_is_symmetric_in_the_pair_order(
+        pairs in proptest::collection::vec((0u64..1 << 20, 0u64..1 << 20), 1..64),
+    ) {
+        let mut cache = ConflictCache::new(1 << 12);
+        for &(a, b) in &pairs {
+            cache.record(PhysAddr::new(a), PhysAddr::new(b), truth(a, b));
+        }
+        for &(a, b) in &pairs {
+            let fwd = cache.lookup(PhysAddr::new(a), PhysAddr::new(b));
+            let rev = cache.lookup(PhysAddr::new(b), PhysAddr::new(a));
+            prop_assert_eq!(fwd, rev);
+            prop_assert_eq!(fwd, Some(truth(a, b)));
+        }
+    }
+
+    #[test]
+    fn eviction_never_changes_a_classification(
+        ops in proptest::collection::vec((0u64..256, 0u64..256, any::<bool>()), 1..512),
+        capacity in 1usize..32,
+    ) {
+        // Record classifications drawn from a fixed ground truth through a
+        // deliberately tiny cache. However hard eviction churns, a lookup
+        // must return either nothing (forgotten, would be re-measured) or
+        // the exact ground-truth verdict — never a wrong classification.
+        let mut cache = ConflictCache::new(capacity);
+        for &(a, b, query) in &ops {
+            let (pa, pb) = (PhysAddr::new(a), PhysAddr::new(b));
+            if query {
+                if let Some(v) = cache.lookup(pa, pb) {
+                    prop_assert_eq!(v, truth(a, b), "a={} b={}", a, b);
+                }
+            } else {
+                cache.record(pa, pb, truth(a, b));
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+        // Every surviving entry still matches the ground truth.
+        for ((pa, pb), v) in cache.entries() {
+            prop_assert_eq!(v, truth(pa.raw(), pb.raw()));
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters_partition_all_lookups(
+        keys in proptest::collection::vec((0u64..64, 0u64..64), 1..128),
+    ) {
+        let mut cache = ConflictCache::new(1 << 10);
+        let mut lookups = 0u64;
+        for &(a, b) in &keys {
+            let (pa, pb) = (PhysAddr::new(a), PhysAddr::new(b));
+            if cache.lookup(pa, pb).is_none() {
+                cache.record(pa, pb, truth(a, b));
+            }
+            lookups += 1;
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), lookups);
+    }
+}
