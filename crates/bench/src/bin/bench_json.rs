@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use dram_model::MachineSetting;
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
-use dramdig::driver::{Phase, RunReport};
+use dramdig::driver::RunReport;
 use dramdig::functions::{
     detect_bank_functions_naive, detect_bank_functions_with_basis, merged_difference_basis,
 };
@@ -76,17 +76,6 @@ fn time_per_call<T>(mut f: impl FnMut() -> T) -> f64 {
     start.elapsed().as_nanos() as f64 / reps as f64
 }
 
-fn phase_name(phase: Phase) -> &'static str {
-    match phase {
-        Phase::Calibration => "calibration",
-        Phase::CoarseDetection => "coarse",
-        Phase::Partition => "partition",
-        Phase::FunctionDetection => "detect",
-        Phase::FineDetection => "fine",
-        Phase::Validation => "validation",
-    }
-}
-
 fn profile_json(out: &mut String, indent: &str, run: &ProfileRun) {
     let r = &run.report;
     let _ = writeln!(out, "{indent}\"wall_ms\": {:.3},", run.wall_ms);
@@ -113,7 +102,7 @@ fn profile_json(out: &mut String, indent: &str, run: &ProfileRun) {
         let _ = writeln!(
             out,
             "{indent}  \"{}\": {{\"measure_pair_calls\": {}, \"accesses\": {}, \"simulated_seconds\": {:.6}, \"cache_hits\": {}}}{comma}",
-            phase_name(*phase),
+            phase.name(),
             cost.measurements,
             cost.accesses,
             cost.elapsed_seconds(),
@@ -225,6 +214,71 @@ fn main() {
         );
     }
 
+    // --- Campaign throughput at 1/2/4/8 workers ----------------------------
+    // The same nine-machine Table-II campaign drained by worker pools of
+    // different widths. `wall_ms` is the orchestrating host's real wall time
+    // (bounded by its core count); `fleet_makespan_s` is the deterministic
+    // simulated makespan where each worker is a separate machine under test
+    // probing its own DRAM — the figure that matters for a real fleet.
+    let campaign_spec =
+        campaign::CampaignSpec::new((1..=9).collect(), 1, campaign::Profile::Optimized);
+    let mut campaign_json = String::new();
+    let mut store_encodings: Vec<String> = Vec::new();
+    let mut wall_by_workers: Vec<(usize, f64, f64)> = Vec::new();
+    let worker_counts = [1usize, 2, 4, 8];
+    for &workers in &worker_counts {
+        let dir = std::env::temp_dir().join(format!(
+            "dramdig-bench-campaign-{}-{workers}w",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = campaign::CampaignPaths::new(&dir);
+        let options = campaign::CampaignOptions::default().with_workers(workers);
+        let start = Instant::now();
+        let outcome =
+            campaign::run_campaign(&campaign_spec, &paths, &options, campaign::run_job_sim)
+                .unwrap_or_else(|e| {
+                    eprintln!("campaign benchmark failed at {workers} workers: {e}");
+                    std::process::exit(1);
+                });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if outcome.state.completed.len() != 9 || !outcome.dead.is_empty() {
+            eprintln!(
+                "campaign benchmark at {workers} workers completed {}/9 jobs ({} dead)",
+                outcome.state.completed.len(),
+                outcome.dead.len()
+            );
+            std::process::exit(1);
+        }
+        store_encodings.push(outcome.store.encode());
+        wall_by_workers.push((workers, wall_ms, outcome.simulated_makespan(workers)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Differential gate: every worker count must converge on the same store.
+    if store_encodings.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("campaign stores differ across worker counts");
+        std::process::exit(1);
+    }
+    let (_, wall_1w, fleet_1w) = wall_by_workers[0];
+    for (i, &(workers, wall_ms, fleet_s)) in wall_by_workers.iter().enumerate() {
+        let comma = if i + 1 == wall_by_workers.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            campaign_json,
+            "    {{\"workers\": {workers}, \"wall_ms\": {wall_ms:.3}, \"fleet_makespan_s\": {fleet_s:.6}, \"wall_speedup_vs_1w\": {:.2}, \"fleet_speedup_vs_1w\": {:.2}}}{comma}",
+            wall_1w / wall_ms,
+            fleet_1w / fleet_s,
+        );
+    }
+    let fleet_4w = wall_by_workers
+        .iter()
+        .find(|&&(w, _, _)| w == 4)
+        .map(|&(_, _, s)| fleet_1w / s)
+        .expect("4-worker sweep ran");
+
     // --- Assemble the JSON -------------------------------------------------
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -273,7 +327,16 @@ fn main() {
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"table2_optimized_sweep\": [");
     out.push_str(&sweep);
-    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"campaign\": {{");
+    let _ = writeln!(out, "    \"jobs\": 9,");
+    let _ = writeln!(out, "    \"profile\": \"optimized\",");
+    let _ = writeln!(out, "    \"stores_identical\": true,");
+    let _ = writeln!(out, "    \"fleet_speedup_4w\": {fleet_4w:.2},");
+    let _ = writeln!(out, "    \"sweeps\": [");
+    out.push_str(&campaign_json);
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
 
     std::fs::write("BENCH_dramdig.json", &out).unwrap_or_else(|e| {
@@ -292,5 +355,10 @@ fn main() {
     );
     println!(
         "detect_bank_functions: naive {naive_detect_ns:.0} ns -> basis {fast_detect_ns:.0} ns ({detect_speedup:.1}x faster)"
+    );
+    println!(
+        "campaign (9 machines): fleet makespan {:.1} ms at 1 worker -> {:.1} ms at 4 workers ({fleet_4w:.1}x)",
+        fleet_1w * 1e3,
+        fleet_1w * 1e3 / fleet_4w
     );
 }

@@ -1,0 +1,320 @@
+//! A hand-rolled, serde-free codec for flat JSONL records.
+//!
+//! Journal lines are single-level JSON objects whose values are strings or
+//! unsigned integers — nothing nested, nothing floating. The build
+//! environment has no registry access, so instead of pulling in a JSON
+//! dependency this module implements exactly that subset: escaping-aware
+//! string encoding and a small recursive-descent-free parser. Every line the
+//! encoder emits parses back to the same fields, including strings holding
+//! newlines, quotes and arbitrary control characters.
+
+use std::fmt;
+
+/// A value in a flat journal object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative JSON integer.
+    Num(u64),
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Num(_) => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Str(_) => None,
+            JsonValue::Num(n) => Some(*n),
+        }
+    }
+}
+
+/// Error produced while parsing a journal line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the line where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl JsonError {
+    fn new(at: usize, reason: impl Into<String>) -> Self {
+        JsonError {
+            at,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Appends the JSON string encoding of `s` (including the surrounding
+/// quotes) to `out`.
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encodes a flat object as one JSON line (no trailing newline).
+pub fn encode_object(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, key);
+        out.push(':');
+        match value {
+            JsonValue::Str(s) => push_escaped(&mut out, s),
+            JsonValue::Num(n) => out.push_str(&n.to_string()),
+        }
+    }
+    out.push('}');
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(
+                self.pos,
+                format!("expected `{}`", byte as char),
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| JsonError::new(self.pos, "truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| {
+                                JsonError::new(self.pos, format!("bad \\u escape `{hex}`"))
+                            })?;
+                            let c = char::from_u32(code).ok_or_else(|| {
+                                JsonError::new(self.pos, format!("invalid code point {code:#x}"))
+                            })?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(JsonError::new(
+                                self.pos,
+                                format!("unknown escape {other:?}"),
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged; find
+                    // the char boundary via the str representation.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError::new(self.pos, "invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u64, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(JsonError::new(start, "expected a digit"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| JsonError::new(start, "integer out of range"))
+    }
+}
+
+/// Parses one JSON line written by [`encode_object`] back into its fields,
+/// preserving field order.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on anything that is not a flat object of strings
+/// and unsigned integers.
+pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, JsonError> {
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    cur.skip_ws();
+    cur.expect(b'{')?;
+    let mut fields = Vec::new();
+    cur.skip_ws();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+    } else {
+        loop {
+            cur.skip_ws();
+            let key = cur.parse_string()?;
+            cur.skip_ws();
+            cur.expect(b':')?;
+            cur.skip_ws();
+            let value = match cur.peek() {
+                Some(b'"') => JsonValue::Str(cur.parse_string()?),
+                Some(b'0'..=b'9') => JsonValue::Num(cur.parse_number()?),
+                _ => {
+                    return Err(JsonError::new(
+                        cur.pos,
+                        "expected a string or integer value",
+                    ))
+                }
+            };
+            fields.push((key, value));
+            cur.skip_ws();
+            match cur.peek() {
+                Some(b',') => cur.pos += 1,
+                Some(b'}') => {
+                    cur.pos += 1;
+                    break;
+                }
+                _ => return Err(JsonError::new(cur.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return Err(JsonError::new(cur.pos, "trailing garbage after object"));
+    }
+    Ok(fields)
+}
+
+/// Convenience: looks a field up by key.
+pub fn field<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_plain_and_hostile_strings() {
+        for s in [
+            "plain",
+            "",
+            "with \"quotes\" and \\backslashes\\",
+            "line\nbreaks\r\ttabs",
+            "control \u{1} chars \u{1f}",
+            "unicode: déjà vu ✓",
+        ] {
+            let line = encode_object(&[("k", JsonValue::Str(s.into())), ("n", JsonValue::Num(7))]);
+            let parsed = parse_object(&line).unwrap();
+            assert_eq!(field(&parsed, "k").unwrap().as_str(), Some(s));
+            assert_eq!(field(&parsed, "n").unwrap().as_u64(), Some(7));
+            assert!(!line.contains('\n'), "one record per line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn parses_numbers_and_empty_objects() {
+        assert_eq!(parse_object("{}").unwrap(), vec![]);
+        let parsed = parse_object("{\"a\": 0, \"b\": 18446744073709551615}").unwrap();
+        assert_eq!(field(&parsed, "a").unwrap().as_u64(), Some(0));
+        assert_eq!(field(&parsed, "b").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(field(&parsed, "missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1} extra",
+            "{\"a\":-1}",
+            "{\"a\":1.5}",
+            "{\"a\":\"unterminated}",
+            "{\"a\":\"bad \\q escape\"}",
+            "{\"a\":\"\\u12\"}",
+            "[1,2]",
+        ] {
+            assert!(parse_object(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn value_accessors_are_typed() {
+        assert_eq!(JsonValue::Num(3).as_str(), None);
+        assert_eq!(JsonValue::Str("x".into()).as_u64(), None);
+        let err = parse_object("{\"a\":*}").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # Campaign orchestration for DRAMDig fleets
+//!
+//! The paper's headline result (Table II) is the same reverse-engineering
+//! pipeline re-run across nine machine configurations. This crate scales
+//! that workflow: a **campaign** is a spec (machines × seeds × profiles ×
+//! ablations) expanded into a job queue and drained by a worker pool, with
+//!
+//! * a **write-ahead journal** (`journal.jsonl`, hand-rolled JSONL) so an
+//!   interrupted campaign resumes from its last completed job,
+//! * **retry with a dead-letter list** for jobs whose recovery fails under
+//!   measurement noise (each retry re-seeds the noise stream), and
+//! * a persistent **mapping store** (`store.txt`) that deduplicates
+//!   recovered XOR-function sets across jobs via canonical GF(2) basis
+//!   reduction and answers queries like *which machines share bank function
+//!   `(13, 16)`?*
+//!
+//! The store is a pure function of the journal, so a killed-and-resumed
+//! campaign produces byte-identical artifacts to an uninterrupted one.
+//!
+//! ```no_run
+//! use campaign::{
+//!     run_campaign, run_job_sim, CampaignOptions, CampaignPaths, CampaignSpec, Profile,
+//! };
+//!
+//! let spec = CampaignSpec::new((1..=9).collect(), 1, Profile::Optimized);
+//! let paths = CampaignPaths::new("table2-campaign");
+//! let outcome = run_campaign(
+//!     &spec,
+//!     &paths,
+//!     &CampaignOptions::default().with_workers(4),
+//!     run_job_sim,
+//! )?;
+//! println!(
+//!     "{} jobs done, {} distinct mappings",
+//!     outcome.state.completed.len(),
+//!     outcome.store.len()
+//! );
+//! # Ok::<(), campaign::CampaignError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod journal;
+pub mod jsonl;
+pub mod runner;
+pub mod spec;
+pub mod store;
+
+pub use journal::{read_journal, Journal, JournalError, JournalRecord, JournalState};
+pub use runner::{
+    campaign_status, fleet_makespan, run_campaign, run_job_sim, run_job_sim_with, store_from_state,
+    CampaignError, CampaignOptions, CampaignOutcome, CampaignPaths, CampaignStatus, JobOutcome,
+};
+pub use spec::{parse_machine_number, Ablation, CampaignSpec, JobSpec, Profile};
+pub use store::{MappingStore, Provenance, StoreEntry};

@@ -1,0 +1,697 @@
+//! The campaign orchestrator: a job queue fanned out over a worker pool.
+//!
+//! [`run_campaign`] replays the journal to find the resume frontier, feeds
+//! every still-pending job into a shared queue, and drains it with
+//! `std::thread::scope` workers. Each state transition is journaled *before*
+//! the orchestrator moves on (write-ahead), failed jobs are retried with a
+//! fresh attempt seed up to the spec's retry budget and then dead-lettered,
+//! and the mapping store is rebuilt from the journal after every invocation
+//! — so the store is a pure function of the journal and an interrupted
+//! campaign resumed later converges on exactly the artifacts of an
+//! uninterrupted one.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use dram_model::MachineSetting;
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::driver::PhaseCosts;
+use dramdig::{DomainKnowledge, DramDig, DramDigConfig, RecoveryReport};
+use mem_probe::SimProbe;
+
+use crate::journal::{read_journal, Journal, JournalError, JournalRecord, JournalState};
+use crate::spec::{Ablation, CampaignSpec, JobSpec};
+use crate::store::{MappingStore, Provenance};
+
+/// Filesystem layout of one campaign: a directory holding the spec, the
+/// journal and the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignPaths {
+    dir: PathBuf,
+}
+
+impl CampaignPaths {
+    /// A campaign living in `dir` (created on first run).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CampaignPaths { dir: dir.into() }
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The persisted spec, written by `campaign run` and read by
+    /// `campaign resume`.
+    pub fn spec(&self) -> PathBuf {
+        self.dir.join("campaign.spec")
+    }
+
+    /// The write-ahead journal.
+    pub fn journal(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    /// The mapping store artifact.
+    pub fn store(&self) -> PathBuf {
+        self.dir.join("store.txt")
+    }
+}
+
+/// Orchestration knobs that are *not* part of the campaign's identity (they
+/// may differ between the original run and a resume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOptions {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Stop picking up new jobs once this many completions happened in this
+    /// invocation (used to simulate an interruption, and by tests).
+    pub max_completions: Option<usize>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            workers: 4,
+            max_completions: None,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// A single-worker option set.
+    pub fn serial() -> Self {
+        CampaignOptions {
+            workers: 1,
+            max_completions: None,
+        }
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Caps completions for this invocation.
+    #[must_use]
+    pub fn with_max_completions(mut self, limit: usize) -> Self {
+        self.max_completions = Some(limit);
+        self
+    }
+}
+
+/// Errors produced by the orchestrator.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Journal IO or decode failure.
+    Journal(JournalError),
+    /// A campaign file (spec, store) could not be read or written.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// The spec or a persisted artifact did not decode.
+    Codec(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Journal(e) => write!(f, "{e}"),
+            CampaignError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            CampaignError::Codec(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+/// One completed job of this invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job that ran.
+    pub job: JobSpec,
+    /// The attempt that succeeded (1-based).
+    pub attempt: u32,
+    /// The run's durable outcome.
+    pub report: RecoveryReport,
+}
+
+/// What one [`run_campaign`] invocation did, plus the campaign-wide state
+/// after it.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Jobs completed by *this* invocation, in completion order.
+    pub completed: Vec<JobOutcome>,
+    /// Jobs dead-lettered by *this* invocation.
+    pub dead: Vec<(JobSpec, String)>,
+    /// The journal state after this invocation (covers prior invocations
+    /// too).
+    pub state: JournalState,
+    /// The mapping store rebuilt from the full journal and persisted to
+    /// [`CampaignPaths::store`].
+    pub store: MappingStore,
+    /// Aggregate probe cost over every completed job in the journal, merged
+    /// without double counting (each job owns its probe and cache).
+    pub totals: PhaseCosts,
+}
+
+impl CampaignOutcome {
+    /// Simulated per-job durations (seconds) of every completed job in the
+    /// journal, in deterministic (job-id) order.
+    pub fn job_durations(&self) -> Vec<f64> {
+        self.state
+            .completed
+            .values()
+            .map(RecoveryReport::elapsed_seconds)
+            .collect()
+    }
+
+    /// The campaign's simulated makespan with `workers` machines measuring
+    /// in parallel (see [`fleet_makespan`]).
+    pub fn simulated_makespan(&self, workers: usize) -> f64 {
+        fleet_makespan(&self.job_durations(), workers)
+    }
+}
+
+/// The makespan of running jobs with the given simulated `durations`
+/// (seconds) on `workers` parallel machines: jobs are assigned in order to
+/// the earliest-free worker, exactly like the queue drain. This models fleet
+/// throughput — on real deployments every worker is a *different physical
+/// machine* probing its own DRAM, so the fleet speedup is genuine regardless
+/// of how many cores the orchestrating host has.
+pub fn fleet_makespan(durations: &[f64], workers: usize) -> f64 {
+    let mut clocks = vec![0.0f64; workers.max(1)];
+    for &d in durations {
+        let earliest = clocks
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("clocks are finite"))
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        clocks[earliest] += d;
+    }
+    clocks.into_iter().fold(0.0, f64::max)
+}
+
+/// Runs one job on the simulated Table-II machine it names, with the
+/// profile's configuration. Retries perturb both the simulator seed and the
+/// tool seed, so a failure under one noise stream is not replayed verbatim.
+///
+/// # Errors
+///
+/// Returns a human-readable reason string (the journal's failure payload)
+/// when the machine is unknown or any pipeline phase fails.
+pub fn run_job_sim(job: &JobSpec, attempt: u32) -> Result<RecoveryReport, String> {
+    run_job_sim_with(job, attempt, job.profile.config())
+}
+
+/// [`run_job_sim`] with an explicit base configuration (the job's profile is
+/// ignored; tests and benchmarks use this to tune budgets).
+///
+/// # Errors
+///
+/// See [`run_job_sim`].
+pub fn run_job_sim_with(
+    job: &JobSpec,
+    attempt: u32,
+    base_config: DramDigConfig,
+) -> Result<RecoveryReport, String> {
+    let setting = MachineSetting::by_number(job.machine)
+        .ok_or_else(|| format!("unknown machine number {}", job.machine))?;
+    let mut knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+    knowledge = match job.ablation {
+        Some(Ablation::Specifications) => knowledge.without_specifications(),
+        Some(Ablation::SystemInfo) => knowledge.without_system_info(),
+        Some(Ablation::Empirical) => knowledge.without_empirical(),
+        None => knowledge,
+    };
+    // Odd multiplier keeps distinct (seed, attempt) pairs distinct.
+    let attempt_seed = job
+        .seed
+        .wrapping_add(u64::from(attempt.saturating_sub(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let machine = SimMachine::from_setting(&setting, SimConfig::default().with_seed(attempt_seed));
+    let mut probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+    let config = base_config.with_seed(attempt_seed);
+    DramDig::new(knowledge, config)
+        .run(&mut probe)
+        .map(|run| RecoveryReport::from(&run))
+        .map_err(|e| e.to_string())
+}
+
+struct SharedState<'a> {
+    queue: VecDeque<(JobSpec, u32)>,
+    journal: &'a mut Journal,
+    completions: usize,
+    completed: Vec<JobOutcome>,
+    dead: Vec<(JobSpec, String)>,
+    failure: Option<JournalError>,
+}
+
+/// Runs (or resumes) a campaign: drains every pending job of `spec` through
+/// `run_job` on a pool of `options.workers` threads, journaling every
+/// transition into `paths.journal()` and rewriting `paths.store()` from the
+/// resulting journal.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] on journal/store IO failures. Job failures are
+/// *not* errors — they are retried and eventually dead-lettered.
+pub fn run_campaign<R>(
+    spec: &CampaignSpec,
+    paths: &CampaignPaths,
+    options: &CampaignOptions,
+    run_job: R,
+) -> Result<CampaignOutcome, CampaignError>
+where
+    R: Fn(&JobSpec, u32) -> Result<RecoveryReport, String> + Sync,
+{
+    std::fs::create_dir_all(paths.dir()).map_err(|error| CampaignError::Io {
+        path: paths.dir().to_path_buf(),
+        error,
+    })?;
+    let prior = JournalState::replay(&read_journal(&paths.journal())?);
+    let queue: VecDeque<(JobSpec, u32)> = prior
+        .pending(spec)
+        .into_iter()
+        .map(|job| {
+            let attempt = prior.next_attempt(&job.id());
+            (job, attempt)
+        })
+        .collect();
+
+    let mut journal = Journal::open_append(&paths.journal())?;
+    let shared = Mutex::new(SharedState {
+        queue,
+        journal: &mut journal,
+        completions: 0,
+        completed: Vec::new(),
+        dead: Vec::new(),
+        failure: None,
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..options.workers.max(1) {
+            scope.spawn(|| worker_loop(&shared, spec, options, &run_job));
+        }
+    });
+
+    let state = shared
+        .into_inner()
+        .expect("no worker panicked with the lock");
+    if let Some(error) = state.failure {
+        return Err(error.into());
+    }
+
+    // The store is a pure function of the journal: rebuild and persist it.
+    // Write-then-rename so a kill mid-write can never leave a truncated
+    // store.txt behind (the journal is the durable record either way).
+    let journal_state = JournalState::replay(&read_journal(&paths.journal())?);
+    let store = store_from_state(&journal_state, spec);
+    let staged = paths.store().with_extension("txt.tmp");
+    std::fs::write(&staged, store.encode())
+        .and_then(|()| std::fs::rename(&staged, paths.store()))
+        .map_err(|error| CampaignError::Io {
+            path: paths.store(),
+            error,
+        })?;
+    let totals = journal_state
+        .completed
+        .values()
+        .fold(PhaseCosts::default(), |acc, r| acc.merge(r.total));
+
+    Ok(CampaignOutcome {
+        completed: state.completed,
+        dead: state.dead,
+        state: journal_state,
+        store,
+        totals,
+    })
+}
+
+fn worker_loop<R>(
+    shared: &Mutex<SharedState<'_>>,
+    spec: &CampaignSpec,
+    options: &CampaignOptions,
+    run_job: &R,
+) where
+    R: Fn(&JobSpec, u32) -> Result<RecoveryReport, String> + Sync,
+{
+    loop {
+        let (job, attempt) = {
+            let mut guard = shared.lock().expect("campaign lock");
+            if guard.failure.is_some() {
+                return;
+            }
+            if let Some(limit) = options.max_completions {
+                if guard.completions >= limit {
+                    return;
+                }
+            }
+            let Some((job, attempt)) = guard.queue.pop_front() else {
+                return;
+            };
+            let started = JournalRecord::Started {
+                job: job.id(),
+                attempt,
+            };
+            if let Err(e) = guard.journal.append(&started) {
+                guard.failure = Some(e);
+                return;
+            }
+            (job, attempt)
+        };
+
+        let result = run_job(&job, attempt);
+
+        let mut guard = shared.lock().expect("campaign lock");
+        let record = match &result {
+            Ok(report) => JournalRecord::Completed {
+                job: job.id(),
+                attempt,
+                report: report.clone(),
+            },
+            Err(reason) if attempt > spec.max_retries => JournalRecord::Dead {
+                job: job.id(),
+                attempts: attempt,
+                reason: reason.clone(),
+            },
+            Err(reason) => JournalRecord::Failed {
+                job: job.id(),
+                attempt,
+                reason: reason.clone(),
+            },
+        };
+        if let Err(e) = guard.journal.append(&record) {
+            guard.failure = Some(e);
+            return;
+        }
+        match result {
+            Ok(report) => {
+                guard.completions += 1;
+                guard.completed.push(JobOutcome {
+                    job,
+                    attempt,
+                    report,
+                });
+            }
+            Err(reason) => {
+                if attempt > spec.max_retries {
+                    guard.dead.push((job, reason));
+                } else {
+                    guard.queue.push_back((job, attempt + 1));
+                }
+            }
+        }
+    }
+}
+
+/// Rebuilds the mapping store from a journal state. Job ids found in the
+/// journal are resolved against `spec` for their machine label; ids from
+/// older specs fall back to the id itself.
+pub fn store_from_state(state: &JournalState, spec: &CampaignSpec) -> MappingStore {
+    let jobs: std::collections::BTreeMap<String, JobSpec> =
+        spec.jobs().into_iter().map(|j| (j.id(), j)).collect();
+    let mut store = MappingStore::new();
+    for (job_id, report) in &state.completed {
+        let machine = jobs
+            .get(job_id)
+            .map_or_else(|| job_id.clone(), JobSpec::machine_label);
+        store.insert(
+            &report.mapping,
+            Provenance {
+                machine,
+                job: job_id.clone(),
+            },
+        );
+    }
+    store
+}
+
+/// A point-in-time summary of campaign progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Jobs the spec expands to.
+    pub total_jobs: usize,
+    /// Completed jobs.
+    pub completed: usize,
+    /// Dead-lettered jobs with their final reason.
+    pub dead: Vec<(String, String)>,
+    /// Jobs still pending, with the attempt they would resume at.
+    pub pending: Vec<(String, u32)>,
+    /// Distinct mappings in the rebuilt store.
+    pub distinct_mappings: usize,
+}
+
+/// Summarizes a campaign directory without running anything.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] when the journal cannot be read.
+pub fn campaign_status(
+    spec: &CampaignSpec,
+    paths: &CampaignPaths,
+) -> Result<CampaignStatus, CampaignError> {
+    let state = JournalState::replay(&read_journal(&paths.journal())?);
+    let store = store_from_state(&state, spec);
+    Ok(CampaignStatus {
+        total_jobs: spec.jobs().len(),
+        completed: state.completed.len(),
+        dead: state
+            .dead
+            .iter()
+            .map(|(job, reason)| (job.clone(), reason.clone()))
+            .collect(),
+        pending: state
+            .pending(spec)
+            .iter()
+            .map(|job| {
+                let id = job.id();
+                let attempt = state.next_attempt(&id);
+                (id, attempt)
+            })
+            .collect(),
+        distinct_mappings: store.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Profile;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_paths(tag: &str) -> CampaignPaths {
+        let dir =
+            std::env::temp_dir().join(format!("dramdig-campaign-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CampaignPaths::new(dir)
+    }
+
+    fn fake_report(machine: u8) -> RecoveryReport {
+        let setting = MachineSetting::by_number(machine).unwrap();
+        RecoveryReport {
+            mapping: setting.mapping().clone(),
+            pool_size: 64,
+            pile_count: 8,
+            threshold_ns: 290,
+            validation_agreement: None,
+            phase_costs: Vec::new(),
+            total: PhaseCosts {
+                measurements: 10,
+                accesses: 20,
+                elapsed_ns: u64::from(machine) * 1_000_000_000,
+                cache_hits: 3,
+                cache_misses: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn drains_a_queue_and_builds_the_store() {
+        let spec = CampaignSpec::new(vec![4, 7], 1, Profile::Fast);
+        let paths = temp_paths("drain");
+        let outcome = run_campaign(&spec, &paths, &CampaignOptions::default(), |job, _| {
+            Ok(fake_report(job.machine))
+        })
+        .unwrap();
+        assert_eq!(outcome.completed.len(), 2);
+        assert!(outcome.dead.is_empty());
+        assert_eq!(outcome.store.len(), 2);
+        assert_eq!(outcome.totals.measurements, 20);
+        assert_eq!(outcome.totals.cache_hits, 6);
+        // Artifacts exist on disk.
+        assert!(paths.journal().exists());
+        assert!(paths.store().exists());
+        // Re-running has nothing to do but reports the same state.
+        let again = run_campaign(&spec, &paths, &CampaignOptions::default(), |_, _| {
+            panic!("nothing should run on an already-complete campaign")
+        })
+        .unwrap();
+        assert!(again.completed.is_empty());
+        assert_eq!(again.state.completed.len(), 2);
+        std::fs::remove_dir_all(paths.dir()).unwrap();
+    }
+
+    #[test]
+    fn retries_then_dead_letters_and_resumes_attempt_numbering() {
+        let mut spec = CampaignSpec::new(vec![4], 1, Profile::Fast);
+        spec.max_retries = 2;
+        let paths = temp_paths("retry");
+        let calls = AtomicU32::new(0);
+        // Fails attempts 1 and 2, succeeds on 3.
+        let outcome = run_campaign(&spec, &paths, &CampaignOptions::serial(), |job, attempt| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if attempt < 3 {
+                Err(format!("injected noise on attempt {attempt}"))
+            } else {
+                Ok(fake_report(job.machine))
+            }
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(outcome.completed.len(), 1);
+        assert_eq!(outcome.completed[0].attempt, 3);
+        assert!(outcome.dead.is_empty());
+
+        // A permanently failing job dead-letters after 1 + max_retries tries.
+        let mut spec2 = CampaignSpec::new(vec![7], 1, Profile::Fast);
+        spec2.max_retries = 1;
+        let paths2 = temp_paths("dead");
+        let calls2 = AtomicU32::new(0);
+        let outcome2 = run_campaign(&spec2, &paths2, &CampaignOptions::serial(), |_, _| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            Err("always broken".to_string())
+        })
+        .unwrap();
+        assert_eq!(calls2.load(Ordering::SeqCst), 2);
+        assert!(outcome2.completed.is_empty());
+        assert_eq!(outcome2.dead.len(), 1);
+        assert_eq!(outcome2.dead[0].1, "always broken");
+        // Dead jobs stay dead on resume.
+        let status = campaign_status(&spec2, &paths2).unwrap();
+        assert_eq!(status.dead.len(), 1);
+        assert!(status.pending.is_empty());
+        std::fs::remove_dir_all(paths.dir()).unwrap();
+        std::fs::remove_dir_all(paths2.dir()).unwrap();
+    }
+
+    #[test]
+    fn interruption_via_completion_cap_resumes_cleanly() {
+        let spec = CampaignSpec::new(vec![1, 2, 3, 4], 1, Profile::Fast);
+        let paths = temp_paths("interrupt");
+        let first = run_campaign(
+            &spec,
+            &paths,
+            &CampaignOptions::serial().with_max_completions(2),
+            |job, _| Ok(fake_report(job.machine)),
+        )
+        .unwrap();
+        // Workers may start one extra job before observing the cap; at least
+        // the cap must be respected within one job per worker.
+        assert!(first.completed.len() >= 2);
+        assert!(first.completed.len() < 4);
+        let status = campaign_status(&spec, &paths).unwrap();
+        assert_eq!(status.completed + status.pending.len(), 4);
+
+        let resumed = run_campaign(&spec, &paths, &CampaignOptions::default(), |job, _| {
+            Ok(fake_report(job.machine))
+        })
+        .unwrap();
+        assert_eq!(resumed.state.completed.len(), 4);
+        assert_eq!(resumed.store.len(), 4);
+        let final_status = campaign_status(&spec, &paths).unwrap();
+        assert_eq!(final_status.completed, 4);
+        assert!(final_status.pending.is_empty());
+        std::fs::remove_dir_all(paths.dir()).unwrap();
+    }
+
+    #[test]
+    fn parallel_workers_complete_every_job_exactly_once() {
+        let spec = CampaignSpec {
+            machines: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+            seeds: vec![1, 2],
+            profiles: vec![Profile::Fast],
+            ablations: vec![None],
+            max_retries: 0,
+        };
+        let paths = temp_paths("parallel");
+        let outcome = run_campaign(
+            &spec,
+            &paths,
+            &CampaignOptions::default().with_workers(8),
+            |job, _| Ok(fake_report(job.machine)),
+        )
+        .unwrap();
+        assert_eq!(outcome.completed.len(), 18);
+        let mut ids: Vec<String> = outcome.completed.iter().map(|o| o.job.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 18, "no job ran twice");
+        // Two seeds per machine dedup, and No.6 and No.9 share one mapping
+        // (same DDR4 16 GiB configuration), so nine machines store eight
+        // distinct mappings.
+        assert_eq!(outcome.store.len(), 8);
+        let shared = outcome
+            .store
+            .entries()
+            .find(|e| e.machines().len() > 1)
+            .expect("No.6 and No.9 collapse into one entry");
+        assert_eq!(
+            shared.machines().into_iter().collect::<Vec<_>>(),
+            vec!["No.6", "No.9"]
+        );
+        std::fs::remove_dir_all(paths.dir()).unwrap();
+    }
+
+    #[test]
+    fn fleet_makespan_models_parallel_machines() {
+        let durations = [3.0, 3.0, 3.0, 3.0];
+        assert_eq!(fleet_makespan(&durations, 1), 12.0);
+        assert_eq!(fleet_makespan(&durations, 2), 6.0);
+        assert_eq!(fleet_makespan(&durations, 4), 3.0);
+        assert_eq!(fleet_makespan(&durations, 8), 3.0, "more workers than jobs");
+        // Uneven jobs: the longest chain dominates.
+        assert_eq!(fleet_makespan(&[5.0, 1.0, 1.0, 1.0], 2), 5.0);
+        assert_eq!(fleet_makespan(&[], 4), 0.0);
+        assert_eq!(fleet_makespan(&[2.0], 0), 2.0, "zero workers clamp to one");
+    }
+
+    #[test]
+    fn sim_runner_runs_a_real_job_and_reports_ablation_failures() {
+        let job = JobSpec {
+            machine: 4,
+            seed: 1,
+            profile: Profile::Fast,
+            ablation: None,
+        };
+        let report = run_job_sim(&job, 1).unwrap();
+        let setting = MachineSetting::by_number(4).unwrap();
+        assert!(report.mapping.equivalent_to(setting.mapping()));
+        // Unknown machines and ablated system info fail with a reason.
+        let bad = JobSpec {
+            machine: 42,
+            ..job.clone()
+        };
+        assert!(run_job_sim(&bad, 1)
+            .unwrap_err()
+            .contains("unknown machine"));
+        let ablated = JobSpec {
+            ablation: Some(Ablation::SystemInfo),
+            ..job
+        };
+        assert!(run_job_sim(&ablated, 1).is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! The persistent, deduplicating mapping store.
+//!
+//! Every completed job contributes its recovered [`AddressMapping`]. Two
+//! recoveries of the *same* mapping may present different bank-function
+//! lists (any basis of the same GF(2) row space induces the same bank
+//! partition), so the store canonicalizes each function set to its unique
+//! reduced row-echelon basis
+//! ([`dram_model::gf2::Gf2Matrix::reduced_row_basis`]) before keying on it.
+//! The result is a component-function database that answers fleet-level
+//! questions — *which machines share bank function `(7, 14)`?*, *how many
+//! distinct mappings did the campaign see?* — and whose plain-text encoding
+//! is byte-identical for any insertion order, so an interrupted-and-resumed
+//! campaign and an uninterrupted one produce the same artifact.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use dram_model::gf2::Gf2Matrix;
+use dram_model::{parse, AddressMapping, XorFunc};
+use dramdig::codec::CodecError;
+
+/// Canonical identity of a mapping: reduced bank-function basis plus the
+/// row/column bit sets.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Signature {
+    basis: Vec<u64>,
+    row_bits: Vec<u8>,
+    column_bits: Vec<u8>,
+}
+
+impl Signature {
+    fn of(mapping: &AddressMapping) -> Self {
+        Signature {
+            basis: Gf2Matrix::from_funcs(mapping.bank_funcs()).reduced_row_basis(),
+            row_bits: mapping.row_bits().to_vec(),
+            column_bits: mapping.column_bits().to_vec(),
+        }
+    }
+}
+
+/// Where a stored mapping came from: one completed job on one machine.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Provenance {
+    /// Machine label, e.g. `No.4`.
+    pub machine: String,
+    /// Job id, e.g. `m4-s1-optimized`.
+    pub job: String,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.machine, self.job)
+    }
+}
+
+impl Provenance {
+    fn decode(text: &str) -> Result<Self, CodecError> {
+        let Some((machine, job)) = text.split_once(':') else {
+            return Err(CodecError::whole(format!(
+                "source `{text}` is not `machine:job`"
+            )));
+        };
+        if machine.is_empty() || job.is_empty() {
+            return Err(CodecError::whole(format!(
+                "empty source component in `{text}`"
+            )));
+        }
+        Ok(Provenance {
+            machine: machine.to_string(),
+            job: job.to_string(),
+        })
+    }
+}
+
+/// One distinct mapping plus every job that recovered it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// The mapping, with its bank functions in canonical (reduced-basis)
+    /// form.
+    pub mapping: AddressMapping,
+    /// Every job that recovered this mapping.
+    pub sources: BTreeSet<Provenance>,
+}
+
+impl StoreEntry {
+    /// The distinct machine labels that recovered this mapping.
+    pub fn machines(&self) -> BTreeSet<&str> {
+        self.sources.iter().map(|s| s.machine.as_str()).collect()
+    }
+}
+
+/// The deduplicating mapping store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MappingStore {
+    entries: BTreeMap<Signature, StoreEntry>,
+}
+
+impl MappingStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MappingStore::default()
+    }
+
+    /// Records that `source` recovered `mapping`. Returns `true` when this
+    /// mapping was not in the store yet (up to bank-function basis choice).
+    pub fn insert(&mut self, mapping: &AddressMapping, source: Provenance) -> bool {
+        let signature = Signature::of(mapping);
+        match self.entries.get_mut(&signature) {
+            Some(entry) => {
+                entry.sources.insert(source);
+                false
+            }
+            None => {
+                let canonical_funcs: Vec<XorFunc> = signature
+                    .basis
+                    .iter()
+                    .map(|&mask| XorFunc::from_mask(mask))
+                    .collect();
+                let mapping = AddressMapping::new(
+                    canonical_funcs,
+                    mapping.row_bits().to_vec(),
+                    mapping.column_bits().to_vec(),
+                )
+                .expect("canonical basis spans the same space as a valid mapping");
+                self.entries.insert(
+                    signature,
+                    StoreEntry {
+                        mapping,
+                        sources: BTreeSet::from([source]),
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Merges another store into this one.
+    pub fn merge(&mut self, other: MappingStore) {
+        for entry in other.entries.into_values() {
+            for source in entry.sources {
+                self.insert(&entry.mapping, source);
+            }
+        }
+    }
+
+    /// Number of distinct mappings stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no mapping is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entries, in canonical (signature) order.
+    pub fn entries(&self) -> impl Iterator<Item = &StoreEntry> {
+        self.entries.values()
+    }
+
+    /// The machines whose recovered mapping *uses* `func`: the function lies
+    /// in the GF(2) span of the entry's bank functions. This answers
+    /// "which machines share bank function X" across the whole campaign
+    /// history.
+    pub fn machines_sharing(&self, func: XorFunc) -> BTreeSet<&str> {
+        let mut machines = BTreeSet::new();
+        for entry in self.entries.values() {
+            if Gf2Matrix::from_funcs(entry.mapping.bank_funcs()).spans(func.mask()) {
+                machines.extend(entry.machines());
+            }
+        }
+        machines
+    }
+
+    /// The entries whose bank-function span contains `func`.
+    pub fn entries_sharing(&self, func: XorFunc) -> Vec<&StoreEntry> {
+        self.entries
+            .values()
+            .filter(|e| Gf2Matrix::from_funcs(e.mapping.bank_funcs()).spans(func.mask()))
+            .collect()
+    }
+
+    /// Serializes the store. The output is a pure function of the store
+    /// *contents* — insertion order never changes a byte — so resumed and
+    /// uninterrupted campaigns write identical files.
+    pub fn encode(&self) -> String {
+        let mut out = String::from("# dramdig mapping store\n");
+        for entry in self.entries.values() {
+            let (funcs, rows, cols) = parse::render_mapping(&entry.mapping);
+            out.push_str("\n[mapping]\n");
+            out.push_str(&format!("funcs = {funcs}\n"));
+            out.push_str(&format!("rows = {rows}\n"));
+            out.push_str(&format!("cols = {cols}\n"));
+            let sources: Vec<String> = entry.sources.iter().map(|s| s.to_string()).collect();
+            out.push_str(&format!("sources = {}\n", sources.join(", ")));
+        }
+        out
+    }
+
+    /// Parses a store written by [`MappingStore::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed sections, keys or mappings.
+    pub fn decode(text: &str) -> Result<Self, CodecError> {
+        let mut store = MappingStore::new();
+        let mut funcs: Option<String> = None;
+        let mut rows: Option<String> = None;
+        let mut cols: Option<String> = None;
+        let mut sources: Vec<Provenance> = Vec::new();
+
+        let mut flush = |funcs: &mut Option<String>,
+                         rows: &mut Option<String>,
+                         cols: &mut Option<String>,
+                         sources: &mut Vec<Provenance>|
+         -> Result<(), CodecError> {
+            let started =
+                funcs.is_some() || rows.is_some() || cols.is_some() || !sources.is_empty();
+            if !started {
+                return Ok(());
+            }
+            let (Some(f), Some(r), Some(c)) = (funcs.take(), rows.take(), cols.take()) else {
+                return Err(CodecError::whole("incomplete [mapping] section"));
+            };
+            let mapping = parse::parse_mapping(&f, &r, &c)
+                .map_err(|e| CodecError::whole(format!("invalid stored mapping: {e}")))?;
+            if sources.is_empty() {
+                return Err(CodecError::whole("a [mapping] section has no sources"));
+            }
+            for source in sources.drain(..) {
+                store.insert(&mapping, source);
+            }
+            Ok(())
+        };
+
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[mapping]" {
+                flush(&mut funcs, &mut rows, &mut cols, &mut sources)?;
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(CodecError::whole(format!(
+                    "expected `key = value`, got `{line}`"
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "funcs" => funcs = Some(value.to_string()),
+                "rows" => rows = Some(value.to_string()),
+                "cols" => cols = Some(value.to_string()),
+                "sources" => {
+                    for item in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        sources.push(Provenance::decode(item)?);
+                    }
+                }
+                other => return Err(CodecError::whole(format!("unknown store key `{other}`"))),
+            }
+        }
+        flush(&mut funcs, &mut rows, &mut cols, &mut sources)?;
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::MachineSetting;
+
+    fn source(machine: u8, job: &str) -> Provenance {
+        Provenance {
+            machine: format!("No.{machine}"),
+            job: job.to_string(),
+        }
+    }
+
+    #[test]
+    fn dedups_equivalent_bases_into_one_entry() {
+        let no4 = MachineSetting::by_number(4).unwrap();
+        // Replace (14,17) by (14,17)^(15,18): the same space, different basis.
+        let variant = AddressMapping::new(
+            vec![
+                XorFunc::from_bits(&[13, 16]),
+                XorFunc::from_bits(&[14, 15, 17, 18]),
+                XorFunc::from_bits(&[15, 18]),
+            ],
+            no4.mapping().row_bits().to_vec(),
+            no4.mapping().column_bits().to_vec(),
+        )
+        .unwrap();
+        let mut store = MappingStore::new();
+        assert!(store.insert(no4.mapping(), source(4, "m4-s1-optimized")));
+        assert!(
+            !store.insert(&variant, source(4, "m4-s2-optimized")),
+            "same space dedups"
+        );
+        assert_eq!(store.len(), 1);
+        let entry = store.entries().next().unwrap();
+        assert_eq!(entry.sources.len(), 2);
+        assert!(entry.mapping.equivalent_to(no4.mapping()));
+        // Re-inserting an existing source is idempotent.
+        assert!(!store.insert(no4.mapping(), source(4, "m4-s1-optimized")));
+        assert_eq!(store.entries().next().unwrap().sources.len(), 2);
+    }
+
+    #[test]
+    fn distinct_mappings_stay_distinct() {
+        let mut store = MappingStore::new();
+        for n in [4u8, 6, 7] {
+            let setting = MachineSetting::by_number(n).unwrap();
+            assert!(store.insert(setting.mapping(), source(n, &format!("m{n}-s1-fast"))));
+        }
+        assert_eq!(store.len(), 3);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn machines_sharing_queries_the_span() {
+        let mut store = MappingStore::new();
+        for n in 1..=9u8 {
+            let setting = MachineSetting::by_number(n).unwrap();
+            store.insert(setting.mapping(), source(n, &format!("m{n}-s1-optimized")));
+        }
+        // (14, 18) is a bank function of machines 2, 3 and 5 (Table II) —
+        // the query answers over the span, across every stored mapping.
+        let sharing = store.machines_sharing(XorFunc::from_bits(&[14, 18]));
+        assert_eq!(
+            sharing.iter().copied().collect::<Vec<_>>(),
+            vec!["No.2", "No.3", "No.5"],
+            "{sharing:?}"
+        );
+        // A function nobody uses.
+        assert!(store
+            .machines_sharing(XorFunc::from_bits(&[2, 3]))
+            .is_empty());
+        assert_eq!(
+            store.entries_sharing(XorFunc::from_bits(&[14, 18])).len(),
+            sharing.len(),
+            "each sharing machine has a distinct mapping here"
+        );
+    }
+
+    #[test]
+    fn encode_is_insertion_order_independent_and_round_trips() {
+        let settings: Vec<_> = (1..=9u8)
+            .map(|n| MachineSetting::by_number(n).unwrap())
+            .collect();
+        let mut forward = MappingStore::new();
+        for s in &settings {
+            forward.insert(
+                s.mapping(),
+                source(s.number, &format!("m{}-s1-fast", s.number)),
+            );
+        }
+        let mut backward = MappingStore::new();
+        for s in settings.iter().rev() {
+            backward.insert(
+                s.mapping(),
+                source(s.number, &format!("m{}-s1-fast", s.number)),
+            );
+        }
+        assert_eq!(forward.encode(), backward.encode());
+        let decoded = MappingStore::decode(&forward.encode()).unwrap();
+        assert_eq!(decoded, forward);
+        assert_eq!(decoded.encode(), forward.encode());
+    }
+
+    #[test]
+    fn merge_unions_sources_and_entries() {
+        let no4 = MachineSetting::by_number(4).unwrap();
+        let no7 = MachineSetting::by_number(7).unwrap();
+        let mut a = MappingStore::new();
+        a.insert(no4.mapping(), source(4, "m4-s1-fast"));
+        let mut b = MappingStore::new();
+        b.insert(no4.mapping(), source(4, "m4-s2-fast"));
+        b.insert(no7.mapping(), source(7, "m7-s1-fast"));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        let no4_entry = a
+            .entries()
+            .find(|e| e.mapping.equivalent_to(no4.mapping()))
+            .unwrap();
+        assert_eq!(no4_entry.sources.len(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_stores() {
+        assert!(
+            MappingStore::decode("[mapping]\nfuncs = (13, 16)\n").is_err(),
+            "incomplete"
+        );
+        assert!(MappingStore::decode("funcs = (1)\nrows = 2\ncols = 0\nwat = 1\n").is_err());
+        assert!(MappingStore::decode("garbage line\n").is_err());
+        assert!(
+            MappingStore::decode(
+                "[mapping]\nfuncs = (13, 16), (14, 17), (15, 18)\nrows = 16~31\ncols = 0~12\nsources = broken\n"
+            )
+            .is_err(),
+            "sources must be machine:job"
+        );
+        // The empty store round-trips.
+        let empty = MappingStore::new();
+        assert_eq!(MappingStore::decode(&empty.encode()).unwrap(), empty);
+    }
+}

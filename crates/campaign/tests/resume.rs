@@ -1,0 +1,168 @@
+//! The acceptance test of the campaign subsystem: a campaign over all nine
+//! Table-II machines, interrupted mid-run and resumed, recovers exactly the
+//! same nine mappings — and writes byte-identical store artifacts — as an
+//! uninterrupted run.
+
+use campaign::{
+    campaign_status, run_campaign, run_job_sim_with, CampaignOptions, CampaignPaths, CampaignSpec,
+    JobSpec, Profile,
+};
+use dram_model::{MachineSetting, XorFunc};
+use dramdig::{DramDigConfig, RecoveryReport};
+
+/// The optimized profile with test-sized calibration/validation budgets:
+/// same recovered mappings, far fewer measurements (this test runs the full
+/// pipeline 18 times in debug mode).
+fn test_runner(job: &JobSpec, attempt: u32) -> Result<RecoveryReport, String> {
+    let config = DramDigConfig {
+        calibration_samples: 200,
+        validation_samples: 32,
+        ..DramDigConfig::optimized()
+    };
+    run_job_sim_with(job, attempt, config)
+}
+
+fn temp_paths(tag: &str) -> CampaignPaths {
+    let dir = std::env::temp_dir().join(format!("dramdig-resume-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    CampaignPaths::new(dir)
+}
+
+#[test]
+fn interrupted_and_resumed_campaign_matches_an_uninterrupted_one() {
+    let spec = CampaignSpec::new((1..=9).collect(), 1, Profile::Optimized);
+
+    // --- Interrupted run: stop after 4 completions, then resume. ----------
+    let interrupted = temp_paths("interrupted");
+    let first = run_campaign(
+        &spec,
+        &interrupted,
+        &CampaignOptions::default()
+            .with_workers(2)
+            .with_max_completions(4),
+        test_runner,
+    )
+    .unwrap();
+    assert!(
+        first.state.completed.len() < 9,
+        "the interruption must land mid-campaign ({} completed)",
+        first.state.completed.len()
+    );
+    let mid_status = campaign_status(&spec, &interrupted).unwrap();
+    assert!(!mid_status.pending.is_empty());
+    assert_eq!(
+        mid_status.completed + mid_status.pending.len(),
+        9,
+        "no job may be lost at the interruption point"
+    );
+
+    let resumed = run_campaign(
+        &spec,
+        &interrupted,
+        &CampaignOptions::default().with_workers(4),
+        test_runner,
+    )
+    .unwrap();
+    assert_eq!(resumed.state.completed.len(), 9);
+    assert!(resumed.dead.is_empty());
+    // The resume only ran what the interruption left behind.
+    assert_eq!(
+        first.state.completed.len() + resumed.completed.len(),
+        9,
+        "resume must not re-run completed jobs"
+    );
+
+    // --- Uninterrupted reference run. -------------------------------------
+    let straight = temp_paths("straight");
+    let reference =
+        run_campaign(&spec, &straight, &CampaignOptions::serial(), test_runner).unwrap();
+    assert_eq!(reference.state.completed.len(), 9);
+
+    // --- Same nine mappings, same artifacts. ------------------------------
+    for (job_id, report) in &reference.state.completed {
+        let resumed_report = &resumed.state.completed[job_id];
+        assert_eq!(
+            resumed_report.mapping, report.mapping,
+            "{job_id} must recover the same mapping either way"
+        );
+        let machine: u8 = job_id
+            .strip_prefix('m')
+            .and_then(|r| r.split('-').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        let setting = MachineSetting::by_number(machine).unwrap();
+        assert!(
+            report.mapping.equivalent_to(setting.mapping()),
+            "{job_id} must match the Table-II ground truth"
+        );
+    }
+    assert_eq!(resumed.store.encode(), reference.store.encode());
+    let on_disk_interrupted = std::fs::read_to_string(interrupted.store()).unwrap();
+    let on_disk_straight = std::fs::read_to_string(straight.store()).unwrap();
+    assert_eq!(on_disk_interrupted, on_disk_straight);
+
+    // Nine machines, eight distinct mappings (No.6 and No.9 share one), and
+    // the component-function query sees across jobs.
+    assert_eq!(reference.store.len(), 8);
+    let sharing = reference
+        .store
+        .machines_sharing(XorFunc::from_bits(&[14, 18]));
+    assert_eq!(
+        sharing.into_iter().collect::<Vec<_>>(),
+        vec!["No.2", "No.3", "No.5"]
+    );
+
+    // Campaign totals merge per-job costs without double counting.
+    let sum: u64 = reference
+        .state
+        .completed
+        .values()
+        .map(|r| r.total.measurements)
+        .sum();
+    assert_eq!(reference.totals.measurements, sum);
+    assert!(
+        reference.totals.cache_hits + reference.totals.cache_misses > 0,
+        "the optimized profile routes SBDR queries through the cache"
+    );
+
+    // The fleet makespan model: 4 parallel machines beat 1 by >= 2x.
+    let serial = reference.simulated_makespan(1);
+    let four = reference.simulated_makespan(4);
+    assert!(
+        serial / four >= 2.0,
+        "fleet speedup at 4 workers was only {:.2}x",
+        serial / four
+    );
+
+    std::fs::remove_dir_all(interrupted.dir()).unwrap();
+    std::fs::remove_dir_all(straight.dir()).unwrap();
+}
+
+#[test]
+fn ablated_jobs_dead_letter_through_the_sim_runner() {
+    let mut spec = CampaignSpec {
+        machines: vec![4],
+        seeds: vec![1],
+        profiles: vec![Profile::Optimized],
+        ablations: vec![None, Some(campaign::Ablation::SystemInfo)],
+        max_retries: 1,
+    };
+    spec.max_retries = 1;
+    let paths = temp_paths("ablate");
+    let outcome = run_campaign(&spec, &paths, &CampaignOptions::serial(), test_runner).unwrap();
+    assert_eq!(outcome.completed.len(), 1);
+    assert_eq!(
+        outcome.dead.len(),
+        1,
+        "no system info -> no bank count -> dead letter"
+    );
+    let (dead_job, reason) = &outcome.dead[0];
+    assert_eq!(dead_job.id(), "m4-s1-optimized-sysinfo");
+    assert!(!reason.is_empty());
+    // The store only holds the successful job.
+    assert_eq!(outcome.store.len(), 1);
+    let status = campaign_status(&spec, &paths).unwrap();
+    assert_eq!(status.dead.len(), 1);
+    assert_eq!(status.distinct_mappings, 1);
+    std::fs::remove_dir_all(paths.dir()).unwrap();
+}

@@ -9,6 +9,10 @@
 //! dramdig hammer   --machine 1 [--tool dramdig|drama|truth] [--tests 5]
 //! dramdig decode   --machine 6 --addr 0x3fe4c40
 //! dramdig validate --funcs "(13, 16), (14, 17), (15, 18)" --rows 16~31 --cols 0~12
+//! dramdig campaign run    --dir t2 --machines 1-9 [--seeds 1] [--profiles optimized]
+//! dramdig campaign resume --dir t2 [--workers 4]
+//! dramdig campaign status --dir t2
+//! dramdig campaign query  --dir t2 --func "(13, 16)"
 //! ```
 //!
 //! Everything runs against the simulated machines of Table II; on a real
@@ -25,6 +29,10 @@
 use std::fmt;
 use std::fmt::Write as _;
 
+use campaign::{
+    campaign_status, run_campaign, run_job_sim, CampaignOptions, CampaignPaths, CampaignSpec,
+    MappingStore, Profile,
+};
 use dram_baselines::{BaselineError, Drama, DramaConfig, Xiao};
 use dram_model::{parse, MachineSetting, PhysAddr};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
@@ -98,8 +106,48 @@ pub enum Command {
         /// Column bits in range notation.
         cols: String,
     },
+    /// `dramdig campaign <run|resume|status|query> ...`
+    Campaign(CampaignAction),
     /// `dramdig help`
     Help,
+}
+
+/// What a `dramdig campaign` invocation does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignAction {
+    /// `dramdig campaign run --dir D --machines 1-9 [--seeds S] [--profiles P]
+    /// [--ablations A] [--retries N] [--workers N] [--limit N]`
+    Run {
+        /// Campaign directory (spec, journal and store live here).
+        dir: String,
+        /// The expanded campaign description.
+        spec: CampaignSpec,
+        /// Worker threads draining the job queue.
+        workers: usize,
+        /// Stop after this many completions (simulates an interruption).
+        limit: Option<usize>,
+    },
+    /// `dramdig campaign resume --dir D [--workers N] [--limit N]`
+    Resume {
+        /// Campaign directory holding the persisted spec.
+        dir: String,
+        /// Worker threads draining the job queue.
+        workers: usize,
+        /// Stop after this many completions (simulates an interruption).
+        limit: Option<usize>,
+    },
+    /// `dramdig campaign status --dir D`
+    Status {
+        /// Campaign directory.
+        dir: String,
+    },
+    /// `dramdig campaign query --dir D --func "(13, 16)"`
+    Query {
+        /// Campaign directory.
+        dir: String,
+        /// Bank function in paper notation.
+        func: String,
+    },
 }
 
 /// Errors produced while parsing or executing a command.
@@ -142,6 +190,13 @@ pub fn usage() -> String {
         "  dramdig hammer   --machine <1-9> [--tool dramdig|drama|truth] [--tests <n>]\n",
         "  dramdig decode   --machine <1-9> --addr <hex or decimal physical address>\n",
         "  dramdig validate --funcs \"(13, 16), ...\" --rows 16~31 --cols 0~12\n",
+        "  dramdig campaign run    --dir <dir> --machines <1-9|4,7> [--seeds <s,..>]\n",
+        "                          [--profiles naive|default|fast|optimized[,..]]\n",
+        "                          [--ablations none|spec|sysinfo|empirical[,..]]\n",
+        "                          [--retries <n>] [--workers <n>] [--limit <n>]\n",
+        "  dramdig campaign resume --dir <dir> [--workers <n>] [--limit <n>]\n",
+        "  dramdig campaign status --dir <dir>\n",
+        "  dramdig campaign query  --dir <dir> --func \"(13, 16)\"\n",
         "  dramdig help\n",
     )
     .to_string()
@@ -167,6 +222,166 @@ fn parse_u64(text: &str) -> Result<u64, CliError> {
 fn required<'a>(args: &'a [String], key: &str, command: &str) -> Result<&'a str, CliError> {
     flag_value(args, key)
         .ok_or_else(|| CliError::Usage(format!("`dramdig {command}` requires {key} <value>")))
+}
+
+/// Parses a machine list with ranges, e.g. `1-9` or `4,7` or `1,3-5`.
+/// Each number goes through [`campaign::parse_machine_number`], so
+/// out-of-range values are rejected instead of truncated onto a valid
+/// machine.
+fn parse_machine_list(text: &str) -> Result<Vec<u8>, CliError> {
+    let number = |item: &str| campaign::parse_machine_number(item).map_err(CliError::Usage);
+    let mut machines = Vec::new();
+    for item in text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if let Some((lo, hi)) = item.split_once('-') {
+            let lo = number(lo)?;
+            let hi = number(hi)?;
+            if lo > hi {
+                return Err(CliError::Usage(format!("empty machine range `{item}`")));
+            }
+            machines.extend(lo..=hi);
+        } else {
+            machines.push(number(item)?);
+        }
+    }
+    if machines.is_empty() {
+        return Err(CliError::Usage(format!("`{text}` names no machines")));
+    }
+    Ok(machines)
+}
+
+/// Rejects anything that is not a known `--flag value` pair. A misspelled
+/// dimension flag (`--profile` for `--profiles`) must fail up front, not
+/// silently sweep the default dimension and persist the wrong spec.
+fn reject_unknown_flags(rest: &[String], allowed: &[&str], command: &str) -> Result<(), CliError> {
+    let mut i = 0;
+    while i < rest.len() {
+        let token = rest[i].as_str();
+        if !token.starts_with("--") {
+            return Err(CliError::Usage(format!(
+                "unexpected argument `{token}` for `dramdig {command}`"
+            )));
+        }
+        if !allowed.contains(&token) {
+            return Err(CliError::Usage(format!(
+                "unknown flag `{token}` for `dramdig {command}` (expected {})",
+                allowed.join(", ")
+            )));
+        }
+        if i + 1 >= rest.len() {
+            return Err(CliError::Usage(format!("`{token}` requires a value")));
+        }
+        i += 2;
+    }
+    Ok(())
+}
+
+fn parse_campaign(rest: &[String]) -> Result<CampaignAction, CliError> {
+    let Some(action) = rest.first() else {
+        return Err(CliError::Usage(
+            "`dramdig campaign` requires run, resume, status or query".into(),
+        ));
+    };
+    let rest = &rest[1..];
+    let workers = |rest: &[String]| -> Result<usize, CliError> {
+        match flag_value(rest, "--workers") {
+            Some(w) => {
+                let workers = parse_u64(w)? as usize;
+                if workers == 0 {
+                    return Err(CliError::Usage("--workers must be at least 1".into()));
+                }
+                Ok(workers)
+            }
+            None => Ok(4),
+        }
+    };
+    let limit = |rest: &[String]| -> Result<Option<usize>, CliError> {
+        flag_value(rest, "--limit")
+            .map(|l| parse_u64(l).map(|v| v as usize))
+            .transpose()
+    };
+    match action.as_str() {
+        "run" => {
+            reject_unknown_flags(
+                rest,
+                &[
+                    "--dir",
+                    "--machines",
+                    "--seeds",
+                    "--profiles",
+                    "--ablations",
+                    "--retries",
+                    "--workers",
+                    "--limit",
+                ],
+                "campaign run",
+            )?;
+            let dir = required(rest, "--dir", "campaign run")?.to_string();
+            let machines = parse_machine_list(required(rest, "--machines", "campaign run")?)?;
+            let seeds = match flag_value(rest, "--seeds") {
+                Some(list) => list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(parse_u64)
+                    .collect::<Result<Vec<u64>, CliError>>()?,
+                None => vec![1],
+            };
+            let profiles = match flag_value(rest, "--profiles") {
+                Some(list) => Profile::parse_list(list).map_err(CliError::Usage)?,
+                None => vec![Profile::Optimized],
+            };
+            let ablations = match flag_value(rest, "--ablations") {
+                Some(list) => campaign::Ablation::parse_list(list).map_err(CliError::Usage)?,
+                None => vec![None],
+            };
+            let max_retries = match flag_value(rest, "--retries") {
+                Some(r) => u32::try_from(parse_u64(r)?).map_err(|_| {
+                    CliError::Usage(format!("--retries {r} does not fit a 32-bit count"))
+                })?,
+                None => 2,
+            };
+            let spec = CampaignSpec {
+                machines,
+                seeds,
+                profiles,
+                ablations,
+                max_retries,
+            };
+            if spec.seeds.is_empty() || spec.profiles.is_empty() || spec.ablations.is_empty() {
+                return Err(CliError::Usage("campaign spec expands to zero jobs".into()));
+            }
+            Ok(CampaignAction::Run {
+                dir,
+                spec,
+                workers: workers(rest)?,
+                limit: limit(rest)?,
+            })
+        }
+        "resume" => {
+            reject_unknown_flags(rest, &["--dir", "--workers", "--limit"], "campaign resume")?;
+            Ok(CampaignAction::Resume {
+                dir: required(rest, "--dir", "campaign resume")?.to_string(),
+                workers: workers(rest)?,
+                limit: limit(rest)?,
+            })
+        }
+        "status" => {
+            reject_unknown_flags(rest, &["--dir"], "campaign status")?;
+            Ok(CampaignAction::Status {
+                dir: required(rest, "--dir", "campaign status")?.to_string(),
+            })
+        }
+        "query" => {
+            reject_unknown_flags(rest, &["--dir", "--func"], "campaign query")?;
+            Ok(CampaignAction::Query {
+                dir: required(rest, "--dir", "campaign query")?.to_string(),
+                func: required(rest, "--func", "campaign query")?.to_string(),
+            })
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown campaign action `{other}` (expected run, resume, status or query)"
+        ))),
+    }
 }
 
 impl Command {
@@ -240,6 +455,7 @@ impl Command {
                 rows: required(rest, "--rows", "validate")?.to_string(),
                 cols: required(rest, "--cols", "validate")?.to_string(),
             }),
+            "campaign" => parse_campaign(rest).map(Command::Campaign),
             other => Err(CliError::Usage(format!("unknown sub-command `{other}`"))),
         }
     }
@@ -429,6 +645,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 addr
             ))
         }
+        Command::Campaign(action) => execute_campaign(action),
         Command::Validate { funcs, rows, cols } => match parse::parse_mapping(funcs, rows, cols) {
             Ok(mapping) => Ok(format!(
                 "valid mapping: {mapping}\n  banks: {}, rows per bank: {}, row size: {} bytes\n",
@@ -438,6 +655,198 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             )),
             Err(e) => Err(CliError::Tool(format!("invalid mapping: {e}"))),
         },
+    }
+}
+
+fn read_campaign_spec(paths: &CampaignPaths) -> Result<CampaignSpec, CliError> {
+    let text = std::fs::read_to_string(paths.spec()).map_err(|e| {
+        CliError::Tool(format!(
+            "cannot read {} ({e}); was this campaign started with `campaign run`?",
+            paths.spec().display()
+        ))
+    })?;
+    CampaignSpec::decode(&text).map_err(|e| CliError::Tool(format!("corrupt campaign spec: {e}")))
+}
+
+fn drive_campaign(
+    dir: &str,
+    spec: &CampaignSpec,
+    workers: usize,
+    limit: Option<usize>,
+) -> Result<String, CliError> {
+    let paths = CampaignPaths::new(dir);
+    let mut options = CampaignOptions::default().with_workers(workers);
+    if let Some(limit) = limit {
+        options = options.with_max_completions(limit);
+    }
+    let outcome = run_campaign(spec, &paths, &options, run_job_sim)
+        .map_err(|e| CliError::Tool(e.to_string()))?;
+
+    let mut out = String::new();
+    let total = spec.jobs().len();
+    writeln!(
+        out,
+        "campaign {dir}: {}/{total} jobs completed ({} this invocation, {} dead-lettered)",
+        outcome.state.completed.len(),
+        outcome.completed.len(),
+        outcome.state.dead.len(),
+    )
+    .expect("write to string");
+    for done in &outcome.completed {
+        writeln!(
+            out,
+            "  {} (attempt {}): {}",
+            done.job.id(),
+            done.attempt,
+            done.report.mapping
+        )
+        .expect("write to string");
+    }
+    for (job, reason) in &outcome.dead {
+        writeln!(out, "  DEAD {}: {reason}", job.id()).expect("write to string");
+    }
+    let pending = outcome.state.pending(spec).len();
+    if pending > 0 {
+        writeln!(
+            out,
+            "  {pending} jobs still pending; continue with `dramdig campaign resume --dir {dir}`"
+        )
+        .expect("write to string");
+    }
+    writeln!(
+        out,
+        "store: {} distinct mappings ({})",
+        outcome.store.len(),
+        paths.store().display()
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "totals: {} measurements, {:.3} s simulated; fleet makespan {:.3} s at 1 machine, {:.3} s at {} machines",
+        outcome.totals.measurements,
+        outcome.totals.elapsed_seconds(),
+        outcome.simulated_makespan(1),
+        outcome.simulated_makespan(workers),
+        workers,
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
+fn execute_campaign(action: &CampaignAction) -> Result<String, CliError> {
+    match action {
+        CampaignAction::Run {
+            dir,
+            spec,
+            workers,
+            limit,
+        } => {
+            let paths = CampaignPaths::new(dir);
+            if paths.spec().exists() {
+                let existing = read_campaign_spec(&paths)?;
+                if &existing != spec {
+                    return Err(CliError::Tool(format!(
+                        "{} already holds a different campaign; resume it or pick a new --dir",
+                        dir
+                    )));
+                }
+            } else {
+                std::fs::create_dir_all(paths.dir())
+                    .and_then(|()| std::fs::write(paths.spec(), spec.encode()))
+                    .map_err(|e| {
+                        CliError::Tool(format!("cannot persist campaign spec in {dir}: {e}"))
+                    })?;
+            }
+            drive_campaign(dir, spec, *workers, *limit)
+        }
+        CampaignAction::Resume {
+            dir,
+            workers,
+            limit,
+        } => {
+            let spec = read_campaign_spec(&CampaignPaths::new(dir))?;
+            drive_campaign(dir, &spec, *workers, *limit)
+        }
+        CampaignAction::Status { dir } => {
+            let paths = CampaignPaths::new(dir);
+            let spec = read_campaign_spec(&paths)?;
+            let status =
+                campaign_status(&spec, &paths).map_err(|e| CliError::Tool(e.to_string()))?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "campaign {dir}: {}/{} completed, {} dead, {} pending, {} distinct mappings",
+                status.completed,
+                status.total_jobs,
+                status.dead.len(),
+                status.pending.len(),
+                status.distinct_mappings,
+            )
+            .expect("write to string");
+            for (job, attempt) in &status.pending {
+                writeln!(out, "  pending {job} (next attempt {attempt})").expect("write to string");
+            }
+            for (job, reason) in &status.dead {
+                writeln!(out, "  DEAD {job}: {reason}").expect("write to string");
+            }
+            Ok(out)
+        }
+        CampaignAction::Query { dir, func } => {
+            let paths = CampaignPaths::new(dir);
+            let funcs = parse::parse_functions(func)
+                .map_err(|e| CliError::Tool(format!("invalid --func: {e}")))?;
+            let [func] = funcs.as_slice() else {
+                return Err(CliError::Tool(
+                    "--func expects exactly one bank function, e.g. \"(13, 16)\"".into(),
+                ));
+            };
+            // The journal is the durable record of truth: rebuild the store
+            // from it (exactly what `status` counts), so a kill between a
+            // journaled completion and the store rewrite never makes the
+            // two commands disagree. Only when the journal cannot be
+            // replayed does a persisted store.txt answer instead.
+            let rebuilt = read_campaign_spec(&paths).and_then(|spec| {
+                let records = campaign::read_journal(&paths.journal())
+                    .map_err(|e| CliError::Tool(e.to_string()))?;
+                Ok(campaign::store_from_state(
+                    &campaign::JournalState::replay(&records),
+                    &spec,
+                ))
+            });
+            let store = match rebuilt {
+                Ok(store) => store,
+                Err(journal_error) => std::fs::read_to_string(paths.store())
+                    .ok()
+                    .and_then(|text| MappingStore::decode(&text).ok())
+                    .ok_or(journal_error)?,
+            };
+            let mut out = String::new();
+            let entries = store.entries_sharing(*func);
+            writeln!(
+                out,
+                "bank function {func} appears in {} of {} stored mappings",
+                entries.len(),
+                store.len(),
+            )
+            .expect("write to string");
+            // One span scan: the machine set falls out of the matching
+            // entries (what MappingStore::machines_sharing would recompute).
+            let machines: std::collections::BTreeSet<&str> =
+                entries.iter().flat_map(|entry| entry.machines()).collect();
+            for entry in &entries {
+                let sources: Vec<String> = entry.sources.iter().map(|s| s.to_string()).collect();
+                writeln!(out, "  {}", entry.mapping).expect("write to string");
+                writeln!(out, "    recovered by {}", sources.join(", ")).expect("write to string");
+            }
+            if machines.is_empty() {
+                writeln!(out, "no machine shares it").expect("write to string");
+            } else {
+                let machines: Vec<&str> = machines.into_iter().collect();
+                writeln!(out, "machines sharing it: {}", machines.join(", "))
+                    .expect("write to string");
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -589,8 +998,383 @@ mod tests {
             "decode",
             "validate",
             "list-machines",
+            "campaign run",
+            "campaign resume",
+            "campaign status",
+            "campaign query",
         ] {
-            assert!(text.contains(cmd));
+            assert!(text.contains(cmd), "usage must mention `{cmd}`");
         }
+    }
+
+    /// Table-driven coverage of the whole parse surface: each row is a
+    /// command line and either the command it must parse to or `None` for a
+    /// usage error.
+    #[test]
+    fn parse_table_covers_campaign_and_existing_flags() {
+        fn spec(machines: Vec<u8>) -> CampaignSpec {
+            CampaignSpec {
+                machines,
+                seeds: vec![1],
+                profiles: vec![Profile::Optimized],
+                ablations: vec![None],
+                max_retries: 2,
+            }
+        }
+        let table: Vec<(&[&str], Option<Command>)> = vec![
+            // --- campaign run: defaults, ranges, explicit dimensions -------
+            (
+                &["campaign", "run", "--dir", "t2", "--machines", "1-9"],
+                Some(Command::Campaign(CampaignAction::Run {
+                    dir: "t2".into(),
+                    spec: spec(vec![1, 2, 3, 4, 5, 6, 7, 8, 9]),
+                    workers: 4,
+                    limit: None,
+                })),
+            ),
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "d",
+                    "--machines",
+                    "4,7",
+                    "--workers",
+                    "8",
+                    "--limit",
+                    "3",
+                ],
+                Some(Command::Campaign(CampaignAction::Run {
+                    dir: "d".into(),
+                    spec: spec(vec![4, 7]),
+                    workers: 8,
+                    limit: Some(3),
+                })),
+            ),
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "d",
+                    "--machines",
+                    "1,3-5",
+                    "--seeds",
+                    "1,2",
+                    "--profiles",
+                    "naive,optimized",
+                    "--ablations",
+                    "none,sysinfo",
+                    "--retries",
+                    "0",
+                ],
+                Some(Command::Campaign(CampaignAction::Run {
+                    dir: "d".into(),
+                    spec: CampaignSpec {
+                        machines: vec![1, 3, 4, 5],
+                        seeds: vec![1, 2],
+                        profiles: vec![Profile::Naive, Profile::Optimized],
+                        ablations: vec![None, Some(campaign::Ablation::SystemInfo)],
+                        max_retries: 0,
+                    },
+                    workers: 4,
+                    limit: None,
+                })),
+            ),
+            // --- campaign resume/status/query ------------------------------
+            (
+                &["campaign", "resume", "--dir", "t2"],
+                Some(Command::Campaign(CampaignAction::Resume {
+                    dir: "t2".into(),
+                    workers: 4,
+                    limit: None,
+                })),
+            ),
+            (
+                &[
+                    "campaign",
+                    "resume",
+                    "--dir",
+                    "t2",
+                    "--workers",
+                    "2",
+                    "--limit",
+                    "1",
+                ],
+                Some(Command::Campaign(CampaignAction::Resume {
+                    dir: "t2".into(),
+                    workers: 2,
+                    limit: Some(1),
+                })),
+            ),
+            (
+                &["campaign", "status", "--dir", "t2"],
+                Some(Command::Campaign(CampaignAction::Status {
+                    dir: "t2".into(),
+                })),
+            ),
+            (
+                &["campaign", "query", "--dir", "t2", "--func", "(13, 16)"],
+                Some(Command::Campaign(CampaignAction::Query {
+                    dir: "t2".into(),
+                    func: "(13, 16)".into(),
+                })),
+            ),
+            // --- campaign usage errors -------------------------------------
+            (&["campaign"], None),
+            (&["campaign", "launch"], None),
+            (&["campaign", "run", "--machines", "1-9"], None), // no --dir
+            (&["campaign", "run", "--dir", "d"], None),        // no --machines
+            (
+                &["campaign", "run", "--dir", "d", "--machines", "9-1"],
+                None,
+            ),
+            (&["campaign", "run", "--dir", "d", "--machines", "x"], None),
+            // 260 must not truncate onto machine 4 (260 % 256).
+            (
+                &["campaign", "run", "--dir", "d", "--machines", "260"],
+                None,
+            ),
+            (&["campaign", "run", "--dir", "d", "--machines", "0"], None),
+            // Misspelled flags must fail up front, not run a default sweep.
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "d",
+                    "--machines",
+                    "4",
+                    "--profile",
+                    "naive",
+                ],
+                None,
+            ),
+            (
+                &["campaign", "run", "--dir", "d", "--machines", "4", "stray"],
+                None,
+            ),
+            (&["campaign", "run", "--dir", "d", "--machines"], None),
+            (
+                &["campaign", "resume", "--dir", "d", "--machines", "4"],
+                None,
+            ),
+            (
+                &["campaign", "status", "--dir", "d", "--workers", "2"],
+                None,
+            ),
+            (&["campaign", "query", "--dir", "d", "--funcs", "(6)"], None),
+            (
+                &["campaign", "run", "--dir", "d", "--machines", "1-300"],
+                None,
+            ),
+            (&["campaign", "run", "--dir", "d", "--machines", ","], None),
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "d",
+                    "--machines",
+                    "4",
+                    "--profiles",
+                    "warp",
+                ],
+                None,
+            ),
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "d",
+                    "--machines",
+                    "4",
+                    "--ablations",
+                    "warp",
+                ],
+                None,
+            ),
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "d",
+                    "--machines",
+                    "4",
+                    "--workers",
+                    "0",
+                ],
+                None,
+            ),
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "d",
+                    "--machines",
+                    "4",
+                    "--seeds",
+                    ",",
+                ],
+                None,
+            ),
+            (&["campaign", "resume"], None),
+            (&["campaign", "status"], None),
+            (&["campaign", "query", "--dir", "t2"], None),
+            // --- existing sub-commands stay intact -------------------------
+            (
+                &["uncover", "--machine", "4", "--seed", "9"],
+                Some(Command::Uncover {
+                    machine: 4,
+                    seed: 9,
+                    ablate: None,
+                }),
+            ),
+            (
+                &["uncover", "--machine", "0x4", "--ablate", "empirical"],
+                Some(Command::Uncover {
+                    machine: 4,
+                    seed: 0xD16,
+                    ablate: Some(Ablation::Empirical),
+                }),
+            ),
+            (
+                &["compare", "--machine", "2"],
+                Some(Command::Compare { machine: 2 }),
+            ),
+            (
+                &["hammer", "--machine", "1", "--tool", "truth"],
+                Some(Command::Hammer {
+                    machine: 1,
+                    tool: HammerTool::Truth,
+                    tests: 1,
+                }),
+            ),
+            (
+                &["decode", "--machine", "6", "--addr", "64"],
+                Some(Command::Decode {
+                    machine: 6,
+                    addr: 64,
+                }),
+            ),
+            (&["list-machines"], Some(Command::ListMachines)),
+            (&["help"], Some(Command::Help)),
+            (&["uncover"], None),
+            (&["uncover", "--machine", "four"], None),
+            (&["hammer", "--machine", "1", "--tool", "hope"], None),
+            (&["frobnicate"], None),
+        ];
+        for (words, expected) in table {
+            let parsed = Command::parse(&args(words));
+            match expected {
+                Some(command) => {
+                    assert_eq!(parsed.ok(), Some(command), "while parsing {words:?}")
+                }
+                None => {
+                    let err = parsed.expect_err(&format!("{words:?} must be rejected"));
+                    assert!(
+                        matches!(err, CliError::Usage(_)),
+                        "{words:?} must be a usage error, got {err:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_lifecycle_run_interrupt_resume_status_query() {
+        let dir = std::env::temp_dir().join(format!("dramdig-cli-campaign-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+        let spec = CampaignSpec {
+            machines: vec![4, 7],
+            seeds: vec![1],
+            profiles: vec![Profile::Fast],
+            ablations: vec![None],
+            max_retries: 2,
+        };
+
+        // Run with --limit 1: an interrupted campaign.
+        let out = execute(&Command::Campaign(CampaignAction::Run {
+            dir: dir_str.clone(),
+            spec: spec.clone(),
+            workers: 1,
+            limit: Some(1),
+        }))
+        .unwrap();
+        assert!(out.contains("1/2 jobs completed"), "{out}");
+        assert!(out.contains("campaign resume"), "{out}");
+
+        // Status sees the pending half.
+        let out = execute(&Command::Campaign(CampaignAction::Status {
+            dir: dir_str.clone(),
+        }))
+        .unwrap();
+        assert!(out.contains("1/2 completed"), "{out}");
+        assert!(out.contains("pending"), "{out}");
+
+        // Re-running with a different spec is refused.
+        let err = execute(&Command::Campaign(CampaignAction::Run {
+            dir: dir_str.clone(),
+            spec: CampaignSpec {
+                machines: vec![4],
+                ..spec.clone()
+            },
+            workers: 1,
+            limit: None,
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+
+        // Resume finishes the rest.
+        let out = execute(&Command::Campaign(CampaignAction::Resume {
+            dir: dir_str.clone(),
+            workers: 2,
+            limit: None,
+        }))
+        .unwrap();
+        assert!(out.contains("2/2 jobs completed"), "{out}");
+        assert!(out.contains("distinct mappings"), "{out}");
+
+        // Query the store for machine 4's bank function.
+        let out = execute(&Command::Campaign(CampaignAction::Query {
+            dir: dir_str.clone(),
+            func: "(13, 16)".into(),
+        }))
+        .unwrap();
+        assert!(out.contains("machines sharing it: No.4"), "{out}");
+        let out = execute(&Command::Campaign(CampaignAction::Query {
+            dir: dir_str.clone(),
+            func: "(2, 3)".into(),
+        }))
+        .unwrap();
+        assert!(out.contains("no machine shares it"), "{out}");
+        assert!(execute(&Command::Campaign(CampaignAction::Query {
+            dir: dir_str.clone(),
+            func: "(13, 16), (14, 17)".into(),
+        }))
+        .is_err());
+
+        // A truncated/corrupt store.txt must not make the campaign
+        // unqueryable: the query rebuilds from the journal.
+        std::fs::write(dir.join("store.txt"), "[mapping]\nfuncs = (13,").unwrap();
+        let out = execute(&Command::Campaign(CampaignAction::Query {
+            dir: dir_str.clone(),
+            func: "(13, 16)".into(),
+        }))
+        .unwrap();
+        assert!(out.contains("machines sharing it: No.4"), "{out}");
+
+        // Status/resume on a directory without a campaign fail cleanly.
+        assert!(execute(&Command::Campaign(CampaignAction::Status {
+            dir: format!("{dir_str}-nope"),
+        }))
+        .is_err());
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,5 +1,7 @@
 //! Tunable parameters of the DRAMDig algorithm.
 
+use crate::codec::{self, CodecError};
+
 /// How Algorithm 2 splits the selected pool into same-bank piles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PartitionStrategy {
@@ -144,6 +146,133 @@ impl DramDigConfig {
             ..DramDigConfig::default()
         }
     }
+
+    /// Serializes the configuration as `key = value` lines, one per field.
+    /// [`DramDigConfig::decode`] is the exact inverse; the campaign journal
+    /// stores configurations in this form so a resumed fleet re-runs jobs
+    /// with bit-identical settings.
+    pub fn encode(&self) -> String {
+        let strategy = match self.partition_strategy {
+            PartitionStrategy::Exhaustive => "exhaustive",
+            PartitionStrategy::Decompose => "decompose",
+        };
+        format!(
+            concat!(
+                "delta = {:?}\n",
+                "per_threshold = {:?}\n",
+                "calibration_samples = {}\n",
+                "measure_repeat = {}\n",
+                "max_bases_per_bit = {}\n",
+                "max_func_bits = {}\n",
+                "max_partition_attempts = {}\n",
+                "max_pool = {}\n",
+                "validate = {}\n",
+                "validation_samples = {}\n",
+                "rng_seed = {}\n",
+                "probe_cache_capacity = {}\n",
+                "partition_strategy = {}\n",
+                "max_decompose_queries = {}\n",
+                "adaptive_calibration = {}\n",
+                "calibration_chunk = {}\n",
+                "early_exit_votes = {}\n",
+                "validate_from_cache = {}\n",
+            ),
+            self.delta,
+            self.per_threshold,
+            self.calibration_samples,
+            self.measure_repeat,
+            self.max_bases_per_bit,
+            self.max_func_bits,
+            self.max_partition_attempts,
+            codec::format_opt_usize(self.max_pool),
+            self.validate,
+            self.validation_samples,
+            self.rng_seed,
+            codec::format_opt_usize(self.probe_cache_capacity),
+            strategy,
+            self.max_decompose_queries,
+            self.adaptive_calibration,
+            self.calibration_chunk,
+            self.early_exit_votes,
+            self.validate_from_cache,
+        )
+    }
+
+    /// Parses a configuration written by [`DramDigConfig::encode`].
+    ///
+    /// Keys may appear in any order; keys absent from the document keep
+    /// their [`DramDigConfig::default`] value, so documents written by older
+    /// versions stay readable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for malformed lines, unknown keys or
+    /// unparseable values.
+    pub fn decode(text: &str) -> Result<Self, CodecError> {
+        let mut config = DramDigConfig::default();
+        for (line, key, value) in codec::parse_kv_lines(text)? {
+            match key {
+                "delta" => config.delta = codec::parse_f64(line, key, value)?,
+                "per_threshold" => config.per_threshold = codec::parse_f64(line, key, value)?,
+                "calibration_samples" => {
+                    config.calibration_samples = codec::parse_usize(line, key, value)?;
+                }
+                "measure_repeat" => {
+                    config.measure_repeat = codec::parse_u32(line, key, value)?;
+                }
+                "max_bases_per_bit" => {
+                    config.max_bases_per_bit = codec::parse_u32(line, key, value)?;
+                }
+                "max_func_bits" => config.max_func_bits = codec::parse_usize(line, key, value)?,
+                "max_partition_attempts" => {
+                    config.max_partition_attempts = codec::parse_u32(line, key, value)?;
+                }
+                "max_pool" => config.max_pool = codec::parse_opt_usize(line, key, value)?,
+                "validate" => config.validate = codec::parse_bool(line, key, value)?,
+                "validation_samples" => {
+                    config.validation_samples = codec::parse_usize(line, key, value)?;
+                }
+                "rng_seed" => config.rng_seed = codec::parse_u64(line, key, value)?,
+                "probe_cache_capacity" => {
+                    config.probe_cache_capacity = codec::parse_opt_usize(line, key, value)?;
+                }
+                "partition_strategy" => {
+                    config.partition_strategy = match value {
+                        "exhaustive" => PartitionStrategy::Exhaustive,
+                        "decompose" => PartitionStrategy::Decompose,
+                        other => {
+                            return Err(CodecError::at(
+                                line,
+                                format!("unknown partition strategy `{other}`"),
+                            ))
+                        }
+                    };
+                }
+                "max_decompose_queries" => {
+                    config.max_decompose_queries = codec::parse_u32(line, key, value)?;
+                }
+                "adaptive_calibration" => {
+                    config.adaptive_calibration = codec::parse_bool(line, key, value)?;
+                }
+                "calibration_chunk" => {
+                    config.calibration_chunk = codec::parse_usize(line, key, value)?;
+                }
+                "early_exit_votes" => {
+                    config.early_exit_votes = codec::parse_bool(line, key, value)?
+                }
+                "validate_from_cache" => {
+                    config.validate_from_cache = codec::parse_bool(line, key, value)?;
+                }
+                other => {
+                    return Err(CodecError::at(
+                        line,
+                        format!("unknown config key `{other}`"),
+                    ))
+                }
+            }
+        }
+        Ok(config)
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +312,42 @@ mod tests {
         assert!((c.delta - 0.2).abs() < 1e-12);
         assert!((c.per_threshold - 0.85).abs() < 1e-12);
         assert!(c.validate);
+    }
+
+    #[test]
+    fn every_profile_round_trips_through_the_text_codec() {
+        for config in [
+            DramDigConfig::default(),
+            DramDigConfig::fast(),
+            DramDigConfig::optimized(),
+            DramDigConfig::naive(),
+            DramDigConfig {
+                max_pool: Some(4096),
+                delta: 0.12345678901234567,
+                rng_seed: u64::MAX,
+                ..DramDigConfig::optimized()
+            },
+        ] {
+            let decoded = DramDigConfig::decode(&config.encode()).unwrap();
+            assert_eq!(decoded, config);
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_missing_keys_and_rejects_unknown_ones() {
+        // A partial document keeps defaults for everything unspecified.
+        let partial = DramDigConfig::decode("rng_seed = 99\nmax_pool = none\n").unwrap();
+        assert_eq!(partial.rng_seed, 99);
+        assert_eq!(partial.delta, DramDigConfig::default().delta);
+        // Comments and blank lines are fine.
+        assert!(DramDigConfig::decode("# note\n\nvalidate = false\n").is_ok());
+        // Unknown keys and malformed values are errors that name the line.
+        assert_eq!(
+            DramDigConfig::decode("frobnicate = 1\n").unwrap_err().line,
+            1
+        );
+        assert!(DramDigConfig::decode("delta = much\n").is_err());
+        assert!(DramDigConfig::decode("partition_strategy = magic\n").is_err());
     }
 
     #[test]

@@ -32,6 +32,30 @@ pub struct PhaseCosts {
     pub cache_misses: u64,
 }
 
+impl From<ProbeStats> for PhaseCosts {
+    fn from(stats: ProbeStats) -> Self {
+        PhaseCosts {
+            measurements: stats.measurements,
+            accesses: stats.accesses,
+            elapsed_ns: stats.elapsed_ns,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+        }
+    }
+}
+
+impl From<PhaseCosts> for ProbeStats {
+    fn from(costs: PhaseCosts) -> Self {
+        ProbeStats {
+            measurements: costs.measurements,
+            accesses: costs.accesses,
+            elapsed_ns: costs.elapsed_ns,
+            cache_hits: costs.cache_hits,
+            cache_misses: costs.cache_misses,
+        }
+    }
+}
+
 impl PhaseCosts {
     fn between(before: ProbeStats, after: ProbeStats) -> Self {
         PhaseCosts {
@@ -46,6 +70,16 @@ impl PhaseCosts {
     /// Elapsed time in seconds.
     pub fn elapsed_seconds(&self) -> f64 {
         self.elapsed_ns as f64 / 1e9
+    }
+
+    /// Sums two cost snapshots for aggregating *independent* runs — e.g.
+    /// per-job totals into campaign totals. Delegates to
+    /// [`ProbeStats::merge`] (the counters correspond one-to-one), which is
+    /// also where the caveats live: saturating, and never for two snapshots
+    /// of the same run.
+    #[must_use]
+    pub fn merge(self, other: PhaseCosts) -> PhaseCosts {
+        ProbeStats::from(self).merge(other.into()).into()
     }
 }
 
@@ -64,6 +98,36 @@ pub enum Phase {
     FineDetection,
     /// Optional measurement-based validation.
     Validation,
+}
+
+impl Phase {
+    /// Every phase, in execution order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Calibration,
+        Phase::CoarseDetection,
+        Phase::Partition,
+        Phase::FunctionDetection,
+        Phase::FineDetection,
+        Phase::Validation,
+    ];
+
+    /// Stable machine-readable identifier, used by the serialized report
+    /// codec and the benchmark JSON. [`Phase::from_name`] is its inverse.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Calibration => "calibration",
+            Phase::CoarseDetection => "coarse",
+            Phase::Partition => "partition",
+            Phase::FunctionDetection => "detect",
+            Phase::FineDetection => "fine",
+            Phase::Validation => "validation",
+        }
+    }
+
+    /// Parses a [`Phase::name`] identifier back into the phase.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 impl fmt::Display for Phase {
@@ -433,6 +497,38 @@ mod tests {
         let mut tool = DramDig::new(knowledge, DramDigConfig::fast());
         let err = tool.run(&mut probe).unwrap_err();
         assert!(matches!(err, DramDigError::MissingKnowledge { .. }));
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in Phase::ALL {
+            assert_eq!(Phase::from_name(phase.name()), Some(phase));
+        }
+        assert_eq!(Phase::from_name("warp-drive"), None);
+    }
+
+    #[test]
+    fn phase_costs_merge_sums_and_saturates() {
+        let a = PhaseCosts {
+            measurements: 5,
+            accesses: 10,
+            elapsed_ns: 100,
+            cache_hits: 2,
+            cache_misses: 3,
+        };
+        let b = PhaseCosts {
+            measurements: 7,
+            accesses: 1,
+            elapsed_ns: u64::MAX,
+            cache_hits: 1,
+            cache_misses: 0,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.measurements, 12);
+        assert_eq!(m.accesses, 11);
+        assert_eq!(m.elapsed_ns, u64::MAX, "saturating, not wrapping");
+        assert_eq!(m.cache_hits + m.cache_misses, 6);
+        assert_eq!(a.merge(PhaseCosts::default()), a);
     }
 
     #[test]

@@ -53,6 +53,7 @@
 #![deny(unsafe_code)]
 
 pub mod coarse;
+pub mod codec;
 pub mod config;
 pub mod driver;
 pub mod error;
@@ -60,11 +61,14 @@ pub mod fine;
 pub mod functions;
 pub mod knowledge;
 pub mod partition;
+pub mod report;
 pub mod select;
 
+pub use codec::CodecError;
 pub use config::{DramDigConfig, PartitionStrategy};
-pub use driver::{DramDig, PhaseCosts, RunReport};
+pub use driver::{DramDig, Phase, PhaseCosts, RunReport};
 pub use error::DramDigError;
 pub use knowledge::DomainKnowledge;
+pub use report::RecoveryReport;
 
 pub use dram_model::{AddressMapping, PhysAddr, XorFunc};

@@ -79,6 +79,29 @@ impl Gf2Matrix {
         let basis = self.row_basis();
         reduce_against(candidate, &basis) == 0
     }
+
+    /// Returns the **reduced** row-echelon basis of the row space, sorted
+    /// descending. Unlike [`Gf2Matrix::row_basis`] (which depends on row
+    /// insertion order), the reduced form is the unique canonical basis of a
+    /// subspace: two matrices span the same space if and only if their
+    /// reduced bases are equal. The mapping store uses this to deduplicate
+    /// recovered function sets that differ only by linear combinations.
+    pub fn reduced_row_basis(&self) -> Vec<u64> {
+        let mut basis = self.row_basis();
+        // Back-substitute: clear each pivot (leading) bit from every other
+        // row. Echelon rows have distinct leading bits, so this terminates
+        // with the unique reduced form.
+        for i in 0..basis.len() {
+            let lead = 1u64 << (63 - basis[i].leading_zeros());
+            for j in 0..basis.len() {
+                if j != i && basis[j] & lead != 0 {
+                    basis[j] ^= basis[i];
+                }
+            }
+        }
+        basis.sort_unstable_by(|a, b| b.cmp(a));
+        basis
+    }
 }
 
 /// Incremental row-echelon GF(2) basis of the differences `member ⊕ pivot`
@@ -459,6 +482,41 @@ mod tests {
         assert!(m.spans(0b0011));
         assert!(m.spans(0)); // zero vector is always spanned
         assert!(!m.spans(0b1000));
+    }
+
+    #[test]
+    fn reduced_row_basis_is_order_independent() {
+        // Same 2-dimensional space presented three ways.
+        let presentations = [
+            vec![0b11u64, 0b01],
+            vec![0b01u64, 0b11],
+            vec![0b10u64, 0b01, 0b11],
+        ];
+        let canonical: Vec<Vec<u64>> = presentations
+            .iter()
+            .map(|rows| Gf2Matrix::from_rows(rows.clone()).reduced_row_basis())
+            .collect();
+        assert_eq!(canonical[0], canonical[1]);
+        assert_eq!(canonical[0], canonical[2]);
+        assert_eq!(canonical[0], vec![0b10, 0b01]);
+        // The Haswell bank functions and a linear-combination variant
+        // canonicalize identically.
+        let a = Gf2Matrix::from_funcs(&[
+            XorFunc::from_bits(&[13, 16]),
+            XorFunc::from_bits(&[14, 17]),
+            XorFunc::from_bits(&[15, 18]),
+        ]);
+        let b = Gf2Matrix::from_funcs(&[
+            XorFunc::from_bits(&[14, 15, 17, 18]),
+            XorFunc::from_bits(&[13, 16]),
+            XorFunc::from_bits(&[15, 18]),
+        ]);
+        assert_eq!(a.reduced_row_basis(), b.reduced_row_basis());
+        // Different spaces stay different.
+        let c = Gf2Matrix::from_rows(vec![0b100, 0b010]);
+        let d = Gf2Matrix::from_rows(vec![0b100, 0b001]);
+        assert_ne!(c.reduced_row_basis(), d.reduced_row_basis());
+        assert!(Gf2Matrix::new().reduced_row_basis().is_empty());
     }
 
     #[test]

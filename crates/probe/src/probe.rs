@@ -28,6 +28,26 @@ impl ProbeStats {
         self.elapsed_ns as f64 / 1e9
     }
 
+    /// Sums two stat snapshots field by field (saturating), for aggregating
+    /// the costs of *independent* probes — e.g. the per-job totals of a
+    /// campaign, where every job owns its own probe and cache.
+    ///
+    /// Do **not** merge two snapshots of the *same* probe (a later snapshot
+    /// already contains the earlier one; merging would double count every
+    /// measurement and cache hit). Because each job's cache is private, the
+    /// merged `cache_hits`/`cache_misses` remain an exact partition of the
+    /// merged cached-query count.
+    #[must_use]
+    pub fn merge(self, other: ProbeStats) -> ProbeStats {
+        ProbeStats {
+            measurements: self.measurements.saturating_add(other.measurements),
+            accesses: self.accesses.saturating_add(other.accesses),
+            elapsed_ns: self.elapsed_ns.saturating_add(other.elapsed_ns),
+            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
+            cache_misses: self.cache_misses.saturating_add(other.cache_misses),
+        }
+    }
+
     /// Fraction of cached SBDR queries answered without a measurement
     /// (`0.0` when no query went through a cache).
     pub fn cache_hit_rate(&self) -> f64 {
@@ -108,6 +128,39 @@ mod tests {
             ..ProbeStats::default()
         };
         assert!((s.elapsed_seconds() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fields_and_saturates() {
+        let a = ProbeStats {
+            measurements: 10,
+            accesses: 20,
+            elapsed_ns: 30,
+            cache_hits: 4,
+            cache_misses: 6,
+        };
+        let b = ProbeStats {
+            measurements: 1,
+            accesses: 2,
+            elapsed_ns: 3,
+            cache_hits: 5,
+            cache_misses: 5,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.measurements, 11);
+        assert_eq!(m.accesses, 22);
+        assert_eq!(m.elapsed_ns, 33);
+        assert_eq!(m.cache_hits, 9);
+        assert_eq!(m.cache_misses, 11);
+        // Hits and misses still partition the merged cached-query count.
+        assert_eq!(m.cache_hits + m.cache_misses, 4 + 6 + 5 + 5);
+        let sat = ProbeStats {
+            measurements: u64::MAX,
+            ..ProbeStats::default()
+        };
+        assert_eq!(sat.merge(sat).measurements, u64::MAX);
+        // Identity: merging with a default snapshot changes nothing.
+        assert_eq!(a.merge(ProbeStats::default()), a);
     }
 
     #[test]

@@ -9,11 +9,14 @@
 //! * [`mem_probe`] — the row-buffer-conflict timing primitive;
 //! * [`dramdig`] — the paper's knowledge-assisted reverse-engineering tool;
 //! * [`dram_baselines`] — DRAMA, Xiao et al. and Seaborn et al.;
-//! * [`rowhammer`] — the double-sided rowhammer harness.
+//! * [`rowhammer`] — the double-sided rowhammer harness;
+//! * [`campaign`] — resumable multi-machine campaign orchestration with a
+//!   persistent mapping store.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use campaign;
 pub use dram_baselines;
 pub use dram_model;
 pub use dram_sim;
