@@ -22,12 +22,13 @@ use std::time::Instant;
 use dram_model::MachineSetting;
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::driver::RunReport;
+use dramdig::engine::{EngineOptions, NullObserver, PipelineEngine};
 use dramdig::functions::{
     detect_bank_functions_naive, detect_bank_functions_with_basis, merged_difference_basis,
 };
 use dramdig::partition::{partition_decompose, partition_into_piles};
 use dramdig::select::select_addresses;
-use dramdig::{DramDigConfig, DramDigError};
+use dramdig::{DomainKnowledge, DramDigConfig, DramDigError, Phase, RecoveryReport};
 use dramdig_bench::run_dramdig;
 use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, SimProbe};
 
@@ -236,11 +237,13 @@ fn main() {
         let options = campaign::CampaignOptions::default().with_workers(workers);
         let start = Instant::now();
         let outcome =
-            campaign::run_campaign(&campaign_spec, &paths, &options, campaign::run_job_sim)
-                .unwrap_or_else(|e| {
-                    eprintln!("campaign benchmark failed at {workers} workers: {e}");
-                    std::process::exit(1);
-                });
+            campaign::run_campaign(&campaign_spec, &paths, &options, |job, attempt, _| {
+                campaign::run_job_sim(job, attempt)
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("campaign benchmark failed at {workers} workers: {e}");
+                std::process::exit(1);
+            });
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         if outcome.state.completed.len() != 9 || !outcome.dead.is_empty() {
             eprintln!(
@@ -278,6 +281,82 @@ fn main() {
         .find(|&&(w, _, _)| w == 4)
         .map(|&(_, _, s)| fleet_1w / s)
         .expect("4-worker sweep ran");
+
+    // --- Engine checkpoint/resume: kill mid-FineDetection ------------------
+    // The optimized profile on No.4, killed at the FunctionDetection →
+    // FineDetection boundary (what a process death mid-FineDetection
+    // resumes as), then resumed. Gates: the resumed RecoveryReport must be
+    // byte-identical to straight-through, and the resumed invocation must
+    // repay zero Partition-phase measurements.
+    let engine_probe = |seed: u64| {
+        let machine = SimMachine::from_setting(&setting, SimConfig::default().with_seed(seed));
+        SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes))
+    };
+    let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+    let engine = PipelineEngine::new(knowledge, DramDigConfig::optimized());
+    let mut probe = engine_probe(SIM_SEED);
+    let straight = engine
+        .run(&mut probe, &EngineOptions::default(), &mut NullObserver)
+        .unwrap_or_else(|e| {
+            eprintln!("engine straight-through run failed: {e}");
+            std::process::exit(1);
+        });
+    let straight_encoded = RecoveryReport::from(&straight).encode();
+
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("dramdig-bench-engine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut probe = engine_probe(SIM_SEED);
+    let killed = engine.run(
+        &mut probe,
+        &EngineOptions::default()
+            .with_checkpoint(&ckpt_dir)
+            .with_stop_after(Phase::FunctionDetection),
+        &mut NullObserver,
+    );
+    if killed.is_ok() {
+        eprintln!("engine kill at the FunctionDetection boundary did not interrupt");
+        std::process::exit(1);
+    }
+    let mut probe = engine_probe(SIM_SEED);
+    let resumed = engine
+        .run(
+            &mut probe,
+            &EngineOptions::default().with_checkpoint(&ckpt_dir),
+            &mut NullObserver,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("engine resume failed: {e}");
+            std::process::exit(1);
+        });
+    let resumed_spent = probe.stats().measurements;
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let resume_equal = RecoveryReport::from(&resumed).encode() == straight_encoded;
+    if !resume_equal {
+        eprintln!("engine differential check failed: resumed report differs from straight-through");
+        std::process::exit(1);
+    }
+    let partition_measurements = straight
+        .cost_of(Phase::Partition)
+        .map_or(0, |c| c.measurements);
+    let checkpointed_measurements = straight.total.measurements - resumed_spent;
+    // The resumed invocation pays only for the phases after the kill — in
+    // particular, zero Partition measurements are repaid.
+    let expected_repaid: u64 = straight
+        .phase_costs
+        .iter()
+        .filter(|(p, _)| p.index() > Phase::FunctionDetection.index())
+        .map(|(_, c)| c.measurements)
+        .sum();
+    if resumed_spent != expected_repaid {
+        eprintln!(
+            "engine resume repaid {resumed_spent} measurements, expected {expected_repaid} \
+             (partition must not be repaid)"
+        );
+        std::process::exit(1);
+    }
+    let resume_savings =
+        checkpointed_measurements as f64 / straight.total.measurements.max(1) as f64;
 
     // --- Assemble the JSON -------------------------------------------------
     let mut out = String::new();
@@ -328,6 +407,29 @@ fn main() {
     let _ = writeln!(out, "  \"table2_optimized_sweep\": [");
     out.push_str(&sweep);
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"engine\": {{");
+    let _ = writeln!(
+        out,
+        "    \"kill_boundary\": \"{}\",",
+        Phase::FunctionDetection.name()
+    );
+    let _ = writeln!(out, "    \"resume_report_identical\": {resume_equal},");
+    let _ = writeln!(
+        out,
+        "    \"straight_measure_pair_calls\": {},",
+        straight.total.measurements
+    );
+    let _ = writeln!(out, "    \"resumed_measure_pair_calls\": {resumed_spent},");
+    let _ = writeln!(
+        out,
+        "    \"partition_measure_pair_calls\": {partition_measurements},"
+    );
+    let _ = writeln!(out, "    \"partition_repaid_measure_pair_calls\": 0,");
+    let _ = writeln!(
+        out,
+        "    \"measurement_savings_fraction\": {resume_savings:.4}"
+    );
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"campaign\": {{");
     let _ = writeln!(out, "    \"jobs\": 9,");
     let _ = writeln!(out, "    \"profile\": \"optimized\",");
@@ -360,5 +462,11 @@ fn main() {
         "campaign (9 machines): fleet makespan {:.1} ms at 1 worker -> {:.1} ms at 4 workers ({fleet_4w:.1}x)",
         fleet_1w * 1e3,
         fleet_1w * 1e3 / fleet_4w
+    );
+    println!(
+        "engine resume after mid-FineDetection kill: {resumed_spent} of {} measurements repaid \
+         ({:.1}% saved, partition repaid 0), report byte-identical: {resume_equal}",
+        straight.total.measurements,
+        resume_savings * 100.0,
     );
 }

@@ -67,6 +67,17 @@ pub enum JournalRecord {
         /// Final failure reason.
         reason: String,
     },
+    /// The job's phase checkpoints live at this path (write-ahead marker:
+    /// recorded when the worker hands the path to the job runner, so a
+    /// later resume — even one started without phase checkpointing enabled
+    /// — finds the surviving artifacts and restarts from the last phase
+    /// boundary instead of from scratch).
+    Checkpoint {
+        /// Job id.
+        job: String,
+        /// Directory holding the job's phase checkpoints.
+        path: String,
+    },
 }
 
 impl JournalRecord {
@@ -76,7 +87,8 @@ impl JournalRecord {
             JournalRecord::Started { job, .. }
             | JournalRecord::Completed { job, .. }
             | JournalRecord::Failed { job, .. }
-            | JournalRecord::Dead { job, .. } => job,
+            | JournalRecord::Dead { job, .. }
+            | JournalRecord::Checkpoint { job, .. } => job,
         }
     }
 
@@ -117,6 +129,11 @@ impl JournalRecord {
                 ("job", JsonValue::Str(job.clone())),
                 ("attempts", JsonValue::Num(u64::from(*attempts))),
                 ("reason", JsonValue::Str(reason.clone())),
+            ]),
+            JournalRecord::Checkpoint { job, path } => jsonl::encode_object(&[
+                ("kind", JsonValue::Str("checkpoint".into())),
+                ("job", JsonValue::Str(job.clone())),
+                ("path", JsonValue::Str(path.clone())),
             ]),
         }
     }
@@ -164,6 +181,10 @@ impl JournalRecord {
                 job: str_field("job")?,
                 attempts: num_field("attempts")?,
                 reason: str_field("reason")?,
+            }),
+            "checkpoint" => Ok(JournalRecord::Checkpoint {
+                job: str_field("job")?,
+                path: str_field("path")?,
             }),
             other => Err(malformed(format!("unknown record kind `{other}`"))),
         }
@@ -285,6 +306,10 @@ pub struct JournalState {
     pub dead: BTreeMap<String, String>,
     /// Highest started attempt per job (write-ahead markers).
     pub started: BTreeMap<String, u32>,
+    /// Phase-checkpoint directory recorded per job (latest wins). A resume
+    /// hands this back to the job runner so a killed job restarts from its
+    /// last completed phase, not from scratch.
+    pub checkpoints: BTreeMap<String, String>,
 }
 
 impl JournalState {
@@ -312,6 +337,9 @@ impl JournalState {
                 JournalRecord::Dead { job, reason, .. } => {
                     state.dead.insert(job.clone(), reason.clone());
                     state.failed_attempts.remove(job);
+                }
+                JournalRecord::Checkpoint { job, path } => {
+                    state.checkpoints.insert(job.clone(), path.clone());
                 }
             }
         }
@@ -400,6 +428,10 @@ mod tests {
                 job: "m6-s1-naive".into(),
                 attempts: 3,
                 reason: "gave \"up\"".into(),
+            },
+            JournalRecord::Checkpoint {
+                job: "m4-s1-optimized".into(),
+                path: "t2/checkpoints/m4-s1-optimized".into(),
             },
         ];
         for record in &records {
@@ -507,10 +539,15 @@ mod tests {
                 attempts: 1,
                 reason: "z".into(),
             },
-            // "d" crashed mid-attempt: started but no outcome record.
+            // "d" crashed mid-attempt: started but no outcome record. Its
+            // phase checkpoints survive at the recorded path.
             JournalRecord::Started {
                 job: "d".into(),
                 attempt: 1,
+            },
+            JournalRecord::Checkpoint {
+                job: "d".into(),
+                path: "dir/checkpoints/d".into(),
             },
         ];
         let state = JournalState::replay(&records);
@@ -533,6 +570,8 @@ mod tests {
             2,
             "a crashed attempt is burned: the retry gets a fresh seed"
         );
+        assert_eq!(state.checkpoints["d"], "dir/checkpoints/d");
+        assert!(!state.checkpoints.contains_key("a"));
     }
 
     #[test]

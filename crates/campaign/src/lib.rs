@@ -19,7 +19,8 @@
 //!
 //! ```no_run
 //! use campaign::{
-//!     run_campaign, run_job_sim, CampaignOptions, CampaignPaths, CampaignSpec, Profile,
+//!     run_campaign, run_job_sim_checkpointed, CampaignOptions, CampaignPaths, CampaignSpec,
+//!     Profile,
 //! };
 //!
 //! let spec = CampaignSpec::new((1..=9).collect(), 1, Profile::Optimized);
@@ -27,8 +28,10 @@
 //! let outcome = run_campaign(
 //!     &spec,
 //!     &paths,
-//!     &CampaignOptions::default().with_workers(4),
-//!     run_job_sim,
+//!     &CampaignOptions::default()
+//!         .with_workers(4)
+//!         .with_phase_checkpoints(true),
+//!     |job, attempt, checkpoint| run_job_sim_checkpointed(job, attempt, checkpoint),
 //! )?;
 //! println!(
 //!     "{} jobs done, {} distinct mappings",
@@ -49,8 +52,9 @@ pub mod store;
 
 pub use journal::{read_journal, Journal, JournalError, JournalRecord, JournalState};
 pub use runner::{
-    campaign_status, fleet_makespan, run_campaign, run_job_sim, run_job_sim_with, store_from_state,
-    CampaignError, CampaignOptions, CampaignOutcome, CampaignPaths, CampaignStatus, JobOutcome,
+    campaign_status, fleet_makespan, run_campaign, run_job_sim, run_job_sim_checkpointed,
+    run_job_sim_checkpointed_with, run_job_sim_with, store_from_state, CampaignError,
+    CampaignOptions, CampaignOutcome, CampaignPaths, CampaignStatus, JobOutcome,
 };
 pub use spec::{parse_machine_number, Ablation, CampaignSpec, JobSpec, Profile};
 pub use store::{MappingStore, Provenance, StoreEntry};

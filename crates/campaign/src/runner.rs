@@ -18,7 +18,8 @@ use std::sync::Mutex;
 use dram_model::MachineSetting;
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::driver::PhaseCosts;
-use dramdig::{DomainKnowledge, DramDig, DramDigConfig, RecoveryReport};
+use dramdig::engine::{EngineOptions, NullObserver, PipelineEngine};
+use dramdig::{CheckpointStore, DomainKnowledge, DramDigConfig, DramDigError, RecoveryReport};
 use mem_probe::SimProbe;
 
 use crate::journal::{read_journal, Journal, JournalError, JournalRecord, JournalState};
@@ -58,6 +59,17 @@ impl CampaignPaths {
     pub fn store(&self) -> PathBuf {
         self.dir.join("store.txt")
     }
+
+    /// Root of the per-job phase-checkpoint directories (one subdirectory
+    /// per job id when [`CampaignOptions::phase_checkpoints`] is enabled).
+    pub fn checkpoints(&self) -> PathBuf {
+        self.dir.join("checkpoints")
+    }
+
+    /// The phase-checkpoint directory of one job.
+    pub fn job_checkpoint(&self, job: &JobSpec) -> PathBuf {
+        self.checkpoints().join(job.id())
+    }
 }
 
 /// Orchestration knobs that are *not* part of the campaign's identity (they
@@ -69,6 +81,12 @@ pub struct CampaignOptions {
     /// Stop picking up new jobs once this many completions happened in this
     /// invocation (used to simulate an interruption, and by tests).
     pub max_completions: Option<usize>,
+    /// Hand every job a phase-checkpoint directory (under
+    /// [`CampaignPaths::checkpoints`]) and journal its path, so a job killed
+    /// mid-pipeline resumes from its last completed phase instead of
+    /// repaying the whole partition. Even when disabled, checkpoint paths
+    /// already recorded in the journal are handed back to pending jobs.
+    pub phase_checkpoints: bool,
 }
 
 impl Default for CampaignOptions {
@@ -76,6 +94,7 @@ impl Default for CampaignOptions {
         CampaignOptions {
             workers: 4,
             max_completions: None,
+            phase_checkpoints: false,
         }
     }
 }
@@ -85,7 +104,7 @@ impl CampaignOptions {
     pub fn serial() -> Self {
         CampaignOptions {
             workers: 1,
-            max_completions: None,
+            ..CampaignOptions::default()
         }
     }
 
@@ -100,6 +119,13 @@ impl CampaignOptions {
     #[must_use]
     pub fn with_max_completions(mut self, limit: usize) -> Self {
         self.max_completions = Some(limit);
+        self
+    }
+
+    /// Enables per-job phase checkpointing.
+    #[must_use]
+    pub fn with_phase_checkpoints(mut self, enabled: bool) -> Self {
+        self.phase_checkpoints = enabled;
         self
     }
 }
@@ -229,6 +255,41 @@ pub fn run_job_sim_with(
     attempt: u32,
     base_config: DramDigConfig,
 ) -> Result<RecoveryReport, String> {
+    run_job_sim_checkpointed_with(job, attempt, base_config, None)
+}
+
+/// [`run_job_sim`] with phase-granular resume: the engine checkpoints every
+/// completed phase into `checkpoint`, and when the directory already holds
+/// artifacts (a previous attempt was killed mid-pipeline), the run continues
+/// that attempt — with its recorded configuration and seed — from the last
+/// phase boundary instead of repaying the earlier phases.
+///
+/// A genuine pipeline *failure* (as opposed to an interruption) wipes the
+/// checkpoint directory: the retry must re-measure under a fresh seed rather
+/// than resume artifacts that may embody the noise that broke the run.
+///
+/// # Errors
+///
+/// See [`run_job_sim`].
+pub fn run_job_sim_checkpointed(
+    job: &JobSpec,
+    attempt: u32,
+    checkpoint: Option<&Path>,
+) -> Result<RecoveryReport, String> {
+    run_job_sim_checkpointed_with(job, attempt, job.profile.config(), checkpoint)
+}
+
+/// [`run_job_sim_checkpointed`] with an explicit base configuration.
+///
+/// # Errors
+///
+/// See [`run_job_sim`].
+pub fn run_job_sim_checkpointed_with(
+    job: &JobSpec,
+    attempt: u32,
+    base_config: DramDigConfig,
+    checkpoint: Option<&Path>,
+) -> Result<RecoveryReport, String> {
     let setting = MachineSetting::by_number(job.machine)
         .ok_or_else(|| format!("unknown machine number {}", job.machine))?;
     let mut knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
@@ -238,21 +299,42 @@ pub fn run_job_sim_with(
         Some(Ablation::Empirical) => knowledge.without_empirical(),
         None => knowledge,
     };
-    // Odd multiplier keeps distinct (seed, attempt) pairs distinct.
-    let attempt_seed = job
-        .seed
-        .wrapping_add(u64::from(attempt.saturating_sub(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let machine = SimMachine::from_setting(&setting, SimConfig::default().with_seed(attempt_seed));
+    let mut config = base_config.with_seed(job.attempt_seed(attempt));
+    let mut options = EngineOptions::default();
+    if let Some(dir) = checkpoint {
+        // A surviving checkpoint means an earlier attempt was killed
+        // mid-pipeline: continue *that* attempt (its recorded configuration
+        // carries the seed), so the finished report is byte-identical to
+        // what the killed run would have produced.
+        if let Ok(Some(stored)) = CheckpointStore::new(dir).load_config() {
+            config = stored;
+        }
+        options = options.with_checkpoint(dir);
+    }
+    let machine =
+        SimMachine::from_setting(&setting, SimConfig::default().with_seed(config.rng_seed));
     let mut probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
-    let config = base_config.with_seed(attempt_seed);
-    DramDig::new(knowledge, config)
-        .run(&mut probe)
-        .map(|run| RecoveryReport::from(&run))
-        .map_err(|e| e.to_string())
+    let result =
+        PipelineEngine::new(knowledge, config).run(&mut probe, &options, &mut NullObserver);
+    match result {
+        Ok(run) => Ok(RecoveryReport::from(&run)),
+        Err(e) => {
+            if let Some(dir) = checkpoint {
+                if !matches!(e, DramDigError::Interrupted { .. }) {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+            }
+            Err(e.to_string())
+        }
+    }
 }
 
+/// One queued unit of work: the job, the attempt it runs at, and the phase
+/// checkpoint directory handed to the runner (if any).
+type QueuedJob = (JobSpec, u32, Option<PathBuf>);
+
 struct SharedState<'a> {
-    queue: VecDeque<(JobSpec, u32)>,
+    queue: VecDeque<QueuedJob>,
     journal: &'a mut Journal,
     completions: usize,
     completed: Vec<JobOutcome>,
@@ -265,6 +347,13 @@ struct SharedState<'a> {
 /// transition into `paths.journal()` and rewriting `paths.store()` from the
 /// resulting journal.
 ///
+/// `run_job` receives `(job, attempt, checkpoint_dir)`; the directory is
+/// `Some` when [`CampaignOptions::phase_checkpoints`] is enabled or a prior
+/// invocation journaled a checkpoint path for the job, and runners that
+/// honour it (see [`run_job_sim_checkpointed`]) resume a killed job from its
+/// last completed phase. The directory of a completed or dead-lettered job
+/// is removed.
+///
 /// # Errors
 ///
 /// Returns [`CampaignError`] on journal/store IO failures. Job failures are
@@ -276,19 +365,26 @@ pub fn run_campaign<R>(
     run_job: R,
 ) -> Result<CampaignOutcome, CampaignError>
 where
-    R: Fn(&JobSpec, u32) -> Result<RecoveryReport, String> + Sync,
+    R: Fn(&JobSpec, u32, Option<&Path>) -> Result<RecoveryReport, String> + Sync,
 {
     std::fs::create_dir_all(paths.dir()).map_err(|error| CampaignError::Io {
         path: paths.dir().to_path_buf(),
         error,
     })?;
     let prior = JournalState::replay(&read_journal(&paths.journal())?);
-    let queue: VecDeque<(JobSpec, u32)> = prior
+    let queue: VecDeque<QueuedJob> = prior
         .pending(spec)
         .into_iter()
         .map(|job| {
             let attempt = prior.next_attempt(&job.id());
-            (job, attempt)
+            let checkpoint = if options.phase_checkpoints {
+                Some(paths.job_checkpoint(&job))
+            } else {
+                // Checkpoint paths journaled by an earlier invocation keep
+                // working even when this resume forgot the option.
+                prior.checkpoints.get(&job.id()).map(PathBuf::from)
+            };
+            (job, attempt, checkpoint)
         })
         .collect();
 
@@ -347,10 +443,10 @@ fn worker_loop<R>(
     options: &CampaignOptions,
     run_job: &R,
 ) where
-    R: Fn(&JobSpec, u32) -> Result<RecoveryReport, String> + Sync,
+    R: Fn(&JobSpec, u32, Option<&Path>) -> Result<RecoveryReport, String> + Sync,
 {
     loop {
-        let (job, attempt) = {
+        let (job, attempt, checkpoint) = {
             let mut guard = shared.lock().expect("campaign lock");
             if guard.failure.is_some() {
                 return;
@@ -360,7 +456,7 @@ fn worker_loop<R>(
                     return;
                 }
             }
-            let Some((job, attempt)) = guard.queue.pop_front() else {
+            let Some((job, attempt, checkpoint)) = guard.queue.pop_front() else {
                 return;
             };
             let started = JournalRecord::Started {
@@ -371,10 +467,23 @@ fn worker_loop<R>(
                 guard.failure = Some(e);
                 return;
             }
-            (job, attempt)
+            // Write-ahead: record where the job's phase artifacts will live
+            // before handing the path to the runner, so a kill at any point
+            // leaves a resumable trail.
+            if let Some(dir) = &checkpoint {
+                let record = JournalRecord::Checkpoint {
+                    job: job.id(),
+                    path: dir.to_string_lossy().into_owned(),
+                };
+                if let Err(e) = guard.journal.append(&record) {
+                    guard.failure = Some(e);
+                    return;
+                }
+            }
+            (job, attempt, checkpoint)
         };
 
-        let result = run_job(&job, attempt);
+        let result = run_job(&job, attempt, checkpoint.as_deref());
 
         let mut guard = shared.lock().expect("campaign lock");
         let record = match &result {
@@ -400,6 +509,11 @@ fn worker_loop<R>(
         }
         match result {
             Ok(report) => {
+                // The journal now owns the durable outcome; the phase
+                // artifacts have served their purpose.
+                if let Some(dir) = &checkpoint {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
                 guard.completions += 1;
                 guard.completed.push(JobOutcome {
                     job,
@@ -409,9 +523,12 @@ fn worker_loop<R>(
             }
             Err(reason) => {
                 if attempt > spec.max_retries {
+                    if let Some(dir) = &checkpoint {
+                        let _ = std::fs::remove_dir_all(dir);
+                    }
                     guard.dead.push((job, reason));
                 } else {
-                    guard.queue.push_back((job, attempt + 1));
+                    guard.queue.push_back((job, attempt + 1, checkpoint));
                 }
             }
         }
@@ -523,7 +640,7 @@ mod tests {
     fn drains_a_queue_and_builds_the_store() {
         let spec = CampaignSpec::new(vec![4, 7], 1, Profile::Fast);
         let paths = temp_paths("drain");
-        let outcome = run_campaign(&spec, &paths, &CampaignOptions::default(), |job, _| {
+        let outcome = run_campaign(&spec, &paths, &CampaignOptions::default(), |job, _, _| {
             Ok(fake_report(job.machine))
         })
         .unwrap();
@@ -536,7 +653,7 @@ mod tests {
         assert!(paths.journal().exists());
         assert!(paths.store().exists());
         // Re-running has nothing to do but reports the same state.
-        let again = run_campaign(&spec, &paths, &CampaignOptions::default(), |_, _| {
+        let again = run_campaign(&spec, &paths, &CampaignOptions::default(), |_, _, _| {
             panic!("nothing should run on an already-complete campaign")
         })
         .unwrap();
@@ -552,14 +669,19 @@ mod tests {
         let paths = temp_paths("retry");
         let calls = AtomicU32::new(0);
         // Fails attempts 1 and 2, succeeds on 3.
-        let outcome = run_campaign(&spec, &paths, &CampaignOptions::serial(), |job, attempt| {
-            calls.fetch_add(1, Ordering::SeqCst);
-            if attempt < 3 {
-                Err(format!("injected noise on attempt {attempt}"))
-            } else {
-                Ok(fake_report(job.machine))
-            }
-        })
+        let outcome = run_campaign(
+            &spec,
+            &paths,
+            &CampaignOptions::serial(),
+            |job, attempt, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if attempt < 3 {
+                    Err(format!("injected noise on attempt {attempt}"))
+                } else {
+                    Ok(fake_report(job.machine))
+                }
+            },
+        )
         .unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 3);
         assert_eq!(outcome.completed.len(), 1);
@@ -571,7 +693,7 @@ mod tests {
         spec2.max_retries = 1;
         let paths2 = temp_paths("dead");
         let calls2 = AtomicU32::new(0);
-        let outcome2 = run_campaign(&spec2, &paths2, &CampaignOptions::serial(), |_, _| {
+        let outcome2 = run_campaign(&spec2, &paths2, &CampaignOptions::serial(), |_, _, _| {
             calls2.fetch_add(1, Ordering::SeqCst);
             Err("always broken".to_string())
         })
@@ -596,7 +718,7 @@ mod tests {
             &spec,
             &paths,
             &CampaignOptions::serial().with_max_completions(2),
-            |job, _| Ok(fake_report(job.machine)),
+            |job, _, _| Ok(fake_report(job.machine)),
         )
         .unwrap();
         // Workers may start one extra job before observing the cap; at least
@@ -606,7 +728,7 @@ mod tests {
         let status = campaign_status(&spec, &paths).unwrap();
         assert_eq!(status.completed + status.pending.len(), 4);
 
-        let resumed = run_campaign(&spec, &paths, &CampaignOptions::default(), |job, _| {
+        let resumed = run_campaign(&spec, &paths, &CampaignOptions::default(), |job, _, _| {
             Ok(fake_report(job.machine))
         })
         .unwrap();
@@ -632,7 +754,7 @@ mod tests {
             &spec,
             &paths,
             &CampaignOptions::default().with_workers(8),
-            |job, _| Ok(fake_report(job.machine)),
+            |job, _, _| Ok(fake_report(job.machine)),
         )
         .unwrap();
         assert_eq!(outcome.completed.len(), 18);

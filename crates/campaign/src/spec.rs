@@ -170,6 +170,16 @@ impl JobSpec {
     pub fn machine_label(&self) -> String {
         format!("No.{}", self.machine)
     }
+
+    /// The seed attempt number `attempt` (1-based) runs with: the job's base
+    /// seed for attempt 1, then distinct derived seeds so a noisy failure is
+    /// never replayed verbatim. The odd multiplier keeps distinct
+    /// `(seed, attempt)` pairs distinct.
+    #[must_use]
+    pub fn attempt_seed(&self, attempt: u32) -> u64 {
+        self.seed
+            .wrapping_add(u64::from(attempt.saturating_sub(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
 }
 
 impl fmt::Display for JobSpec {

@@ -4,16 +4,23 @@
 //! uninterrupted run.
 
 use campaign::{
-    campaign_status, run_campaign, run_job_sim_with, CampaignOptions, CampaignPaths, CampaignSpec,
-    JobSpec, Profile,
+    campaign_status, run_campaign, run_job_sim_checkpointed_with, run_job_sim_with,
+    CampaignOptions, CampaignPaths, CampaignSpec, JobSpec, Profile,
 };
 use dram_model::{MachineSetting, XorFunc};
-use dramdig::{DramDigConfig, RecoveryReport};
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::engine::{EngineOptions, NullObserver, PipelineEngine};
+use dramdig::{DomainKnowledge, DramDigConfig, Phase, RecoveryReport};
+use mem_probe::SimProbe;
 
 /// The optimized profile with test-sized calibration/validation budgets:
 /// same recovered mappings, far fewer measurements (this test runs the full
 /// pipeline 18 times in debug mode).
-fn test_runner(job: &JobSpec, attempt: u32) -> Result<RecoveryReport, String> {
+fn test_runner(
+    job: &JobSpec,
+    attempt: u32,
+    _checkpoint: Option<&std::path::Path>,
+) -> Result<RecoveryReport, String> {
     let config = DramDigConfig {
         calibration_samples: 200,
         validation_samples: 32,
@@ -136,6 +143,109 @@ fn interrupted_and_resumed_campaign_matches_an_uninterrupted_one() {
 
     std::fs::remove_dir_all(interrupted.dir()).unwrap();
     std::fs::remove_dir_all(straight.dir()).unwrap();
+}
+
+#[test]
+fn mid_pipeline_kill_resumes_at_the_phase_boundary_with_identical_report() {
+    // One job, killed mid-pipeline on its first attempt (the worker process
+    // dies after the Partition phase — emulated with the engine's
+    // deterministic stop point while checkpoints land in the directory the
+    // orchestrator handed out). The retry resumes the *same* attempt from
+    // its surviving artifacts: zero partition measurements are repaid and
+    // the final report is byte-identical to a never-interrupted run.
+    let spec = CampaignSpec::new(vec![4], 1, Profile::Fast);
+    let paths = temp_paths("phase-resume");
+    let config = DramDigConfig::fast();
+
+    let kill_first = |job: &JobSpec, attempt: u32, checkpoint: Option<&std::path::Path>| {
+        if attempt == 1 {
+            // Emulate the kill: run the engine exactly like the sim runner
+            // would, but die after Partition. The checkpoint dir keeps the
+            // completed phases.
+            let dir = checkpoint.expect("orchestrator hands out a checkpoint dir");
+            let setting = MachineSetting::by_number(job.machine).unwrap();
+            let seed = job.attempt_seed(attempt);
+            let machine = SimMachine::from_setting(&setting, SimConfig::default().with_seed(seed));
+            let mut probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+            let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+            let err = PipelineEngine::new(knowledge, config.clone().with_seed(seed))
+                .run(
+                    &mut probe,
+                    &EngineOptions::default()
+                        .with_checkpoint(dir)
+                        .with_stop_after(Phase::Partition),
+                    &mut NullObserver,
+                )
+                .unwrap_err();
+            Err(err.to_string())
+        } else {
+            run_job_sim_checkpointed_with(job, attempt, config.clone(), checkpoint)
+        }
+    };
+    let outcome = run_campaign(
+        &spec,
+        &paths,
+        &CampaignOptions::serial().with_phase_checkpoints(true),
+        kill_first,
+    )
+    .unwrap();
+    assert_eq!(outcome.completed.len(), 1);
+    assert_eq!(
+        outcome.completed[0].attempt, 2,
+        "the killed attempt burns, the retry resumes its artifacts"
+    );
+    let resumed_report = &outcome.completed[0].report;
+
+    // Reference: the same job, same attempt-1 seed, never interrupted.
+    let job = spec.jobs().remove(0);
+    let straight = run_job_sim_with(&job, 1, config.clone()).unwrap();
+    assert_eq!(
+        resumed_report.encode(),
+        straight.encode(),
+        "kill + phase resume must be byte-identical to straight-through"
+    );
+    // Zero partition measurements were repaid: the resumed attempt's costs
+    // are the checkpointed ones, and the journal shows the checkpoint path.
+    assert!(resumed_report
+        .phase_costs
+        .iter()
+        .any(|(p, c)| { *p == Phase::Partition && c.measurements > 0 }));
+    assert_eq!(
+        outcome.state.checkpoints[&job.id()],
+        paths.job_checkpoint(&job).to_string_lossy()
+    );
+    assert!(
+        !paths.job_checkpoint(&job).exists(),
+        "completed jobs clean their checkpoint directory"
+    );
+    std::fs::remove_dir_all(paths.dir()).unwrap();
+}
+
+#[test]
+fn real_failures_wipe_checkpoints_so_retries_reseed() {
+    // A genuine pipeline failure (ablated system info -> no bank count)
+    // must not leave artifacts behind for the retry to half-trust.
+    let spec = CampaignSpec {
+        machines: vec![4],
+        seeds: vec![1],
+        profiles: vec![Profile::Fast],
+        ablations: vec![Some(campaign::Ablation::SystemInfo)],
+        max_retries: 0,
+    };
+    let paths = temp_paths("wipe");
+    let outcome = run_campaign(
+        &spec,
+        &paths,
+        &CampaignOptions::serial().with_phase_checkpoints(true),
+        |job, attempt, checkpoint| {
+            run_job_sim_checkpointed_with(job, attempt, DramDigConfig::fast(), checkpoint)
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.dead.len(), 1);
+    let job = spec.jobs().remove(0);
+    assert!(!paths.job_checkpoint(&job).exists());
+    std::fs::remove_dir_all(paths.dir()).unwrap();
 }
 
 #[test]

@@ -5,6 +5,7 @@
 //! ```text
 //! dramdig list-machines
 //! dramdig uncover  --machine 4 [--seed 7] [--ablate spec|sysinfo|empirical]
+//!                  [--checkpoint dir] [--resume] [--budget 600]
 //! dramdig compare  --machine 2
 //! dramdig hammer   --machine 1 [--tool dramdig|drama|truth] [--tests 5]
 //! dramdig decode   --machine 6 --addr 0x3fe4c40
@@ -30,13 +31,14 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use campaign::{
-    campaign_status, run_campaign, run_job_sim, CampaignOptions, CampaignPaths, CampaignSpec,
-    MappingStore, Profile,
+    campaign_status, run_campaign, CampaignOptions, CampaignPaths, CampaignSpec, MappingStore,
+    Profile,
 };
 use dram_baselines::{BaselineError, Drama, DramaConfig, Xiao};
 use dram_model::{parse, MachineSetting, PhysAddr};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
-use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use dramdig::engine::{Budget, EngineEvent, EngineOptions, Observer, PipelineEngine};
+use dramdig::{CheckpointStore, DomainKnowledge, DramDig, DramDigConfig, DramDigError};
 use mem_probe::SimProbe;
 use rowhammer::{run_double_sided, AttackerView, HammerConfig};
 
@@ -67,7 +69,8 @@ pub enum HammerTool {
 pub enum Command {
     /// `dramdig list-machines`
     ListMachines,
-    /// `dramdig uncover --machine N [--seed S] [--ablate GROUP]`
+    /// `dramdig uncover --machine N [--seed S] [--ablate GROUP]
+    /// [--checkpoint DIR] [--resume] [--budget N]`
     Uncover {
         /// Table-II machine number (1–9).
         machine: u8,
@@ -75,6 +78,15 @@ pub enum Command {
         seed: u64,
         /// Optional knowledge group to disable.
         ablate: Option<Ablation>,
+        /// Phase-checkpoint directory: completed phases are persisted here
+        /// and an interrupted run can be continued with `--resume`.
+        checkpoint: Option<String>,
+        /// Resume from the checkpoint directory's recorded configuration
+        /// instead of starting fresh.
+        resume: bool,
+        /// Measurement budget: stop (checkpointing, when `--checkpoint` is
+        /// given) once this many pair measurements were spent.
+        budget: Option<u64>,
     },
     /// `dramdig compare --machine N`
     Compare {
@@ -186,6 +198,7 @@ pub fn usage() -> String {
         "USAGE:\n",
         "  dramdig list-machines\n",
         "  dramdig uncover  --machine <1-9> [--seed <u64>] [--ablate spec|sysinfo|empirical]\n",
+        "                   [--checkpoint <dir>] [--resume] [--budget <measurements>]\n",
         "  dramdig compare  --machine <1-9>\n",
         "  dramdig hammer   --machine <1-9> [--tool dramdig|drama|truth] [--tests <n>]\n",
         "  dramdig decode   --machine <1-9> --addr <hex or decimal physical address>\n",
@@ -415,10 +428,22 @@ impl Command {
                         )))
                     }
                 };
+                let checkpoint = flag_value(rest, "--checkpoint").map(str::to_string);
+                let resume = rest.iter().any(|a| a == "--resume");
+                if resume && checkpoint.is_none() {
+                    return Err(CliError::Usage(
+                        "`--resume` requires `--checkpoint <dir>` naming the run to continue"
+                            .into(),
+                    ));
+                }
+                let budget = flag_value(rest, "--budget").map(parse_u64).transpose()?;
                 Ok(Command::Uncover {
                     machine,
                     seed,
                     ablate,
+                    checkpoint,
+                    resume,
+                    budget,
                 })
             }
             "compare" => Ok(Command::Compare {
@@ -465,6 +490,67 @@ fn setting_for(machine: u8) -> Result<MachineSetting, CliError> {
     MachineSetting::by_number(machine).ok_or(CliError::UnknownMachine(machine))
 }
 
+/// Live progress line for `uncover`, fed by the engine's [`Observer`]
+/// events. Everything goes to stderr so stdout stays a clean report that
+/// scripts (and the CI kill/resume smoke) can compare byte-for-byte.
+struct ProgressLine;
+
+impl Observer for ProgressLine {
+    fn on_event(&mut self, event: &EngineEvent) {
+        match event {
+            EngineEvent::RunStarted { phases, resumed } if *resumed > 0 => {
+                eprintln!(
+                    "[dramdig] resuming: {resumed}/{phases} phases restored from checkpoints"
+                );
+            }
+            EngineEvent::PhaseStarted { phase } => eprintln!("[dramdig] {phase} ..."),
+            EngineEvent::PhaseCompleted {
+                phase,
+                costs,
+                checkpointed,
+            } => eprintln!(
+                "[dramdig] {phase}: {} measurements, {:.3} s{}",
+                costs.measurements,
+                costs.elapsed_seconds(),
+                if *checkpointed { " [checkpointed]" } else { "" }
+            ),
+            EngineEvent::PhaseRestored { phase, costs } => eprintln!(
+                "[dramdig] {phase}: restored ({} measurements already paid)",
+                costs.measurements
+            ),
+            EngineEvent::BudgetPressure {
+                spent_measurements,
+                max_measurements,
+                ..
+            } => eprintln!(
+                "[dramdig] budget pressure: {spent_measurements}/{max_measurements} measurements"
+            ),
+            EngineEvent::Interrupted { phase, reason } => {
+                eprintln!("[dramdig] interrupted before {phase}: {reason}");
+            }
+            EngineEvent::RunCompleted { total } => eprintln!(
+                "[dramdig] done: {} measurements, {:.3} s simulated",
+                total.measurements,
+                total.elapsed_seconds()
+            ),
+            EngineEvent::RunStarted { .. } => {}
+        }
+    }
+}
+
+/// What `uncover --checkpoint` remembers about the run besides the pipeline
+/// configuration: enough to refuse a `--resume` against the wrong machine
+/// or ablation.
+fn uncover_meta(machine: u8, ablate: Option<Ablation>) -> String {
+    let ablate = match ablate {
+        None => "none",
+        Some(Ablation::Specifications) => "spec",
+        Some(Ablation::SystemInfo) => "sysinfo",
+        Some(Ablation::Empirical) => "empirical",
+    };
+    format!("machine = {machine}\nablate = {ablate}\n")
+}
+
 fn probe_for(setting: &MachineSetting, seed: u64) -> SimProbe {
     let machine = SimMachine::from_setting(setting, SimConfig::default().with_seed(seed));
     SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes))
@@ -491,8 +577,58 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             machine,
             seed,
             ablate,
+            checkpoint,
+            resume,
+            budget,
         } => {
             let setting = setting_for(*machine)?;
+            let mut config = DramDigConfig::default().with_seed(*seed);
+            let meta = uncover_meta(*machine, *ablate);
+            if let Some(dir) = checkpoint {
+                let store = CheckpointStore::new(dir);
+                let meta_path = store.dir().join("uncover.meta");
+                match std::fs::read_to_string(&meta_path) {
+                    Ok(stored_meta) => {
+                        if stored_meta != meta {
+                            return Err(CliError::Tool(format!(
+                                "{dir} holds a checkpoint for a different run \
+                                 (recorded: {}; requested: {})",
+                                stored_meta.replace('\n', " "),
+                                meta.replace('\n', " "),
+                            )));
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        if *resume {
+                            return Err(CliError::Tool(format!(
+                                "{dir} holds no checkpoint to resume; run without --resume first"
+                            )));
+                        }
+                        store.save_sidecar("uncover.meta", &meta).map_err(|e| {
+                            CliError::Tool(format!("cannot prepare checkpoint dir {dir}: {e}"))
+                        })?;
+                    }
+                    Err(e) => {
+                        return Err(CliError::Tool(format!(
+                            "cannot read {}: {e}",
+                            meta_path.display()
+                        )))
+                    }
+                }
+                if *resume {
+                    // Continue exactly the recorded run: its configuration
+                    // (seed included) governs both the tool and the
+                    // simulated machine.
+                    config = store
+                        .load_config()
+                        .map_err(|e| CliError::Tool(e.to_string()))?
+                        .ok_or_else(|| {
+                            CliError::Tool(format!(
+                                "{dir} holds no recorded configuration to resume"
+                            ))
+                        })?;
+                }
+            }
             let mut knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
             knowledge = match ablate {
                 Some(Ablation::Specifications) => knowledge.without_specifications(),
@@ -500,10 +636,39 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 Some(Ablation::Empirical) => knowledge.without_empirical(),
                 None => knowledge,
             };
-            let mut probe = probe_for(&setting, *seed);
-            let report = DramDig::new(knowledge, DramDigConfig::default().with_seed(*seed))
-                .run(&mut probe)
-                .map_err(|e| CliError::Tool(e.to_string()))?;
+            let mut options = EngineOptions::default();
+            if let Some(dir) = checkpoint {
+                options = options.with_checkpoint(dir);
+            }
+            if let Some(cap) = budget {
+                options = options.with_budget(Budget::measurements(*cap));
+            }
+            let mut probe = probe_for(&setting, config.rng_seed);
+            let engine = PipelineEngine::new(knowledge, config);
+            let report = match engine.run(&mut probe, &options, &mut ProgressLine) {
+                Ok(report) => report,
+                Err(DramDigError::Interrupted { phase, reason }) if checkpoint.is_some() => {
+                    let dir = checkpoint.as_deref().unwrap_or_default();
+                    // The suggested command must reproduce this run exactly,
+                    // ablation included, or the uncover.meta guard refuses it.
+                    let ablate_flag = match ablate {
+                        None => String::new(),
+                        Some(Ablation::Specifications) => " --ablate spec".into(),
+                        Some(Ablation::SystemInfo) => " --ablate sysinfo".into(),
+                        Some(Ablation::Empirical) => " --ablate empirical".into(),
+                    };
+                    let mut out = String::new();
+                    writeln!(out, "machine        : {setting}").expect("write to string");
+                    writeln!(out, "interrupted before {phase}: {reason}").expect("write");
+                    writeln!(
+                        out,
+                        "checkpoints saved in {dir}; continue with:\n  dramdig uncover --machine {machine}{ablate_flag} --checkpoint {dir} --resume"
+                    )
+                    .expect("write to string");
+                    return Ok(out);
+                }
+                Err(e) => return Err(CliError::Tool(e.to_string())),
+            };
             let mut out = String::new();
             writeln!(out, "machine        : {setting}").expect("write to string");
             writeln!(out, "{report}").expect("write to string");
@@ -675,12 +840,19 @@ fn drive_campaign(
     limit: Option<usize>,
 ) -> Result<String, CliError> {
     let paths = CampaignPaths::new(dir);
-    let mut options = CampaignOptions::default().with_workers(workers);
+    // Phase checkpoints are always on for CLI campaigns: a worker killed
+    // mid-pipeline resumes its job from the last phase boundary instead of
+    // repaying the partition.
+    let mut options = CampaignOptions::default()
+        .with_workers(workers)
+        .with_phase_checkpoints(true);
     if let Some(limit) = limit {
         options = options.with_max_completions(limit);
     }
-    let outcome = run_campaign(spec, &paths, &options, run_job_sim)
-        .map_err(|e| CliError::Tool(e.to_string()))?;
+    let outcome = run_campaign(spec, &paths, &options, |job, attempt, checkpoint| {
+        campaign::run_job_sim_checkpointed(job, attempt, checkpoint)
+    })
+    .map_err(|e| CliError::Tool(e.to_string()))?;
 
     let mut out = String::new();
     let total = spec.jobs().len();
@@ -870,7 +1042,10 @@ mod tests {
             Command::Uncover {
                 machine: 4,
                 seed: 9,
-                ablate: None
+                ablate: None,
+                checkpoint: None,
+                resume: false,
+                budget: None
             }
         );
         assert_eq!(
@@ -878,7 +1053,10 @@ mod tests {
             Command::Uncover {
                 machine: 4,
                 seed: 0xD16,
-                ablate: Some(Ablation::Specifications)
+                ablate: Some(Ablation::Specifications),
+                checkpoint: None,
+                resume: false,
+                budget: None
             }
         );
         assert_eq!(
@@ -982,6 +1160,9 @@ mod tests {
             machine: 4,
             seed: 1,
             ablate: None,
+            checkpoint: None,
+            resume: false,
+            budget: None,
         })
         .unwrap();
         assert!(out.contains("matches"));
@@ -1232,6 +1413,9 @@ mod tests {
                     machine: 4,
                     seed: 9,
                     ablate: None,
+                    checkpoint: None,
+                    resume: false,
+                    budget: None,
                 }),
             ),
             (
@@ -1240,8 +1424,51 @@ mod tests {
                     machine: 4,
                     seed: 0xD16,
                     ablate: Some(Ablation::Empirical),
+                    checkpoint: None,
+                    resume: false,
+                    budget: None,
                 }),
             ),
+            (
+                &[
+                    "uncover",
+                    "--machine",
+                    "4",
+                    "--checkpoint",
+                    "ckpt",
+                    "--budget",
+                    "600",
+                ],
+                Some(Command::Uncover {
+                    machine: 4,
+                    seed: 0xD16,
+                    ablate: None,
+                    checkpoint: Some("ckpt".into()),
+                    resume: false,
+                    budget: Some(600),
+                }),
+            ),
+            (
+                &[
+                    "uncover",
+                    "--machine",
+                    "4",
+                    "--checkpoint",
+                    "ckpt",
+                    "--resume",
+                ],
+                Some(Command::Uncover {
+                    machine: 4,
+                    seed: 0xD16,
+                    ablate: None,
+                    checkpoint: Some("ckpt".into()),
+                    resume: true,
+                    budget: None,
+                }),
+            ),
+            // --resume without --checkpoint has nothing to resume from.
+            (&["uncover", "--machine", "4", "--resume"], None),
+            (&["uncover", "--machine", "4", "--budget", "lots"], None),
             (
                 &["compare", "--machine", "2"],
                 Some(Command::Compare { machine: 2 }),
@@ -1283,6 +1510,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn uncover_checkpoint_budget_resume_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("dramdig-cli-uncover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+        let uncover = |checkpoint: Option<String>, resume: bool, budget: Option<u64>| {
+            execute(&Command::Uncover {
+                machine: 4,
+                seed: 1,
+                ablate: None,
+                checkpoint,
+                resume,
+                budget,
+            })
+        };
+
+        // Budget kills the run after the partition; the interruption is a
+        // report, not an error, and names the resume command.
+        let out = uncover(Some(dir_str.clone()), false, Some(600)).unwrap();
+        assert!(out.contains("interrupted before"), "{out}");
+        assert!(out.contains("--resume"), "{out}");
+        assert!(dir.join("02-partition.phase").exists());
+
+        // Resuming without a prior checkpoint in a fresh dir is refused.
+        let err = uncover(Some(format!("{dir_str}-nope")), true, None).unwrap_err();
+        assert!(err.to_string().contains("no checkpoint"), "{err}");
+
+        // A different run (other machine/ablation) must not adopt the dir.
+        let err = execute(&Command::Uncover {
+            machine: 7,
+            seed: 1,
+            ablate: None,
+            checkpoint: Some(dir_str.clone()),
+            resume: true,
+            budget: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("different run"), "{err}");
+
+        // Resume completes, and the report is byte-identical to an
+        // uninterrupted run of the same seed.
+        let resumed = uncover(Some(dir_str.clone()), true, None).unwrap();
+        let straight = uncover(None, false, None).unwrap();
+        assert_eq!(resumed, straight);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

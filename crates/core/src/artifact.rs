@@ -1,0 +1,751 @@
+//! Typed, codec-serializable artifacts of the pipeline phases plus the
+//! on-disk checkpoint store.
+//!
+//! Every phase of the [`PipelineEngine`](crate::engine::PipelineEngine)
+//! consumes the artifacts of earlier phases and produces exactly one
+//! [`PhaseArtifact`] of its own: the calibrated threshold, the coarse bit
+//! classification, the pile partition (with its learned GF(2) kernel), the
+//! detected bank functions, the fine-grained bit classification and the
+//! validation tally. Each artifact round-trips through the same plain-text
+//! `key = value` codec ([`crate::codec`]) that the campaign journal uses, so
+//! a [`PhaseCheckpoint`] written after a completed phase is enough to resume
+//! a killed run from that boundary with a byte-identical final
+//! [`crate::RecoveryReport`].
+//!
+//! A checkpoint additionally carries a snapshot of the probe's conflict
+//! cache (oldest entry first): the later phases consult the cache for pairs
+//! earlier phases already classified, so restoring it is required for the
+//! resumed measurement stream — and therefore the cost accounting — to match
+//! the uninterrupted run exactly.
+
+use std::path::{Path, PathBuf};
+
+use dram_model::gf2::PileBasis;
+use dram_model::PhysAddr;
+
+use crate::coarse::CoarseBits;
+use crate::codec::{self, CodecError};
+use crate::config::DramDigConfig;
+use crate::driver::{Phase, PhaseCosts};
+use crate::error::DramDigError;
+use crate::fine::{FineBits, ValidationReport};
+use crate::functions::DetectedFunctions;
+use crate::partition::{Partition, Pile};
+use crate::report;
+
+/// Outcome of the calibration phase: the conflict threshold in nanoseconds.
+/// Everything later phases need from calibration is captured by this number
+/// (`LatencyCalibration::from_threshold` rebuilds the oracle's side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationArtifact {
+    /// The calibrated row-buffer-conflict latency threshold.
+    pub threshold_ns: u64,
+}
+
+/// Outcome of the partition phase: the selected pool size plus the accepted
+/// piles (and, for the decomposition strategy, the learned kernel basis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionArtifact {
+    /// Number of addresses Algorithm 1 selected.
+    pub pool_size: usize,
+    /// The pile partition Algorithm 2 produced.
+    pub partition: Partition,
+}
+
+/// The typed output of one pipeline phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseArtifact {
+    /// Calibration result.
+    Calibration(CalibrationArtifact),
+    /// Step-1 result.
+    Coarse(CoarseBits),
+    /// Step-2a/2b result.
+    Partition(PartitionArtifact),
+    /// Step-2c result.
+    Functions(DetectedFunctions),
+    /// Step-3 result.
+    Fine(FineBits),
+    /// Validation tally.
+    Validation(ValidationReport),
+}
+
+impl PhaseArtifact {
+    /// The phase that produces this artifact kind.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        match self {
+            PhaseArtifact::Calibration(_) => Phase::Calibration,
+            PhaseArtifact::Coarse(_) => Phase::CoarseDetection,
+            PhaseArtifact::Partition(_) => Phase::Partition,
+            PhaseArtifact::Functions(_) => Phase::FunctionDetection,
+            PhaseArtifact::Fine(_) => Phase::FineDetection,
+            PhaseArtifact::Validation(_) => Phase::Validation,
+        }
+    }
+}
+
+/// Everything the engine persists when a phase completes: the phase, its
+/// measured cost, its artifact and the conflict-cache snapshot at the
+/// boundary (as `(low_addr, high_addr, is_conflict)`, oldest first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCheckpoint {
+    /// The completed phase.
+    pub phase: Phase,
+    /// What the phase cost.
+    pub costs: PhaseCosts,
+    /// What the phase produced.
+    pub artifact: PhaseArtifact,
+    /// The conflict cache at the phase boundary, oldest entry first.
+    pub cache: Vec<(u64, u64, bool)>,
+}
+
+fn encode_list<T: std::fmt::Display>(items: impl IntoIterator<Item = T>) -> String {
+    items
+        .into_iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_u8_list(line: usize, key: &str, value: &str) -> Result<Vec<u8>, CodecError> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(str::trim)
+        .map(|item| {
+            item.parse().map_err(|_| {
+                CodecError::at(
+                    line,
+                    format!("`{key}` expects 8-bit integers, got `{item}`"),
+                )
+            })
+        })
+        .collect()
+}
+
+fn decode_u64_list(line: usize, key: &str, value: &str) -> Result<Vec<u64>, CodecError> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(str::trim)
+        .map(|item| codec::parse_u64(line, key, item))
+        .collect()
+}
+
+fn decode_addr_list(line: usize, key: &str, value: &str) -> Result<Vec<PhysAddr>, CodecError> {
+    Ok(decode_u64_list(line, key, value)?
+        .into_iter()
+        .map(PhysAddr::new)
+        .collect())
+}
+
+fn encode_basis(basis: &PileBasis) -> String {
+    format!("{};{}", basis.pivot(), encode_list(basis.rows().iter()))
+}
+
+fn decode_basis(line: usize, key: &str, value: &str) -> Result<PileBasis, CodecError> {
+    let (pivot, rows) = value
+        .split_once(';')
+        .ok_or_else(|| CodecError::at(line, format!("`{key}` expects `pivot;row,row,...`")))?;
+    let pivot = codec::parse_u64(line, key, pivot.trim())?;
+    let rows = decode_u64_list(line, key, rows.trim())?;
+    let mut basis = PileBasis::new(pivot);
+    for &row in &rows {
+        basis.insert(pivot ^ row);
+    }
+    // Re-inserting an echelon basis must reproduce it exactly (each row has
+    // a distinct leading bit); anything else means the document was edited.
+    if basis.rows() != rows {
+        return Err(CodecError::at(
+            line,
+            format!("`{key}` rows are not a row-echelon basis"),
+        ));
+    }
+    Ok(basis)
+}
+
+impl PhaseCheckpoint {
+    /// Serializes the checkpoint as `key = value` lines.
+    /// [`PhaseCheckpoint::decode`] is the exact inverse.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("phase = {}\n", self.phase.name()));
+        out.push_str(&format!("costs = {}\n", report::encode_costs(&self.costs)));
+        match &self.artifact {
+            PhaseArtifact::Calibration(c) => {
+                out.push_str(&format!("threshold_ns = {}\n", c.threshold_ns));
+            }
+            PhaseArtifact::Coarse(c) => {
+                out.push_str(&format!("coarse_rows = {}\n", encode_list(&c.row_bits)));
+                out.push_str(&format!("coarse_cols = {}\n", encode_list(&c.column_bits)));
+                out.push_str(&format!("coarse_banks = {}\n", encode_list(&c.bank_bits)));
+                out.push_str(&format!(
+                    "coarse_undetermined = {}\n",
+                    encode_list(&c.undetermined)
+                ));
+            }
+            PhaseArtifact::Partition(p) => {
+                out.push_str(&format!("pool = {}\n", p.pool_size));
+                out.push_str(&format!("rejected = {}\n", p.partition.rejected_piles));
+                out.push_str(&format!(
+                    "unassigned = {}\n",
+                    encode_list(p.partition.unassigned.iter().map(|a| a.raw()))
+                ));
+                if let Some(kernel) = &p.partition.kernel {
+                    out.push_str(&format!("kernel = {}\n", encode_basis(kernel)));
+                }
+                for (i, pile) in p.partition.piles.iter().enumerate() {
+                    out.push_str(&format!(
+                        "pile.{i} = {};{}\n",
+                        pile.pivot.raw(),
+                        encode_list(pile.members.iter().map(|a| a.raw()))
+                    ));
+                }
+            }
+            PhaseArtifact::Functions(d) => {
+                out.push_str(&format!(
+                    "functions = {}\n",
+                    encode_list(d.functions.iter().map(|f| f.mask()))
+                ));
+                out.push_str(&format!(
+                    "consistent = {}\n",
+                    encode_list(d.consistent_masks.iter().map(|f| f.mask()))
+                ));
+            }
+            PhaseArtifact::Fine(f) => {
+                out.push_str(&format!("fine_rows = {}\n", encode_list(&f.row_bits)));
+                out.push_str(&format!("fine_cols = {}\n", encode_list(&f.column_bits)));
+                out.push_str(&format!("fine_pure = {}\n", encode_list(&f.pure_bank_bits)));
+                out.push_str(&format!(
+                    "fine_measured = {}\n",
+                    encode_list(&f.measured_shared_rows)
+                ));
+                out.push_str(&format!(
+                    "fine_inferred = {}\n",
+                    encode_list(&f.inferred_bits)
+                ));
+            }
+            PhaseArtifact::Validation(v) => {
+                out.push_str(&format!("bit_checks = {}\n", v.bit_checks));
+                out.push_str(&format!("pair_checks = {}\n", v.pair_checks));
+                out.push_str(&format!("cached_checks = {}\n", v.cached_checks));
+                out.push_str(&format!("mismatches = {}\n", v.mismatches));
+            }
+        }
+        for (i, (a, b, verdict)) in self.cache.iter().enumerate() {
+            out.push_str(&format!("cache.{i} = {a},{b},{}\n", u8::from(*verdict)));
+        }
+        out
+    }
+
+    /// Parses a checkpoint written by [`PhaseCheckpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for malformed lines, unknown keys, a missing
+    /// phase/costs header, non-contiguous pile or cache indices, or an
+    /// artifact that does not match the named phase.
+    pub fn decode(text: &str) -> Result<Self, CodecError> {
+        let lines = codec::parse_kv_lines(text)?;
+        let missing = |what: &str| CodecError::whole(format!("checkpoint is missing `{what}`"));
+
+        let mut phase = None;
+        let mut costs = None;
+        let mut fields: std::collections::BTreeMap<&str, (usize, &str)> = Default::default();
+        let mut piles: std::collections::BTreeMap<usize, (usize, &str)> = Default::default();
+        let mut cache: std::collections::BTreeMap<usize, (usize, &str)> = Default::default();
+        for (line, key, value) in lines {
+            if key == "phase" {
+                phase = Some(
+                    Phase::from_name(value)
+                        .ok_or_else(|| CodecError::at(line, format!("unknown phase `{value}`")))?,
+                );
+            } else if key == "costs" {
+                costs = Some(report::decode_costs(line, key, value)?);
+            } else if let Some(index) = key.strip_prefix("pile.") {
+                let index = codec::parse_usize(line, key, index)?;
+                piles.insert(index, (line, value));
+            } else if let Some(index) = key.strip_prefix("cache.") {
+                let index = codec::parse_usize(line, key, index)?;
+                cache.insert(index, (line, value));
+            } else {
+                fields.insert(key, (line, value));
+            }
+        }
+        let phase = phase.ok_or_else(|| missing("phase"))?;
+        let costs = costs.ok_or_else(|| missing("costs"))?;
+
+        let field = |key: &str| -> Result<(usize, &str), CodecError> {
+            fields.get(key).copied().ok_or_else(|| missing(key))
+        };
+        let artifact = match phase {
+            Phase::Calibration => {
+                let (line, value) = field("threshold_ns")?;
+                PhaseArtifact::Calibration(CalibrationArtifact {
+                    threshold_ns: codec::parse_u64(line, "threshold_ns", value)?,
+                })
+            }
+            Phase::CoarseDetection => {
+                let bits = |key| -> Result<Vec<u8>, CodecError> {
+                    let (line, value) = field(key)?;
+                    decode_u8_list(line, key, value)
+                };
+                PhaseArtifact::Coarse(CoarseBits {
+                    row_bits: bits("coarse_rows")?,
+                    column_bits: bits("coarse_cols")?,
+                    bank_bits: bits("coarse_banks")?,
+                    undetermined: bits("coarse_undetermined")?,
+                })
+            }
+            Phase::Partition => {
+                let (line, value) = field("pool")?;
+                let pool_size = codec::parse_usize(line, "pool", value)?;
+                let (line, value) = field("rejected")?;
+                let rejected = codec::parse_u32(line, "rejected", value)?;
+                let (line, value) = field("unassigned")?;
+                let unassigned = decode_addr_list(line, "unassigned", value)?;
+                let kernel = match fields.get("kernel") {
+                    Some(&(line, value)) => Some(decode_basis(line, "kernel", value)?),
+                    None => None,
+                };
+                let mut decoded_piles = Vec::with_capacity(piles.len());
+                for (expected, (index, (line, value))) in piles.iter().enumerate() {
+                    if *index != expected {
+                        return Err(CodecError::at(
+                            *line,
+                            format!("pile indices are not contiguous at `pile.{index}`"),
+                        ));
+                    }
+                    let (pivot, members) = value.split_once(';').ok_or_else(|| {
+                        CodecError::at(*line, "a pile expects `pivot;member,member,...`")
+                    })?;
+                    decoded_piles.push(Pile {
+                        pivot: PhysAddr::new(codec::parse_u64(*line, "pile", pivot.trim())?),
+                        members: decode_addr_list(*line, "pile", members.trim())?,
+                    });
+                }
+                PhaseArtifact::Partition(PartitionArtifact {
+                    pool_size,
+                    partition: Partition {
+                        piles: decoded_piles,
+                        unassigned,
+                        rejected_piles: rejected,
+                        kernel,
+                    },
+                })
+            }
+            Phase::FunctionDetection => {
+                let masks = |key| -> Result<Vec<dram_model::XorFunc>, CodecError> {
+                    let (line, value) = field(key)?;
+                    Ok(decode_u64_list(line, key, value)?
+                        .into_iter()
+                        .map(dram_model::XorFunc::from_mask)
+                        .collect())
+                };
+                PhaseArtifact::Functions(DetectedFunctions {
+                    functions: masks("functions")?,
+                    consistent_masks: masks("consistent")?,
+                })
+            }
+            Phase::FineDetection => {
+                let bits = |key| -> Result<Vec<u8>, CodecError> {
+                    let (line, value) = field(key)?;
+                    decode_u8_list(line, key, value)
+                };
+                PhaseArtifact::Fine(FineBits {
+                    row_bits: bits("fine_rows")?,
+                    column_bits: bits("fine_cols")?,
+                    pure_bank_bits: bits("fine_pure")?,
+                    measured_shared_rows: bits("fine_measured")?,
+                    inferred_bits: bits("fine_inferred")?,
+                })
+            }
+            Phase::Validation => {
+                let count = |key| -> Result<u32, CodecError> {
+                    let (line, value) = field(key)?;
+                    codec::parse_u32(line, key, value)
+                };
+                PhaseArtifact::Validation(ValidationReport {
+                    bit_checks: count("bit_checks")?,
+                    pair_checks: count("pair_checks")?,
+                    cached_checks: count("cached_checks")?,
+                    mismatches: count("mismatches")?,
+                })
+            }
+        };
+
+        let mut decoded_cache = Vec::with_capacity(cache.len());
+        for (expected, (index, (line, value))) in cache.iter().enumerate() {
+            if *index != expected {
+                return Err(CodecError::at(
+                    *line,
+                    format!("cache indices are not contiguous at `cache.{index}`"),
+                ));
+            }
+            let parts: Vec<&str> = value.split(',').map(str::trim).collect();
+            let [a, b, verdict] = parts.as_slice() else {
+                return Err(CodecError::at(
+                    *line,
+                    "a cache entry expects `low,high,0|1`",
+                ));
+            };
+            let verdict = match *verdict {
+                "0" => false,
+                "1" => true,
+                other => {
+                    return Err(CodecError::at(
+                        *line,
+                        format!("cache verdict expects 0 or 1, got `{other}`"),
+                    ))
+                }
+            };
+            decoded_cache.push((
+                codec::parse_u64(*line, "cache", a)?,
+                codec::parse_u64(*line, "cache", b)?,
+                verdict,
+            ));
+        }
+
+        Ok(PhaseCheckpoint {
+            phase,
+            costs,
+            artifact,
+            cache: decoded_cache,
+        })
+    }
+}
+
+/// A directory of phase checkpoints: one text file per completed phase plus
+/// the configuration the run started with.
+///
+/// The store is what makes a killed run resumable: the engine saves a
+/// [`PhaseCheckpoint`] after each phase, and on the next run loads the
+/// longest contiguous prefix of completed phases, replays their artifacts
+/// and continues from the boundary. The stored configuration guards the
+/// resume — artifacts measured under one configuration must never silently
+/// seed a run with another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir` (created on the first save).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointStore { dir: dir.into() }
+    }
+
+    /// The checkpoint directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn config_path(&self) -> PathBuf {
+        self.dir.join("config.txt")
+    }
+
+    fn phase_path(&self, phase: Phase) -> PathBuf {
+        self.dir
+            .join(format!("{:02}-{}.phase", phase.index(), phase.name()))
+    }
+
+    fn io_error(path: &Path, error: &std::io::Error) -> DramDigError {
+        DramDigError::Checkpoint {
+            reason: format!("{}: {error}", path.display()),
+        }
+    }
+
+    /// Atomically writes `text` to `path` (write to a staging file, then
+    /// rename): a kill mid-write can never leave a truncated checkpoint
+    /// that a later resume would half-trust.
+    fn write_atomic(&self, path: &Path, text: &str) -> Result<(), DramDigError> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| Self::io_error(&self.dir, &e))?;
+        let staged = path.with_extension("tmp");
+        std::fs::write(&staged, text)
+            .and_then(|()| std::fs::rename(&staged, path))
+            .map_err(|e| Self::io_error(path, &e))
+    }
+
+    fn read_optional(path: &Path) -> Result<Option<String>, DramDigError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Self::io_error(path, &e)),
+        }
+    }
+
+    /// Persists the configuration the run uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::Checkpoint`] on IO failures.
+    pub fn save_config(&self, config: &DramDigConfig) -> Result<(), DramDigError> {
+        self.write_atomic(&self.config_path(), &config.encode())
+    }
+
+    /// Loads the stored configuration, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::Checkpoint`] on IO failures or a corrupt
+    /// document.
+    pub fn load_config(&self) -> Result<Option<DramDigConfig>, DramDigError> {
+        let Some(text) = Self::read_optional(&self.config_path())? else {
+            return Ok(None);
+        };
+        DramDigConfig::decode(&text)
+            .map(Some)
+            .map_err(|e| DramDigError::Checkpoint {
+                reason: format!("{}: {e}", self.config_path().display()),
+            })
+    }
+
+    /// Persists one completed phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::Checkpoint`] on IO failures.
+    pub fn save_phase(&self, checkpoint: &PhaseCheckpoint) -> Result<(), DramDigError> {
+        self.write_atomic(&self.phase_path(checkpoint.phase), &checkpoint.encode())
+    }
+
+    /// Atomically writes an arbitrary sidecar file into the checkpoint
+    /// directory with the same stage-then-rename protocol as the phase
+    /// files (a kill mid-write can never leave a truncated sidecar). The
+    /// CLI records its `uncover.meta` run identity this way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::Checkpoint`] on IO failures.
+    pub fn save_sidecar(&self, file_name: &str, contents: &str) -> Result<(), DramDigError> {
+        self.write_atomic(&self.dir.join(file_name), contents)
+    }
+
+    /// Loads one phase's checkpoint, if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::Checkpoint`] on IO failures or a corrupt
+    /// document.
+    pub fn load_phase(&self, phase: Phase) -> Result<Option<PhaseCheckpoint>, DramDigError> {
+        let path = self.phase_path(phase);
+        let Some(text) = Self::read_optional(&path)? else {
+            return Ok(None);
+        };
+        let checkpoint = PhaseCheckpoint::decode(&text).map_err(|e| DramDigError::Checkpoint {
+            reason: format!("{}: {e}", path.display()),
+        })?;
+        if checkpoint.phase != phase {
+            return Err(DramDigError::Checkpoint {
+                reason: format!(
+                    "{}: names phase `{}` but was stored for `{}`",
+                    path.display(),
+                    checkpoint.phase.name(),
+                    phase.name()
+                ),
+            });
+        }
+        Ok(Some(checkpoint))
+    }
+
+    /// Loads the longest contiguous prefix of completed phases, in
+    /// execution order. A gap (e.g. a hand-deleted file) truncates the
+    /// prefix: everything after it re-runs rather than trusting
+    /// out-of-order artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::Checkpoint`] on IO failures or corrupt
+    /// documents.
+    pub fn load_phases(&self) -> Result<Vec<PhaseCheckpoint>, DramDigError> {
+        let mut restored = Vec::new();
+        for phase in Phase::ALL {
+            match self.load_phase(phase)? {
+                Some(checkpoint) => restored.push(checkpoint),
+                None => break,
+            }
+        }
+        Ok(restored)
+    }
+
+    /// Removes the whole checkpoint directory (a missing directory is fine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramDigError::Checkpoint`] on IO failures.
+    pub fn clear(&self) -> Result<(), DramDigError> {
+        match std::fs::remove_dir_all(&self.dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(Self::io_error(&self.dir, &e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoints() -> Vec<PhaseCheckpoint> {
+        let costs = PhaseCosts {
+            measurements: 10,
+            accesses: 20,
+            elapsed_ns: 30,
+            cache_hits: 1,
+            cache_misses: 9,
+        };
+        let mut kernel = PileBasis::new(0x1000);
+        kernel.insert(0x1000 ^ 0b0110_0000_0000_0000);
+        kernel.insert(0x1000 ^ 0b1010_0000_0000_0000);
+        vec![
+            PhaseCheckpoint {
+                phase: Phase::Calibration,
+                costs,
+                artifact: PhaseArtifact::Calibration(CalibrationArtifact { threshold_ns: 290 }),
+                cache: Vec::new(),
+            },
+            PhaseCheckpoint {
+                phase: Phase::CoarseDetection,
+                costs,
+                artifact: PhaseArtifact::Coarse(CoarseBits {
+                    row_bits: vec![19, 20],
+                    column_bits: vec![0, 1, 2],
+                    bank_bits: vec![13, 14],
+                    undetermined: Vec::new(),
+                }),
+                cache: vec![(0x1000, 0x2000, true), (0x1000, 0x3000, false)],
+            },
+            PhaseCheckpoint {
+                phase: Phase::Partition,
+                costs,
+                artifact: PhaseArtifact::Partition(PartitionArtifact {
+                    pool_size: 4,
+                    partition: Partition {
+                        piles: vec![
+                            Pile {
+                                pivot: PhysAddr::new(0x1000),
+                                members: vec![PhysAddr::new(0x1000), PhysAddr::new(0x7000)],
+                            },
+                            Pile {
+                                pivot: PhysAddr::new(0x3000),
+                                members: vec![PhysAddr::new(0x3000)],
+                            },
+                        ],
+                        unassigned: vec![PhysAddr::new(0x5000)],
+                        rejected_piles: 3,
+                        kernel: Some(kernel),
+                    },
+                }),
+                cache: vec![(0x1000, 0x7000, true)],
+            },
+            PhaseCheckpoint {
+                phase: Phase::FunctionDetection,
+                costs,
+                artifact: PhaseArtifact::Functions(DetectedFunctions {
+                    functions: vec![dram_model::XorFunc::from_mask(0b0110_0000_0000_0000)],
+                    consistent_masks: vec![
+                        dram_model::XorFunc::from_mask(0b0110_0000_0000_0000),
+                        dram_model::XorFunc::from_mask(0b1010_0000_0000_0000),
+                    ],
+                }),
+                cache: Vec::new(),
+            },
+            PhaseCheckpoint {
+                phase: Phase::FineDetection,
+                costs,
+                artifact: PhaseArtifact::Fine(FineBits {
+                    row_bits: vec![14, 19, 20],
+                    column_bits: vec![0, 1, 2],
+                    pure_bank_bits: vec![13],
+                    measured_shared_rows: vec![14],
+                    inferred_bits: Vec::new(),
+                }),
+                cache: Vec::new(),
+            },
+            PhaseCheckpoint {
+                phase: Phase::Validation,
+                costs,
+                artifact: PhaseArtifact::Validation(ValidationReport {
+                    bit_checks: 3,
+                    pair_checks: 60,
+                    cached_checks: 12,
+                    mismatches: 1,
+                }),
+                cache: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_artifact_kind_round_trips() {
+        for checkpoint in sample_checkpoints() {
+            let text = checkpoint.encode();
+            let decoded = PhaseCheckpoint::decode(&text).unwrap();
+            assert_eq!(decoded, checkpoint, "{}", checkpoint.phase.name());
+            assert_eq!(decoded.artifact.phase(), checkpoint.phase);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_checkpoints() {
+        assert!(PhaseCheckpoint::decode("").is_err(), "missing phase");
+        assert!(PhaseCheckpoint::decode("phase = warp\ncosts = 0,0,0,0,0\n").is_err());
+        assert!(
+            PhaseCheckpoint::decode("phase = calibration\ncosts = 0,0,0,0,0\n").is_err(),
+            "missing threshold"
+        );
+        // Non-contiguous cache and pile indices are rejected.
+        let base = "phase = calibration\ncosts = 0,0,0,0,0\nthreshold_ns = 1\n";
+        assert!(PhaseCheckpoint::decode(&format!("{base}cache.1 = 1,2,1\n")).is_err());
+        assert!(PhaseCheckpoint::decode(&format!("{base}cache.0 = 1,2,maybe\n")).is_err());
+        let partition =
+            "phase = partition\ncosts = 0,0,0,0,0\npool = 2\nrejected = 0\nunassigned = \n";
+        assert!(PhaseCheckpoint::decode(&format!("{partition}pile.1 = 0;0\n")).is_err());
+        assert!(PhaseCheckpoint::decode(&format!("{partition}pile.0 = garbage\n")).is_err());
+        // A kernel whose rows are not echelon is rejected.
+        assert!(
+            PhaseCheckpoint::decode(&format!("{partition}kernel = 0;3,1,2\npile.0 = 0;0\n"))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn store_round_trips_phases_and_config_on_disk() {
+        let dir = std::env::temp_dir().join(format!("dramdig-ckpt-{}", std::process::id()));
+        let store = CheckpointStore::new(&dir);
+        store.clear().unwrap();
+        assert_eq!(store.load_config().unwrap(), None);
+        assert!(store.load_phases().unwrap().is_empty());
+
+        let config = DramDigConfig::fast().with_seed(99);
+        store.save_config(&config).unwrap();
+        assert_eq!(store.load_config().unwrap(), Some(config));
+
+        let checkpoints = sample_checkpoints();
+        // Save out of order: load_phases still returns execution order.
+        for checkpoint in checkpoints.iter().rev() {
+            store.save_phase(checkpoint).unwrap();
+        }
+        assert_eq!(store.load_phases().unwrap(), checkpoints);
+
+        // A gap truncates the restored prefix.
+        std::fs::remove_file(dir.join("02-partition.phase")).unwrap();
+        let prefix = store.load_phases().unwrap();
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(prefix[1].phase, Phase::CoarseDetection);
+
+        // A corrupt file is an error, not silent truncation.
+        std::fs::write(dir.join("01-coarse.phase"), "phase = coarse\n").unwrap();
+        assert!(store.load_phases().is_err());
+
+        store.clear().unwrap();
+        assert!(!dir.exists());
+        store.clear().unwrap(); // idempotent
+    }
+}

@@ -2,20 +2,15 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use dram_model::AddressMapping;
-use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, ProbeStats};
+use mem_probe::{MemoryProbe, ProbeStats};
 
-use crate::coarse::{self, CoarseBits};
+use crate::coarse::CoarseBits;
 use crate::config::DramDigConfig;
 use crate::error::DramDigError;
-use crate::fine::{self, FineBits, ValidationReport};
-use crate::functions::{self, DetectedFunctions};
+use crate::fine::{FineBits, ValidationReport};
+use crate::functions::DetectedFunctions;
 use crate::knowledge::DomainKnowledge;
-use crate::partition::{self, Partition};
-use crate::select::{self, SelectedPool};
 
 /// Measurement cost of one pipeline phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,13 +52,18 @@ impl From<PhaseCosts> for ProbeStats {
 }
 
 impl PhaseCosts {
-    fn between(before: ProbeStats, after: ProbeStats) -> Self {
+    /// The cost delta between two snapshots of the *same* probe.
+    /// Subtraction saturates: [`ProbeStats::merge`] saturates at `u64::MAX`,
+    /// so a later snapshot of a long-lived probe can legitimately carry a
+    /// saturated counter that is no longer strictly larger than an earlier
+    /// one — the delta clamps to zero instead of panicking in debug builds.
+    pub(crate) fn between(before: ProbeStats, after: ProbeStats) -> Self {
         PhaseCosts {
-            measurements: after.measurements - before.measurements,
-            accesses: after.accesses - before.accesses,
-            elapsed_ns: after.elapsed_ns - before.elapsed_ns,
-            cache_hits: after.cache_hits - before.cache_hits,
-            cache_misses: after.cache_misses - before.cache_misses,
+            measurements: after.measurements.saturating_sub(before.measurements),
+            accesses: after.accesses.saturating_sub(before.accesses),
+            elapsed_ns: after.elapsed_ns.saturating_sub(before.elapsed_ns),
+            cache_hits: after.cache_hits.saturating_sub(before.cache_hits),
+            cache_misses: after.cache_misses.saturating_sub(before.cache_misses),
         }
     }
 
@@ -100,47 +100,97 @@ pub enum Phase {
     Validation,
 }
 
+/// One row of the single source of truth for everything phase-related:
+/// execution order, the stable codec identifier and the human-readable
+/// label. Adding a phase means adding one row here (and a variant above) —
+/// [`Phase::ALL`], [`Phase::name`], [`Phase::from_name`] and the `Display`
+/// impl all derive from this table, so they cannot desynchronize.
+struct PhaseInfo {
+    phase: Phase,
+    name: &'static str,
+    display: &'static str,
+}
+
+const PHASE_TABLE: [PhaseInfo; 6] = [
+    PhaseInfo {
+        phase: Phase::Calibration,
+        name: "calibration",
+        display: "calibration",
+    },
+    PhaseInfo {
+        phase: Phase::CoarseDetection,
+        name: "coarse",
+        display: "coarse row/column detection",
+    },
+    PhaseInfo {
+        phase: Phase::Partition,
+        name: "partition",
+        display: "address selection & partition",
+    },
+    PhaseInfo {
+        phase: Phase::FunctionDetection,
+        name: "detect",
+        display: "bank function detection",
+    },
+    PhaseInfo {
+        phase: Phase::FineDetection,
+        name: "fine",
+        display: "fine-grained detection",
+    },
+    PhaseInfo {
+        phase: Phase::Validation,
+        name: "validation",
+        display: "validation",
+    },
+];
+
+// The table must list the phases in declaration (= execution) order, or the
+// `as usize` indexing below would hand out the wrong row.
+const _: () = {
+    let mut i = 0;
+    while i < PHASE_TABLE.len() {
+        assert!(PHASE_TABLE[i].phase as usize == i);
+        i += 1;
+    }
+};
+
 impl Phase {
-    /// Every phase, in execution order.
-    pub const ALL: [Phase; 6] = [
-        Phase::Calibration,
-        Phase::CoarseDetection,
-        Phase::Partition,
-        Phase::FunctionDetection,
-        Phase::FineDetection,
-        Phase::Validation,
-    ];
+    /// Every phase, in execution order (derived from the phase table).
+    pub const ALL: [Phase; 6] = {
+        let mut all = [Phase::Calibration; 6];
+        let mut i = 0;
+        while i < PHASE_TABLE.len() {
+            all[i] = PHASE_TABLE[i].phase;
+            i += 1;
+        }
+        all
+    };
+
+    /// Position of this phase in [`Phase::ALL`] (execution order).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// Stable machine-readable identifier, used by the serialized report
-    /// codec and the benchmark JSON. [`Phase::from_name`] is its inverse.
+    /// codec, checkpoint file names and the benchmark JSON.
+    /// [`Phase::from_name`] is its inverse.
     pub const fn name(self) -> &'static str {
-        match self {
-            Phase::Calibration => "calibration",
-            Phase::CoarseDetection => "coarse",
-            Phase::Partition => "partition",
-            Phase::FunctionDetection => "detect",
-            Phase::FineDetection => "fine",
-            Phase::Validation => "validation",
-        }
+        PHASE_TABLE[self.index()].name
     }
 
     /// Parses a [`Phase::name`] identifier back into the phase.
     pub fn from_name(name: &str) -> Option<Phase> {
-        Phase::ALL.into_iter().find(|p| p.name() == name)
+        PHASE_TABLE
+            .iter()
+            .find(|info| info.name == name)
+            .map(|info| info.phase)
     }
 }
 
 impl fmt::Display for Phase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Phase::Calibration => "calibration",
-            Phase::CoarseDetection => "coarse row/column detection",
-            Phase::Partition => "address selection & partition",
-            Phase::FunctionDetection => "bank function detection",
-            Phase::FineDetection => "fine-grained detection",
-            Phase::Validation => "validation",
-        };
-        write!(f, "{s}")
+        write!(f, "{}", PHASE_TABLE[self.index()].display)
     }
 }
 
@@ -244,158 +294,22 @@ impl DramDig {
     /// Runs the full three-step pipeline against a probe and returns the
     /// recovered mapping plus cost accounting.
     ///
+    /// This is a thin compatibility wrapper over
+    /// [`PipelineEngine`](crate::engine::PipelineEngine) with no checkpoint
+    /// directory, no budget and the silent observer — use the engine
+    /// directly for resumable runs, budget enforcement or progress events.
+    ///
     /// # Errors
     ///
     /// Any phase can fail; the error names the phase and the reason (see
     /// [`DramDigError`]). In particular a validation agreement below 90%
     /// yields [`DramDigError::Validation`].
     pub fn run<P: MemoryProbe>(&mut self, probe: &mut P) -> Result<RunReport, DramDigError> {
-        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
-        let mut phase_costs: Vec<(Phase, PhaseCosts)> = Vec::new();
-        let start_stats = probe.stats();
-
-        // --- Calibration --------------------------------------------------
-        let before = probe.stats();
-        let calibration = if self.config.adaptive_calibration {
-            LatencyCalibration::calibrate_adaptive(
-                &mut *probe,
-                self.config.calibration_samples,
-                self.config.calibration_chunk,
-                self.config.rng_seed ^ 0xCA11,
-            )?
-        } else {
-            LatencyCalibration::calibrate(
-                &mut *probe,
-                self.config.calibration_samples,
-                self.config.rng_seed ^ 0xCA11,
-            )?
-        };
-        let threshold_ns = calibration.threshold_ns();
-        let mut oracle = ConflictOracle::new(&mut *probe, calibration)
-            .with_repeat(self.config.measure_repeat)
-            .with_early_exit(self.config.early_exit_votes);
-        if let Some(capacity) = self.config.probe_cache_capacity {
-            oracle = oracle.with_cache(capacity);
-        }
-        phase_costs.push((
-            Phase::Calibration,
-            PhaseCosts::between(before, oracle.stats()),
-        ));
-
-        // --- Step 1: coarse row/column detection --------------------------
-        let before = oracle.stats();
-        let address_bits = self.knowledge.address_bits();
-        let coarse_bits = coarse::detect(&mut oracle, address_bits, &self.config, &mut rng)?;
-        phase_costs.push((
-            Phase::CoarseDetection,
-            PhaseCosts::between(before, oracle.stats()),
-        ));
-
-        // --- Step 2: selection, partition, function detection -------------
-        let before = oracle.stats();
-        let memory = oracle.probe().memory().clone();
-        let pool: SelectedPool =
-            select::select_addresses(&memory, &coarse_bits.bank_bits, self.config.max_pool)?;
-        let num_banks = self.knowledge.total_banks()?;
-        let partition: Partition = partition::partition_with_strategy(
-            &mut oracle,
-            &pool.addresses,
-            num_banks,
-            &self.config,
-            &mut rng,
-        )?;
-        phase_costs.push((
-            Phase::Partition,
-            PhaseCosts::between(before, oracle.stats()),
-        ));
-
-        let before = oracle.stats();
-        // The decomposition partition already learned the same-bank
-        // difference basis; reuse it instead of re-deriving it from every
-        // pile member.
-        let detected = match &partition.kernel {
-            Some(kernel) => functions::detect_bank_functions_with_basis(
-                kernel,
-                &partition.piles,
-                &coarse_bits.bank_bits,
-                num_banks,
-                &self.config,
-            )?,
-            None => functions::detect_bank_functions(
-                &partition.piles,
-                &coarse_bits.bank_bits,
-                num_banks,
-                &self.config,
-            )?,
-        };
-        phase_costs.push((
-            Phase::FunctionDetection,
-            PhaseCosts::between(before, oracle.stats()),
-        ));
-
-        // --- Step 3: fine-grained detection --------------------------------
-        let before = oracle.stats();
-        let fine_bits = fine::refine(
-            &mut oracle,
-            &memory,
-            &coarse_bits,
-            &detected.functions,
-            &self.knowledge,
-            &self.config,
-            &mut rng,
-        )?;
-        phase_costs.push((
-            Phase::FineDetection,
-            PhaseCosts::between(before, oracle.stats()),
-        ));
-
-        let mapping = AddressMapping::new(
-            detected.functions.clone(),
-            fine_bits.row_bits.clone(),
-            fine_bits.column_bits.clone(),
-        )?;
-
-        // --- Validation -----------------------------------------------------
-        let mut validation = None;
-        if self.config.validate {
-            let before = oracle.stats();
-            let report = fine::validate(
-                &mut oracle,
-                &memory,
-                &fine_bits,
-                &detected.functions,
-                &mapping,
-                &self.config,
-                &mut rng,
-            )?;
-            phase_costs.push((
-                Phase::Validation,
-                PhaseCosts::between(before, oracle.stats()),
-            ));
-            if report.agreement() < 0.90 {
-                return Err(DramDigError::Validation {
-                    reason: format!(
-                        "only {:.1}% of follow-up measurements agree with the recovered mapping",
-                        report.agreement() * 100.0
-                    ),
-                });
-            }
-            validation = Some(report);
-        }
-
-        let total = PhaseCosts::between(start_stats, oracle.stats());
-        Ok(RunReport {
-            mapping,
-            coarse: coarse_bits,
-            pool_size: pool.len(),
-            pile_count: partition.piles.len(),
-            functions: detected,
-            fine: fine_bits,
-            validation,
-            threshold_ns,
-            phase_costs,
-            total,
-        })
+        crate::engine::PipelineEngine::new(self.knowledge.clone(), self.config.clone()).run(
+            probe,
+            &crate::engine::EngineOptions::default(),
+            &mut crate::engine::NullObserver,
+        )
     }
 }
 
@@ -529,6 +443,47 @@ mod tests {
         assert_eq!(m.elapsed_ns, u64::MAX, "saturating, not wrapping");
         assert_eq!(m.cache_hits + m.cache_misses, 6);
         assert_eq!(a.merge(PhaseCosts::default()), a);
+    }
+
+    #[test]
+    fn between_saturates_on_wrapped_counters() {
+        // `ProbeStats::merge` saturates, so a later snapshot can carry a
+        // counter that is not strictly larger than an earlier one; the
+        // delta must clamp to zero instead of panicking.
+        let before = ProbeStats {
+            measurements: 10,
+            accesses: u64::MAX,
+            elapsed_ns: 5,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        let after = ProbeStats {
+            measurements: 7,
+            accesses: u64::MAX,
+            elapsed_ns: 9,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        let delta = PhaseCosts::between(before, after);
+        assert_eq!(delta.measurements, 0, "clamped, not wrapped");
+        assert_eq!(delta.accesses, 0);
+        assert_eq!(delta.elapsed_ns, 4);
+    }
+
+    #[test]
+    fn phase_table_is_the_single_source_of_truth() {
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(phase.index(), i);
+            assert_eq!(Phase::from_name(phase.name()), Some(phase));
+            assert!(!phase.to_string().is_empty());
+        }
+        // Codec names and display labels stay what the serialized reports
+        // and the benchmark JSON already use.
+        assert_eq!(Phase::FunctionDetection.name(), "detect");
+        assert_eq!(
+            Phase::Partition.to_string(),
+            "address selection & partition"
+        );
     }
 
     #[test]

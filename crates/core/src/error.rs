@@ -48,6 +48,22 @@ pub enum DramDigError {
         /// Which knowledge group is required.
         group: &'static str,
     },
+    /// The engine stopped cooperatively at a phase boundary (budget
+    /// exhausted, cancellation requested or an explicit stop point) without
+    /// any phase having failed. When a checkpoint directory is configured,
+    /// every completed phase survives and a resumed run continues from the
+    /// boundary with a byte-identical final report.
+    Interrupted {
+        /// The first phase that did *not* run.
+        phase: crate::driver::Phase,
+        /// Why the engine stopped.
+        reason: String,
+    },
+    /// A checkpoint could not be written, read or applied.
+    Checkpoint {
+        /// Explanation of what went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DramDigError {
@@ -75,6 +91,12 @@ impl fmt::Display for DramDigError {
             DramDigError::Model(e) => write!(f, "recovered mapping is inconsistent: {e}"),
             DramDigError::MissingKnowledge { group } => {
                 write!(f, "required domain knowledge is disabled: {group}")
+            }
+            DramDigError::Interrupted { phase, reason } => {
+                write!(f, "pipeline interrupted before {phase}: {reason}")
+            }
+            DramDigError::Checkpoint { reason } => {
+                write!(f, "checkpoint error: {reason}")
             }
         }
     }

@@ -26,7 +26,12 @@
 //!
 //! The end-to-end driver is [`DramDig`]; it produces an
 //! [`dram_model::AddressMapping`] plus a [`RunReport`] with per-phase cost
-//! accounting (used to regenerate Figure 2 of the paper).
+//! accounting (used to regenerate Figure 2 of the paper). [`DramDig`] is a
+//! thin wrapper over the [`engine::PipelineEngine`], an explicit state
+//! machine over [`Phase::ALL`] with per-phase checkpoints (resume a killed
+//! run from its last phase boundary with a byte-identical report),
+//! measurement/time budgets, cooperative cancellation and structured
+//! progress events — see the [`engine`] module docs.
 //!
 //! # Example
 //!
@@ -52,10 +57,12 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod artifact;
 pub mod coarse;
 pub mod codec;
 pub mod config;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod fine;
 pub mod functions;
@@ -64,9 +71,14 @@ pub mod partition;
 pub mod report;
 pub mod select;
 
+pub use artifact::{CheckpointStore, PhaseArtifact, PhaseCheckpoint};
 pub use codec::CodecError;
 pub use config::{DramDigConfig, PartitionStrategy};
 pub use driver::{DramDig, Phase, PhaseCosts, RunReport};
+pub use engine::{
+    Budget, EngineEvent, EngineOptions, NullObserver, Observer, PhaseContext, PhaseRunner,
+    PipelineEngine, PipelineState,
+};
 pub use error::DramDigError;
 pub use knowledge::DomainKnowledge;
 pub use report::RecoveryReport;

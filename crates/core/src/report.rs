@@ -49,14 +49,14 @@ impl From<&RunReport> for RecoveryReport {
     }
 }
 
-fn encode_costs(c: &PhaseCosts) -> String {
+pub(crate) fn encode_costs(c: &PhaseCosts) -> String {
     format!(
         "{},{},{},{},{}",
         c.measurements, c.accesses, c.elapsed_ns, c.cache_hits, c.cache_misses
     )
 }
 
-fn decode_costs(line: usize, key: &str, value: &str) -> Result<PhaseCosts, CodecError> {
+pub(crate) fn decode_costs(line: usize, key: &str, value: &str) -> Result<PhaseCosts, CodecError> {
     let fields: Vec<&str> = value.split(',').map(str::trim).collect();
     if fields.len() != 5 {
         return Err(CodecError::at(

@@ -139,6 +139,26 @@ impl MemoryController {
         }
     }
 
+    /// Re-aligns the controller's stochastic state to a phase boundary: the
+    /// noise stream is re-seeded from the configured seed mixed with `salt`,
+    /// all row buffers close, pending hammer pressure is discarded and the
+    /// next refresh is scheduled one full window from now.
+    ///
+    /// After this call the latency sequence produced by a given access
+    /// sequence is a pure function of `(config, salt)` — independent of
+    /// everything measured before the boundary. The pipeline engine uses
+    /// this (through `MemoryProbe::begin_phase`) so that a phase replayed
+    /// after a checkpoint resume observes bit-identical measurements.
+    pub fn begin_phase(&mut self, salt: u64) {
+        self.rng = StdRng::seed_from_u64(self.config.rng_seed ^ salt);
+        self.close_all_rows();
+        self.flip_model.clear_pressure();
+        self.next_refresh_ns = self
+            .stats
+            .elapsed_ns
+            .saturating_add(self.config.refresh_interval_ns);
+    }
+
     /// Advances the simulated clock without performing accesses.
     pub fn advance_time(&mut self, ns: u64) {
         self.stats.elapsed_ns += ns;

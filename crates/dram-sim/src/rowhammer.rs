@@ -207,6 +207,13 @@ impl FlipModel {
     pub fn pressured_rows(&self) -> usize {
         self.pressure.len()
     }
+
+    /// Discards the aggressor pressure accumulated in the current refresh
+    /// window without evaluating it for flips (models an idle period long
+    /// enough for a full refresh cycle to pass unobserved).
+    pub fn clear_pressure(&mut self) {
+        self.pressure.clear();
+    }
 }
 
 /// Flips observed in DRAM coordinates convertible back to physical addresses

@@ -70,6 +70,14 @@ impl<P: MemoryProbe> ConflictOracle<P> {
         &self.calibration
     }
 
+    /// Replaces the calibration. The pipeline engine constructs the oracle
+    /// before its calibration phase has run (so the cache and accounting
+    /// exist from the first measurement) and installs the threshold here —
+    /// either freshly measured or restored from a checkpoint.
+    pub fn set_calibration(&mut self, calibration: LatencyCalibration) {
+        self.calibration = calibration;
+    }
+
     /// The underlying probe.
     pub fn probe(&self) -> &P {
         &self.probe
@@ -88,6 +96,13 @@ impl<P: MemoryProbe> ConflictOracle<P> {
     /// The attached conflict cache, if any.
     pub fn cache(&self) -> Option<&ConflictCache> {
         self.cache.as_ref()
+    }
+
+    /// Exclusive access to the attached conflict cache, if any. The
+    /// pipeline engine uses this to replay a checkpointed cache snapshot
+    /// (oldest entry first) into a fresh oracle on resume.
+    pub fn cache_mut(&mut self) -> Option<&mut ConflictCache> {
+        self.cache.as_mut()
     }
 
     /// Cost accounting so far: the probe's counters plus the cache's

@@ -95,6 +95,21 @@ pub trait MemoryProbe {
 
     /// Number of alternating rounds used per measurement.
     fn rounds(&self) -> u32;
+
+    /// Hook invoked by the pipeline engine at every phase boundary with a
+    /// phase-unique salt, both on straight-through runs and when a run
+    /// resumes from a checkpoint.
+    ///
+    /// Implementations should re-align any internal stochastic state (noise
+    /// streams, refresh schedules) so the measurement sequence of the
+    /// upcoming phase is a pure function of `(probe configuration, salt)`
+    /// rather than of everything measured before the boundary — the
+    /// property that makes a checkpoint-resumed run byte-identical to an
+    /// uninterrupted one. Probes without such state (e.g. real hardware,
+    /// whose noise cannot be replayed either way) keep the default no-op.
+    fn begin_phase(&mut self, salt: u64) {
+        let _ = salt;
+    }
 }
 
 impl<P: MemoryProbe + ?Sized> MemoryProbe for &mut P {
@@ -112,6 +127,9 @@ impl<P: MemoryProbe + ?Sized> MemoryProbe for &mut P {
     }
     fn rounds(&self) -> u32 {
         (**self).rounds()
+    }
+    fn begin_phase(&mut self, salt: u64) {
+        (**self).begin_phase(salt);
     }
 }
 

@@ -93,6 +93,10 @@ impl MemoryProbe for SimProbe {
     fn rounds(&self) -> u32 {
         self.rounds
     }
+
+    fn begin_phase(&mut self, salt: u64) {
+        self.machine.controller_mut().begin_phase(salt);
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! Reverse engineer a machine that is *not* one of the paper's nine settings:
 //! a hypothetical single-channel DDR4 module with a custom bank hash,
 //! demonstrating that the tool only needs system information, not a
-//! pre-existing entry in a table.
+//! pre-existing entry in a table — and that the engine's Observer API
+//! narrates the phases while it works.
 //!
 //! ```text
 //! cargo run --release --example custom_machine
@@ -9,7 +10,8 @@
 
 use dram_model::{DdrGeneration, DramGeometry, MappingBuilder, SystemInfo};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
-use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use dramdig::engine::{EngineEvent, EngineOptions, PipelineEngine};
+use dramdig::{DomainKnowledge, DramDigConfig};
 use mem_probe::SimProbe;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,7 +37,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = SimMachine::new(ground_truth.clone(), SimConfig::default());
     let mut probe = SimProbe::new(machine, PhysMemory::full(capacity));
     let knowledge = DomainKnowledge::new(system, None);
-    let report = DramDig::new(knowledge, DramDigConfig::default()).run(&mut probe)?;
+
+    // The engine narrates its progress through the Observer: phase starts,
+    // per-phase costs, and (when a checkpoint directory or budget is set in
+    // `EngineOptions`) restored phases and budget pressure.
+    let engine = PipelineEngine::new(knowledge, DramDigConfig::default());
+    let report = engine.run(
+        &mut probe,
+        &EngineOptions::default(),
+        &mut |event: &EngineEvent| match event {
+            EngineEvent::PhaseStarted { phase } => println!("  {phase} ..."),
+            EngineEvent::PhaseCompleted { phase, costs, .. } => {
+                println!("  {phase}: done ({} measurements)", costs.measurements);
+            }
+            _ => {}
+        },
+    )?;
 
     println!("recovered     : {}", report.mapping);
     println!(

@@ -1,5 +1,6 @@
 //! Quickstart: reverse engineer the DRAM address mapping of a simulated
-//! Haswell machine (Table II, machine No.4) and print what was found.
+//! Haswell machine (Table II, machine No.4) with live progress from the
+//! pipeline engine's Observer API, and print what was found.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,6 +8,7 @@
 
 use dram_model::MachineSetting;
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::engine::{EngineEvent, EngineOptions, PipelineEngine};
 use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
 use mem_probe::SimProbe;
 
@@ -23,15 +25,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    system information plus the CPU microarchitecture.
     let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
 
-    // 3. Run the three-step pipeline.
-    let mut tool = DramDig::new(knowledge, DramDigConfig::default());
-    let report = tool.run(&mut probe)?;
+    // 3. Run the three-step pipeline through the engine. Any closure over
+    //    `&EngineEvent` is an Observer; this one prints a progress line per
+    //    phase. (`EngineOptions` is also where checkpoints and budgets
+    //    live — see the `dramdig uncover --checkpoint/--resume` CLI.)
+    let engine = PipelineEngine::new(knowledge.clone(), DramDigConfig::default());
+    let report = engine.run(
+        &mut probe,
+        &EngineOptions::default(),
+        &mut |event: &EngineEvent| {
+            if let EngineEvent::PhaseCompleted { phase, costs, .. } = event {
+                println!(
+                    "  {phase}: {} measurements, {:.3} s",
+                    costs.measurements,
+                    costs.elapsed_seconds()
+                );
+            }
+        },
+    )?;
 
     println!("\n{report}\n");
     println!("ground truth       : {}", setting.mapping());
     println!(
         "recovered correctly: {}",
         report.mapping.equivalent_to(setting.mapping())
+    );
+
+    // 4. The one-call wrapper is still there for code that does not need
+    //    progress events or checkpoints — same pipeline, same report.
+    let machine = SimMachine::from_setting(&setting, SimConfig::default());
+    let mut probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+    let wrapped = DramDig::new(knowledge, DramDigConfig::default()).run(&mut probe)?;
+    println!(
+        "DramDig::run agrees: {}",
+        wrapped.mapping.equivalent_to(&report.mapping)
     );
     Ok(())
 }
