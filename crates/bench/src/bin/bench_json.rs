@@ -29,6 +29,7 @@ use dramdig::functions::{
 use dramdig::partition::{partition_decompose, partition_into_piles};
 use dramdig::select::select_addresses;
 use dramdig::{DomainKnowledge, DramDigConfig, DramDigError, Phase, RecoveryReport};
+use dramdig_bench::eval::{run_grid, EvalGrid, GridKind, ToolId};
 use dramdig_bench::run_dramdig;
 use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, SimProbe};
 
@@ -358,6 +359,48 @@ fn main() {
     let resume_savings =
         checkpointed_measurements as f64 / straight.total.measurements.max(1) as f64;
 
+    // --- Scenario-matrix eval on the quick grid ----------------------------
+    // The same workload the CI `scenario-matrix` job gates on, at the
+    // smaller preset: the JSON tracks per-tool success counts and DRAMDig's
+    // measurement advantage over DRAMA so the trajectory covers the open
+    // (generated-machine) workload, not just Table II.
+    let eval_grid = EvalGrid::new(GridKind::Quick, 1);
+    let eval_start = Instant::now();
+    let eval_outcome = run_grid(&eval_grid, 4);
+    let eval_wall_ms = eval_start.elapsed().as_secs_f64() * 1e3;
+    let eval_gate = eval_outcome.gate();
+    if !eval_gate.passed() {
+        eprintln!(
+            "scenario-matrix differential gate failed:\n  {}",
+            eval_gate.failures.join("\n  ")
+        );
+        std::process::exit(1);
+    }
+    let in_scope_count = eval_grid
+        .of_class(dram_model::MachineClass::InScope)
+        .count();
+    let dramdig_counts = eval_outcome.counts(ToolId::DramDig);
+    let drama_counts = eval_outcome.counts(ToolId::Drama);
+    let measurement_advantage_vs_drama =
+        drama_counts.measurements as f64 / dramdig_counts.measurements.max(1) as f64;
+    let mut eval_tools_json = String::new();
+    for (i, tool) in ToolId::ALL.iter().enumerate() {
+        let c = eval_outcome.counts(*tool);
+        let comma = if i + 1 == ToolId::ALL.len() { "" } else { "," };
+        let _ = writeln!(
+            eval_tools_json,
+            "      \"{tool}\": {{\"recovered\": {}, \"skeleton\": {}, \"detected\": {}, \"partition_only\": {}, \"not_applicable\": {}, \"failed\": {}, \"wrong\": {}, \"measure_pair_calls\": {}}}{comma}",
+            c.recovered,
+            c.skeleton,
+            c.detected,
+            c.partition_only,
+            c.not_applicable,
+            c.failed,
+            c.wrong,
+            c.measurements,
+        );
+    }
+
     // --- Assemble the JSON -------------------------------------------------
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -438,6 +481,21 @@ fn main() {
     let _ = writeln!(out, "    \"sweeps\": [");
     out.push_str(&campaign_json);
     let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"eval\": {{");
+    let _ = writeln!(out, "    \"grid\": \"{}\",", eval_grid.kind);
+    let _ = writeln!(out, "    \"seed\": {},", eval_grid.seed);
+    let _ = writeln!(out, "    \"scenarios\": {},", eval_grid.scenarios.len());
+    let _ = writeln!(out, "    \"in_scope\": {in_scope_count},");
+    let _ = writeln!(out, "    \"wall_ms\": {eval_wall_ms:.3},");
+    let _ = writeln!(out, "    \"gate_pass\": true,");
+    let _ = writeln!(
+        out,
+        "    \"measurement_advantage_vs_drama\": {measurement_advantage_vs_drama:.2},"
+    );
+    let _ = writeln!(out, "    \"tools\": {{");
+    out.push_str(&eval_tools_json);
+    let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
 
@@ -468,5 +526,12 @@ fn main() {
          ({:.1}% saved, partition repaid 0), report byte-identical: {resume_equal}",
         straight.total.measurements,
         resume_savings * 100.0,
+    );
+    println!(
+        "scenario eval ({} scenarios): dramdig recovered {}/{in_scope_count} in-scope, \
+         detected {} out-of-scope, {measurement_advantage_vs_drama:.0}x fewer measurements than DRAMA",
+        eval_grid.scenarios.len(),
+        dramdig_counts.recovered,
+        dramdig_counts.detected + dramdig_counts.skeleton,
     );
 }

@@ -46,11 +46,13 @@
 
 pub mod journal;
 pub mod jsonl;
+pub mod pool;
 pub mod runner;
 pub mod spec;
 pub mod store;
 
 pub use journal::{read_journal, Journal, JournalError, JournalRecord, JournalState};
+pub use pool::{drain_pool, NoHooks, PoolConfig, PoolHooks, PoolOutcome, Verdict};
 pub use runner::{
     campaign_status, fleet_makespan, run_campaign, run_job_sim, run_job_sim_checkpointed,
     run_job_sim_checkpointed_with, run_job_sim_with, store_from_state, CampaignError,

@@ -1,0 +1,367 @@
+//! The generic worker pool underneath campaign-style orchestration.
+//!
+//! [`drain_pool`] owns the queue/retry/dead-letter mechanics that used to
+//! live inside the campaign runner's worker loop, with the campaign-specific
+//! parts (write-ahead journaling, checkpoint-directory lifecycle) injected
+//! through [`PoolHooks`]. The scenario-matrix evaluation drains its
+//! scenario × tool grid through the same pool with [`NoHooks`], so both
+//! workloads share one well-tested scheduling core.
+//!
+//! Semantics inherited by every user:
+//!
+//! * hooks run **under the pool lock** — `on_dequeued` fires before the job
+//!   leaves the queue-side critical section (write-ahead), `on_settled`
+//!   before the outcome is applied to the queue;
+//! * a hook error poisons the pool: workers stop picking up jobs and the
+//!   first error is returned;
+//! * a failed attempt beyond `max_retries` is dead-lettered with its final
+//!   reason, otherwise the job re-enters the queue at `attempt + 1`;
+//! * `max_completions` caps completions of *this* drain (used to simulate
+//!   interruptions) — in-flight jobs still settle.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// How one settled attempt was classified by the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The attempt succeeded; the job is done.
+    Completed,
+    /// The attempt failed with retries left; the job re-enters the queue.
+    Retrying,
+    /// The attempt failed and exhausted the retry budget.
+    Dead,
+}
+
+/// Observer hooks invoked under the pool lock. The default implementations
+/// do nothing, so a hook type only overrides what it needs.
+pub trait PoolHooks<J, T> {
+    /// Error type that aborts the whole drain (e.g. a journal IO failure).
+    type Error;
+
+    /// Called write-ahead, while the lock is held, before `run` sees the
+    /// job.
+    fn on_dequeued(&mut self, job: &J, attempt: u32) -> Result<(), Self::Error> {
+        let _ = (job, attempt);
+        Ok(())
+    }
+
+    /// Called while the lock is held, after `run` returned and the verdict
+    /// is known but before the queue or result lists are updated.
+    fn on_settled(
+        &mut self,
+        job: &J,
+        attempt: u32,
+        result: &Result<T, String>,
+        verdict: Verdict,
+    ) -> Result<(), Self::Error> {
+        let _ = (job, attempt, result, verdict);
+        Ok(())
+    }
+}
+
+/// Hook-less pool use (the scenario evaluation, tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl<J, T> PoolHooks<J, T> for NoHooks {
+    type Error = std::convert::Infallible;
+}
+
+/// Scheduling knobs of one [`drain_pool`] invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker threads draining the queue (clamped to at least 1).
+    pub workers: usize,
+    /// Failed attempts beyond this count are dead-lettered (0 = one try).
+    pub max_retries: u32,
+    /// Stop picking up new jobs once this many completed in this drain.
+    pub max_completions: Option<usize>,
+}
+
+impl PoolConfig {
+    /// A pool with `workers` threads and no retries or caps.
+    pub fn workers(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            max_retries: 0,
+            max_completions: None,
+        }
+    }
+}
+
+/// What one [`drain_pool`] invocation produced.
+#[derive(Debug)]
+pub struct PoolOutcome<J, T> {
+    /// Completed jobs with their successful attempt number, in completion
+    /// order (nondeterministic across workers — sort by job identity when
+    /// determinism matters).
+    pub completed: Vec<(J, u32, T)>,
+    /// Dead-lettered jobs with their final failure reason.
+    pub dead: Vec<(J, String)>,
+}
+
+struct Shared<'h, J, T, H: PoolHooks<J, T>> {
+    queue: VecDeque<(J, u32)>,
+    hooks: &'h mut H,
+    completions: usize,
+    completed: Vec<(J, u32, T)>,
+    dead: Vec<(J, String)>,
+    failure: Option<H::Error>,
+}
+
+/// Drains `jobs` (each paired with its first attempt number) through `run`
+/// on a scoped worker pool.
+///
+/// # Errors
+///
+/// Returns the first hook error; job failures are not errors — they are
+/// retried and eventually dead-lettered into the outcome.
+pub fn drain_pool<J, T, H, R>(
+    jobs: impl IntoIterator<Item = (J, u32)>,
+    config: &PoolConfig,
+    hooks: &mut H,
+    run: R,
+) -> Result<PoolOutcome<J, T>, H::Error>
+where
+    J: Send,
+    T: Send,
+    H: PoolHooks<J, T> + Send,
+    H::Error: Send,
+    R: Fn(&J, u32) -> Result<T, String> + Sync,
+{
+    let shared = Mutex::new(Shared {
+        queue: jobs.into_iter().collect(),
+        hooks,
+        completions: 0,
+        completed: Vec::new(),
+        dead: Vec::new(),
+        failure: None,
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers.max(1) {
+            scope.spawn(|| worker_loop(&shared, config, &run));
+        }
+    });
+
+    let state = shared
+        .into_inner()
+        .expect("no worker panicked with the lock");
+    if let Some(error) = state.failure {
+        return Err(error);
+    }
+    Ok(PoolOutcome {
+        completed: state.completed,
+        dead: state.dead,
+    })
+}
+
+fn worker_loop<J, T, H, R>(shared: &Mutex<Shared<'_, J, T, H>>, config: &PoolConfig, run: &R)
+where
+    H: PoolHooks<J, T>,
+    R: Fn(&J, u32) -> Result<T, String>,
+{
+    loop {
+        let (job, attempt) = {
+            let mut guard = shared.lock().expect("pool lock");
+            if guard.failure.is_some() {
+                return;
+            }
+            if let Some(limit) = config.max_completions {
+                if guard.completions >= limit {
+                    return;
+                }
+            }
+            let Some((job, attempt)) = guard.queue.pop_front() else {
+                return;
+            };
+            if let Err(e) = guard.hooks.on_dequeued(&job, attempt) {
+                guard.failure = Some(e);
+                return;
+            }
+            (job, attempt)
+        };
+
+        let result = run(&job, attempt);
+
+        let mut guard = shared.lock().expect("pool lock");
+        let verdict = match &result {
+            Ok(_) => Verdict::Completed,
+            Err(_) if attempt > config.max_retries => Verdict::Dead,
+            Err(_) => Verdict::Retrying,
+        };
+        if let Err(e) = guard.hooks.on_settled(&job, attempt, &result, verdict) {
+            guard.failure = Some(e);
+            return;
+        }
+        match result {
+            Ok(value) => {
+                guard.completions += 1;
+                guard.completed.push((job, attempt, value));
+            }
+            Err(reason) => match verdict {
+                Verdict::Dead => guard.dead.push((job, reason)),
+                _ => guard.queue.push_back((job, attempt + 1)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn first_attempts<J>(jobs: impl IntoIterator<Item = J>) -> Vec<(J, u32)> {
+        jobs.into_iter().map(|j| (j, 1)).collect()
+    }
+
+    #[test]
+    fn drains_every_job_exactly_once_across_workers() {
+        let jobs: Vec<u32> = (0..50).collect();
+        let outcome = drain_pool(
+            first_attempts(jobs),
+            &PoolConfig::workers(8),
+            &mut NoHooks,
+            |&job, _| Ok(job * 2),
+        )
+        .unwrap();
+        assert!(outcome.dead.is_empty());
+        let mut done: Vec<(u32, u32)> = outcome
+            .completed
+            .into_iter()
+            .map(|(j, _, v)| (j, v))
+            .collect();
+        done.sort_unstable();
+        assert_eq!(done.len(), 50);
+        for (j, v) in done {
+            assert_eq!(v, j * 2);
+        }
+    }
+
+    #[test]
+    fn retries_then_dead_letters() {
+        let calls = AtomicU32::new(0);
+        let config = PoolConfig {
+            workers: 1,
+            max_retries: 2,
+            max_completions: None,
+        };
+        let outcome = drain_pool(
+            first_attempts(["flaky"]),
+            &config,
+            &mut NoHooks,
+            |_, attempt| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if attempt < 3 {
+                    Err(format!("attempt {attempt} failed"))
+                } else {
+                    Ok(attempt)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(outcome.completed[0].1, 3);
+
+        let outcome = drain_pool(first_attempts(["doomed"]), &config, &mut NoHooks, |_, _| {
+            Err::<u32, _>("always".into())
+        })
+        .unwrap();
+        assert!(outcome.completed.is_empty());
+        assert_eq!(outcome.dead, vec![("doomed", "always".to_string())]);
+    }
+
+    #[test]
+    fn completion_cap_stops_new_work() {
+        let config = PoolConfig {
+            workers: 1,
+            max_retries: 0,
+            max_completions: Some(2),
+        };
+        let outcome = drain_pool(first_attempts(0..10u32), &config, &mut NoHooks, |&j, _| {
+            Ok(j)
+        })
+        .unwrap();
+        assert_eq!(outcome.completed.len(), 2);
+    }
+
+    /// Hooks observe the write-ahead order and can abort the drain.
+    struct Recording {
+        events: Vec<String>,
+        fail_on_settle: bool,
+    }
+
+    impl PoolHooks<&'static str, u32> for Recording {
+        type Error = String;
+
+        fn on_dequeued(&mut self, job: &&'static str, attempt: u32) -> Result<(), String> {
+            self.events.push(format!("dequeued {job} #{attempt}"));
+            Ok(())
+        }
+
+        fn on_settled(
+            &mut self,
+            job: &&'static str,
+            attempt: u32,
+            _result: &Result<u32, String>,
+            verdict: Verdict,
+        ) -> Result<(), String> {
+            self.events
+                .push(format!("settled {job} #{attempt} {verdict:?}"));
+            if self.fail_on_settle {
+                return Err("journal broke".into());
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn hooks_fire_write_ahead_and_see_verdicts() {
+        let mut hooks = Recording {
+            events: Vec::new(),
+            fail_on_settle: false,
+        };
+        let config = PoolConfig {
+            workers: 1,
+            max_retries: 1,
+            max_completions: None,
+        };
+        drain_pool(first_attempts(["j"]), &config, &mut hooks, |_, attempt| {
+            if attempt == 1 {
+                Err("noise".into())
+            } else {
+                Ok(attempt)
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            hooks.events,
+            vec![
+                "dequeued j #1",
+                "settled j #1 Retrying",
+                "dequeued j #2",
+                "settled j #2 Completed",
+            ]
+        );
+    }
+
+    #[test]
+    fn hook_errors_abort_the_drain() {
+        let mut hooks = Recording {
+            events: Vec::new(),
+            fail_on_settle: true,
+        };
+        let err = drain_pool(
+            first_attempts(["a", "b"]),
+            &PoolConfig::workers(1),
+            &mut hooks,
+            |_, _| Ok(1),
+        )
+        .unwrap_err();
+        assert_eq!(err, "journal broke");
+        // The drain stopped after the first settle: "b" was never dequeued.
+        assert_eq!(hooks.events.len(), 2);
+    }
+}

@@ -1,19 +1,17 @@
 //! The campaign orchestrator: a job queue fanned out over a worker pool.
 //!
 //! [`run_campaign`] replays the journal to find the resume frontier, feeds
-//! every still-pending job into a shared queue, and drains it with
-//! `std::thread::scope` workers. Each state transition is journaled *before*
-//! the orchestrator moves on (write-ahead), failed jobs are retried with a
-//! fresh attempt seed up to the spec's retry budget and then dead-lettered,
-//! and the mapping store is rebuilt from the journal after every invocation
-//! — so the store is a pure function of the journal and an interrupted
-//! campaign resumed later converges on exactly the artifacts of an
-//! uninterrupted one.
+//! every still-pending job into the generic [`crate::pool`] and injects the
+//! campaign-specific behaviour through its hooks: each state transition is
+//! journaled *before* the pool moves on (write-ahead), failed jobs are
+//! retried with a fresh attempt seed up to the spec's retry budget and then
+//! dead-lettered, and the mapping store is rebuilt from the journal after
+//! every invocation — so the store is a pure function of the journal and an
+//! interrupted campaign resumed later converges on exactly the artifacts of
+//! an uninterrupted one.
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 use dram_model::MachineSetting;
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
@@ -23,6 +21,7 @@ use dramdig::{CheckpointStore, DomainKnowledge, DramDigConfig, DramDigError, Rec
 use mem_probe::SimProbe;
 
 use crate::journal::{read_journal, Journal, JournalError, JournalRecord, JournalState};
+use crate::pool::{self, PoolHooks, Verdict};
 use crate::spec::{Ablation, CampaignSpec, JobSpec};
 use crate::store::{MappingStore, Provenance};
 
@@ -329,17 +328,76 @@ pub fn run_job_sim_checkpointed_with(
     }
 }
 
-/// One queued unit of work: the job, the attempt it runs at, and the phase
-/// checkpoint directory handed to the runner (if any).
-type QueuedJob = (JobSpec, u32, Option<PathBuf>);
+/// One queued unit of work: the job plus the phase checkpoint directory
+/// handed to the runner (if any). The attempt number travels separately
+/// through the generic pool.
+type QueuedJob = (JobSpec, Option<PathBuf>);
 
-struct SharedState<'a> {
-    queue: VecDeque<QueuedJob>,
+/// The campaign-specific behaviour injected into the generic worker pool:
+/// write-ahead journaling of every transition, and checkpoint-directory
+/// cleanup once a job's outcome is durable.
+struct JournalHooks<'a> {
     journal: &'a mut Journal,
-    completions: usize,
-    completed: Vec<JobOutcome>,
-    dead: Vec<(JobSpec, String)>,
-    failure: Option<JournalError>,
+}
+
+impl PoolHooks<QueuedJob, RecoveryReport> for JournalHooks<'_> {
+    type Error = JournalError;
+
+    fn on_dequeued(
+        &mut self,
+        (job, checkpoint): &QueuedJob,
+        attempt: u32,
+    ) -> Result<(), JournalError> {
+        self.journal.append(&JournalRecord::Started {
+            job: job.id(),
+            attempt,
+        })?;
+        // Write-ahead: record where the job's phase artifacts will live
+        // before the runner sees the path, so a kill at any point leaves a
+        // resumable trail.
+        if let Some(dir) = checkpoint {
+            self.journal.append(&JournalRecord::Checkpoint {
+                job: job.id(),
+                path: dir.to_string_lossy().into_owned(),
+            })?;
+        }
+        Ok(())
+    }
+
+    fn on_settled(
+        &mut self,
+        (job, checkpoint): &QueuedJob,
+        attempt: u32,
+        result: &Result<RecoveryReport, String>,
+        verdict: Verdict,
+    ) -> Result<(), JournalError> {
+        let record = match (result, verdict) {
+            (Ok(report), _) => JournalRecord::Completed {
+                job: job.id(),
+                attempt,
+                report: report.clone(),
+            },
+            (Err(reason), Verdict::Dead) => JournalRecord::Dead {
+                job: job.id(),
+                attempts: attempt,
+                reason: reason.clone(),
+            },
+            (Err(reason), _) => JournalRecord::Failed {
+                job: job.id(),
+                attempt,
+                reason: reason.clone(),
+            },
+        };
+        self.journal.append(&record)?;
+        // The journal now owns the durable outcome; the phase artifacts of a
+        // completed or dead job have served their purpose.
+        if matches!(verdict, Verdict::Completed | Verdict::Dead) {
+            if let Some(dir) = checkpoint {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Runs (or resumes) a campaign: drains every pending job of `spec` through
@@ -372,7 +430,7 @@ where
         error,
     })?;
     let prior = JournalState::replay(&read_journal(&paths.journal())?);
-    let queue: VecDeque<QueuedJob> = prior
+    let queue: Vec<(QueuedJob, u32)> = prior
         .pending(spec)
         .into_iter()
         .map(|job| {
@@ -384,32 +442,39 @@ where
                 // working even when this resume forgot the option.
                 prior.checkpoints.get(&job.id()).map(PathBuf::from)
             };
-            (job, attempt, checkpoint)
+            ((job, checkpoint), attempt)
         })
         .collect();
 
     let mut journal = Journal::open_append(&paths.journal())?;
-    let shared = Mutex::new(SharedState {
-        queue,
+    let mut hooks = JournalHooks {
         journal: &mut journal,
-        completions: 0,
-        completed: Vec::new(),
-        dead: Vec::new(),
-        failure: None,
-    });
-
-    std::thread::scope(|scope| {
-        for _ in 0..options.workers.max(1) {
-            scope.spawn(|| worker_loop(&shared, spec, options, &run_job));
-        }
-    });
-
-    let state = shared
-        .into_inner()
-        .expect("no worker panicked with the lock");
-    if let Some(error) = state.failure {
-        return Err(error.into());
-    }
+    };
+    let pool_config = pool::PoolConfig {
+        workers: options.workers,
+        max_retries: spec.max_retries,
+        max_completions: options.max_completions,
+    };
+    let drained = pool::drain_pool(
+        queue,
+        &pool_config,
+        &mut hooks,
+        |(job, checkpoint), attempt| run_job(job, attempt, checkpoint.as_deref()),
+    )?;
+    let completed: Vec<JobOutcome> = drained
+        .completed
+        .into_iter()
+        .map(|((job, _), attempt, report)| JobOutcome {
+            job,
+            attempt,
+            report,
+        })
+        .collect();
+    let dead: Vec<(JobSpec, String)> = drained
+        .dead
+        .into_iter()
+        .map(|((job, _), reason)| (job, reason))
+        .collect();
 
     // The store is a pure function of the journal: rebuild and persist it.
     // Write-then-rename so a kill mid-write can never leave a truncated
@@ -429,110 +494,12 @@ where
         .fold(PhaseCosts::default(), |acc, r| acc.merge(r.total));
 
     Ok(CampaignOutcome {
-        completed: state.completed,
-        dead: state.dead,
+        completed,
+        dead,
         state: journal_state,
         store,
         totals,
     })
-}
-
-fn worker_loop<R>(
-    shared: &Mutex<SharedState<'_>>,
-    spec: &CampaignSpec,
-    options: &CampaignOptions,
-    run_job: &R,
-) where
-    R: Fn(&JobSpec, u32, Option<&Path>) -> Result<RecoveryReport, String> + Sync,
-{
-    loop {
-        let (job, attempt, checkpoint) = {
-            let mut guard = shared.lock().expect("campaign lock");
-            if guard.failure.is_some() {
-                return;
-            }
-            if let Some(limit) = options.max_completions {
-                if guard.completions >= limit {
-                    return;
-                }
-            }
-            let Some((job, attempt, checkpoint)) = guard.queue.pop_front() else {
-                return;
-            };
-            let started = JournalRecord::Started {
-                job: job.id(),
-                attempt,
-            };
-            if let Err(e) = guard.journal.append(&started) {
-                guard.failure = Some(e);
-                return;
-            }
-            // Write-ahead: record where the job's phase artifacts will live
-            // before handing the path to the runner, so a kill at any point
-            // leaves a resumable trail.
-            if let Some(dir) = &checkpoint {
-                let record = JournalRecord::Checkpoint {
-                    job: job.id(),
-                    path: dir.to_string_lossy().into_owned(),
-                };
-                if let Err(e) = guard.journal.append(&record) {
-                    guard.failure = Some(e);
-                    return;
-                }
-            }
-            (job, attempt, checkpoint)
-        };
-
-        let result = run_job(&job, attempt, checkpoint.as_deref());
-
-        let mut guard = shared.lock().expect("campaign lock");
-        let record = match &result {
-            Ok(report) => JournalRecord::Completed {
-                job: job.id(),
-                attempt,
-                report: report.clone(),
-            },
-            Err(reason) if attempt > spec.max_retries => JournalRecord::Dead {
-                job: job.id(),
-                attempts: attempt,
-                reason: reason.clone(),
-            },
-            Err(reason) => JournalRecord::Failed {
-                job: job.id(),
-                attempt,
-                reason: reason.clone(),
-            },
-        };
-        if let Err(e) = guard.journal.append(&record) {
-            guard.failure = Some(e);
-            return;
-        }
-        match result {
-            Ok(report) => {
-                // The journal now owns the durable outcome; the phase
-                // artifacts have served their purpose.
-                if let Some(dir) = &checkpoint {
-                    let _ = std::fs::remove_dir_all(dir);
-                }
-                guard.completions += 1;
-                guard.completed.push(JobOutcome {
-                    job,
-                    attempt,
-                    report,
-                });
-            }
-            Err(reason) => {
-                if attempt > spec.max_retries {
-                    if let Some(dir) = &checkpoint {
-                        let _ = std::fs::remove_dir_all(dir);
-                    }
-                    guard.dead.push((job, reason));
-                } else {
-                    guard.queue.push_back((job, attempt + 1, checkpoint));
-                }
-            }
-        }
-    }
 }
 
 /// Rebuilds the mapping store from a journal state. Job ids found in the

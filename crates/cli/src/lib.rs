@@ -10,6 +10,7 @@
 //! dramdig hammer   --machine 1 [--tool dramdig|drama|truth] [--tests 5]
 //! dramdig decode   --machine 6 --addr 0x3fe4c40
 //! dramdig validate --funcs "(13, 16), (14, 17), (15, 18)" --rows 16~31 --cols 0~12
+//! dramdig eval     --grid ci [--seed 1] [--workers 4] [--out SCOREBOARD.txt]
 //! dramdig campaign run    --dir t2 --machines 1-9 [--seeds 1] [--profiles optimized]
 //! dramdig campaign resume --dir t2 [--workers 4]
 //! dramdig campaign status --dir t2
@@ -39,6 +40,7 @@ use dram_model::{parse, MachineSetting, PhysAddr};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::engine::{Budget, EngineEvent, EngineOptions, Observer, PipelineEngine};
 use dramdig::{CheckpointStore, DomainKnowledge, DramDig, DramDigConfig, DramDigError};
+use dramdig_bench::eval::{run_grid, EvalGrid, GridKind};
 use mem_probe::SimProbe;
 use rowhammer::{run_double_sided, AttackerView, HammerConfig};
 
@@ -117,6 +119,17 @@ pub enum Command {
         rows: String,
         /// Column bits in range notation.
         cols: String,
+    },
+    /// `dramdig eval --grid G [--seed S] [--workers N] [--out PATH]`
+    Eval {
+        /// Scenario grid preset (quick, ci or full).
+        grid: GridKind,
+        /// Grid seed every scenario derives from.
+        seed: u64,
+        /// Worker threads draining the scenario × tool cells.
+        workers: usize,
+        /// Optional path the scoreboard artifact is written to.
+        out: Option<String>,
     },
     /// `dramdig campaign <run|resume|status|query> ...`
     Campaign(CampaignAction),
@@ -203,6 +216,8 @@ pub fn usage() -> String {
         "  dramdig hammer   --machine <1-9> [--tool dramdig|drama|truth] [--tests <n>]\n",
         "  dramdig decode   --machine <1-9> --addr <hex or decimal physical address>\n",
         "  dramdig validate --funcs \"(13, 16), ...\" --rows 16~31 --cols 0~12\n",
+        "  dramdig eval     --grid quick|ci|full [--seed <u64>] [--workers <n>]\n",
+        "                   [--out <path>]\n",
         "  dramdig campaign run    --dir <dir> --machines <1-9|4,7> [--seeds <s,..>]\n",
         "                          [--profiles naive|default|fast|optimized[,..]]\n",
         "                          [--ablations none|spec|sysinfo|empirical[,..]]\n",
@@ -266,6 +281,17 @@ fn parse_machine_list(text: &str) -> Result<Vec<u8>, CliError> {
 /// dimension flag (`--profile` for `--profiles`) must fail up front, not
 /// silently sweep the default dimension and persist the wrong spec.
 fn reject_unknown_flags(rest: &[String], allowed: &[&str], command: &str) -> Result<(), CliError> {
+    reject_unknown_flags_with_bare(rest, allowed, &[], command)
+}
+
+/// [`reject_unknown_flags`] with an extra set of `bare` flags that take no
+/// value (e.g. `--resume`).
+fn reject_unknown_flags_with_bare(
+    rest: &[String],
+    allowed: &[&str],
+    bare: &[&str],
+    command: &str,
+) -> Result<(), CliError> {
     let mut i = 0;
     while i < rest.len() {
         let token = rest[i].as_str();
@@ -274,10 +300,16 @@ fn reject_unknown_flags(rest: &[String], allowed: &[&str], command: &str) -> Res
                 "unexpected argument `{token}` for `dramdig {command}`"
             )));
         }
+        if bare.contains(&token) {
+            i += 1;
+            continue;
+        }
         if !allowed.contains(&token) {
+            let mut expected: Vec<&str> = allowed.iter().chain(bare).copied().collect();
+            expected.sort_unstable();
             return Err(CliError::Usage(format!(
                 "unknown flag `{token}` for `dramdig {command}` (expected {})",
-                allowed.join(", ")
+                expected.join(", ")
             )));
         }
         if i + 1 >= rest.len() {
@@ -412,6 +444,21 @@ impl Command {
             "list-machines" => Ok(Command::ListMachines),
             "help" | "--help" | "-h" => Ok(Command::Help),
             "uncover" => {
+                // A misspelled stateful flag (`--chekpoint`, `--budjet`)
+                // must fail loudly: silently running without checkpoints
+                // would lose all work on the next kill.
+                reject_unknown_flags_with_bare(
+                    rest,
+                    &[
+                        "--machine",
+                        "--seed",
+                        "--ablate",
+                        "--checkpoint",
+                        "--budget",
+                    ],
+                    &["--resume"],
+                    "uncover",
+                )?;
                 let machine = parse_u64(required(rest, "--machine", "uncover")?)? as u8;
                 let seed = match flag_value(rest, "--seed") {
                     Some(s) => parse_u64(s)?,
@@ -480,6 +527,35 @@ impl Command {
                 rows: required(rest, "--rows", "validate")?.to_string(),
                 cols: required(rest, "--cols", "validate")?.to_string(),
             }),
+            "eval" => {
+                reject_unknown_flags(rest, &["--grid", "--seed", "--workers", "--out"], "eval")?;
+                let grid_name = required(rest, "--grid", "eval")?;
+                let grid = GridKind::from_name(grid_name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown --grid `{grid_name}` (expected quick, ci or full)"
+                    ))
+                })?;
+                let seed = match flag_value(rest, "--seed") {
+                    Some(s) => parse_u64(s)?,
+                    None => 1,
+                };
+                let workers = match flag_value(rest, "--workers") {
+                    Some(w) => {
+                        let workers = parse_u64(w)? as usize;
+                        if workers == 0 {
+                            return Err(CliError::Usage("--workers must be at least 1".into()));
+                        }
+                        workers
+                    }
+                    None => 4,
+                };
+                Ok(Command::Eval {
+                    grid,
+                    seed,
+                    workers,
+                    out: flag_value(rest, "--out").map(str::to_string),
+                })
+            }
             "campaign" => parse_campaign(rest).map(Command::Campaign),
             other => Err(CliError::Usage(format!("unknown sub-command `{other}`"))),
         }
@@ -809,6 +885,38 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 setting.label(),
                 addr
             ))
+        }
+        Command::Eval {
+            grid,
+            seed,
+            workers,
+            out,
+        } => {
+            let started = std::time::Instant::now();
+            let expanded = EvalGrid::new(*grid, *seed);
+            let outcome = run_grid(&expanded, *workers);
+            let scoreboard = outcome.render_scoreboard();
+            // The artifact is written even when the gate fails below — a
+            // failing CI run must still upload the evidence.
+            if let Some(path) = out {
+                std::fs::write(path, &scoreboard).map_err(|e| {
+                    CliError::Tool(format!("cannot write scoreboard to {path}: {e}"))
+                })?;
+            }
+            eprintln!(
+                "[dramdig] eval grid `{grid}` ({} scenarios x {} tools) finished in {:.1} s wall",
+                expanded.scenarios.len(),
+                dramdig_bench::eval::ToolId::ALL.len(),
+                started.elapsed().as_secs_f64(),
+            );
+            let gate = outcome.gate();
+            if !gate.passed() {
+                return Err(CliError::Tool(format!(
+                    "scenario-matrix gate FAILED:\n  {}",
+                    gate.failures.join("\n  ")
+                )));
+            }
+            Ok(scoreboard)
         }
         Command::Campaign(action) => execute_campaign(action),
         Command::Validate { funcs, rows, cols } => match parse::parse_mapping(funcs, rows, cols) {
@@ -1178,6 +1286,7 @@ mod tests {
             "hammer",
             "decode",
             "validate",
+            "eval",
             "list-machines",
             "campaign run",
             "campaign resume",
@@ -1186,6 +1295,68 @@ mod tests {
         ] {
             assert!(text.contains(cmd), "usage must mention `{cmd}`");
         }
+    }
+
+    #[test]
+    fn eval_parses_and_rejects_bad_flags() {
+        assert_eq!(
+            Command::parse(&args(&["eval", "--grid", "ci"])).unwrap(),
+            Command::Eval {
+                grid: GridKind::Ci,
+                seed: 1,
+                workers: 4,
+                out: None,
+            }
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "eval",
+                "--grid",
+                "quick",
+                "--seed",
+                "9",
+                "--workers",
+                "2",
+                "--out",
+                "sb.txt"
+            ]))
+            .unwrap(),
+            Command::Eval {
+                grid: GridKind::Quick,
+                seed: 9,
+                workers: 2,
+                out: Some("sb.txt".into()),
+            }
+        );
+        assert!(Command::parse(&args(&["eval"])).is_err());
+        assert!(Command::parse(&args(&["eval", "--grid", "huge"])).is_err());
+        assert!(Command::parse(&args(&["eval", "--grid", "ci", "--workers", "0"])).is_err());
+        assert!(Command::parse(&args(&["eval", "--grid", "ci", "--grids", "x"])).is_err());
+    }
+
+    #[test]
+    fn eval_quick_grid_writes_a_deterministic_scoreboard() {
+        let out_a = std::env::temp_dir().join(format!("dramdig-eval-a-{}", std::process::id()));
+        let out_b = std::env::temp_dir().join(format!("dramdig-eval-b-{}", std::process::id()));
+        let run = |path: &std::path::Path, workers: usize| {
+            execute(&Command::Eval {
+                grid: GridKind::Quick,
+                seed: 1,
+                workers,
+                out: Some(path.to_str().unwrap().to_string()),
+            })
+            .unwrap()
+        };
+        let stdout_a = run(&out_a, 4);
+        let stdout_b = run(&out_b, 1);
+        let file_a = std::fs::read_to_string(&out_a).unwrap();
+        let file_b = std::fs::read_to_string(&out_b).unwrap();
+        assert_eq!(file_a, file_b, "scoreboard must be byte-identical");
+        assert_eq!(stdout_a, file_a);
+        assert_eq!(stdout_b, file_b);
+        assert!(file_a.contains("gate = PASS"), "{file_a}");
+        std::fs::remove_file(&out_a).unwrap();
+        std::fs::remove_file(&out_b).unwrap();
     }
 
     /// Table-driven coverage of the whole parse surface: each row is a
@@ -1469,6 +1640,22 @@ mod tests {
             // --resume without --checkpoint has nothing to resume from.
             (&["uncover", "--machine", "4", "--resume"], None),
             (&["uncover", "--machine", "4", "--budget", "lots"], None),
+            // Misspelled stateful flags must fail loudly, not silently run
+            // an uncheckpointed pipeline.
+            (&["uncover", "--machine", "4", "--chekpoint", "d"], None),
+            (
+                &[
+                    "uncover",
+                    "--machine",
+                    "4",
+                    "--checkpoint",
+                    "d",
+                    "--budjet",
+                    "600",
+                ],
+                None,
+            ),
+            (&["uncover", "--machine", "4", "stray"], None),
             (
                 &["compare", "--machine", "2"],
                 Some(Command::Compare { machine: 2 }),

@@ -47,6 +47,15 @@ impl DomainKnowledge {
         }
     }
 
+    /// Derives the knowledge an operator would gather on a generated machine
+    /// model: the system information comes straight from the model (what
+    /// `dmidecode`/`decode-dimms` would report there), and with no Intel
+    /// microarchitecture attached the empirical widest-function rule is
+    /// assumed to hold, as on every post-Sandy-Bridge CPU.
+    pub fn for_generated(machine: &dram_model::GeneratedMachine) -> Self {
+        DomainKnowledge::new(machine.system, None)
+    }
+
     /// Disables the DDR-specification group (ablation).
     pub fn without_specifications(mut self) -> Self {
         self.use_specifications = false;
@@ -146,6 +155,23 @@ mod tests {
         let system = SystemInfo::new(4 << 30, DramGeometry::new(1, 1, 1, 8), DdrGeneration::Ddr3);
         let k = DomainKnowledge::new(system, None);
         assert!(k.widest_func_rule_applies());
+    }
+
+    #[test]
+    fn generated_machine_knowledge_matches_its_model() {
+        use dram_model::{MachineClass, MachineGen};
+        for seed in 0..20u64 {
+            let machine = MachineGen::new(seed).generate(MachineClass::InScope);
+            let k = DomainKnowledge::for_generated(&machine);
+            assert_eq!(k.total_banks().unwrap(), machine.mapping().num_banks());
+            let spec = k.spec().unwrap();
+            assert_eq!(spec.row_bits as usize, machine.mapping().row_bits().len());
+            assert_eq!(
+                spec.column_bits as usize,
+                machine.mapping().column_bits().len()
+            );
+            assert!(k.widest_func_rule_applies());
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`MachineSetting`] — the nine evaluation machines of Table II with
 //!   their ground-truth mappings, which the simulator uses and the
 //!   reverse-engineering tools are checked against.
+//! * [`MachineGen`] — a deterministic sampler of valid-by-construction
+//!   machine models beyond Table II (split windows, wide functions, row
+//!   remapping), feeding the scenario-matrix evaluation.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@ pub mod addr;
 pub mod bits;
 pub mod error;
 pub mod gf2;
+pub mod machine_gen;
 pub mod mapping;
 pub mod parse;
 pub mod settings;
@@ -43,6 +47,7 @@ pub mod xor_func;
 
 pub use addr::{DramAddress, PhysAddr};
 pub use error::ModelError;
+pub use machine_gen::{GeneratedMachine, MachineClass, MachineGen, RowRemap};
 pub use mapping::{AddressMapping, MappingBuilder};
 pub use settings::{MachineSetting, Microarch};
 pub use spec::{DdrGeneration, DdrSpec, DramGeometry, SystemInfo};

@@ -24,6 +24,15 @@ pub struct TimingParams {
     pub outlier_probability: f64,
     /// Extra latency added to an outlier measurement.
     pub outlier_extra_ns: u64,
+    /// TRR-like periodic noise: every `trr_period` row activations in a
+    /// bank, the in-DRAM sampler refreshes potential victims and the
+    /// triggering access stalls for [`TimingParams::trr_spike_ns`] extra
+    /// nanoseconds. `0` disables the sampler. Unlike the Gaussian noise this
+    /// interference is *deterministic* in the access sequence, which is what
+    /// makes it a distinct calibration hazard.
+    pub trr_period: u64,
+    /// Extra latency of an access that triggers the TRR sampler.
+    pub trr_spike_ns: u64,
 }
 
 impl Default for TimingParams {
@@ -35,6 +44,8 @@ impl Default for TimingParams {
             noise_sigma_ns: 12.0,
             outlier_probability: 0.01,
             outlier_extra_ns: 600,
+            trr_period: 0,
+            trr_spike_ns: 0,
         }
     }
 }
@@ -46,6 +57,18 @@ impl TimingParams {
             noise_sigma_ns: 0.0,
             outlier_probability: 0.0,
             outlier_extra_ns: 0,
+            ..TimingParams::default()
+        }
+    }
+
+    /// The default noise plus an active TRR-like sampler: every 17th
+    /// activation in a bank pays a large deterministic spike. 17 is coprime
+    /// to the probes' alternating access cycle, so the spikes drift across
+    /// measurement windows instead of always hitting the same slot.
+    pub fn trr_noise() -> Self {
+        TimingParams {
+            trr_period: 17,
+            trr_spike_ns: 450,
             ..TimingParams::default()
         }
     }
@@ -112,6 +135,16 @@ impl SimConfig {
         self.rng_seed = seed;
         self
     }
+
+    /// A configuration with the TRR-like periodic-noise timing profile (see
+    /// [`TimingParams::trr_noise`]) on top of the default Gaussian noise —
+    /// the hardest profile the scenario-matrix evaluation measures under.
+    pub fn trr_noise() -> Self {
+        SimConfig {
+            timing: TimingParams::trr_noise(),
+            ..SimConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +188,18 @@ mod tests {
         let b = SimConfig::default().with_seed(7);
         assert_eq!(a.timing, b.timing);
         assert_ne!(a.rng_seed, b.rng_seed);
+    }
+
+    #[test]
+    fn trr_profile_enables_the_sampler_on_top_of_default_noise() {
+        let t = TimingParams::trr_noise();
+        assert!(t.trr_period > 0);
+        assert!(t.trr_spike_ns > 0);
+        assert_eq!(t.noise_sigma_ns, TimingParams::default().noise_sigma_ns);
+        // The default and noiseless profiles keep the sampler off, so every
+        // pre-existing seeded measurement sequence is unchanged.
+        assert_eq!(TimingParams::default().trr_period, 0);
+        assert_eq!(TimingParams::noiseless().trr_period, 0);
+        assert_eq!(SimConfig::trr_noise().timing, t);
     }
 }

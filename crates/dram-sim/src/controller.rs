@@ -3,7 +3,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dram_model::{AddressMapping, DramAddress, MachineSetting, PhysAddr};
+use dram_model::{
+    AddressMapping, DramAddress, GeneratedMachine, MachineSetting, PhysAddr, RowRemap,
+};
 
 use crate::config::SimConfig;
 use crate::rowhammer::{sample_standard_normal, BitFlip, FlipModel};
@@ -29,6 +31,15 @@ pub struct MemoryController {
     rng: StdRng,
     stats: SimStats,
     next_refresh_ns: u64,
+    /// Optional in-DRAM row remapping: the row index the DRAM array (row
+    /// buffers, adjacency, rowhammer) actually uses is
+    /// `remap.apply(mapping row)`. Being a bijection per bank, it changes
+    /// *which* physical rows are neighbours but never whether two addresses
+    /// conflict — it is invisible to the timing channel by construction.
+    row_remap: Option<RowRemap>,
+    /// Per-bank activation counters driving the TRR-like periodic noise
+    /// (see [`crate::TimingParams::trr_period`]).
+    trr_counters: Vec<u64>,
 }
 
 impl MemoryController {
@@ -42,9 +53,30 @@ impl MemoryController {
             rng: StdRng::seed_from_u64(config.rng_seed),
             stats: SimStats::new(),
             next_refresh_ns: config.refresh_interval_ns,
+            row_remap: None,
+            trr_counters: vec![0; banks],
             mapping,
             config,
         }
+    }
+
+    /// Installs an in-DRAM row remapping (builder style).
+    #[must_use]
+    pub fn with_row_remap(mut self, remap: RowRemap) -> Self {
+        self.row_remap = Some(remap);
+        self
+    }
+
+    /// The installed row remapping, if any.
+    pub fn row_remap(&self) -> Option<RowRemap> {
+        self.row_remap
+    }
+
+    /// The row index the DRAM array uses for `addr` (mapping row pushed
+    /// through the remap when one is installed).
+    pub fn array_row(&self, addr: PhysAddr) -> u32 {
+        let row = self.mapping.row_of(addr);
+        self.row_remap.map_or(row, |r| r.apply(row))
     }
 
     /// The ground-truth mapping the controller decodes addresses with.
@@ -74,27 +106,38 @@ impl MemoryController {
     /// tools: caches play no role, only the DRAM row-buffer state does.
     pub fn access(&mut self, addr: PhysAddr) -> u64 {
         let dram = self.mapping.to_dram(addr);
+        let row = self.row_remap.map_or(dram.row, |r| r.apply(dram.row));
         let timing = self.config.timing;
         let slot = &mut self.open_rows[dram.bank as usize];
+        let mut activated = false;
         let base = match *slot {
-            Some(open) if open == dram.row => {
+            Some(open) if open == row => {
                 self.stats.row_hits += 1;
                 timing.row_hit_ns
             }
             Some(_) => {
                 self.stats.row_conflicts += 1;
-                self.flip_model.record_activation(dram.bank, dram.row);
+                self.flip_model.record_activation(dram.bank, row);
+                activated = true;
                 timing.row_conflict_ns
             }
             None => {
                 self.stats.row_empty += 1;
-                self.flip_model.record_activation(dram.bank, dram.row);
+                self.flip_model.record_activation(dram.bank, row);
+                activated = true;
                 timing.row_closed_ns
             }
         };
-        *slot = Some(dram.row);
+        *slot = Some(row);
 
         let mut latency = base as f64;
+        if activated && timing.trr_period > 0 {
+            let counter = &mut self.trr_counters[dram.bank as usize];
+            *counter += 1;
+            if counter.is_multiple_of(timing.trr_period) {
+                latency += timing.trr_spike_ns as f64;
+            }
+        }
         if timing.noise_sigma_ns > 0.0 {
             latency += timing.noise_sigma_ns * sample_standard_normal(&mut self.rng);
         }
@@ -153,6 +196,9 @@ impl MemoryController {
         self.rng = StdRng::seed_from_u64(self.config.rng_seed ^ salt);
         self.close_all_rows();
         self.flip_model.clear_pressure();
+        for counter in &mut self.trr_counters {
+            *counter = 0;
+        }
         self.next_refresh_ns = self
             .stats
             .elapsed_ns
@@ -194,6 +240,7 @@ impl MemoryController {
 pub struct SimMachine {
     controller: MemoryController,
     setting: Option<MachineSetting>,
+    generated: Option<GeneratedMachine>,
 }
 
 impl SimMachine {
@@ -202,6 +249,7 @@ impl SimMachine {
         SimMachine {
             controller: MemoryController::new(mapping, config),
             setting: None,
+            generated: None,
         }
     }
 
@@ -210,12 +258,34 @@ impl SimMachine {
         SimMachine {
             controller: MemoryController::new(setting.mapping().clone(), config),
             setting: Some(setting.clone()),
+            generated: None,
+        }
+    }
+
+    /// Creates a machine simulating a [`GeneratedMachine`] sampled by
+    /// [`dram_model::MachineGen`], wiring its row remap (when present) into
+    /// the controller.
+    pub fn from_generated(machine: &GeneratedMachine, config: SimConfig) -> Self {
+        let mut controller = MemoryController::new(machine.mapping().clone(), config);
+        if let Some(remap) = machine.row_remap {
+            controller = controller.with_row_remap(remap);
+        }
+        SimMachine {
+            controller,
+            setting: None,
+            generated: Some(machine.clone()),
         }
     }
 
     /// The machine setting this simulator models, if it was built from one.
     pub fn setting(&self) -> Option<&MachineSetting> {
         self.setting.as_ref()
+    }
+
+    /// The generated machine model this simulator runs, if it was built from
+    /// one.
+    pub fn generated(&self) -> Option<&GeneratedMachine> {
+        self.generated.as_ref()
     }
 
     /// The ground-truth mapping (the "answer key" for verification).
@@ -359,6 +429,71 @@ mod tests {
         assert_eq!(machine.setting().unwrap().number, 4);
         let anon = SimMachine::new(small_mapping(), SimConfig::noiseless());
         assert!(anon.setting().is_none());
+    }
+
+    #[test]
+    fn trr_sampler_spikes_periodically_and_only_on_activations() {
+        let mut config = SimConfig::noiseless();
+        config.timing.trr_period = 4;
+        config.timing.trr_spike_ns = 500;
+        let mut c = MemoryController::new(small_mapping(), config.clone());
+        let m = c.mapping().clone();
+        let a = m.to_phys(DramAddress::new(1, 3, 0)).unwrap();
+        let b = m.to_phys(DramAddress::new(1, 7, 0)).unwrap();
+        let conflict = c.config().timing.row_conflict_ns;
+        let spike = c.config().timing.trr_spike_ns;
+        // Alternating SBDR accesses: every access activates, so every 4th
+        // one pays the deterministic spike. The first access finds the bank
+        // empty (activation #1); 25 more alternations follow.
+        let mut latencies = vec![c.access(a)];
+        for _ in 0..25 {
+            latencies.push(c.access(b));
+            latencies.push(c.access(a));
+        }
+        let spiked = latencies.iter().filter(|&&l| l > conflict).count();
+        assert_eq!(spiked, latencies.len() / 4);
+        assert!(latencies.iter().all(|&l| l <= conflict + spike));
+        // Row hits do not activate and therefore never trigger the sampler.
+        let mut c = MemoryController::new(small_mapping(), config);
+        c.access(a);
+        for _ in 0..20 {
+            assert!(c.access(a) <= c.config().timing.row_hit_ns);
+        }
+    }
+
+    #[test]
+    fn row_remap_is_invisible_to_conflict_timing() {
+        let remap = dram_model::RowRemap { xor_mask: 0b1010 };
+        let mut plain = MemoryController::new(small_mapping(), SimConfig::noiseless());
+        let mut remapped =
+            MemoryController::new(small_mapping(), SimConfig::noiseless()).with_row_remap(remap);
+        let m = plain.mapping().clone();
+        let a = m.to_phys(DramAddress::new(1, 3, 0)).unwrap();
+        let b = m.to_phys(DramAddress::new(1, 7, 0)).unwrap();
+        let c_addr = m.to_phys(DramAddress::new(1, 3, 64)).unwrap();
+        for addr in [a, b, c_addr, a, a, b] {
+            assert_eq!(plain.access(addr), remapped.access(addr));
+        }
+        // The DRAM array row differs even though the timing does not.
+        assert_eq!(plain.array_row(a), 3);
+        assert_eq!(remapped.array_row(a), 3 ^ 0b1010);
+        assert_eq!(remapped.row_remap(), Some(remap));
+        assert_eq!(plain.row_remap(), None);
+    }
+
+    #[test]
+    fn from_generated_wires_mapping_and_remap() {
+        use dram_model::{MachineClass, MachineGen};
+        let gen = MachineGen::new(7).generate(MachineClass::RowRemap);
+        let machine = SimMachine::from_generated(&gen, SimConfig::noiseless());
+        assert!(machine.ground_truth().equivalent_to(gen.mapping()));
+        assert_eq!(machine.controller().row_remap(), gen.row_remap);
+        assert_eq!(machine.generated().unwrap().label, gen.label);
+        assert!(machine.setting().is_none());
+
+        let in_scope = MachineGen::new(7).generate(MachineClass::InScope);
+        let machine = SimMachine::from_generated(&in_scope, SimConfig::noiseless());
+        assert_eq!(machine.controller().row_remap(), None);
     }
 
     #[test]

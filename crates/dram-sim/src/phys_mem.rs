@@ -35,10 +35,22 @@ pub enum AllocationPolicy {
     Scattered,
 }
 
+/// Internal storage: either an explicit frame list, or the whole module as a
+/// closed-form range. The range form is what makes 30–39-bit generated
+/// machines (up to 512 GiB) affordable — a dense list would materialise up
+/// to 128 M frame numbers per probe clone.
+#[derive(Debug, Clone)]
+enum Frames {
+    /// Explicit, sorted, deduplicated page frame numbers.
+    Dense(Vec<u64>),
+    /// Every frame `0..total_frames` is allocated; nothing is materialised.
+    Full,
+}
+
 /// The set of physical pages available to the reverse-engineering tool.
 #[derive(Debug, Clone)]
 pub struct PhysMemory {
-    frames: Vec<u64>,
+    frames: Frames,
     total_frames: u64,
     policy_desc: &'static str,
 }
@@ -88,16 +100,19 @@ impl PhysMemory {
             }
         };
         PhysMemory {
-            frames,
+            frames: Frames::Dense(frames),
             total_frames,
             policy_desc,
         }
     }
 
     /// A pool containing every page of the module (hugepage-style access).
+    ///
+    /// Stored in closed form: no frame list is materialised, so full pools
+    /// over arbitrarily large modules cost O(1) memory and clone for free.
     pub fn full(capacity_bytes: u64) -> Self {
         PhysMemory {
-            frames: (0..capacity_bytes / PAGE_SIZE).collect(),
+            frames: Frames::Full,
             total_frames: capacity_bytes / PAGE_SIZE,
             policy_desc: "full",
         }
@@ -109,25 +124,34 @@ impl PhysMemory {
         frames.sort_unstable();
         frames.dedup();
         PhysMemory {
-            frames,
+            frames: Frames::Dense(frames),
             total_frames,
             policy_desc: "custom",
         }
     }
 
-    /// Allocated page frame numbers, ascending.
-    pub fn frames(&self) -> &[u64] {
-        &self.frames
+    /// Allocated page frame numbers, ascending. Full pools materialise the
+    /// list on demand — callers on the measurement path should prefer
+    /// [`PhysMemory::page_addresses`], [`PhysMemory::contains`] and
+    /// [`PhysMemory::random_page`], which stay lazy.
+    pub fn frames(&self) -> Vec<u64> {
+        match &self.frames {
+            Frames::Dense(frames) => frames.clone(),
+            Frames::Full => (0..self.total_frames).collect(),
+        }
     }
 
     /// Number of allocated pages.
     pub fn len(&self) -> usize {
-        self.frames.len()
+        match &self.frames {
+            Frames::Dense(frames) => frames.len(),
+            Frames::Full => self.total_frames as usize,
+        }
     }
 
     /// Returns `true` if no pages are allocated.
     pub fn is_empty(&self) -> bool {
-        self.frames.is_empty()
+        self.len() == 0
     }
 
     /// Total number of frames in the underlying module.
@@ -142,7 +166,10 @@ impl PhysMemory {
 
     /// Returns `true` if the pool contains the page holding `addr`.
     pub fn contains(&self, addr: PhysAddr) -> bool {
-        self.frames.binary_search(&addr.page_frame()).is_ok()
+        match &self.frames {
+            Frames::Dense(frames) => frames.binary_search(&addr.page_frame()).is_ok(),
+            Frames::Full => addr.page_frame() < self.total_frames,
+        }
     }
 
     /// Returns `true` if every page in `[start, end)` (byte addresses) is in
@@ -153,19 +180,35 @@ impl PhysMemory {
         }
         let first = start.page_frame();
         let last = (end.raw() - 1) / PAGE_SIZE;
-        (first..=last).all(|f| self.frames.binary_search(&f).is_ok())
+        match &self.frames {
+            Frames::Dense(frames) => (first..=last).all(|f| frames.binary_search(&f).is_ok()),
+            Frames::Full => last < self.total_frames,
+        }
     }
 
     /// Iterates over the base physical addresses of all allocated pages.
-    pub fn page_addresses(&self) -> impl Iterator<Item = PhysAddr> + '_ {
-        self.frames.iter().map(|&f| PhysAddr::new(f * PAGE_SIZE))
+    pub fn page_addresses(&self) -> Box<dyn Iterator<Item = PhysAddr> + '_> {
+        match &self.frames {
+            Frames::Dense(frames) => Box::new(frames.iter().map(|&f| PhysAddr::new(f * PAGE_SIZE))),
+            Frames::Full => Box::new((0..self.total_frames).map(|f| PhysAddr::new(f * PAGE_SIZE))),
+        }
     }
 
     /// Picks a uniformly random allocated page base address.
     pub fn random_page(&self, rng: &mut StdRng) -> Option<PhysAddr> {
-        self.frames
-            .choose(rng)
-            .map(|&f| PhysAddr::new(f * PAGE_SIZE))
+        match &self.frames {
+            Frames::Dense(frames) => frames.choose(rng).map(|&f| PhysAddr::new(f * PAGE_SIZE)),
+            Frames::Full => {
+                if self.total_frames == 0 {
+                    return None;
+                }
+                // Same single-draw sampling as `choose` on a dense full
+                // list, so seeded measurement sequences are unchanged by the
+                // lazy representation.
+                let f = rng.gen_range(0..self.total_frames);
+                Some(PhysAddr::new(f * PAGE_SIZE))
+            }
+        }
     }
 }
 
@@ -223,7 +266,31 @@ mod tests {
         let mem = PhysMemory::full(CAP);
         assert_eq!(mem.len() as u64, CAP / PAGE_SIZE);
         assert!(mem.contains(PhysAddr::new(CAP - 1)));
+        assert!(!mem.contains(PhysAddr::new(CAP)));
         assert!(mem.covers_range(PhysAddr::new(0), PhysAddr::new(CAP)));
+        assert!(!mem.covers_range(PhysAddr::new(0), PhysAddr::new(CAP + PAGE_SIZE)));
+    }
+
+    #[test]
+    fn full_pool_is_lazy_but_behaves_like_a_dense_one() {
+        // A 512 GiB module must not materialise 128 M frame numbers.
+        let huge = PhysMemory::full(512 << 30);
+        assert_eq!(huge.total_frames(), (512u64 << 30) / PAGE_SIZE);
+        assert!(huge.contains(PhysAddr::new((512u64 << 30) - 1)));
+
+        // On a small module the lazy pool and an equivalent dense pool make
+        // identical random draws from identical seeds.
+        let lazy = PhysMemory::full(CAP);
+        let dense = PhysMemory::from_frames((0..CAP / PAGE_SIZE).collect(), CAP / PAGE_SIZE);
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            assert_eq!(lazy.random_page(&mut rng_a), dense.random_page(&mut rng_b));
+        }
+        assert_eq!(
+            lazy.page_addresses().take(5).collect::<Vec<_>>(),
+            dense.page_addresses().take(5).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -258,6 +325,7 @@ mod tests {
         let empty = PhysMemory::from_frames(vec![], 16);
         assert!(empty.random_page(&mut rng).is_none());
         assert!(empty.is_empty());
+        assert!(PhysMemory::full(0).random_page(&mut rng).is_none());
     }
 
     #[test]

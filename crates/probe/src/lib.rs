@@ -52,7 +52,7 @@ pub use calibrate::LatencyCalibration;
 pub use error::ProbeError;
 pub use oracle::ConflictOracle;
 pub use probe::{MemoryProbe, ProbeStats};
-pub use sim_probe::SimProbe;
+pub use sim_probe::{rounds_for, SimProbe, DEFAULT_ROUNDS, NOISY_ROUNDS};
 
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 pub use hw::HwProbe;

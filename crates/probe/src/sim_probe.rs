@@ -1,12 +1,29 @@
 //! Probe backed by the [`dram_sim`] substrate.
 
 use dram_model::PhysAddr;
-use dram_sim::{PhysMemory, SimMachine};
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
 
 use crate::probe::{MemoryProbe, ProbeStats};
 
 /// Default number of alternating access rounds per measurement.
 pub const DEFAULT_ROUNDS: u32 = 12;
+
+/// Rounds used under heavy-noise profiles (see [`rounds_for`]).
+pub const NOISY_ROUNDS: u32 = 16;
+
+/// The measurement-rounds budget matched to a machine's noise profile: the
+/// median-of-rounds filter needs a deeper sample when the simulator injects
+/// a TRR-like periodic spike or an elevated outlier rate, and wasting rounds
+/// on quiet machines would slow every tool down for nothing. The scenario
+/// evaluation derives each probe's rounds from the scenario's [`SimConfig`]
+/// through this one function so all tools see the same channel quality.
+pub fn rounds_for(config: &SimConfig) -> u32 {
+    if config.timing.trr_period > 0 || config.timing.outlier_probability > 0.02 {
+        NOISY_ROUNDS
+    } else {
+        DEFAULT_ROUNDS
+    }
+}
 
 /// A [`MemoryProbe`] that measures latencies on a [`SimMachine`].
 ///
@@ -181,5 +198,34 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
         let _ = probe(true).with_rounds(0);
+    }
+
+    #[test]
+    fn rounds_match_the_noise_profile() {
+        assert_eq!(rounds_for(&SimConfig::noiseless()), DEFAULT_ROUNDS);
+        assert_eq!(rounds_for(&SimConfig::default()), DEFAULT_ROUNDS);
+        assert_eq!(rounds_for(&SimConfig::trr_noise()), NOISY_ROUNDS);
+        let mut outliers = SimConfig::default();
+        outliers.timing.outlier_probability = 0.05;
+        assert_eq!(rounds_for(&outliers), NOISY_ROUNDS);
+    }
+
+    #[test]
+    fn median_suppresses_trr_spikes_at_the_noisy_rounds_budget() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let config = SimConfig::trr_noise();
+        let rounds = rounds_for(&config);
+        let machine = SimMachine::from_setting(&setting, config);
+        let mut p = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes))
+            .with_rounds(rounds);
+        let truth = p.machine().ground_truth().clone();
+        let timing = p.machine().controller().config().timing;
+        let a = truth.to_phys(DramAddress::new(1, 5, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(1, 700, 0)).unwrap();
+        let c = truth.to_phys(DramAddress::new(4, 9, 0)).unwrap();
+        for _ in 0..30 {
+            assert!(p.measure_pair(a, b) > timing.oracle_threshold_ns());
+            assert!(p.measure_pair(a, c) < timing.oracle_threshold_ns());
+        }
     }
 }

@@ -1,0 +1,77 @@
+//! Property tests over the machine generator: every sampled in-scope
+//! machine must have a full-rank function set, round-trip through the
+//! `dram-model` text codec, and be solved exactly by the DRAMDig pipeline
+//! under the noiseless profile. Out-of-scope classes must keep their
+//! defining property (undiscoverable span, timing-invisible remap).
+
+use dramdig_repro::dram_model::{gf2, GeneratedMachine, MachineClass, MachineGen};
+use dramdig_repro::dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig_repro::dramdig::{DomainKnowledge, DramDig, DramDigConfig};
+use dramdig_repro::mem_probe::SimProbe;
+
+use proptest::prelude::*;
+
+fn solve_noiseless(machine: &GeneratedMachine, seed: u64) -> Result<bool, String> {
+    let sim = SimMachine::from_generated(machine, SimConfig::noiseless().with_seed(seed));
+    let mut probe = SimProbe::new(sim, PhysMemory::full(machine.system.capacity_bytes));
+    let knowledge = DomainKnowledge::for_generated(machine);
+    let config = DramDigConfig::optimized().with_seed(seed ^ 0xD16);
+    match DramDig::new(knowledge, config).run(&mut probe) {
+        Ok(report) => Ok(report.mapping.equivalent_to(machine.mapping())),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn in_scope_machines_are_solved_noiselessly(seed in 0u64..1_000_000) {
+        let machine = MachineGen::new(seed).generate(MachineClass::InScope);
+        prop_assert!(
+            gf2::functions_independent(machine.mapping().bank_funcs()),
+            "function set of {machine} lost full rank"
+        );
+        let decoded = GeneratedMachine::decode(&machine.encode())
+            .map_err(|e| TestCaseError::fail(format!("codec round-trip of {machine}: {e}")))?;
+        prop_assert_eq!(&decoded, &machine);
+        match solve_noiseless(&machine, seed) {
+            Ok(true) => {}
+            Ok(false) => return Err(TestCaseError::fail(format!(
+                "pipeline recovered a wrong mapping on {machine}"
+            ))),
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "pipeline failed on {machine}: {e}"
+            ))),
+        }
+    }
+
+    #[test]
+    fn wide_function_machines_fail_loudly_not_wrongly(seed in 0u64..1_000_000) {
+        let machine = MachineGen::new(seed).generate(MachineClass::WideFunction);
+        match solve_noiseless(&machine, seed) {
+            // Detected: the pipeline refused to invent a mapping.
+            Err(_) => {}
+            Ok(true) => return Err(TestCaseError::fail(format!(
+                "pipeline cannot recover an 8+-bit function, yet claimed success on {machine}"
+            ))),
+            Ok(false) => return Err(TestCaseError::fail(format!(
+                "pipeline silently returned a wrong mapping on {machine}"
+            ))),
+        }
+    }
+
+    #[test]
+    fn row_remapped_machines_yield_the_linear_skeleton(seed in 0u64..1_000_000) {
+        let machine = MachineGen::new(seed).generate(MachineClass::RowRemap);
+        match solve_noiseless(&machine, seed) {
+            Ok(true) => {}
+            Ok(false) => return Err(TestCaseError::fail(format!(
+                "recovered mapping does not match the skeleton of {machine}"
+            ))),
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "pipeline failed on remapped {machine}: {e}"
+            ))),
+        }
+    }
+}

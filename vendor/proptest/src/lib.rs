@@ -236,8 +236,8 @@ pub mod collection {
 
     use crate::strategy::Strategy;
 
-    /// A half-open range of container sizes, as accepted by [`vec`] and
-    /// [`btree_set`]. Built via `From` so bare `1..10` literals infer
+    /// A half-open range of container sizes, as accepted by [`vec()`] and
+    /// [`btree_set()`]. Built via `From` so bare `1..10` literals infer
     /// `usize`, exactly like the real proptest's `SizeRange`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
