@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dram_model::MachineSetting;
+use dram_model::{MachineClass, MachineSetting, RowRemap};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::driver::RunReport;
 use dramdig::engine::{EngineOptions, NullObserver, PipelineEngine};
@@ -28,10 +28,11 @@ use dramdig::functions::{
 };
 use dramdig::partition::{partition_decompose, partition_into_piles};
 use dramdig::select::select_addresses;
-use dramdig::{DomainKnowledge, DramDigConfig, DramDigError, Phase, RecoveryReport};
-use dramdig_bench::eval::{run_grid, EvalGrid, GridKind, ToolId};
+use dramdig::{DomainKnowledge, DramDig, DramDigConfig, DramDigError, Phase, RecoveryReport};
+use dramdig_bench::eval::{flip_sim_seed, run_grid, EvalGrid, GridKind, ToolId};
 use dramdig_bench::run_dramdig;
-use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, SimProbe};
+use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, ObservableKind, SimProbe};
+use rowhammer::FlipAdjacencyObservable;
 
 /// Simulator seed shared by every run so the two profiles face the same
 /// machine (noise stream included).
@@ -401,6 +402,129 @@ fn main() {
         );
     }
 
+    // --- Per-observable costs on a row-remapped machine --------------------
+    // The first row-remap scenario of the same quick grid, run three ways:
+    // the seed-faithful driver, the engine behind the observable seam with
+    // no extra channels, and the engine with the flip-adjacency channel
+    // enabled. Differential gates: the seam run must be byte-identical to
+    // the seed path (timing-only budgets unchanged from the seed), and the
+    // combined run must leave the timing stream untouched while recovering
+    // the generator's row-remap mask with hammer pairs only.
+    let remap_scenario = eval_grid
+        .of_class(MachineClass::RowRemap)
+        .next()
+        .expect("quick grid has a row-remap scenario");
+    let remap_config = DramDigConfig {
+        rng_seed: remap_scenario.tool_seed,
+        ..DramDigConfig::optimized()
+    };
+    let remap_knowledge = DomainKnowledge::for_generated(&remap_scenario.machine);
+
+    let mut probe = remap_scenario.probe();
+    let seed_path = DramDig::new(remap_knowledge.clone(), remap_config.clone())
+        .run(&mut probe)
+        .unwrap_or_else(|e| {
+            eprintln!("seed path failed on row-remap scenario: {e}");
+            std::process::exit(1);
+        });
+    let seed_path_stats = probe.stats();
+
+    let mut probe = remap_scenario.probe();
+    let seam_run = PipelineEngine::new(remap_knowledge.clone(), remap_config.clone())
+        .run_with_observables(
+            &mut probe,
+            &EngineOptions::default(),
+            &mut NullObserver,
+            &mut [],
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("observable seam (no channels) failed on row-remap scenario: {e}");
+            std::process::exit(1);
+        });
+    let seam_identical = RecoveryReport::from(&seam_run).encode()
+        == RecoveryReport::from(&seed_path).encode()
+        && probe.stats() == seed_path_stats;
+    if !seam_identical {
+        eprintln!(
+            "differential check failed: the observable seam perturbed the timing-only run \
+             (budgets must be unchanged from the seed path)"
+        );
+        std::process::exit(1);
+    }
+
+    let mut probe = remap_scenario.probe();
+    let mut flip = FlipAdjacencyObservable::for_generated(
+        &remap_scenario.machine,
+        flip_sim_seed(remap_scenario),
+    );
+    let combined_knowledge = remap_knowledge.with_observables(vec![
+        ObservableKind::ConflictTiming,
+        ObservableKind::FlipAdjacency,
+    ]);
+    let combined = PipelineEngine::new(combined_knowledge, remap_config)
+        .run_with_observables(
+            &mut probe,
+            &EngineOptions::default(),
+            &mut NullObserver,
+            &mut [&mut flip],
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("combined-observable run failed on row-remap scenario: {e}");
+            std::process::exit(1);
+        });
+    let combined_stats = probe.stats();
+    if combined_stats.measurements != seed_path_stats.measurements {
+        eprintln!(
+            "differential check failed: flip-adjacency channel changed the timing budget \
+             ({} pairs vs {} on the seed path)",
+            combined_stats.measurements, seed_path_stats.measurements
+        );
+        std::process::exit(1);
+    }
+    let remap_truth = remap_scenario
+        .machine
+        .row_remap
+        .as_ref()
+        .map(|r| RowRemap::canonical_mask(r.xor_mask, remap_scenario.machine.mapping().num_rows()))
+        .filter(|&mask| mask != 0);
+    if combined.row_remap != remap_truth {
+        eprintln!(
+            "differential check failed: combined run recovered row remap {:?}, truth is {:?}",
+            combined.row_remap, remap_truth
+        );
+        std::process::exit(1);
+    }
+    let flip_hammer_pairs: u64 = combined
+        .observable_costs
+        .iter()
+        .filter(|(kind, _)| *kind == ObservableKind::FlipAdjacency)
+        .map(|(_, cost)| cost.hammer_pairs)
+        .sum();
+    if !seed_path.observable_costs.is_empty() || flip_hammer_pairs == 0 {
+        eprintln!(
+            "differential check failed: expected hammer pairs only on the combined run \
+             (seed path consulted {} channels, combined spent {flip_hammer_pairs} hammer pairs)",
+            seed_path.observable_costs.len()
+        );
+        std::process::exit(1);
+    }
+    let mut observable_channels_json = String::new();
+    for (i, (kind, cost)) in combined.observable_costs.iter().enumerate() {
+        let comma = if i + 1 == combined.observable_costs.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            observable_channels_json,
+            "      {{\"kind\": \"{kind}\", \"hammer_pairs\": {}, \"timing_pairs\": {}, \"simulated_seconds\": {:.6}}}{comma}",
+            cost.hammer_pairs,
+            cost.timing_pairs,
+            cost.elapsed_ns as f64 / 1e9,
+        );
+    }
+    let json_mask = |mask: Option<u32>| mask.map_or("null".to_string(), |m| m.to_string());
+
     // --- Assemble the JSON -------------------------------------------------
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -496,6 +620,37 @@ fn main() {
     let _ = writeln!(out, "    \"tools\": {{");
     out.push_str(&eval_tools_json);
     let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"observables\": {{");
+    let _ = writeln!(out, "    \"scenario\": \"{}\",", remap_scenario.id());
+    let _ = writeln!(out, "    \"machine_class\": \"row-remap\",");
+    let _ = writeln!(
+        out,
+        "    \"row_remap_truth_mask\": {},",
+        json_mask(remap_truth)
+    );
+    let _ = writeln!(
+        out,
+        "    \"row_remap_recovered_mask\": {},",
+        json_mask(combined.row_remap)
+    );
+    let _ = writeln!(
+        out,
+        "    \"timing_only_identical_to_seed_path\": {seam_identical},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"timing_only_measure_pair_calls\": {},",
+        seed_path_stats.measurements
+    );
+    let _ = writeln!(
+        out,
+        "    \"combined_timing_measure_pair_calls\": {},",
+        combined_stats.measurements
+    );
+    let _ = writeln!(out, "    \"channels\": [");
+    out.push_str(&observable_channels_json);
+    let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
 
@@ -533,5 +688,16 @@ fn main() {
         eval_grid.scenarios.len(),
         dramdig_counts.recovered,
         dramdig_counts.detected + dramdig_counts.skeleton,
+    );
+    println!(
+        "observables on {}: timing-only {} pairs (identical to seed path), flip adjacency \
+         spent {flip_hammer_pairs} hammer pairs to recover row remap {}",
+        remap_scenario.id(),
+        seed_path_stats.measurements,
+        combined
+            .row_remap
+            .map_or("(pure mirror; skeleton exact)".to_string(), |m| format!(
+                "{m:#x}"
+            )),
     );
 }

@@ -20,8 +20,11 @@
 //! * every **in-scope** scenario must be recovered exactly;
 //! * every **wide-function** scenario must be *detected* — the pipeline
 //!   reports an error instead of inventing a wrong mapping;
-//! * every **row-remap** scenario must yield the linear skeleton, with the
-//!   remap reported as unobservable from timing.
+//! * every **row-remap** scenario must yield the linear skeleton with the
+//!   remap reported as unobservable from timing — unless the grid runs with
+//!   the flip-adjacency channel declared
+//!   ([`run_grid_with_observables`]), in which case the remap mask itself
+//!   must be recovered and the expectation hardens to a full recovery.
 
 use std::fmt;
 use std::fmt::Write as _;
@@ -29,10 +32,12 @@ use std::fmt::Write as _;
 use campaign::{drain_pool, NoHooks, PoolConfig};
 use dram_baselines::seaborn::SeabornConfig;
 use dram_baselines::{BaselineError, Drama, DramaConfig, Seaborn, Xiao, XiaoConfig};
-use dram_model::{GeneratedMachine, MachineClass, MachineGen, Microarch};
+use dram_model::{GeneratedMachine, MachineClass, MachineGen, Microarch, RowRemap};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::engine::{EngineOptions, NullObserver, PipelineEngine};
 use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
-use mem_probe::{rounds_for, MemoryProbe, SimProbe};
+use mem_probe::{rounds_for, MemoryProbe, ObservableKind, SimProbe};
+use rowhammer::FlipAdjacencyObservable;
 
 /// Schema identifier on the first line of every scoreboard.
 pub const SCOREBOARD_SCHEMA: &str = "dramdig-scoreboard-v1";
@@ -347,6 +352,9 @@ pub struct EvalOutcome {
     pub kind: GridKind,
     /// The grid seed.
     pub seed: u64,
+    /// The observable channels DRAMDig ran with (the gate's expectations
+    /// depend on them).
+    pub observables: Vec<ObservableKind>,
     /// One row per scenario, in index order.
     pub rows: Vec<ScenarioRow>,
 }
@@ -393,18 +401,29 @@ impl EvalOutcome {
         counts
     }
 
+    /// Whether the flip-adjacency channel was active in this evaluation.
+    pub fn flip_adjacency_active(&self) -> bool {
+        self.observables.contains(&ObservableKind::FlipAdjacency)
+    }
+
     /// The differential gate: DRAMDig must recover every in-scope scenario,
     /// detect every wide-function scenario and produce the skeleton on every
-    /// row-remap scenario. No tool may ever score `WRONG` silently — for
+    /// row-remap scenario — or, when the flip-adjacency channel ran, recover
+    /// the remap mask itself. No tool may ever score `WRONG` silently — for
     /// DRAMDig it gates, for baselines it is reported.
     pub fn gate(&self) -> GateReport {
         let mut report = GateReport::default();
+        let remap_expectation = if self.flip_adjacency_active() {
+            ScoreStatus::Recovered
+        } else {
+            ScoreStatus::Skeleton
+        };
         for row in &self.rows {
             let score = row.score(ToolId::DramDig);
             let expected = match row.scenario.machine.class {
                 MachineClass::InScope => ScoreStatus::Recovered,
                 MachineClass::WideFunction => ScoreStatus::Detected,
-                MachineClass::RowRemap => ScoreStatus::Skeleton,
+                MachineClass::RowRemap => remap_expectation,
             };
             if score.status != expected {
                 report.failures.push(format!(
@@ -429,6 +448,12 @@ impl EvalOutcome {
         let _ = writeln!(out, "scenarios = {}", self.rows.len());
         let tools: Vec<&str> = ToolId::ALL.iter().map(|t| t.as_str()).collect();
         let _ = writeln!(out, "tools = {}", tools.join(", "));
+        // Printed only for non-default channel sets: the timing-only
+        // scoreboard must stay byte-identical to pre-observable artifacts.
+        if self.observables.as_slice() != [ObservableKind::ConflictTiming] {
+            let names: Vec<&str> = self.observables.iter().map(|k| k.as_str()).collect();
+            let _ = writeln!(out, "observables = {}", names.join(", "));
+        }
         for row in &self.rows {
             let s = &row.scenario;
             let _ = writeln!(out);
@@ -535,22 +560,42 @@ pub fn eval_drama_config(tool_seed: u64) -> DramaConfig {
     }
 }
 
-fn score_dramdig(scenario: &Scenario) -> (ToolScore, Vec<(String, u64)>) {
+/// The seed of the flip-adjacency channel's own simulated module for a
+/// scenario (the channel never reuses the timing probe's machine, so the
+/// timing measurement stream is untouched by hammering).
+pub fn flip_sim_seed(scenario: &Scenario) -> u64 {
+    mix(scenario.sim_seed, 0xF11A)
+}
+
+fn score_dramdig(
+    scenario: &Scenario,
+    observables: &[ObservableKind],
+) -> (ToolScore, Vec<(String, u64)>) {
     let mut probe = scenario.probe();
     let knowledge = DomainKnowledge::for_generated(&scenario.machine);
     let config = eval_dramdig_config(scenario.tool_seed);
-    let result = DramDig::new(knowledge, config).run(&mut probe);
+    let result = if observables.contains(&ObservableKind::FlipAdjacency) {
+        let knowledge = knowledge.with_observables(observables.to_vec());
+        let mut flip =
+            FlipAdjacencyObservable::for_generated(&scenario.machine, flip_sim_seed(scenario));
+        PipelineEngine::new(knowledge, config).run_with_observables(
+            &mut probe,
+            &EngineOptions::default(),
+            &mut NullObserver,
+            &mut [&mut flip],
+        )
+    } else {
+        DramDig::new(knowledge, config).run(&mut probe)
+    };
     let stats = probe.stats();
     let truth = scenario.machine.mapping();
     let (status, detail, phases) = match (&result, scenario.machine.class) {
         (Ok(r), MachineClass::InScope) if r.mapping.equivalent_to(truth) => {
             (ScoreStatus::Recovered, String::new(), phase_list(r))
         }
-        (Ok(r), MachineClass::RowRemap) if r.mapping.equivalent_to(truth) => (
-            ScoreStatus::Skeleton,
-            "row remap unobservable from timing; linear skeleton recovered".to_string(),
-            phase_list(r),
-        ),
+        (Ok(r), MachineClass::RowRemap) if r.mapping.equivalent_to(truth) => {
+            score_row_remap(scenario, r)
+        }
         (Ok(r), MachineClass::WideFunction) if r.mapping.equivalent_to(truth) => (
             ScoreStatus::Recovered,
             "unexpectedly recovered a wide function".to_string(),
@@ -582,6 +627,70 @@ fn phase_list(report: &dramdig::RunReport) -> Vec<(String, u64)> {
         .iter()
         .map(|(phase, cost)| (phase.name().to_string(), cost.measurements))
         .collect()
+}
+
+/// Scores a row-remap scenario whose linear skeleton already matched the
+/// ground truth. Timing alone can only claim the skeleton; when the
+/// flip-adjacency channel ran, the recovered mask must equal the
+/// generator's (canonical under reflection — a mask and its mirror are
+/// physically the same machine).
+fn score_row_remap(
+    scenario: &Scenario,
+    report: &dramdig::RunReport,
+) -> (ScoreStatus, String, Vec<(String, u64)>) {
+    let phases = phase_list(report);
+    let flip_ran = report
+        .observable_costs
+        .iter()
+        .any(|(kind, _)| *kind == ObservableKind::FlipAdjacency);
+    if !flip_ran {
+        return (
+            ScoreStatus::Skeleton,
+            "row remap unobservable from timing; linear skeleton recovered".to_string(),
+            phases,
+        );
+    }
+    let truth = scenario
+        .machine
+        .row_remap
+        .as_ref()
+        .map(|r| RowRemap::canonical_mask(r.xor_mask, scenario.machine.mapping().num_rows()))
+        .filter(|&mask| mask != 0);
+    let hammer_pairs: u64 = report
+        .observable_costs
+        .iter()
+        .map(|(_, cost)| cost.hammer_pairs)
+        .sum();
+    match (report.row_remap, truth) {
+        (Some(got), Some(want)) if got == want => (
+            ScoreStatus::Recovered,
+            format!(
+                "row remap {got:#x} recovered via flip adjacency ({hammer_pairs} hammer pairs)"
+            ),
+            phases,
+        ),
+        (None, None) => (
+            ScoreStatus::Recovered,
+            "row remap is a pure mirror of the row line; skeleton already exact".to_string(),
+            phases,
+        ),
+        (Some(got), want) => (
+            ScoreStatus::Wrong,
+            format!(
+                "flip adjacency claimed row remap {got:#x}, truth is {}",
+                want.map_or("none".to_string(), |w| format!("{w:#x}")),
+            ),
+            phases,
+        ),
+        (None, Some(want)) => (
+            ScoreStatus::Skeleton,
+            format!(
+                "flip adjacency failed to recover row remap {want:#x} \
+                 ({hammer_pairs} hammer pairs spent)"
+            ),
+            phases,
+        ),
+    }
 }
 
 /// What a full ground-truth match means on this scenario: a true recovery,
@@ -702,19 +811,36 @@ fn baseline_status(error: &BaselineError) -> ScoreStatus {
 /// per-phase measurement counts.
 type Cell = (ToolScore, Vec<(String, u64)>);
 
-fn score(scenario: &Scenario, tool: ToolId) -> Cell {
+fn score(scenario: &Scenario, tool: ToolId, observables: &[ObservableKind]) -> Cell {
     match tool {
-        ToolId::DramDig => score_dramdig(scenario),
+        ToolId::DramDig => score_dramdig(scenario, observables),
         ToolId::Drama => (score_drama(scenario), Vec::new()),
         ToolId::Xiao => (score_xiao(scenario), Vec::new()),
         ToolId::Seaborn => (score_seaborn(scenario), Vec::new()),
     }
 }
 
+/// Runs the grid on the default (timing-only) channel set. Equivalent to
+/// [`run_grid_with_observables`] with `[ObservableKind::ConflictTiming]`,
+/// and byte-identical to the pre-observable scoreboard.
+pub fn run_grid(grid: &EvalGrid, workers: usize) -> EvalOutcome {
+    run_grid_with_observables(grid, workers, &[ObservableKind::ConflictTiming])
+}
+
 /// Runs the grid: every (scenario, tool) cell is one job on the campaign
 /// worker pool, and the cells are reassembled into deterministic row order
 /// afterwards, so the scoreboard is byte-identical at any worker count.
-pub fn run_grid(grid: &EvalGrid, workers: usize) -> EvalOutcome {
+///
+/// `observables` is the channel set DRAMDig runs with (the baselines are
+/// unaffected). Declaring [`ObservableKind::FlipAdjacency`] gives the
+/// pipeline a rowhammer channel over each scenario's machine — seeded from
+/// the scenario, so the scoreboard stays deterministic — and hardens the
+/// gate's row-remap expectation from skeleton to full recovery.
+pub fn run_grid_with_observables(
+    grid: &EvalGrid,
+    workers: usize,
+    observables: &[ObservableKind],
+) -> EvalOutcome {
     let jobs: Vec<((usize, ToolId), u32)> = grid
         .scenarios
         .iter()
@@ -724,7 +850,7 @@ pub fn run_grid(grid: &EvalGrid, workers: usize) -> EvalOutcome {
         jobs,
         &PoolConfig::workers(workers),
         &mut NoHooks,
-        |&(index, tool), _| Ok::<_, String>(score(&grid.scenarios[index], tool)),
+        |&(index, tool), _| Ok::<_, String>(score(&grid.scenarios[index], tool, observables)),
     ) {
         Ok(outcome) => outcome,
         Err(infallible) => match infallible {},
@@ -762,6 +888,7 @@ pub fn run_grid(grid: &EvalGrid, workers: usize) -> EvalOutcome {
     EvalOutcome {
         kind: grid.kind,
         seed: grid.seed,
+        observables: observables.to_vec(),
         rows,
     }
 }
@@ -823,6 +950,91 @@ mod tests {
             grid.of_class(MachineClass::WideFunction).count()
         );
         assert_eq!(c.skeleton, grid.of_class(MachineClass::RowRemap).count());
+    }
+
+    #[test]
+    fn every_ci_row_remap_scenario_recovers_via_flip_adjacency() {
+        // The tentpole's end-to-end claim: on the CI grid, every machine of
+        // the row-remap class — unrecoverable from timing alone — yields its
+        // exact remap mask once the flip-adjacency channel is declared,
+        // while the timing measurement stream stays untouched.
+        let grid = EvalGrid::new(GridKind::Ci, 1);
+        let both = [
+            ObservableKind::ConflictTiming,
+            ObservableKind::FlipAdjacency,
+        ];
+        let mut checked = 0;
+        for scenario in grid.of_class(MachineClass::RowRemap) {
+            let (combined, _) = score_dramdig(scenario, &both);
+            assert_eq!(
+                combined.status,
+                ScoreStatus::Recovered,
+                "{} [{}]: {}",
+                scenario.id(),
+                scenario.machine.axes_summary(),
+                combined.detail
+            );
+            let (timing, _) = score_dramdig(scenario, &[ObservableKind::ConflictTiming]);
+            assert_eq!(timing.status, ScoreStatus::Skeleton);
+            assert_eq!(
+                timing.measurements, combined.measurements,
+                "hammering must not perturb the timing channel"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 4);
+    }
+
+    #[test]
+    fn combined_observables_harden_the_gate_and_mark_the_scoreboard() {
+        let grid = EvalGrid::new(GridKind::Quick, 1);
+        let timing = run_grid(&grid, 4);
+        let both = run_grid_with_observables(
+            &grid,
+            4,
+            &[
+                ObservableKind::ConflictTiming,
+                ObservableKind::FlipAdjacency,
+            ],
+        );
+        let gate = both.gate();
+        assert!(gate.passed(), "gate failures: {:?}", gate.failures);
+        let c = both.counts(ToolId::DramDig);
+        assert_eq!(c.skeleton, 0, "no scenario may stop at the skeleton");
+        assert_eq!(
+            c.recovered,
+            grid.of_class(MachineClass::InScope).count()
+                + grid.of_class(MachineClass::RowRemap).count()
+        );
+
+        // The channel set is stamped on the combined scoreboard only; the
+        // timing-only artifact is byte-identical to the pre-observable one.
+        let board = both.render_scoreboard();
+        assert!(board.contains("observables = timing, flip-adjacency"));
+        assert!(!timing.render_scoreboard().contains("observables ="));
+        for (t, b) in timing.rows.iter().zip(&both.rows) {
+            assert_eq!(
+                t.score(ToolId::DramDig).measurements,
+                b.score(ToolId::DramDig).measurements,
+                "scenario {}: timing spend must not change",
+                t.scenario.id()
+            );
+        }
+
+        // Downgrading the recovery back to a skeleton now fails the gate.
+        let mut sabotaged = both.clone();
+        let row = sabotaged
+            .rows
+            .iter_mut()
+            .find(|r| r.scenario.machine.class == MachineClass::RowRemap)
+            .unwrap();
+        let score = row
+            .scores
+            .iter_mut()
+            .find(|s| s.tool == ToolId::DramDig)
+            .unwrap();
+        score.status = ScoreStatus::Skeleton;
+        assert!(!sabotaged.gate().passed());
     }
 
     #[test]

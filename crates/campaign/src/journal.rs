@@ -386,6 +386,7 @@ mod tests {
             pool_size: 128,
             pile_count: 8,
             threshold_ns: 290,
+            row_remap: None,
             validation_agreement: Some(0.97),
             phase_costs: vec![(
                 Phase::Partition,

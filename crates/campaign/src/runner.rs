@@ -591,6 +591,7 @@ mod tests {
             pool_size: 64,
             pile_count: 8,
             threshold_ns: 290,
+            row_remap: None,
             validation_agreement: None,
             phase_costs: Vec::new(),
             total: PhaseCosts {

@@ -17,6 +17,7 @@ fn report_for(machine: u8) -> RecoveryReport {
         pool_size: 100 + usize::from(machine),
         pile_count: 8,
         threshold_ns: 290,
+        row_remap: None,
         validation_agreement: Some(0.95),
         phase_costs: vec![(
             Phase::Partition,

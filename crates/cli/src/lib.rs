@@ -40,9 +40,11 @@ use dram_model::{parse, MachineSetting, PhysAddr};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::engine::{Budget, EngineEvent, EngineOptions, Observer, PipelineEngine};
 use dramdig::{CheckpointStore, DomainKnowledge, DramDig, DramDigConfig, DramDigError};
-use dramdig_bench::eval::{run_grid, EvalGrid, GridKind};
-use mem_probe::SimProbe;
-use rowhammer::{run_double_sided, AttackerView, HammerConfig};
+use dramdig_bench::eval::{run_grid_with_observables, EvalGrid, GridKind};
+use mem_probe::{ObservableKind, SimProbe};
+use rowhammer::{
+    run_double_sided, AttackerView, FlipAdjacencyConfig, FlipAdjacencyObservable, HammerConfig,
+};
 
 /// Which knowledge group to disable in an `uncover --ablate` run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +91,9 @@ pub enum Command {
         /// Measurement budget: stop (checkpointing, when `--checkpoint` is
         /// given) once this many pair measurements were spent.
         budget: Option<u64>,
+        /// Observable channels to run with; declaring `flip-adjacency`
+        /// additionally consults a rowhammer channel after the pipeline.
+        observables: Vec<ObservableKind>,
     },
     /// `dramdig compare --machine N`
     Compare {
@@ -130,6 +135,8 @@ pub enum Command {
         workers: usize,
         /// Optional path the scoreboard artifact is written to.
         out: Option<String>,
+        /// Observable channels DRAMDig runs with across the grid.
+        observables: Vec<ObservableKind>,
     },
     /// `dramdig campaign <run|resume|status|query> ...`
     Campaign(CampaignAction),
@@ -212,12 +219,13 @@ pub fn usage() -> String {
         "  dramdig list-machines\n",
         "  dramdig uncover  --machine <1-9> [--seed <u64>] [--ablate spec|sysinfo|empirical]\n",
         "                   [--checkpoint <dir>] [--resume] [--budget <measurements>]\n",
+        "                   [--observables timing[,flip-adjacency]]\n",
         "  dramdig compare  --machine <1-9>\n",
         "  dramdig hammer   --machine <1-9> [--tool dramdig|drama|truth] [--tests <n>]\n",
         "  dramdig decode   --machine <1-9> --addr <hex or decimal physical address>\n",
         "  dramdig validate --funcs \"(13, 16), ...\" --rows 16~31 --cols 0~12\n",
         "  dramdig eval     --grid quick|ci|full [--seed <u64>] [--workers <n>]\n",
-        "                   [--out <path>]\n",
+        "                   [--out <path>] [--observables timing[,flip-adjacency]]\n",
         "  dramdig campaign run    --dir <dir> --machines <1-9|4,7> [--seeds <s,..>]\n",
         "                          [--profiles naive|default|fast|optimized[,..]]\n",
         "                          [--ablations none|spec|sysinfo|empirical[,..]]\n",
@@ -245,6 +253,32 @@ fn parse_u64(text: &str) -> Result<u64, CliError> {
         text.parse()
     };
     parsed.map_err(|_| CliError::Usage(format!("`{text}` is not a valid number")))
+}
+
+/// Parses the `--observables` channel list (comma-separated
+/// [`ObservableKind`] names, deduplicated, order preserved). Defaults to
+/// timing-only, the channel the pipeline itself runs on.
+fn parse_observables(rest: &[String]) -> Result<Vec<ObservableKind>, CliError> {
+    let Some(list) = flag_value(rest, "--observables") else {
+        return Ok(vec![ObservableKind::ConflictTiming]);
+    };
+    let mut kinds = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let kind = ObservableKind::from_name(name).ok_or_else(|| {
+            let known: Vec<&str> = ObservableKind::ALL.iter().map(|k| k.as_str()).collect();
+            CliError::Usage(format!(
+                "unknown observable `{name}` (expected {})",
+                known.join(", ")
+            ))
+        })?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        return Err(CliError::Usage("`--observables` names no channels".into()));
+    }
+    Ok(kinds)
 }
 
 fn required<'a>(args: &'a [String], key: &str, command: &str) -> Result<&'a str, CliError> {
@@ -455,6 +489,7 @@ impl Command {
                         "--ablate",
                         "--checkpoint",
                         "--budget",
+                        "--observables",
                     ],
                     &["--resume"],
                     "uncover",
@@ -483,7 +518,23 @@ impl Command {
                             .into(),
                     ));
                 }
-                let budget = flag_value(rest, "--budget").map(parse_u64).transpose()?;
+                let budget = match flag_value(rest, "--budget") {
+                    None => None,
+                    Some(b) => {
+                        let cap = parse_u64(b)?;
+                        // Caught at parse time: a zero budget can only ever
+                        // interrupt before calibration, which reads as a
+                        // confusing mid-run failure instead of a bad flag.
+                        if cap == 0 {
+                            return Err(CliError::Usage(
+                                "--budget must be at least 1 pair measurement \
+                                 (a budget of 0 cannot run any phase)"
+                                    .into(),
+                            ));
+                        }
+                        Some(cap)
+                    }
+                };
                 Ok(Command::Uncover {
                     machine,
                     seed,
@@ -491,6 +542,7 @@ impl Command {
                     checkpoint,
                     resume,
                     budget,
+                    observables: parse_observables(rest)?,
                 })
             }
             "compare" => Ok(Command::Compare {
@@ -528,7 +580,11 @@ impl Command {
                 cols: required(rest, "--cols", "validate")?.to_string(),
             }),
             "eval" => {
-                reject_unknown_flags(rest, &["--grid", "--seed", "--workers", "--out"], "eval")?;
+                reject_unknown_flags(
+                    rest,
+                    &["--grid", "--seed", "--workers", "--out", "--observables"],
+                    "eval",
+                )?;
                 let grid_name = required(rest, "--grid", "eval")?;
                 let grid = GridKind::from_name(grid_name).ok_or_else(|| {
                     CliError::Usage(format!(
@@ -554,6 +610,7 @@ impl Command {
                     seed,
                     workers,
                     out: flag_value(rest, "--out").map(str::to_string),
+                    observables: parse_observables(rest)?,
                 })
             }
             "campaign" => parse_campaign(rest).map(Command::Campaign),
@@ -656,6 +713,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             checkpoint,
             resume,
             budget,
+            observables,
         } => {
             let setting = setting_for(*machine)?;
             let mut config = DramDigConfig::default().with_seed(*seed);
@@ -705,7 +763,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                         })?;
                 }
             }
-            let mut knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+            let mut knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch))
+                .with_observables(observables.clone());
             knowledge = match ablate {
                 Some(Ablation::Specifications) => knowledge.without_specifications(),
                 Some(Ablation::SystemInfo) => knowledge.without_system_info(),
@@ -720,8 +779,29 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 options = options.with_budget(Budget::measurements(*cap));
             }
             let mut probe = probe_for(&setting, config.rng_seed);
+            let hammer_seed = config.rng_seed ^ 0xF11A;
             let engine = PipelineEngine::new(knowledge, config);
-            let report = match engine.run(&mut probe, &options, &mut ProgressLine) {
+            let run_result = if observables.contains(&ObservableKind::FlipAdjacency) {
+                // The flip channel hammers its own simulated module (the
+                // hammer-friendly noise profile, seeded from the run), so
+                // the timing probe's measurement stream stays untouched.
+                let mut flip = FlipAdjacencyObservable::new(
+                    SimMachine::from_setting(
+                        &setting,
+                        SimConfig::fast_rowhammer().with_seed(hammer_seed),
+                    ),
+                    FlipAdjacencyConfig::default(),
+                );
+                engine.run_with_observables(
+                    &mut probe,
+                    &options,
+                    &mut ProgressLine,
+                    &mut [&mut flip],
+                )
+            } else {
+                engine.run(&mut probe, &options, &mut ProgressLine)
+            };
+            let report = match run_result {
                 Ok(report) => report,
                 Err(DramDigError::Interrupted { phase, reason }) if checkpoint.is_some() => {
                     let dir = checkpoint.as_deref().unwrap_or_default();
@@ -891,10 +971,11 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             seed,
             workers,
             out,
+            observables,
         } => {
             let started = std::time::Instant::now();
             let expanded = EvalGrid::new(*grid, *seed);
-            let outcome = run_grid(&expanded, *workers);
+            let outcome = run_grid_with_observables(&expanded, *workers, observables);
             let scoreboard = outcome.render_scoreboard();
             // The artifact is written even when the gate fails below — a
             // failing CI run must still upload the evidence.
@@ -1153,7 +1234,8 @@ mod tests {
                 ablate: None,
                 checkpoint: None,
                 resume: false,
-                budget: None
+                budget: None,
+                observables: vec![ObservableKind::ConflictTiming],
             }
         );
         assert_eq!(
@@ -1164,7 +1246,8 @@ mod tests {
                 ablate: Some(Ablation::Specifications),
                 checkpoint: None,
                 resume: false,
-                budget: None
+                budget: None,
+                observables: vec![ObservableKind::ConflictTiming],
             }
         );
         assert_eq!(
@@ -1271,6 +1354,7 @@ mod tests {
             checkpoint: None,
             resume: false,
             budget: None,
+            observables: vec![ObservableKind::ConflictTiming],
         })
         .unwrap();
         assert!(out.contains("matches"));
@@ -1306,6 +1390,7 @@ mod tests {
                 seed: 1,
                 workers: 4,
                 out: None,
+                observables: vec![ObservableKind::ConflictTiming],
             }
         );
         assert_eq!(
@@ -1326,12 +1411,65 @@ mod tests {
                 seed: 9,
                 workers: 2,
                 out: Some("sb.txt".into()),
+                observables: vec![ObservableKind::ConflictTiming],
             }
         );
         assert!(Command::parse(&args(&["eval"])).is_err());
         assert!(Command::parse(&args(&["eval", "--grid", "huge"])).is_err());
         assert!(Command::parse(&args(&["eval", "--grid", "ci", "--workers", "0"])).is_err());
         assert!(Command::parse(&args(&["eval", "--grid", "ci", "--grids", "x"])).is_err());
+    }
+
+    #[test]
+    fn observables_flag_parses_and_budget_zero_is_rejected_up_front() {
+        // The channel list parses on both sub-commands, deduplicated and
+        // order-preserving.
+        let both = vec![
+            ObservableKind::ConflictTiming,
+            ObservableKind::FlipAdjacency,
+        ];
+        match Command::parse(&args(&[
+            "eval",
+            "--grid",
+            "ci",
+            "--observables",
+            "timing,flip-adjacency,timing",
+        ]))
+        .unwrap()
+        {
+            Command::Eval { observables, .. } => assert_eq!(observables, both),
+            other => panic!("parsed {other:?}"),
+        }
+        match Command::parse(&args(&[
+            "uncover",
+            "--machine",
+            "4",
+            "--observables",
+            "flip-adjacency",
+        ]))
+        .unwrap()
+        {
+            Command::Uncover { observables, .. } => {
+                assert_eq!(observables, vec![ObservableKind::FlipAdjacency]);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Unknown channels and empty lists are usage errors naming the
+        // known channels.
+        let err = Command::parse(&args(&["eval", "--grid", "ci", "--observables", "psychic"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("flip-adjacency"), "{err}");
+        assert!(Command::parse(&args(&["eval", "--grid", "ci", "--observables", ","])).is_err());
+
+        // `--budget 0` can never run a phase: rejected at parse time with a
+        // clear message instead of surfacing as a mid-run interruption.
+        let err =
+            Command::parse(&args(&["uncover", "--machine", "4", "--budget", "0"])).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("at least 1")),
+            "{err}"
+        );
+        assert!(Command::parse(&args(&["uncover", "--machine", "4", "--budget", "1"])).is_ok());
     }
 
     #[test]
@@ -1344,6 +1482,7 @@ mod tests {
                 seed: 1,
                 workers,
                 out: Some(path.to_str().unwrap().to_string()),
+                observables: vec![ObservableKind::ConflictTiming],
             })
             .unwrap()
         };
@@ -1587,6 +1726,7 @@ mod tests {
                     checkpoint: None,
                     resume: false,
                     budget: None,
+                    observables: vec![ObservableKind::ConflictTiming],
                 }),
             ),
             (
@@ -1598,6 +1738,7 @@ mod tests {
                     checkpoint: None,
                     resume: false,
                     budget: None,
+                    observables: vec![ObservableKind::ConflictTiming],
                 }),
             ),
             (
@@ -1617,6 +1758,7 @@ mod tests {
                     checkpoint: Some("ckpt".into()),
                     resume: false,
                     budget: Some(600),
+                    observables: vec![ObservableKind::ConflictTiming],
                 }),
             ),
             (
@@ -1635,6 +1777,7 @@ mod tests {
                     checkpoint: Some("ckpt".into()),
                     resume: true,
                     budget: None,
+                    observables: vec![ObservableKind::ConflictTiming],
                 }),
             ),
             // --resume without --checkpoint has nothing to resume from.
@@ -1712,6 +1855,7 @@ mod tests {
                 checkpoint,
                 resume,
                 budget,
+                observables: vec![ObservableKind::ConflictTiming],
             })
         };
 
@@ -1734,6 +1878,7 @@ mod tests {
             checkpoint: Some(dir_str.clone()),
             resume: true,
             budget: None,
+            observables: vec![ObservableKind::ConflictTiming],
         })
         .unwrap_err();
         assert!(err.to_string().contains("different run"), "{err}");

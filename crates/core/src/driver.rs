@@ -3,7 +3,7 @@
 use std::fmt;
 
 use dram_model::AddressMapping;
-use mem_probe::{MemoryProbe, ProbeStats};
+use mem_probe::{MemoryProbe, ObservableCost, ObservableKind, ProbeStats};
 
 use crate::coarse::CoarseBits;
 use crate::config::DramDigConfig;
@@ -217,6 +217,16 @@ pub struct RunReport {
     pub phase_costs: Vec<(Phase, PhaseCosts)>,
     /// Total cost across all phases.
     pub total: PhaseCosts,
+    /// XOR row-remap mask recovered by an extra observable channel
+    /// (canonicalised under reflection), when one was declared, consulted
+    /// and cross-checked. `None` on timing-only runs: an XOR involution on
+    /// the row line preserves row equality and is invisible to conflict
+    /// timing.
+    pub row_remap: Option<u32>,
+    /// What each extra observable channel the run consulted spent, in
+    /// consultation order. Empty on timing-only runs (the timing spend is
+    /// already in [`RunReport::phase_costs`]).
+    pub observable_costs: Vec<(ObservableKind, ObservableCost)>,
 }
 
 impl RunReport {
@@ -237,6 +247,12 @@ impl RunReport {
 impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "recovered mapping: {}", self.mapping)?;
+        if let Some(mask) = self.row_remap {
+            writeln!(
+                f,
+                "row remap: logical row r stored in array row r ^ {mask:#x}"
+            )?;
+        }
         writeln!(
             f,
             "pool: {} addresses in {} piles; threshold {} ns",
@@ -248,6 +264,15 @@ impl fmt::Display for RunReport {
                 "  {phase}: {} measurements, {:.3} s",
                 cost.measurements,
                 cost.elapsed_seconds()
+            )?;
+        }
+        for (kind, cost) in &self.observable_costs {
+            writeln!(
+                f,
+                "  observable {kind}: {} hammer pairs, {} timing pairs, {:.3} s",
+                cost.hammer_pairs,
+                cost.timing_pairs,
+                cost.elapsed_ns as f64 / 1e9
             )?;
         }
         if self.total.cache_hits + self.total.cache_misses > 0 {

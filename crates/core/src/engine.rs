@@ -62,9 +62,12 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dram_model::{AddressMapping, PhysAddr};
+use dram_model::{AddressMapping, DramAddress, PhysAddr};
 use dram_sim::PhysMemory;
-use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe};
+use mem_probe::{
+    ConflictOracle, LatencyCalibration, MemoryProbe, Observable, ObservableCost, ObservableKind,
+    ObservableQuery, ProbeError,
+};
 
 use crate::artifact::{
     CalibrationArtifact, CheckpointStore, PartitionArtifact, PhaseArtifact, PhaseCheckpoint,
@@ -658,6 +661,38 @@ impl PipelineEngine {
         options: &EngineOptions,
         observer: &mut dyn Observer,
     ) -> Result<RunReport, DramDigError> {
+        self.run_with_observables(probe, options, observer, &mut [])
+    }
+
+    /// Runs the pipeline like [`PipelineEngine::run`], then hands the
+    /// recovered linear skeleton to each extra [`Observable`] channel whose
+    /// [kind](Observable::kind) the [`DomainKnowledge`] declares available
+    /// and asks it for row-bit evidence the timing channel cannot produce —
+    /// today, an XOR row-remap mask recovered from rowhammer flip adjacency.
+    ///
+    /// A channel-recovered mask is never trusted blindly: the engine
+    /// cross-examines it with its own [`ObservableQuery::RowAdjacency`]
+    /// queries (aggressor pairs the mask predicts to sandwich a victim) and
+    /// only records it in [`RunReport::row_remap`] when the channel confirms
+    /// at least one predicted adjacency. Each consulted channel's spend
+    /// lands in [`RunReport::observable_costs`].
+    ///
+    /// Channels whose kind is not declared in the knowledge are skipped
+    /// untouched, and with no extra channels the behaviour — measurement
+    /// sequences, checkpoint artifacts, report bytes — is exactly that of
+    /// [`PipelineEngine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PipelineEngine::run`] can return, plus
+    /// [`DramDigError::Refinement`] when a consulted channel fails.
+    pub fn run_with_observables<P: MemoryProbe>(
+        &self,
+        probe: &mut P,
+        options: &EngineOptions,
+        observer: &mut dyn Observer,
+        extras: &mut [&mut dyn Observable],
+    ) -> Result<RunReport, DramDigError> {
         let store = options.checkpoint.as_ref().map(CheckpointStore::new);
         if let Some(store) = &store {
             match store.load_config()? {
@@ -826,12 +861,22 @@ impl PipelineEngine {
                     });
                 }
             }
-            if let Some(next) = Phase::ALL.get(index + 1) {
+            // Boundary stops report "the first phase that will not run";
+            // that must be the next *enabled* phase. With validation
+            // disabled, the boundary after fine detection has no later
+            // phase left, so a stop_after/budget trip there is simply a
+            // completed run — not an interruption "before validation" that
+            // was never going to execute.
+            let next_enabled = Phase::ALL
+                .into_iter()
+                .skip(index + 1)
+                .find(|&p| p != Phase::Validation || self.config.validate);
+            if let Some(next) = next_enabled {
                 if let Some(cap) = options.budget.max_phase_measurements {
                     if costs.measurements > cap {
                         return Err(Self::interrupted(
                             observer,
-                            *next,
+                            next,
                             format!(
                                 "{phase} exceeded its per-phase measurement budget \
                                  ({}/{cap})",
@@ -844,7 +889,7 @@ impl PipelineEngine {
                     if costs.elapsed_ns > cap {
                         return Err(Self::interrupted(
                             observer,
-                            *next,
+                            next,
                             format!(
                                 "{phase} exceeded its per-phase time budget ({}/{cap} ns)",
                                 costs.elapsed_ns
@@ -855,7 +900,7 @@ impl PipelineEngine {
                 if options.stop_after == Some(phase) {
                     return Err(Self::interrupted(
                         observer,
-                        *next,
+                        next,
                         format!("stop requested after {phase}"),
                     ));
                 }
@@ -871,11 +916,40 @@ impl PipelineEngine {
             }
         }
 
+        // Consult the declared extra channels: hand each one the recovered
+        // linear skeleton, let it hunt for a row remap, and cross-examine
+        // any mask it claims before recording it.
+        let mapping = state
+            .mapping
+            .clone()
+            .ok_or_else(|| state_missing("mapping"))?;
+        let mut row_remap = None;
+        let mut observable_costs: Vec<(ObservableKind, ObservableCost)> = Vec::new();
+        for channel in extras.iter_mut() {
+            let kind = channel.kind();
+            if !self.knowledge.observes(kind) {
+                continue;
+            }
+            channel.inform_mapping(&mapping);
+            let recovered = channel
+                .recover_row_remap()
+                .map_err(|e| observable_failure(kind, &e))?;
+            if let Some(mask) = recovered {
+                if row_remap.is_none()
+                    && cross_check_remap(&mapping, mask, &mut **channel)
+                        .map_err(|e| observable_failure(kind, &e))?
+                {
+                    row_remap = Some(mask);
+                }
+            }
+            observable_costs.push((kind, channel.cost()));
+        }
+
         let total = total_costs(&phase_costs);
         observer.on_event(&EngineEvent::RunCompleted { total });
         let partition = state.partition.ok_or_else(|| state_missing("partition"))?;
         Ok(RunReport {
-            mapping: state.mapping.ok_or_else(|| state_missing("mapping"))?,
+            mapping,
             coarse: state.coarse.ok_or_else(|| state_missing("coarse"))?,
             pool_size: state.pool_size.ok_or_else(|| state_missing("pool"))?,
             pile_count: partition.piles.len(),
@@ -889,8 +963,63 @@ impl PipelineEngine {
                 .ok_or_else(|| state_missing("calibration"))?,
             phase_costs,
             total,
+            row_remap,
+            observable_costs,
         })
     }
+}
+
+/// Wraps a failed extra-channel consultation: the remap hunt is an
+/// extension of fine-grained row-bit detection, so its failures wear the
+/// same label.
+fn observable_failure(kind: ObservableKind, error: &ProbeError) -> DramDigError {
+    DramDigError::Refinement {
+        reason: format!("observable channel {kind} failed: {error}"),
+    }
+}
+
+/// Cross-examines a channel-recovered remap mask with engine-chosen
+/// [`ObservableQuery::RowAdjacency`] queries: for sampled even array rows
+/// `r`, the logical rows `r ^ mask` and `(r + 2) ^ mask` must be true
+/// double-sided aggressors around the array row `r + 1`. The mask is
+/// accepted once the channel confirms one predicted adjacency; a channel
+/// that cannot answer the query at all gets no benefit of the doubt.
+///
+/// Banks and rows vary across attempts so a single invulnerable victim row
+/// cannot veto a correct mask.
+fn cross_check_remap(
+    mapping: &AddressMapping,
+    mask: u32,
+    channel: &mut dyn Observable,
+) -> Result<bool, ProbeError> {
+    const ATTEMPTS: u64 = 24;
+    let num_rows = u64::from(mapping.num_rows());
+    let num_banks = u64::from(mapping.num_banks());
+    if num_rows < 8 {
+        return Ok(false);
+    }
+    let stride = ((num_rows - 4) / ATTEMPTS).max(2) & !1;
+    let mask = u64::from(mask);
+    for attempt in 0..ATTEMPTS {
+        let array = 2 + (((attempt * stride) % (num_rows - 4)) & !1);
+        let x = (array ^ mask) as u32;
+        let y = ((array + 2) ^ mask) as u32;
+        let bank = (attempt % num_banks) as u32;
+        let (Ok(a), Ok(b)) = (
+            mapping.to_phys(DramAddress::new(bank, x, 0)),
+            mapping.to_phys(DramAddress::new(bank, y, 0)),
+        ) else {
+            continue;
+        };
+        let query = ObservableQuery::RowAdjacency { a, b };
+        if !channel.supports(&query) {
+            return Ok(false);
+        }
+        if channel.answer(&query)?.verdict {
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 /// Folds per-phase costs into the run total. Phase snapshots are contiguous

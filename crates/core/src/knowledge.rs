@@ -2,6 +2,7 @@
 //! (Section III-A of the paper).
 
 use dram_model::{DdrSpec, Microarch, SystemInfo};
+use mem_probe::ObservableKind;
 
 use crate::error::DramDigError;
 
@@ -33,6 +34,13 @@ pub struct DomainKnowledge {
     pub use_system_info: bool,
     /// Whether the empirical observations may be used.
     pub use_empirical: bool,
+    /// The observable channels available on this machine, in the order the
+    /// engine consults them. Conflict timing is always assumed (it is what
+    /// the pipeline itself runs on); declaring
+    /// [`ObservableKind::FlipAdjacency`] additionally lets the engine ask a
+    /// rowhammer channel for row-bit evidence — such as an XOR row-remap
+    /// mask — that timing alone provably cannot see.
+    pub observables: Vec<ObservableKind>,
 }
 
 impl DomainKnowledge {
@@ -44,6 +52,7 @@ impl DomainKnowledge {
             use_specifications: true,
             use_system_info: true,
             use_empirical: true,
+            observables: vec![ObservableKind::ConflictTiming],
         }
     }
 
@@ -54,6 +63,21 @@ impl DomainKnowledge {
     /// assumed to hold, as on every post-Sandy-Bridge CPU.
     pub fn for_generated(machine: &dram_model::GeneratedMachine) -> Self {
         DomainKnowledge::new(machine.system, None)
+    }
+
+    /// Declares the observable channels available on this machine (the
+    /// conflict-timing channel the pipeline runs on is always implied and
+    /// need not be listed). The engine only consults extra channels whose
+    /// kind is declared here.
+    #[must_use]
+    pub fn with_observables(mut self, observables: Vec<ObservableKind>) -> Self {
+        self.observables = observables;
+        self
+    }
+
+    /// Whether a channel of the given kind is declared available.
+    pub fn observes(&self, kind: ObservableKind) -> bool {
+        self.observables.contains(&kind)
     }
 
     /// Disables the DDR-specification group (ablation).
@@ -172,6 +196,18 @@ mod tests {
             );
             assert!(k.widest_func_rule_applies());
         }
+    }
+
+    #[test]
+    fn observables_default_to_timing_and_are_declarable() {
+        let k = knowledge_for(4);
+        assert!(k.observes(ObservableKind::ConflictTiming));
+        assert!(!k.observes(ObservableKind::FlipAdjacency));
+        let k = k.with_observables(vec![
+            ObservableKind::ConflictTiming,
+            ObservableKind::FlipAdjacency,
+        ]);
+        assert!(k.observes(ObservableKind::FlipAdjacency));
     }
 
     #[test]

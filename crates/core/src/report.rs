@@ -27,6 +27,9 @@ pub struct RecoveryReport {
     pub pile_count: usize,
     /// The calibrated conflict threshold in nanoseconds.
     pub threshold_ns: u64,
+    /// XOR row-remap mask recovered by an extra observable channel
+    /// (canonical under reflection), when one was consulted and confirmed.
+    pub row_remap: Option<u32>,
     /// Validation agreement in `[0, 1]`, when the validation pass ran.
     pub validation_agreement: Option<f64>,
     /// Per-phase measurement costs, in execution order.
@@ -42,6 +45,7 @@ impl From<&RunReport> for RecoveryReport {
             pool_size: run.pool_size,
             pile_count: run.pile_count,
             threshold_ns: run.threshold_ns,
+            row_remap: run.row_remap,
             validation_agreement: run.validation.as_ref().map(|v| v.agreement()),
             phase_costs: run.phase_costs.clone(),
             total: run.total,
@@ -92,6 +96,9 @@ impl RecoveryReport {
         out.push_str(&format!("pool = {}\n", self.pool_size));
         out.push_str(&format!("piles = {}\n", self.pile_count));
         out.push_str(&format!("threshold_ns = {}\n", self.threshold_ns));
+        if let Some(mask) = self.row_remap {
+            out.push_str(&format!("row_remap = {mask}\n"));
+        }
         if let Some(agreement) = self.validation_agreement {
             out.push_str(&format!("agreement = {agreement:?}\n"));
         }
@@ -119,6 +126,7 @@ impl RecoveryReport {
         let mut pool_size = None;
         let mut pile_count = None;
         let mut threshold_ns = None;
+        let mut row_remap = None;
         let mut validation_agreement = None;
         let mut phase_costs = Vec::new();
         let mut total = None;
@@ -137,6 +145,15 @@ impl RecoveryReport {
                 "pool" => pool_size = Some(codec::parse_usize(line, key, value)?),
                 "piles" => pile_count = Some(codec::parse_usize(line, key, value)?),
                 "threshold_ns" => threshold_ns = Some(codec::parse_u64(line, key, value)?),
+                "row_remap" => {
+                    let raw = codec::parse_u64(line, key, value)?;
+                    row_remap = Some(u32::try_from(raw).map_err(|_| {
+                        CodecError::at(
+                            line,
+                            format!("`row_remap` {raw} does not fit a 32-bit mask"),
+                        )
+                    })?);
+                }
                 "agreement" => validation_agreement = Some(codec::parse_f64(line, key, value)?),
                 "total" => total = Some(decode_costs(line, key, value)?),
                 other => {
@@ -159,6 +176,7 @@ impl RecoveryReport {
             pool_size: pool_size.ok_or_else(|| missing("pool"))?,
             pile_count: pile_count.ok_or_else(|| missing("piles"))?,
             threshold_ns: threshold_ns.ok_or_else(|| missing("threshold_ns"))?,
+            row_remap,
             validation_agreement,
             phase_costs,
             total: total.ok_or_else(|| missing("total"))?,
@@ -215,6 +233,24 @@ mod tests {
         let decoded = RecoveryReport::decode(&report.encode()).unwrap();
         assert_eq!(decoded.validation_agreement, None);
         assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn row_remap_is_encoded_only_when_recovered() {
+        let mut report = sample_report();
+        assert!(!report.encode().contains("row_remap"));
+        report.row_remap = Some(0x1bfd69);
+        let encoded = report.encode();
+        assert!(encoded.contains("row_remap = 1834345\n"));
+        let decoded = RecoveryReport::decode(&encoded).unwrap();
+        assert_eq!(decoded.row_remap, Some(0x1bfd69));
+        assert_eq!(decoded, report);
+        // An over-wide mask is rejected instead of silently truncated.
+        assert!(RecoveryReport::decode(&format!(
+            "{}row_remap = 4294967296\n",
+            sample_report().encode()
+        ))
+        .is_err());
     }
 
     #[test]

@@ -57,6 +57,25 @@ impl RowRemap {
     pub const fn apply(self, row: u32) -> u32 {
         row ^ self.xor_mask
     }
+
+    /// Folds a mask onto its reflection-equivalence representative.
+    ///
+    /// The masks `m` and `m ^ (num_rows - 1)` differ by complementing every
+    /// row bit, i.e. by the mirror `row -> num_rows - 1 - row` of the whole
+    /// row line. Mirroring preserves which rows are physically adjacent, so
+    /// no adjacency evidence — bit flips included — can tell the two masks
+    /// apart; they describe the same physical module. This helper picks the
+    /// numerically smaller of the pair so equivalent masks compare equal,
+    /// and maps the all-ones mask (a pure mirror) onto `0`, i.e. "no
+    /// observable remap".
+    pub const fn canonical_mask(mask: u32, num_rows: u32) -> u32 {
+        let reflected = mask ^ (num_rows - 1);
+        if reflected < mask {
+            reflected
+        } else {
+            mask
+        }
+    }
 }
 
 /// Which evaluation class a generated machine belongs to.
@@ -667,6 +686,21 @@ mod tests {
                 assert_eq!(remap.apply(remap.apply(row)), row);
             }
         }
+    }
+
+    #[test]
+    fn canonical_mask_folds_reflections_together() {
+        let rows = 1u32 << 16;
+        for mask in [1u32, 0x4a31, 0x8001, rows - 2, rows - 1] {
+            let mirrored = mask ^ (rows - 1);
+            let canon = RowRemap::canonical_mask(mask, rows);
+            assert_eq!(canon, RowRemap::canonical_mask(mirrored, rows));
+            assert!(canon == mask || canon == mirrored);
+            assert_eq!(canon, canon.min(mirrored.min(mask)));
+        }
+        // A pure mirror of the row line is not an observable remap at all.
+        assert_eq!(RowRemap::canonical_mask(rows - 1, rows), 0);
+        assert_eq!(RowRemap::canonical_mask(0, rows), 0);
     }
 
     #[test]

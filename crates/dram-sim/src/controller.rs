@@ -184,18 +184,23 @@ impl MemoryController {
 
     /// Re-aligns the controller's stochastic state to a phase boundary: the
     /// noise stream is re-seeded from the configured seed mixed with `salt`,
-    /// all row buffers close, pending hammer pressure is discarded and the
+    /// all row buffers close, pending hammer pressure *and* already
+    /// materialised (but not yet collected) bit flips are discarded, and the
     /// next refresh is scheduled one full window from now.
     ///
-    /// After this call the latency sequence produced by a given access
-    /// sequence is a pure function of `(config, salt)` — independent of
-    /// everything measured before the boundary. The pipeline engine uses
-    /// this (through `MemoryProbe::begin_phase`) so that a phase replayed
-    /// after a checkpoint resume observes bit-identical measurements.
+    /// After this call both the latency sequence and the flip record
+    /// produced by a given access sequence are a pure function of
+    /// `(config, salt)` — independent of everything measured or hammered
+    /// before the boundary. The pipeline engine uses this (through
+    /// `MemoryProbe::begin_phase`) so that a phase replayed after a
+    /// checkpoint resume observes bit-identical measurements, and observable
+    /// channels that hammer use it so stale flips from an earlier phase are
+    /// never attributed to the current one.
     pub fn begin_phase(&mut self, salt: u64) {
         self.rng = StdRng::seed_from_u64(self.config.rng_seed ^ salt);
         self.close_all_rows();
         self.flip_model.clear_pressure();
+        let _ = self.flip_model.take_flips();
         for counter in &mut self.trr_counters {
             *counter = 0;
         }
@@ -226,6 +231,24 @@ impl MemoryController {
     /// Returns and clears the accumulated bit flips.
     pub fn take_flips(&mut self) -> Vec<BitFlip> {
         self.flip_model.take_flips()
+    }
+
+    /// Returns and clears the accumulated bit flips with each flip's row
+    /// translated from DRAM-array coordinates back into address-space
+    /// (mapping) rows — the view an attacker scanning memory for corrupted
+    /// data actually gets. Without a row remap the two coordinate systems
+    /// coincide; with one, the XOR involution inverts itself, so the
+    /// reported row is the one the mapping assigns to the corrupted
+    /// address.
+    pub fn take_flips_addressed(&mut self) -> Vec<BitFlip> {
+        let remap = self.row_remap;
+        let mut flips = self.flip_model.take_flips();
+        if let Some(r) = remap {
+            for flip in &mut flips {
+                flip.row = r.apply(flip.row);
+            }
+        }
+        flips
     }
 
     /// Access to the flip model (tests and the rowhammer harness).
@@ -494,6 +517,66 @@ mod tests {
         let in_scope = MachineGen::new(7).generate(MachineClass::InScope);
         let machine = SimMachine::from_generated(&in_scope, SimConfig::noiseless());
         assert_eq!(machine.controller().row_remap(), None);
+    }
+
+    fn hammer_victim(c: &mut MemoryController, victim_row: u32) {
+        let m = c.mapping().clone();
+        let above = m.to_phys(DramAddress::new(0, victim_row + 1, 0)).unwrap();
+        let below = m.to_phys(DramAddress::new(0, victim_row - 1, 0)).unwrap();
+        for _ in 0..40_000 {
+            c.access(above);
+            c.access(below);
+        }
+        c.refresh();
+    }
+
+    #[test]
+    fn addressed_flips_invert_the_row_remap() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        // A high-bit mask keeps consecutive rows consecutive inside each
+        // aligned 64-row block, so a double-sided attack on logical rows
+        // r±1 really pressures the array row remap(r).
+        let remap = dram_model::RowRemap {
+            xor_mask: 0b100_0000,
+        };
+        let mut machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+        *machine.controller_mut() = machine.controller().clone().with_row_remap(remap);
+        let flip_model = machine.controller().flip_model().clone();
+        let victim_row = (8..5_000u32)
+            .find(|&r| {
+                (1..=62).contains(&(r & 63))
+                    && flip_model.row_vulnerability(0, remap.apply(r)) > 0.3
+            })
+            .unwrap();
+        hammer_victim(machine.controller_mut(), victim_row);
+        let c = machine.controller_mut();
+        let raw: Vec<u32> = c.flips().iter().map(|f| f.row).collect();
+        let addressed = c.take_flips_addressed();
+        assert!(!addressed.is_empty());
+        // Raw flips sit in array coordinates; addressed flips undo the
+        // involution, landing back on the logical victim row.
+        assert!(raw.contains(&remap.apply(victim_row)));
+        assert!(addressed.iter().any(|f| f.row == victim_row));
+        for (r, a) in raw.iter().zip(&addressed) {
+            assert_eq!(remap.apply(*r), a.row);
+        }
+    }
+
+    #[test]
+    fn begin_phase_discards_materialised_flips() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let mut machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+        let flip_model = machine.controller().flip_model().clone();
+        let victim_row = (1..5_000u32)
+            .find(|&r| flip_model.row_vulnerability(0, r) > 0.3)
+            .unwrap();
+        hammer_victim(machine.controller_mut(), victim_row);
+        assert!(!machine.controller().flips().is_empty());
+        machine.controller_mut().begin_phase(0xF00D);
+        assert!(
+            machine.controller().flips().is_empty(),
+            "a phase boundary must not leak stale flips into the next phase"
+        );
     }
 
     #[test]

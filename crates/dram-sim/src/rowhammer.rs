@@ -156,7 +156,12 @@ impl FlipModel {
     /// exceeded the thresholds.
     pub fn refresh(&mut self, rng: &mut StdRng) {
         let params = self.params;
-        let victims: Vec<((u32, u32), Pressure)> = self.pressure.drain().collect();
+        let mut victims: Vec<((u32, u32), Pressure)> = self.pressure.drain().collect();
+        // The map iterates in a per-instance random order; flips must be
+        // sampled in a fixed order so the RNG stream — and therefore the
+        // whole flip record — is a deterministic function of the access
+        // sequence, exactly like the timing channel.
+        victims.sort_unstable_by_key(|&(key, _)| key);
         for ((bank, row), p) in victims {
             let vulnerability = self.row_vulnerability(bank, row);
             if vulnerability == 0.0 {
@@ -299,6 +304,30 @@ mod tests {
         assert_eq!(m.pressure_on(0, 6), (0, 1));
         // No pressure recorded outside the bank.
         assert_eq!(m.pressured_rows(), 2);
+    }
+
+    #[test]
+    fn flip_sampling_is_deterministic_across_model_instances() {
+        // Two freshly built models have hash maps with different random
+        // states; pressuring several victims and refreshing with identical
+        // RNGs must still produce identical flip records (the sort in
+        // `refresh` pins the sampling order).
+        let runs: Vec<Vec<BitFlip>> = (0..2)
+            .map(|_| {
+                let mut m = fast_model();
+                let mut r = rng();
+                for row in [100u32, 400, 900, 2_000, 5_000] {
+                    for _ in 0..2_000 {
+                        m.record_activation(0, row - 1);
+                        m.record_activation(0, row + 1);
+                    }
+                }
+                m.refresh(&mut r);
+                m.take_flips()
+            })
+            .collect();
+        assert!(!runs[0].is_empty());
+        assert_eq!(runs[0], runs[1]);
     }
 
     #[test]

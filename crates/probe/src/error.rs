@@ -26,6 +26,11 @@ pub enum ProbeError {
     },
     /// An underlying I/O error (pagemap access).
     Io(std::io::Error),
+    /// An observable channel was asked a query it cannot answer.
+    Unsupported {
+        /// Explanation of what the channel is missing.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ProbeError {
@@ -43,6 +48,9 @@ impl fmt::Display for ProbeError {
             }
             ProbeError::Hardware { reason } => write!(f, "hardware probe unavailable: {reason}"),
             ProbeError::Io(e) => write!(f, "i/o error: {e}"),
+            ProbeError::Unsupported { reason } => {
+                write!(f, "unsupported observable query: {reason}")
+            }
         }
     }
 }
@@ -83,6 +91,10 @@ mod tests {
         assert!(e.to_string().contains("not root"));
         let e: ProbeError = std::io::Error::other("x").into();
         assert!(e.to_string().contains("i/o"));
+        let e = ProbeError::Unsupported {
+            reason: "no adjacency".into(),
+        };
+        assert!(e.to_string().contains("no adjacency"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod cache;
 pub mod calibrate;
 pub mod error;
 pub mod hw;
+pub mod observable;
 pub mod oracle;
 pub mod probe;
 pub mod sim_probe;
@@ -50,6 +51,10 @@ pub mod sim_probe;
 pub use cache::{ConflictCache, DEFAULT_CACHE_CAPACITY};
 pub use calibrate::LatencyCalibration;
 pub use error::ProbeError;
+pub use observable::{
+    ConflictTimingObservable, Observable, ObservableAnswer, ObservableCost, ObservableKind,
+    ObservableQuery,
+};
 pub use oracle::ConflictOracle;
 pub use probe::{MemoryProbe, ProbeStats};
 pub use sim_probe::{rounds_for, SimProbe, DEFAULT_ROUNDS, NOISY_ROUNDS};

@@ -65,6 +65,11 @@ impl<P: MemoryProbe> ConflictOracle<P> {
         self
     }
 
+    /// The configured number of majority votes per query.
+    pub fn repeat(&self) -> u32 {
+        self.repeat
+    }
+
     /// The calibration in use.
     pub fn calibration(&self) -> &LatencyCalibration {
         &self.calibration

@@ -1,0 +1,104 @@
+//! Property-based equivalence of the observable seam: on every Table-II
+//! machine, driving queries through [`ConflictTimingObservable`] must be
+//! *bit-identical* to calling the wrapped [`ConflictOracle`] directly —
+//! same verdicts, same measurement count, same access count, same simulated
+//! nanoseconds. This is the guarantee that lets the pipeline engine sit
+//! behind the [`Observable`] trait without perturbing any checkpoint,
+//! scoreboard or resume artifact.
+
+use proptest::prelude::*;
+
+use dram_model::{MachineSetting, PhysAddr};
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use mem_probe::{
+    ConflictOracle, ConflictTimingObservable, LatencyCalibration, MemoryProbe, Observable,
+    ObservableQuery, SimProbe,
+};
+
+/// Two independently constructed but identically seeded oracle stacks for
+/// one Table-II machine: measurement streams diverge only if the callers
+/// issue different sequences.
+fn oracle_pair(number: u8, sim_seed: u64) -> (ConflictOracle<SimProbe>, ConflictOracle<SimProbe>) {
+    let stack = || {
+        let setting = MachineSetting::by_number(number).unwrap();
+        let machine = SimMachine::from_setting(&setting, SimConfig::default().with_seed(sim_seed));
+        let threshold = machine.controller().config().timing.oracle_threshold_ns();
+        let probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+        ConflictOracle::new(probe, LatencyCalibration::from_threshold(threshold))
+    };
+    (stack(), stack())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For a random Table-II machine, noise seed and pair workload, the
+    /// channel's verdict sequence and probe statistics equal the direct
+    /// oracle path exactly.
+    #[test]
+    fn timing_channel_is_bit_identical_to_the_direct_oracle(
+        number in 1u8..=9,
+        sim_seed in 0u64..10_000,
+        raw_pairs in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<bool>()),
+            1..24,
+        ),
+    ) {
+        let (direct, channel) = oracle_pair(number, sim_seed);
+        let capacity = MachineSetting::by_number(number)
+            .unwrap()
+            .system
+            .capacity_bytes;
+        // Cache-line-aligned addresses inside the module.
+        let pairs: Vec<(PhysAddr, PhysAddr, bool)> = raw_pairs
+            .iter()
+            .map(|&(a, b, eq)| {
+                (
+                    PhysAddr::new((a % capacity) & !63),
+                    PhysAddr::new((b % capacity) & !63),
+                    eq,
+                )
+            })
+            .collect();
+
+        let mut direct = direct;
+        let direct_verdicts: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b, as_row_equality)| {
+                let sbdr = direct.is_sbdr(a, b);
+                if as_row_equality { !sbdr } else { sbdr }
+            })
+            .collect();
+
+        let mut channel = ConflictTimingObservable::new(channel);
+        let channel_verdicts: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b, as_row_equality)| {
+                let query = if as_row_equality {
+                    ObservableQuery::RowEquality { a, b }
+                } else {
+                    ObservableQuery::SameBankDifferentRow { a, b }
+                };
+                prop_assert!(channel.supports(&query));
+                let answer = channel.answer(&query).unwrap();
+                prop_assert!(answer.confidence > 0.5 && answer.confidence <= 1.0);
+                Ok(answer.verdict)
+            })
+            .collect::<Result<_, _>>()?;
+
+        prop_assert_eq!(&channel_verdicts, &direct_verdicts);
+
+        // Identical statistics, down to the simulated nanosecond: the seam
+        // added no measurement, reordered nothing and repriced nothing.
+        let direct_stats = direct.probe().stats();
+        let channel_stats = channel.oracle().probe().stats();
+        prop_assert_eq!(channel_stats, direct_stats);
+        prop_assert_eq!(channel_stats.measurements, pairs.len() as u64);
+
+        // The channel's cost accounting is exactly those probe stats.
+        let cost = channel.cost();
+        prop_assert_eq!(cost.timing_pairs, direct_stats.measurements);
+        prop_assert_eq!(cost.elapsed_ns, direct_stats.elapsed_ns);
+        prop_assert_eq!(cost.hammer_pairs, 0);
+    }
+}

@@ -1,12 +1,13 @@
 //! Double-sided and single-sided hammering loops.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dram_model::PhysAddr;
-use dram_sim::SimMachine;
+use dram_sim::{BitFlip, SimMachine};
 
 use crate::attacker::AttackerView;
+use crate::roles::{
+    Allocator, DoubleSidedHammerer, FlipTally, HammerAttempt, Hammerer, RandomAllocator,
+    SingleSidedHammerer, Victim,
+};
 
 /// Parameters of one rowhammer test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,69 @@ impl HammerResult {
     }
 }
 
+/// Drives one rowhammer attack from its three composable roles: the
+/// [`Allocator`] proposes victims, the [`Hammerer`] builds and drives
+/// aggressors for each, and the [`Victim`] observes every flip the attack
+/// materialised. The optional `duration_ns` budget of `cfg` is honoured
+/// between victims.
+///
+/// Counting semantics are identical to the original monolithic loops: flips
+/// are drained once up front and collected once at the end (with a final
+/// refresh), so mid-attack refresh windows accumulate rather than reset the
+/// tally.
+pub fn run_attack(
+    machine: &mut SimMachine,
+    view: &AttackerView,
+    cfg: &HammerConfig,
+    allocator: &mut dyn Allocator,
+    hammerer: &mut dyn Hammerer,
+    victim_role: &mut dyn Victim,
+) -> HammerResult {
+    let truth = machine.ground_truth().clone();
+    let start_ns = machine.controller().elapsed_ns();
+    let mut result = HammerResult::default();
+    machine.controller_mut().take_flips();
+
+    loop {
+        if let Some(limit) = cfg.duration_ns {
+            if machine.controller().elapsed_ns() - start_ns >= limit {
+                break;
+            }
+        }
+        let Some(victim) = allocator.next_victim(view) else {
+            break;
+        };
+        match hammerer.hammer(machine.controller_mut(), view, victim) {
+            HammerAttempt::Skipped => result.pairs_skipped += 1,
+            HammerAttempt::Hammered {
+                aggressors,
+                double_sided_intent,
+            } => {
+                if double_sided_intent && aggressors.len() == 2 {
+                    let v = truth.to_dram(victim);
+                    let b = truth.to_dram(aggressors[0]);
+                    let a = truth.to_dram(aggressors[1]);
+                    if b.bank == v.bank
+                        && a.bank == v.bank
+                        && b.row.abs_diff(a.row) == 2
+                        && a.row != b.row
+                    {
+                        result.truly_double_sided += 1;
+                    }
+                }
+                result.pairs_attempted += 1;
+            }
+        }
+    }
+    let controller = machine.controller_mut();
+    controller.refresh();
+    let flips = controller.take_flips();
+    victim_role.observe(&flips);
+    result.flips = flips.len();
+    result.elapsed_ns = controller.elapsed_ns() - start_ns;
+    result
+}
+
 /// Runs a double-sided rowhammer test: for each victim the two addresses the
 /// attacker believes to be the adjacent rows are hammered alternately.
 pub fn run_double_sided(
@@ -99,42 +163,17 @@ pub fn run_double_sided(
     view: &AttackerView,
     cfg: &HammerConfig,
 ) -> HammerResult {
-    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
     let capacity = machine.ground_truth().capacity_bytes();
-    let truth = machine.ground_truth().clone();
-    let start_ns = machine.controller().elapsed_ns();
-    let mut result = HammerResult::default();
-    machine.controller_mut().take_flips();
-
-    for _ in 0..cfg.victims {
-        if let Some(limit) = cfg.duration_ns {
-            if machine.controller().elapsed_ns() - start_ns >= limit {
-                break;
-            }
-        }
-        let victim = PhysAddr::new(rng.gen_range(0..capacity) & !0x3f);
-        let Some((below, above)) = view.aggressors_for(victim) else {
-            result.pairs_skipped += 1;
-            continue;
-        };
-        let v = truth.to_dram(victim);
-        let b = truth.to_dram(below);
-        let a = truth.to_dram(above);
-        if b.bank == v.bank && a.bank == v.bank && b.row.abs_diff(a.row) == 2 && a.row != b.row {
-            result.truly_double_sided += 1;
-        }
-        let controller = machine.controller_mut();
-        for _ in 0..cfg.iterations_per_pair {
-            controller.access(below);
-            controller.access(above);
-        }
-        result.pairs_attempted += 1;
-    }
-    let controller = machine.controller_mut();
-    controller.refresh();
-    result.flips = controller.take_flips().len();
-    result.elapsed_ns = controller.elapsed_ns() - start_ns;
-    result
+    run_attack(
+        machine,
+        view,
+        cfg,
+        &mut RandomAllocator::new(capacity, cfg.victims, cfg.rng_seed),
+        &mut DoubleSidedHammerer {
+            iterations: cfg.iterations_per_pair,
+        },
+        &mut FlipTally::default(),
+    )
 }
 
 /// Runs a single-sided test: only the row the attacker believes to be just
@@ -145,46 +184,44 @@ pub fn run_single_sided(
     view: &AttackerView,
     cfg: &HammerConfig,
 ) -> HammerResult {
-    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
     let capacity = machine.ground_truth().capacity_bytes();
-    let start_ns = machine.controller().elapsed_ns();
-    let mut result = HammerResult::default();
-    machine.controller_mut().take_flips();
+    run_attack(
+        machine,
+        view,
+        cfg,
+        &mut RandomAllocator::new(capacity, cfg.victims, cfg.rng_seed),
+        &mut SingleSidedHammerer {
+            iterations: cfg.iterations_per_pair,
+        },
+        &mut FlipTally::default(),
+    )
+}
 
-    for _ in 0..cfg.victims {
-        if let Some(limit) = cfg.duration_ns {
-            if machine.controller().elapsed_ns() - start_ns >= limit {
-                break;
-            }
-        }
-        let victim = PhysAddr::new(rng.gen_range(0..capacity) & !0x3f);
-        let row = view.row_of(victim);
-        if row + 1 >= view.num_rows() {
-            result.pairs_skipped += 1;
-            continue;
-        }
-        let Some(aggressor) = view.with_row(victim, row + 1) else {
-            result.pairs_skipped += 1;
-            continue;
-        };
-        // A partner far away in the believed same bank to force conflicts.
-        let far_row = (row + view.num_rows() / 2) % view.num_rows();
-        let Some(partner) = view.with_row(victim, far_row) else {
-            result.pairs_skipped += 1;
-            continue;
-        };
-        let controller = machine.controller_mut();
-        for _ in 0..cfg.iterations_per_pair {
-            controller.access(aggressor);
-            controller.access(partner);
-        }
-        result.pairs_attempted += 1;
-    }
+/// Hammers one believed-adjacent aggressor pair and returns every flip it
+/// induced, attributed to address-space rows (the remap involution — when
+/// the module has one — is already undone, as an attacker scanning memory
+/// for corrupted data would see it). This is the engine-consumable primitive
+/// the flip-adjacency observable is built on.
+///
+/// The refresh window is re-aligned before hammering (one refresh up front)
+/// so the whole burst lands inside a single window; a burst split across a
+/// refresh boundary would have its aggressor pressure evaluated in two
+/// halves that may both sit below the flip thresholds.
+pub fn hammer_pair(
+    machine: &mut SimMachine,
+    a: PhysAddr,
+    b: PhysAddr,
+    iterations: u32,
+) -> Vec<BitFlip> {
     let controller = machine.controller_mut();
     controller.refresh();
-    result.flips = controller.take_flips().len();
-    result.elapsed_ns = controller.elapsed_ns() - start_ns;
-    result
+    controller.take_flips();
+    for _ in 0..iterations {
+        controller.access(a);
+        controller.access(b);
+    }
+    controller.refresh();
+    controller.take_flips_addressed()
 }
 
 #[cfg(test)]

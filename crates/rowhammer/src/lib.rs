@@ -16,6 +16,13 @@
 //! * [`harness`] — the double-sided (and single-sided) hammering loops that
 //!   drive a [`dram_sim::SimMachine`] and count the bit flips its
 //!   charge-leakage model produces.
+//! * [`roles`] — the attack side split into pluggable [`Allocator`],
+//!   [`Hammerer`] and [`Victim`] roles, so aggressor placement, the hammer
+//!   loop and flip attribution compose independently.
+//! * [`observable`] — [`FlipAdjacencyObservable`], the rowhammer-backed
+//!   [`mem_probe::Observable`] channel: it answers row-adjacency queries from
+//!   flip counts and recovers XOR row remaps that are provably invisible to
+//!   conflict timing.
 //!
 //! # Example
 //!
@@ -36,6 +43,15 @@
 
 pub mod attacker;
 pub mod harness;
+pub mod observable;
+pub mod roles;
 
 pub use attacker::AttackerView;
-pub use harness::{run_double_sided, run_single_sided, HammerConfig, HammerResult};
+pub use harness::{
+    hammer_pair, run_attack, run_double_sided, run_single_sided, HammerConfig, HammerResult,
+};
+pub use observable::{FlipAdjacencyConfig, FlipAdjacencyObservable};
+pub use roles::{
+    Allocator, DoubleSidedHammerer, FlipTally, HammerAttempt, Hammerer, RandomAllocator,
+    SingleSidedHammerer, Victim,
+};

@@ -1,0 +1,473 @@
+//! The rowhammer flip-adjacency observable channel.
+//!
+//! Conflict timing can never see an XOR row remap: the involution preserves
+//! row equality, so every timing-visible question has the same answer with
+//! or without it. Bit flips can. A victim row only flips when its *physical
+//! array* neighbours are hammered, so the rows a flip lands between betray
+//! true array adjacency — evidence strong enough to recover the remap mask.
+//!
+//! # Recovering the mask
+//!
+//! One tempting experiment teaches nothing: hammering logical rows `t` and
+//! `t ^ 2` lands on array rows `(t ^ m)` and `(t ^ m) ^ 2` — a guaranteed
+//! double-sided attack for *every* mask `m` — but the flipped row, mapped
+//! back to address space, always differs from `t` in only the low two bits,
+//! because aggressors and victim are translated by the *same* mask. The
+//! observation is invariant under any change to `m` above bit 1.
+//!
+//! The bits above come from arithmetic carries, which XOR masks do not
+//! commute with. The pair `(x, x ^ h)` with `h = 0b1..10` (bits `1..=k`
+//! set) sits exactly two rows apart in the array **iff** the masked bits
+//! `1..k-1` of `x ^ m` are all ones and bit `k` is zero (a `+2` carry
+//! chain), or all zeros with bit `k` one (the `-2` chain). Whether that
+//! pair flips a sandwiched victim therefore reads out one mask bit at a
+//! time. Recovery proceeds in three phases:
+//!
+//! 1. **Parity probe** — `(t, t ^ 2)` rounds pin down `bit0(m) ^ bit1(m)`
+//!    from which side of the sandwich the victim lands on.
+//! 2. **Carry-chain induction** — for each bit `k ≥ 2`, prepare `x` so the
+//!    already-known masked bits below `k` form a carry chain and try both
+//!    values of bit `k`; only the truly-adjacent variant can ever flip.
+//! 3. **Middle-identity verification** — hammer pairs the candidate mask
+//!    predicts to be two apart across a three-bit carry and require the
+//!    flips to land exactly on the predicted middle row.
+//!
+//! The aggressor drive is sized between the simulator's double- and
+//! single-sided flip thresholds, so a non-adjacent pair is *structurally
+//! silent*: any flip at all is unambiguous adjacency evidence.
+//!
+//! # Reflection equivalence
+//!
+//! Complementing every row bit (`mask ^ (num_rows - 1)`) mirrors the row
+//! line `row -> num_rows - 1 - row`, which preserves physical adjacency, so
+//! no flip evidence can distinguish a mask from its reflection — they
+//! describe the same module. Recovery returns
+//! [`RowRemap::canonical_mask`]; scoring compares masks under the same
+//! canonicalisation.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dram_model::{AddressMapping, GeneratedMachine, PhysAddr, RowRemap};
+use dram_sim::{SimConfig, SimMachine};
+use mem_probe::{
+    Observable, ObservableAnswer, ObservableCost, ObservableKind, ObservableQuery, ProbeError,
+};
+
+use crate::attacker::AttackerView;
+use crate::harness::hammer_pair;
+
+/// Tuning knobs of the flip-adjacency channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipAdjacencyConfig {
+    /// Alternating access iterations per hammered aggressor pair (each
+    /// iteration touches both aggressors once). The default sits *between*
+    /// the fast profile's double-sided and single-sided thresholds: the
+    /// sandwiched middle row can flip but the aggressors' outer neighbours
+    /// never can, which makes any flip unambiguous adjacency evidence.
+    pub iterations: u32,
+    /// Maximum `(t, t ^ 2)` rounds hammered by the parity probe.
+    pub parity_rounds: u32,
+    /// Parity observations collected before the probe stops early.
+    pub parity_observations: usize,
+    /// Maximum attempts per bit value during the carry-chain induction; the
+    /// two values alternate, so a bit gives up after twice this many silent
+    /// rounds (each retry re-randomises the free bits, hence the victim's
+    /// vulnerability draw).
+    pub attempts_per_variant: u32,
+    /// Maximum middle-identity rounds during verification.
+    pub verify_rounds: u32,
+    /// Confirmed middle flips required for verification to pass.
+    pub verify_hits: usize,
+    /// Flips on one row needed to call it a double-sided victim. One
+    /// suffices at the default drive: non-adjacent pairs are structurally
+    /// below the single-sided flip threshold.
+    pub flip_threshold: usize,
+    /// Seed of the channel's own aggressor-selection stream.
+    pub rng_seed: u64,
+}
+
+impl Default for FlipAdjacencyConfig {
+    fn default() -> Self {
+        FlipAdjacencyConfig {
+            iterations: 1_500,
+            parity_rounds: 32,
+            parity_observations: 4,
+            attempts_per_variant: 32,
+            verify_rounds: 32,
+            verify_hits: 2,
+            flip_threshold: 1,
+            rng_seed: 0xF11A_AD7A,
+        }
+    }
+}
+
+/// An [`Observable`] that answers [`ObservableQuery::RowAdjacency`] by
+/// double-sided hammering and recovers XOR row-remap masks from flip
+/// adjacency.
+///
+/// The channel owns its own [`SimMachine`] — on real hardware it would own
+/// its own hugepage pool and hammer loop. Keeping it separate from the
+/// timing probe's machine means enabling this channel perturbs neither the
+/// timing channel's measurement sequences nor its checkpoint artifacts.
+#[derive(Debug)]
+pub struct FlipAdjacencyObservable {
+    machine: SimMachine,
+    cfg: FlipAdjacencyConfig,
+    view: Option<AttackerView>,
+    hammer_pairs: u64,
+}
+
+impl FlipAdjacencyObservable {
+    /// Wraps a simulated machine as a flip-adjacency channel.
+    pub fn new(machine: SimMachine, cfg: FlipAdjacencyConfig) -> Self {
+        FlipAdjacencyObservable {
+            machine,
+            cfg,
+            view: None,
+            hammer_pairs: 0,
+        }
+    }
+
+    /// Builds the channel for a generated machine: same mapping and remap,
+    /// but under the hammer-friendly [`SimConfig::fast_rowhammer`] profile
+    /// (seeded with `sim_seed`), since a channel that waits hundreds of
+    /// thousands of activations per flip would be useless inside a
+    /// scenario-budgeted run.
+    pub fn for_generated(machine: &GeneratedMachine, sim_seed: u64) -> Self {
+        FlipAdjacencyObservable::new(
+            SimMachine::from_generated(machine, SimConfig::fast_rowhammer().with_seed(sim_seed)),
+            FlipAdjacencyConfig::default(),
+        )
+    }
+
+    /// The attacker view installed by [`Observable::inform_mapping`], if any.
+    pub fn view(&self) -> Option<&AttackerView> {
+        self.view.as_ref()
+    }
+
+    /// The channel's simulated machine.
+    pub fn machine(&self) -> &SimMachine {
+        &self.machine
+    }
+
+    /// Hammers the believed rows `x` and `y` of one random base address and
+    /// returns the double-sided victim rows, or `None` when the view could
+    /// not realise the rows as addresses.
+    fn hammer_believed_rows(
+        &mut self,
+        view: &AttackerView,
+        rng: &mut StdRng,
+        x: u64,
+        y: u64,
+    ) -> Option<Vec<u64>> {
+        let capacity = self.machine.ground_truth().capacity_bytes();
+        let base = PhysAddr::new(rng.gen_range(0..capacity) & !0x3f);
+        let a = view.with_row(base, x)?;
+        let b = view.with_row(base, y)?;
+        self.hammer_pairs += 1;
+        let flips = hammer_pair(&mut self.machine, a, b, self.cfg.iterations);
+        Some(self.double_sided_victims(&flips))
+    }
+
+    /// Groups one hammering round's flips by victim row and keeps the rows
+    /// that show the double-sided signature.
+    fn double_sided_victims(&self, flips: &[dram_sim::BitFlip]) -> Vec<u64> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for flip in flips {
+            *counts.entry(flip.row).or_default() += 1;
+        }
+        let mut rows: Vec<u64> = counts
+            .into_iter()
+            .filter(|&(_, n)| n >= self.cfg.flip_threshold)
+            .map(|(row, _)| u64::from(row))
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+impl Observable for FlipAdjacencyObservable {
+    fn kind(&self) -> ObservableKind {
+        ObservableKind::FlipAdjacency
+    }
+
+    fn supports(&self, query: &ObservableQuery) -> bool {
+        self.view.is_some() && matches!(query, ObservableQuery::RowAdjacency { .. })
+    }
+
+    fn answer(&mut self, query: &ObservableQuery) -> Result<ObservableAnswer, ProbeError> {
+        let ObservableQuery::RowAdjacency { a, b } = *query else {
+            return Err(ProbeError::Unsupported {
+                reason: "flip adjacency only answers RowAdjacency queries".into(),
+            });
+        };
+        if self.view.is_none() {
+            return Err(ProbeError::Unsupported {
+                reason: "flip adjacency needs a mapping skeleton (inform_mapping) first".into(),
+            });
+        }
+        self.hammer_pairs += 1;
+        let flips = hammer_pair(&mut self.machine, a, b, self.cfg.iterations);
+        let verdict = !self.double_sided_victims(&flips).is_empty();
+        // A positive is near-certain (a sandwiched victim flipped); a
+        // negative is only as reliable as the chance the middle row was
+        // vulnerable at all.
+        let vulnerable = self
+            .machine
+            .controller()
+            .config()
+            .flip_params
+            .vulnerable_row_fraction;
+        let confidence = if verdict { 0.97 } else { 1.0 - vulnerable };
+        Ok(ObservableAnswer {
+            verdict,
+            confidence,
+        })
+    }
+
+    fn cost(&self) -> ObservableCost {
+        ObservableCost {
+            timing_pairs: 0,
+            hammer_pairs: self.hammer_pairs,
+            elapsed_ns: self.machine.controller().elapsed_ns(),
+        }
+    }
+
+    fn inform_mapping(&mut self, mapping: &AddressMapping) {
+        self.view = Some(AttackerView::from_mapping(mapping));
+    }
+
+    /// Recovers the XOR row-remap mask, if one is present and observable,
+    /// canonicalised under reflection ([`RowRemap::canonical_mask`]).
+    ///
+    /// Runs the three phases described in the [module docs](self): a parity
+    /// probe for `bit0 ^ bit1` of the mask, a carry-chain induction for
+    /// every bit above, and a middle-identity verification of the final
+    /// candidate. Returns `Ok(None)` when the module shows no observable
+    /// remap or the evidence is insufficient (for example, every prepared
+    /// victim row happened to be invulnerable).
+    fn recover_row_remap(&mut self) -> Result<Option<u32>, ProbeError> {
+        let Some(view) = self.view.clone() else {
+            return Err(ProbeError::Unsupported {
+                reason: "flip adjacency needs a mapping skeleton (inform_mapping) first".into(),
+            });
+        };
+        let width = view.row_bits().len() as u32;
+        if width < 5 {
+            return Ok(None);
+        }
+        let rows = view.num_rows();
+        let mut rng = StdRng::seed_from_u64(self.cfg.rng_seed);
+
+        // Phase 1: hammering (t, t ^ 2) sandwiches the array row between
+        // the aggressors; whether the victim comes back as t ^ 1 or t ^ 3
+        // says whether the low two bits of t ^ mask agree, which reads out
+        // bit0(mask) ^ bit1(mask).
+        let mut parity: Option<u64> = None;
+        let mut observations = 0usize;
+        for _ in 0..self.cfg.parity_rounds {
+            if observations >= self.cfg.parity_observations {
+                break;
+            }
+            let t = rng.gen_range(0..rows);
+            let Some(victims) = self.hammer_believed_rows(&view, &mut rng, t, t ^ 2) else {
+                continue;
+            };
+            for u in victims {
+                let observed = match u ^ t {
+                    1 => 0u64,
+                    3 => 1u64,
+                    // A flip outside the sandwich: the remap is not of the
+                    // XOR form this channel models.
+                    _ => return Ok(None),
+                };
+                let parity_of_t = (t ^ (t >> 1)) & 1;
+                let d = observed ^ parity_of_t;
+                match parity {
+                    None => parity = Some(d),
+                    Some(p) if p != d => return Ok(None), // inconsistent evidence
+                    Some(_) => {}
+                }
+                observations += 1;
+            }
+        }
+        let Some(parity) = parity else {
+            // Not a single victim flipped: no adjacency evidence at all.
+            return Ok(None);
+        };
+
+        // Phase 2: carry-chain induction under the hypothesis bit1 = 0. For
+        // each bit k, force the believed bits 1..k-1 to the complement of
+        // the mask recovered so far (so the masked bits form a carry chain)
+        // and alternate bit k between 0 and 1: the pair (x, x ^ h) is two
+        // array rows apart only for the variant matching bit k of the mask,
+        // and only an adjacent pair can flip. A wrong bit1 hypothesis
+        // inverts every recovered bit, which lands on the reflected mask —
+        // the same equivalence class.
+        let mut mask = 0u64;
+        for k in 2..u64::from(width) {
+            let h = (1u64 << (k + 1)) - 2;
+            let forced = !mask & ((1u64 << k) - 2);
+            let mut decided = false;
+            for attempt in 0..self.cfg.attempts_per_variant * 2 {
+                let v = u64::from(attempt) & 1;
+                let x = (rng.gen_range(0..rows) & !h) | forced | (v << k);
+                let Some(victims) = self.hammer_believed_rows(&view, &mut rng, x, x ^ h) else {
+                    continue;
+                };
+                if !victims.is_empty() {
+                    mask |= v << k;
+                    decided = true;
+                    break;
+                }
+            }
+            if !decided {
+                return Ok(None); // both variants stayed silent
+            }
+        }
+        mask |= parity; // bit0 = bit1 ^ parity, and bit1 = 0 by hypothesis
+        let candidate = RowRemap::canonical_mask(
+            u32::try_from(mask).expect("masks fit the mapping's row width"),
+            u32::try_from(rows).expect("row counts fit the mapping's row width"),
+        );
+        if candidate == 0 {
+            return Ok(None); // unremapped, or a pure mirror of the row line
+        }
+
+        // Phase 3: the candidate must place observed victims exactly on the
+        // middle of sandwiches it predicts across a three-bit carry; any
+        // flip elsewhere falsifies it.
+        let candidate64 = u64::from(candidate);
+        let mut hits = 0usize;
+        for _ in 0..self.cfg.verify_rounds {
+            if hits >= self.cfg.verify_hits {
+                break;
+            }
+            let array = (rng.gen_range(0..rows) & !0b1110) | 0b0110;
+            let x = array ^ candidate64;
+            let y = (array + 2) ^ candidate64;
+            let Some(victims) = self.hammer_believed_rows(&view, &mut rng, x, y) else {
+                continue;
+            };
+            for u in victims {
+                if u ^ candidate64 == array + 1 {
+                    hits += 1;
+                } else {
+                    return Ok(None); // flip outside the predicted middle
+                }
+            }
+        }
+        if hits < self.cfg.verify_hits {
+            return Ok(None);
+        }
+        Ok(Some(candidate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::{MachineClass, MachineGen, MachineSetting};
+
+    fn informed_channel_for(gen_seed: u64, class: MachineClass) -> FlipAdjacencyObservable {
+        let machine = MachineGen::new(gen_seed).generate(class);
+        let mut channel = FlipAdjacencyObservable::for_generated(&machine, 0x5EED ^ gen_seed);
+        channel.inform_mapping(machine.mapping());
+        channel
+    }
+
+    #[test]
+    fn channel_requires_a_mapping_first() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+        let mut channel = FlipAdjacencyObservable::new(machine, FlipAdjacencyConfig::default());
+        let q = ObservableQuery::RowAdjacency {
+            a: PhysAddr::new(0),
+            b: PhysAddr::new(0x1000),
+        };
+        assert!(!channel.supports(&q));
+        assert!(channel.answer(&q).is_err());
+        assert!(channel.recover_row_remap().is_err());
+        channel.inform_mapping(setting.mapping());
+        assert!(channel.supports(&q));
+        assert!(channel.view().is_some());
+    }
+
+    #[test]
+    fn adjacency_answer_distinguishes_neighbours_from_distant_rows() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+        let mut channel = FlipAdjacencyObservable::new(machine, FlipAdjacencyConfig::default());
+        channel.inform_mapping(setting.mapping());
+        let truth = setting.mapping();
+        // Find a vulnerable victim row so the positive case can flip.
+        let flip_model = channel.machine().controller().flip_model().clone();
+        let victim_row = (8..5_000u32)
+            .find(|&r| flip_model.row_vulnerability(0, r) > 0.3)
+            .unwrap();
+        let below = truth
+            .to_phys(dram_model::DramAddress::new(0, victim_row - 1, 0))
+            .unwrap();
+        let above = truth
+            .to_phys(dram_model::DramAddress::new(0, victim_row + 1, 0))
+            .unwrap();
+        let far = truth
+            .to_phys(dram_model::DramAddress::new(0, victim_row + 2_000, 0))
+            .unwrap();
+        let adjacent = channel
+            .answer(&ObservableQuery::RowAdjacency { a: below, b: above })
+            .unwrap();
+        assert!(adjacent.verdict);
+        assert!(adjacent.confidence > 0.9);
+        let distant = channel
+            .answer(&ObservableQuery::RowAdjacency { a: below, b: far })
+            .unwrap();
+        assert!(!distant.verdict);
+        let cost = channel.cost();
+        assert_eq!(cost.hammer_pairs, 2);
+        assert_eq!(cost.timing_pairs, 0);
+        assert!(cost.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn unsupported_queries_are_rejected() {
+        let setting = MachineSetting::no4_haswell_ddr3_4g();
+        let machine = SimMachine::from_setting(&setting, SimConfig::fast_rowhammer());
+        let mut channel = FlipAdjacencyObservable::new(machine, FlipAdjacencyConfig::default());
+        channel.inform_mapping(setting.mapping());
+        let q = ObservableQuery::SameBankDifferentRow {
+            a: PhysAddr::new(0),
+            b: PhysAddr::new(0x1000),
+        };
+        assert!(!channel.supports(&q));
+        assert!(channel.answer(&q).is_err());
+        assert_eq!(channel.kind(), ObservableKind::FlipAdjacency);
+    }
+
+    #[test]
+    fn recovers_the_remap_mask_on_generated_machines() {
+        for gen_seed in [2u64, 11, 23] {
+            let machine = MachineGen::new(gen_seed).generate(MachineClass::RowRemap);
+            let truth_mask = machine.row_remap.expect("row-remap class").xor_mask;
+            let expected = RowRemap::canonical_mask(truth_mask, machine.mapping().num_rows());
+            let mut channel = informed_channel_for(gen_seed, MachineClass::RowRemap);
+            let recovered = channel.recover_row_remap().unwrap();
+            assert_eq!(
+                recovered,
+                Some(expected).filter(|&c| c != 0),
+                "seed {gen_seed}: expected canonical mask {expected:#x} of {truth_mask:#x}, \
+                 got {recovered:?}"
+            );
+            assert!(channel.cost().hammer_pairs > 0);
+        }
+    }
+
+    #[test]
+    fn reports_no_remap_on_unremapped_machines() {
+        let mut channel = informed_channel_for(5, MachineClass::InScope);
+        assert_eq!(channel.recover_row_remap().unwrap(), None);
+    }
+}
