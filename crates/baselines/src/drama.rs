@@ -189,30 +189,9 @@ impl Drama {
 
         // --- Brute-force XOR functions over all address bits ----------------
         let candidate_bits: Vec<u8> = (self.config.lowest_bit..address_bits).collect();
+        let max_bits = self.config.max_function_bits.min(candidate_bits.len());
         let required = (sets.len() as f64 * self.config.set_agreement).ceil() as usize;
-        let mut consistent: Vec<XorFunc> = Vec::new();
-        for size in 1..=self.config.max_function_bits.min(candidate_bits.len()) {
-            for combo in bits::Combinations::new(&candidate_bits, size) {
-                let mask = bits::mask_of(&combo);
-                let agreeing = sets
-                    .iter()
-                    .filter(|set| {
-                        let expected = set[0].masked_parity(mask);
-                        set.iter().all(|a| a.masked_parity(mask) == expected)
-                    })
-                    .count();
-                if agreeing < required {
-                    continue;
-                }
-                // A useful function must not be constant over the whole pool
-                // (that would carry no bank information).
-                let first = pool[0].masked_parity(mask);
-                if pool.iter().all(|a| a.masked_parity(mask) == first) {
-                    continue;
-                }
-                consistent.push(XorFunc::from_mask(mask));
-            }
-        }
+        let consistent = brute_force_masks(&sets, &pool, &candidate_bits, max_bits, required);
         let functions = gf2::remove_redundant(&consistent);
         outcome.functions = functions.clone();
 
@@ -254,6 +233,119 @@ impl Drama {
         ));
         Ok(outcome)
     }
+}
+
+/// Orthogonal-complement dimension above which a set's agreeing masks are
+/// no longer enumerated through the bitsliced span walk (2^dim Gray steps)
+/// but counted against the candidate list instead.
+const SPAN_DIM_LIMIT: usize = 18;
+
+/// DRAMA's brute force: every XOR mask of up to `max_bits` candidate bits
+/// that is constant on at least `required` of the collected sets and not
+/// constant over the whole pool, in combination-enumeration order.
+///
+/// A mask is constant on a set exactly when it is orthogonal to the set's
+/// member-difference space, so instead of testing every candidate mask
+/// against every set (the scalar twin below), each set is collapsed to a
+/// row-echelon difference basis over the candidate bits and its agreeing
+/// masks are read off as the low-weight span of the basis's orthogonal
+/// complement — a bitsliced Gray-code walk over 2^(n - rank) vectors, which
+/// for a genuine same-bank set is a few dozen candidates rather than the
+/// ~C(n, max_bits) combinations the scalar sweep grinds through.
+fn brute_force_masks(
+    sets: &[Vec<PhysAddr>],
+    pool: &[PhysAddr],
+    candidate_bits: &[u8],
+    max_bits: usize,
+    required: usize,
+) -> Vec<XorFunc> {
+    let n = candidate_bits.len();
+    // Difference bases projected onto the candidate bits (bit i of a
+    // projected value is candidate bit i), split by complement dimension.
+    let mut enumerable: Vec<gf2::PileBasis> = Vec::new();
+    let mut wide: Vec<gf2::PileBasis> = Vec::new();
+    for set in sets {
+        let basis = gf2::PileBasis::from_members(
+            bits::gather_bits(set[0].raw(), candidate_bits),
+            set[1..]
+                .iter()
+                .map(|a| bits::gather_bits(a.raw(), candidate_bits)),
+        );
+        if n - basis.rank() <= SPAN_DIM_LIMIT {
+            enumerable.push(basis);
+        } else {
+            wide.push(basis);
+        }
+    }
+    // Every qualifying mask agrees with at least `required` sets, so as long
+    // as the wide sets alone cannot reach the quorum, it agrees with at
+    // least one enumerable set and therefore appears in a span walk below.
+    // Otherwise (including the no-sets case, where every mask qualifies
+    // vacuously) fall back to the exhaustive sweep.
+    if required == 0 || wide.len() >= required {
+        return brute_force_masks_scalar(sets, pool, candidate_bits, max_bits, required);
+    }
+    let mut agreement: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for basis in &enumerable {
+        let complement = gf2::nullspace_basis(basis.rows(), n);
+        for mask in gf2::bitslice::span_survivors(&complement, max_bits) {
+            *agreement.entry(mask).or_insert(0) += 1;
+        }
+    }
+    for basis in &wide {
+        for (mask, count) in agreement.iter_mut() {
+            if basis.mask_constant(*mask) {
+                *count += 1;
+            }
+        }
+    }
+    let mut masks: Vec<u64> = agreement
+        .into_iter()
+        .filter(|&(_, count)| count >= required)
+        .map(|(mask, _)| bits::scatter_bits(mask, candidate_bits))
+        .collect();
+    masks.sort_unstable_by(|&a, &b| bits::cmp_masks_enumeration_order(a, b));
+    // A useful function must not be constant over the whole pool (that
+    // would carry no bank information).
+    masks.retain(|&mask| {
+        let first = pool[0].masked_parity(mask);
+        !pool.iter().all(|a| a.masked_parity(mask) == first)
+    });
+    masks.into_iter().map(XorFunc::from_mask).collect()
+}
+
+/// The seed implementation of the brute force: tests every combination of
+/// candidate bits against every set member. Kept as the reference the span
+/// path is differentially tested against.
+fn brute_force_masks_scalar(
+    sets: &[Vec<PhysAddr>],
+    pool: &[PhysAddr],
+    candidate_bits: &[u8],
+    max_bits: usize,
+    required: usize,
+) -> Vec<XorFunc> {
+    let mut consistent: Vec<XorFunc> = Vec::new();
+    for size in 1..=max_bits {
+        for combo in bits::Combinations::new(candidate_bits, size) {
+            let mask = bits::mask_of(&combo);
+            let agreeing = sets
+                .iter()
+                .filter(|set| {
+                    let expected = set[0].masked_parity(mask);
+                    set.iter().all(|a| a.masked_parity(mask) == expected)
+                })
+                .count();
+            if agreeing < required {
+                continue;
+            }
+            let first = pool[0].masked_parity(mask);
+            if pool.iter().all(|a| a.masked_parity(mask) == first) {
+                continue;
+            }
+            consistent.push(XorFunc::from_mask(mask));
+        }
+    }
+    consistent
 }
 
 fn find_pair(
@@ -321,6 +413,63 @@ mod tests {
         let cfg = DramaConfig::fast();
         assert!(outcome.measurements as usize > cfg.pool_size);
         assert!(outcome.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn span_brute_force_matches_scalar_on_table_ii_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Same-bank sets sampled from each Table-II ground truth, plus a
+        // few corrupted sets (random members) so the agreement quorum and
+        // the wide-complement fallback paths are exercised.
+        for number in 1..=9u8 {
+            let setting = MachineSetting::by_number(number).unwrap();
+            let mapping = setting.mapping();
+            let address_bits = setting.system.address_bits();
+            let mut rng = StdRng::seed_from_u64(0xD2A3 ^ u64::from(number));
+            let mut pool: Vec<PhysAddr> = (0..600)
+                .map(|_| PhysAddr::new((rng.gen::<u64>() % (1u64 << address_bits)) & !63))
+                .collect();
+            pool.sort_unstable();
+            pool.dedup();
+            let mut sets: Vec<Vec<PhysAddr>> = Vec::new();
+            for _ in 0..12 {
+                let base = pool[rng.gen::<u64>() as usize % pool.len()];
+                let bank = mapping.bank_of(base);
+                let mut set = vec![base];
+                set.extend(
+                    pool.iter()
+                        .filter(|&&a| a != base && mapping.bank_of(a) == bank),
+                );
+                if set.len() >= 4 {
+                    sets.push(set);
+                }
+            }
+            // Two noisy sets: random members, and a tiny set whose
+            // complement is too wide for the span walk.
+            for len in [40usize, 8] {
+                let set: Vec<PhysAddr> = (0..len)
+                    .map(|_| pool[rng.gen::<u64>() as usize % pool.len()])
+                    .collect();
+                sets.push(set);
+            }
+            let candidate_bits: Vec<u8> = (6..address_bits).collect();
+            for agreement in [0.9f64, 0.5] {
+                let required = (sets.len() as f64 * agreement).ceil() as usize;
+                let fast = brute_force_masks(&sets, &pool, &candidate_bits, 6, required);
+                let scalar = brute_force_masks_scalar(&sets, &pool, &candidate_bits, 6, required);
+                assert_eq!(fast, scalar, "machine {number} agreement {agreement}");
+            }
+        }
+    }
+
+    #[test]
+    fn span_brute_force_matches_scalar_with_no_sets() {
+        let pool: Vec<PhysAddr> = (0..64).map(|i| PhysAddr::new(i * 64)).collect();
+        let candidate_bits: Vec<u8> = (6..20).collect();
+        let fast = brute_force_masks(&[], &pool, &candidate_bits, 3, 0);
+        let scalar = brute_force_masks_scalar(&[], &pool, &candidate_bits, 3, 0);
+        assert_eq!(fast, scalar);
     }
 
     #[test]

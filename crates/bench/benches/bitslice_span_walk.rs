@@ -1,0 +1,54 @@
+//! Micro-benchmark of the 64-lane Gray-code span enumeration against the
+//! scalar one-element-at-a-time walk it replaced in Algorithm 3 and the
+//! DRAMA brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dram_model::gf2::{bitslice, Gf2Matrix};
+
+/// Scalar twin: walk the full span one Gray step at a time.
+fn span_survivors_scalar(basis: &[u64], max_weight: usize) -> Vec<u64> {
+    let mut survivors = Vec::new();
+    let mut value = 0u64;
+    for j in 1u64..1u64 << basis.len() {
+        value ^= basis[j.trailing_zeros() as usize];
+        if value != 0 && (value.count_ones() as usize) <= max_weight {
+            survivors.push(value);
+        }
+    }
+    survivors.sort_unstable();
+    survivors
+}
+
+/// Deterministic pseudo-random 34-bit vectors (SplitMix64).
+fn rng_vectors(seed: u64, count: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) & (u64::MAX >> 30)
+        })
+        .collect()
+}
+
+fn bench_span_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitslice_span_walk");
+    for dim in [10usize, 14, 18] {
+        let basis = Gf2Matrix::from_rows(rng_vectors(dim as u64, dim)).row_basis();
+        assert_eq!(basis.len(), dim, "random vectors must be independent");
+        group.throughput(Throughput::Elements(1u64 << dim));
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &basis, |b, basis| {
+            b.iter(|| span_survivors_scalar(std::hint::black_box(basis), 6).len())
+        });
+        group.bench_with_input(BenchmarkId::new("bitsliced", dim), &basis, |b, basis| {
+            b.iter(|| bitslice::span_survivors(std::hint::black_box(basis), 6).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_span_walk);
+criterion_main!(benches);

@@ -19,7 +19,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dram_model::{MachineClass, MachineSetting, RowRemap};
+use dram_model::gf2::{self, bitslice, Gf2Matrix, PileBasis};
+use dram_model::{bits, MachineClass, MachineSetting, PhysAddr, RowRemap};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::driver::RunReport;
 use dramdig::engine::{EngineOptions, NullObserver, PipelineEngine};
@@ -63,6 +64,20 @@ fn oracle_for(setting: &MachineSetting) -> ConflictOracle<SimProbe> {
     let threshold = machine.controller().config().timing.oracle_threshold_ns();
     let probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
     ConflictOracle::new(probe, LatencyCalibration::from_threshold(threshold))
+}
+
+/// Deterministic pseudo-random values (SplitMix64), masked to `mask`.
+fn splitmix_values(seed: u64, count: usize, mask: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) & mask
+        })
+        .collect()
 }
 
 /// Times `f` repeatedly until the budget is spent; returns ns per call.
@@ -193,6 +208,135 @@ fn main() {
         eprintln!("differential check failed: detect paths disagree on recovered functions");
         std::process::exit(1);
     }
+
+    // --- Bitsliced GF(2) kernel micro-benchmarks ---------------------------
+    // The word-parallel kernels behind the full-grid speedup, timed on the
+    // workloads their real call sites feed them and pinned element-wise to
+    // the scalar twins they replaced. Both hot kernels carry an 8x
+    // throughput floor; a shortfall or any differential mismatch exits
+    // non-zero so CI smoke-runs gate the optimisation, not just correctness.
+    let kernel_setting = MachineSetting::no6_skylake_ddr4_16g();
+    let kernel_mapping = kernel_setting.mapping().clone();
+    let address_bits = kernel_setting.system.address_bits();
+    let addr_mask = u64::MAX >> (64 - u32::from(address_bits));
+
+    // Coset reduction: the Decompose inner loop — reduce a batch of pool
+    // addresses against the difference basis of a same-bank pile.
+    let kernel_pool = splitmix_values(0x5EED, 4096, addr_mask);
+    let pile_bank = kernel_mapping.bank_of(PhysAddr::new(kernel_pool[0]));
+    let pile_basis = PileBasis::from_members(
+        kernel_pool[0],
+        kernel_pool
+            .iter()
+            .copied()
+            .filter(|&a| kernel_mapping.bank_of(PhysAddr::new(a)) == pile_bank),
+    );
+    let reduce_values = splitmix_values(0xB17E, 4096, addr_mask);
+    let scalar_reduced: Vec<u64> = reduce_values
+        .iter()
+        .map(|&v| pile_basis.reduce(v))
+        .collect();
+    if pile_basis.reduce_batch(&reduce_values) != scalar_reduced {
+        eprintln!("differential check failed: reduce_batch disagrees with per-value reduce");
+        std::process::exit(1);
+    }
+    let reduce_scalar_ns = time_per_call(|| {
+        reduce_values
+            .iter()
+            .map(|&v| pile_basis.reduce(std::hint::black_box(v)))
+            .fold(0u64, |acc, r| acc ^ r)
+    });
+    let reduce_batch_ns = time_per_call(|| pile_basis.reduce_batch(&reduce_values));
+    let reduce_speedup = reduce_scalar_ns / reduce_batch_ns;
+
+    // Low-weight mask search: DRAMA's seed inner loop tested every
+    // C(n, <=6) candidate against the set's difference basis one mask at a
+    // time; the fast path walks the (tiny) nullspace span instead.
+    let candidate_bits: Vec<u8> = (6..address_bits).collect();
+    let sweep_masks = bits::gen_xor_masks(&candidate_bits, 6);
+    let mut sweep_survivors: Vec<u64> = sweep_masks
+        .iter()
+        .copied()
+        .filter(|&m| pile_basis.mask_constant(m))
+        .collect();
+    let gathered: Vec<u64> = pile_basis
+        .rows()
+        .iter()
+        .map(|&row| bits::gather_bits(row, &candidate_bits))
+        .collect();
+    let complement = gf2::nullspace_basis(&gathered, candidate_bits.len());
+    let mut walk_survivors: Vec<u64> = bitslice::span_survivors(&complement, 6)
+        .into_iter()
+        .map(|v| bits::scatter_bits(v, &candidate_bits))
+        .collect();
+    sweep_survivors.sort_unstable();
+    walk_survivors.sort_unstable();
+    if sweep_survivors != walk_survivors {
+        eprintln!(
+            "differential check failed: span walk found {} low-weight masks, full sweep {}",
+            walk_survivors.len(),
+            sweep_survivors.len()
+        );
+        std::process::exit(1);
+    }
+    let span_sweep_ns = time_per_call(|| {
+        sweep_masks
+            .iter()
+            .filter(|&&m| pile_basis.mask_constant(std::hint::black_box(m)))
+            .count()
+    });
+    let span_walk_ns = time_per_call(|| {
+        let complement =
+            gf2::nullspace_basis(std::hint::black_box(&gathered), candidate_bits.len());
+        bitslice::span_survivors(&complement, 6).len()
+    });
+    let span_speedup = span_sweep_ns / span_walk_ns;
+
+    if reduce_speedup < 8.0 || span_speedup < 8.0 {
+        eprintln!(
+            "gf2 kernel throughput gate failed: coset reduce {reduce_speedup:.1}x, \
+             span walk {span_speedup:.1}x (both must be >= 8x over the scalar twins)"
+        );
+        std::process::exit(1);
+    }
+
+    // RREF dedup keys (MappingStore): cold path, recorded without a
+    // throughput floor — the inputs are a handful of tiny matrices.
+    let rref_rows: Vec<Vec<u64>> = (1..=9u8)
+        .map(|n| {
+            MachineSetting::by_number(n)
+                .unwrap()
+                .mapping()
+                .bank_funcs()
+                .iter()
+                .map(|f| f.mask())
+                .collect()
+        })
+        .collect();
+    for rows in &rref_rows {
+        if bitslice::reduced_row_basis(rows)
+            != Gf2Matrix::from_rows(rows.clone()).reduced_row_basis()
+        {
+            eprintln!("differential check failed: bitsliced RREF disagrees with scalar matrix");
+            std::process::exit(1);
+        }
+    }
+    let rref_scalar_ns = time_per_call(|| {
+        rref_rows
+            .iter()
+            .map(|r| {
+                Gf2Matrix::from_rows(std::hint::black_box(r).clone())
+                    .reduced_row_basis()
+                    .len()
+            })
+            .sum::<usize>()
+    });
+    let rref_bitsliced_ns = time_per_call(|| {
+        rref_rows
+            .iter()
+            .map(|r| bitslice::reduced_row_basis(std::hint::black_box(r)).len())
+            .sum::<usize>()
+    });
 
     // --- Table-II sweep with the optimized profile -------------------------
     let mut sweep = String::new();
@@ -563,6 +707,43 @@ fn main() {
     );
     let _ = writeln!(out, "    \"speedup\": {detect_speedup:.2}");
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"gf2_kernels\": {{");
+    let _ = writeln!(out, "    \"setting\": \"{}\",", kernel_setting.label());
+    let _ = writeln!(out, "    \"coset_reduce\": {{");
+    let _ = writeln!(out, "      \"batch\": {},", reduce_values.len());
+    let _ = writeln!(out, "      \"basis_rank\": {},", pile_basis.rank());
+    let _ = writeln!(out, "      \"scalar_ns_per_batch\": {reduce_scalar_ns:.1},");
+    let _ = writeln!(
+        out,
+        "      \"bitsliced_ns_per_batch\": {reduce_batch_ns:.1},"
+    );
+    let _ = writeln!(out, "      \"speedup\": {reduce_speedup:.2}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"span_walk\": {{");
+    let _ = writeln!(out, "      \"candidate_bits\": {},", candidate_bits.len());
+    let _ = writeln!(out, "      \"masks_swept\": {},", sweep_masks.len());
+    let _ = writeln!(out, "      \"complement_dim\": {},", complement.len());
+    let _ = writeln!(out, "      \"survivors\": {},", walk_survivors.len());
+    let _ = writeln!(
+        out,
+        "      \"scalar_sweep_ns_per_call\": {span_sweep_ns:.1},"
+    );
+    let _ = writeln!(out, "      \"bitsliced_ns_per_call\": {span_walk_ns:.1},");
+    let _ = writeln!(out, "      \"speedup\": {span_speedup:.2}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"rref_keys\": {{");
+    let _ = writeln!(out, "      \"matrices\": {},", rref_rows.len());
+    let _ = writeln!(out, "      \"scalar_ns_per_call\": {rref_scalar_ns:.1},");
+    let _ = writeln!(
+        out,
+        "      \"bitsliced_ns_per_call\": {rref_bitsliced_ns:.1}"
+    );
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(
+        out,
+        "    \"throughput_gate\": \">= 8x on coset_reduce and span_walk\""
+    );
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"end_to_end\": {{");
     let _ = writeln!(
         out,
@@ -670,6 +851,13 @@ fn main() {
     );
     println!(
         "detect_bank_functions: naive {naive_detect_ns:.0} ns -> basis {fast_detect_ns:.0} ns ({detect_speedup:.1}x faster)"
+    );
+    println!(
+        "gf2 kernels: coset reduce {reduce_scalar_ns:.0} ns -> {reduce_batch_ns:.0} ns per 4096-batch \
+         ({reduce_speedup:.1}x), span walk {span_sweep_ns:.0} ns -> {span_walk_ns:.0} ns per set \
+         ({span_speedup:.1}x, {} masks swept -> {}-dim span)",
+        sweep_masks.len(),
+        complement.len(),
     );
     println!(
         "campaign (9 machines): fleet makespan {:.1} ms at 1 worker -> {:.1} ms at 4 workers ({fleet_4w:.1}x)",

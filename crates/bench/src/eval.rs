@@ -524,6 +524,94 @@ impl EvalOutcome {
     }
 }
 
+/// FNV-1a 64-bit fingerprint of a rendered scoreboard — the compact hash
+/// the longitudinal history stores per run so byte-level drift in a
+/// re-rendered board is caught without committing every full artifact.
+pub fn board_fingerprint(scoreboard: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in scoreboard.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Encodes a finished evaluation as one stable history line. The part
+/// before the first `|` is the run's identity key (grid, seed, observable
+/// channels); the rest records the gate verdict, the board fingerprint and
+/// per-tool outcome counts. Every field is deterministic for a given tree,
+/// so re-running the same key must reproduce the line byte-for-byte.
+pub fn history_line(outcome: &EvalOutcome) -> String {
+    let names: Vec<&str> = outcome.observables.iter().map(|k| k.as_str()).collect();
+    let mut line = format!(
+        "grid={} seed={} observables={} | gate={} scenarios={} board=fnv1a:{:016x}",
+        outcome.kind,
+        outcome.seed,
+        names.join("+"),
+        if outcome.gate().passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        outcome.rows.len(),
+        board_fingerprint(&outcome.render_scoreboard()),
+    );
+    for tool in ToolId::ALL {
+        let c = outcome.counts(tool);
+        let _ = write!(
+            line,
+            " | {tool} recovered={} skeleton={} detected={} partition_only={} not_applicable={} failed={} wrong={} measurements={}",
+            c.recovered,
+            c.skeleton,
+            c.detected,
+            c.partition_only,
+            c.not_applicable,
+            c.failed,
+            c.wrong,
+            c.measurements,
+        );
+    }
+    line
+}
+
+/// The identity key of a history line: everything before the first `|`.
+pub fn history_key(line: &str) -> &str {
+    line.split('|').next().unwrap_or(line).trim()
+}
+
+/// Appends a run to the longitudinal history under the regression gate: a
+/// key that was recorded before must reproduce its line byte-for-byte.
+/// Returns `Ok(None)` when the history already holds the identical line
+/// (nothing to write), `Ok(Some(updated))` with the new file contents when
+/// the key is new, and `Err` describing the drift when the same key re-ran
+/// to a different board or counts. Blank lines and `#` comments in the
+/// existing history are preserved and ignored by the gate.
+pub fn append_history(existing: &str, line: &str) -> Result<Option<String>, String> {
+    let line = line.trim();
+    let key = history_key(line);
+    for prior in existing.lines() {
+        let prior = prior.trim();
+        if prior.is_empty() || prior.starts_with('#') {
+            continue;
+        }
+        if history_key(prior) == key {
+            if prior == line {
+                return Ok(None);
+            }
+            return Err(format!(
+                "history regression for `{key}`:\n  recorded: {prior}\n  current:  {line}"
+            ));
+        }
+    }
+    let mut updated = existing.to_string();
+    if !updated.is_empty() && !updated.ends_with('\n') {
+        updated.push('\n');
+    }
+    updated.push_str(line);
+    updated.push('\n');
+    Ok(Some(updated))
+}
+
 /// Parses the `gate = PASS|FAIL` verdict out of a rendered scoreboard (the
 /// regression check CI and tests run against stored artifacts).
 pub fn parse_gate(scoreboard: &str) -> Option<bool> {
@@ -950,6 +1038,39 @@ mod tests {
             grid.of_class(MachineClass::WideFunction).count()
         );
         assert_eq!(c.skeleton, grid.of_class(MachineClass::RowRemap).count());
+    }
+
+    #[test]
+    fn history_codec_is_stable_and_gates_regressions() {
+        let grid = EvalGrid::new(GridKind::Quick, 1);
+        let outcome = run_grid(&grid, 4);
+        let line = history_line(&outcome);
+        assert!(
+            line.starts_with(
+                "grid=quick seed=1 observables=timing | gate=PASS scenarios=8 board=fnv1a:"
+            ),
+            "unexpected codec prefix: {line}"
+        );
+        assert_eq!(
+            line,
+            history_line(&run_grid(&grid, 1)),
+            "the codec must be deterministic across runs and worker counts"
+        );
+
+        // A new key appends below preserved comments; the identical re-run
+        // is a no-op; a drifted board for the same key is a regression.
+        let history = append_history("# longitudinal scoreboard history\n", &line)
+            .unwrap()
+            .expect("a new key must append");
+        assert!(history.starts_with("# longitudinal"));
+        assert!(history.ends_with(&format!("{line}\n")));
+        assert_eq!(append_history(&history, &line).unwrap(), None);
+        let drifted = line.replace("board=fnv1a:", "board=fnv1a:f");
+        let err = append_history(&history, &drifted).unwrap_err();
+        assert!(err.contains("history regression"), "got: {err}");
+        // A different key coexists with the recorded one.
+        let other_seed = line.replace("seed=1", "seed=2");
+        assert!(append_history(&history, &other_seed).unwrap().is_some());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use dram_model::gf2::Gf2Matrix;
+use dram_model::gf2::{self, Gf2Matrix};
 use dram_model::{parse, AddressMapping, XorFunc};
 use dramdig::codec::CodecError;
 
@@ -30,8 +30,13 @@ struct Signature {
 
 impl Signature {
     fn of(mapping: &AddressMapping) -> Self {
+        // The bitsliced RREF (rows as lanes, one word op per eliminated
+        // bit) produces the same unique reduced basis as the scalar
+        // `Gf2Matrix::reduced_row_basis`, which stays the differential twin
+        // (see `canonical_key_matches_scalar_rref` below).
+        let masks: Vec<u64> = mapping.bank_funcs().iter().map(|f| f.mask()).collect();
         Signature {
-            basis: Gf2Matrix::from_funcs(mapping.bank_funcs()).reduced_row_basis(),
+            basis: gf2::bitslice::reduced_row_basis(&masks),
             row_bits: mapping.row_bits().to_vec(),
             column_bits: mapping.column_bits().to_vec(),
         }
@@ -304,6 +309,21 @@ mod tests {
         // Re-inserting an existing source is idempotent.
         assert!(!store.insert(no4.mapping(), source(4, "m4-s1-optimized")));
         assert_eq!(store.entries().next().unwrap().sources.len(), 2);
+    }
+
+    #[test]
+    fn canonical_key_matches_scalar_rref() {
+        // The store's bitsliced canonicalization must agree with the scalar
+        // RREF on every Table-II mapping (the differential twin).
+        for n in 1..=9u8 {
+            let mapping = MachineSetting::by_number(n).unwrap().mapping().clone();
+            let masks: Vec<u64> = mapping.bank_funcs().iter().map(|f| f.mask()).collect();
+            assert_eq!(
+                gf2::bitslice::reduced_row_basis(&masks),
+                Gf2Matrix::from_funcs(mapping.bank_funcs()).reduced_row_basis(),
+                "machine No.{n}"
+            );
+        }
     }
 
     #[test]

@@ -125,7 +125,8 @@ pub enum Command {
         /// Column bits in range notation.
         cols: String,
     },
-    /// `dramdig eval --grid G [--seed S] [--workers N] [--out PATH]`
+    /// `dramdig eval --grid G [--seed S] [--workers N] [--out PATH]
+    /// [--history PATH]`
     Eval {
         /// Scenario grid preset (quick, ci or full).
         grid: GridKind,
@@ -135,6 +136,9 @@ pub enum Command {
         workers: usize,
         /// Optional path the scoreboard artifact is written to.
         out: Option<String>,
+        /// Optional longitudinal history file the run is appended to under
+        /// the regression gate (same key must reproduce its line).
+        history: Option<String>,
         /// Observable channels DRAMDig runs with across the grid.
         observables: Vec<ObservableKind>,
     },
@@ -225,7 +229,8 @@ pub fn usage() -> String {
         "  dramdig decode   --machine <1-9> --addr <hex or decimal physical address>\n",
         "  dramdig validate --funcs \"(13, 16), ...\" --rows 16~31 --cols 0~12\n",
         "  dramdig eval     --grid quick|ci|full [--seed <u64>] [--workers <n>]\n",
-        "                   [--out <path>] [--observables timing[,flip-adjacency]]\n",
+        "                   [--out <path>] [--history <path>]\n",
+        "                   [--observables timing[,flip-adjacency]]\n",
         "  dramdig campaign run    --dir <dir> --machines <1-9|4,7> [--seeds <s,..>]\n",
         "                          [--profiles naive|default|fast|optimized[,..]]\n",
         "                          [--ablations none|spec|sysinfo|empirical[,..]]\n",
@@ -582,7 +587,14 @@ impl Command {
             "eval" => {
                 reject_unknown_flags(
                     rest,
-                    &["--grid", "--seed", "--workers", "--out", "--observables"],
+                    &[
+                        "--grid",
+                        "--seed",
+                        "--workers",
+                        "--out",
+                        "--history",
+                        "--observables",
+                    ],
                     "eval",
                 )?;
                 let grid_name = required(rest, "--grid", "eval")?;
@@ -610,6 +622,7 @@ impl Command {
                     seed,
                     workers,
                     out: flag_value(rest, "--out").map(str::to_string),
+                    history: flag_value(rest, "--history").map(str::to_string),
                     observables: parse_observables(rest)?,
                 })
             }
@@ -971,6 +984,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             seed,
             workers,
             out,
+            history,
             observables,
         } => {
             let started = std::time::Instant::now();
@@ -996,6 +1010,33 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                     "scenario-matrix gate FAILED:\n  {}",
                     gate.failures.join("\n  ")
                 )));
+            }
+            // Only passing boards enter the longitudinal history; a key
+            // recorded before must reproduce its line byte-for-byte or the
+            // run fails as a scoreboard regression.
+            if let Some(path) = history {
+                let existing = match std::fs::read_to_string(path) {
+                    Ok(contents) => contents,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                    Err(e) => {
+                        return Err(CliError::Tool(format!("cannot read history {path}: {e}")))
+                    }
+                };
+                let line = dramdig_bench::eval::history_line(&outcome);
+                match dramdig_bench::eval::append_history(&existing, &line) {
+                    Ok(Some(updated)) => {
+                        std::fs::write(path, updated).map_err(|e| {
+                            CliError::Tool(format!("cannot write history {path}: {e}"))
+                        })?;
+                        eprintln!("[dramdig] history: recorded new run in {path}");
+                    }
+                    Ok(None) => {
+                        eprintln!("[dramdig] history: run already recorded in {path}, unchanged");
+                    }
+                    Err(drift) => {
+                        return Err(CliError::Tool(format!("scoreboard {drift}")));
+                    }
+                }
             }
             Ok(scoreboard)
         }
@@ -1390,6 +1431,7 @@ mod tests {
                 seed: 1,
                 workers: 4,
                 out: None,
+                history: None,
                 observables: vec![ObservableKind::ConflictTiming],
             }
         );
@@ -1403,7 +1445,9 @@ mod tests {
                 "--workers",
                 "2",
                 "--out",
-                "sb.txt"
+                "sb.txt",
+                "--history",
+                "hist.txt"
             ]))
             .unwrap(),
             Command::Eval {
@@ -1411,6 +1455,7 @@ mod tests {
                 seed: 9,
                 workers: 2,
                 out: Some("sb.txt".into()),
+                history: Some("hist.txt".into()),
                 observables: vec![ObservableKind::ConflictTiming],
             }
         );
@@ -1476,12 +1521,14 @@ mod tests {
     fn eval_quick_grid_writes_a_deterministic_scoreboard() {
         let out_a = std::env::temp_dir().join(format!("dramdig-eval-a-{}", std::process::id()));
         let out_b = std::env::temp_dir().join(format!("dramdig-eval-b-{}", std::process::id()));
+        let hist = std::env::temp_dir().join(format!("dramdig-eval-hist-{}", std::process::id()));
         let run = |path: &std::path::Path, workers: usize| {
             execute(&Command::Eval {
                 grid: GridKind::Quick,
                 seed: 1,
                 workers,
                 out: Some(path.to_str().unwrap().to_string()),
+                history: Some(hist.to_str().unwrap().to_string()),
                 observables: vec![ObservableKind::ConflictTiming],
             })
             .unwrap()
@@ -1494,8 +1541,16 @@ mod tests {
         assert_eq!(stdout_a, file_a);
         assert_eq!(stdout_b, file_b);
         assert!(file_a.contains("gate = PASS"), "{file_a}");
+        // The second identical run must not duplicate the history line.
+        let history = std::fs::read_to_string(&hist).unwrap();
+        assert_eq!(history.lines().count(), 1, "{history}");
+        assert!(
+            history.starts_with("grid=quick seed=1 observables=timing | gate=PASS"),
+            "{history}"
+        );
         std::fs::remove_file(&out_a).unwrap();
         std::fs::remove_file(&out_b).unwrap();
+        std::fs::remove_file(&hist).unwrap();
     }
 
     /// Table-driven coverage of the whole parse surface: each row is a

@@ -279,21 +279,27 @@ pub fn detect_bank_functions_with_basis(
         .collect();
     let complement = gf2::nullspace_basis(&gathered, n);
     let consistent = if (1u64 << complement.len()) as usize <= PARALLEL_SWEEP_MIN_MASKS {
-        let mut survivors: Vec<u64> = Vec::with_capacity(1 << complement.len());
-        let mut value = 0u64;
-        for i in 1u64..(1 << complement.len()) {
-            // Gray-code walk: step i flips combination bit trailing_zeros(i),
-            // so each candidate costs exactly one XOR.
-            value ^= complement[i.trailing_zeros() as usize];
-            if value.count_ones() as usize <= max_bits {
-                survivors.push(bits::scatter_bits(value, bank_bits));
-            }
-        }
+        // Bitsliced span walk: each 64-lane block tests 64 combinations of
+        // the complement basis at once (vertical-counter weight filter),
+        // replacing the one-XOR-one-popcount-per-candidate Gray-code walk.
+        // The scalar walk survives as the differential twin in
+        // `dram_model`'s bitslice proptest suite.
+        let mut survivors: Vec<u64> = gf2::bitslice::span_survivors(&complement, max_bits)
+            .into_iter()
+            .map(|value| bits::scatter_bits(value, bank_bits))
+            .collect();
         survivors.sort_unstable_by(|&a, &b| bits::cmp_masks_enumeration_order(a, b));
         survivors.into_iter().map(XorFunc::from_mask).collect()
     } else {
+        // Degenerate low-rank bases: materialize the candidate list and
+        // parity-test 64 masks per word op against the basis rows. The
+        // scalar sweep is kept as `consistent_masks` and pinned to this
+        // path by the differential tests.
         let masks = bits::gen_xor_masks(bank_bits, max_bits);
-        consistent_masks(&masks, basis)
+        gf2::bitslice::filter_constant_masks(&masks, basis.rows())
+            .into_iter()
+            .map(XorFunc::from_mask)
+            .collect()
     };
     resolve_functions(consistent, piles, needed)
 }

@@ -188,11 +188,15 @@ pub fn partition_into_piles<P: MemoryProbe>(
 #[must_use]
 pub fn synthetic_piles(mapping: &dram_model::AddressMapping) -> Vec<Pile> {
     let bank_bits = mapping.bank_function_bits();
+    let addrs: Vec<PhysAddr> = (0..(1u64 << bank_bits.len()))
+        .map(|combo| PhysAddr::new(dram_model::bits::scatter_bits(combo, &bank_bits)))
+        .collect();
+    // Bank numbers come from the bitsliced batch evaluator (64 addresses
+    // per block); `bank_of` stays the scalar twin.
+    let banks = mapping.banks_of(&addrs);
     let mut piles: std::collections::BTreeMap<u32, Vec<PhysAddr>> = Default::default();
-    for combo in 0..(1u64 << bank_bits.len()) {
-        let raw = dram_model::bits::scatter_bits(combo, &bank_bits);
-        let addr = PhysAddr::new(raw);
-        piles.entry(mapping.bank_of(addr)).or_default().push(addr);
+    for (&addr, bank) in addrs.iter().zip(banks) {
+        piles.entry(bank).or_default().push(addr);
     }
     piles
         .into_values()
@@ -353,10 +357,13 @@ pub fn partition_decompose<P: MemoryProbe>(
         }
     }
 
-    // Assign every pool address to its coset — pure computation.
+    // Assign every pool address to its coset — pure computation, reduced in
+    // bitsliced blocks of 64 addresses per basis pass (identical output to
+    // the per-address `kernel.reduce`, which remains the differential twin).
+    let differences: Vec<u64> = pool.iter().map(|a| a.raw() ^ pivot.raw()).collect();
+    let cosets = kernel.reduce_batch(&differences);
     let mut piles_by_coset: std::collections::BTreeMap<u64, Vec<PhysAddr>> = Default::default();
-    for &addr in pool {
-        let coset = kernel.reduce(addr.raw() ^ pivot.raw());
+    for (&addr, coset) in pool.iter().zip(cosets) {
         piles_by_coset.entry(coset).or_default().push(addr);
     }
     if piles_by_coset.len() != num_banks as usize {

@@ -8,6 +8,8 @@
 
 use crate::XorFunc;
 
+pub mod bitslice;
+
 /// A matrix over GF(2) whose rows are stored as 64-bit masks.
 ///
 /// ```
@@ -206,10 +208,18 @@ impl PileBasis {
             .iter()
             .all(|&d| (d & mask).count_ones().is_multiple_of(2))
     }
+
+    /// Reduces a whole batch of values, 64 per bitsliced block — the
+    /// word-parallel twin of calling [`PileBasis::reduce`] on each value
+    /// (element-wise identical output, in input order).
+    #[must_use]
+    pub fn reduce_batch(&self, values: &[u64]) -> Vec<u64> {
+        bitslice::reduce_batch(values, &self.basis)
+    }
 }
 
 /// Reduces `value` against a set of basis rows (each used by its leading bit).
-fn reduce_against(mut value: u64, basis: &[u64]) -> u64 {
+pub fn reduce_against(mut value: u64, basis: &[u64]) -> u64 {
     for &b in basis {
         if b == 0 {
             continue;

@@ -1,0 +1,574 @@
+//! Bitsliced (transposed) GF(2) kernels: 64 masks or addresses per word op.
+//!
+//! Every hot loop of the recovery pipeline — coset reduction against a
+//! [`PileBasis`](super::PileBasis), the Gray-code walk over a nullspace
+//! span, RREF canonicalization of a function set, XOR-function evaluation —
+//! processes one 64-bit mask per iteration in its scalar form. This module
+//! stores the *transpose* instead: a [`BitSlab`] holds up to 64 values with
+//! `planes[b]` collecting bit `b` of every value, lane `j` of each plane
+//! word belonging to value `j`. In that layout a conditional XOR of a basis
+//! row into whichever values need it is one word op per set bit of the row,
+//! applied to all 64 lanes at once, and a parity (XOR-function evaluation)
+//! is one XOR per set bit of the mask — again for 64 addresses at a time.
+//!
+//! Each kernel has a scalar twin in [`super`] (or in `dramdig::functions`)
+//! that it is pinned to by unit tests here and by the proptest differential
+//! suite in `crates/dram-model/tests/bitslice_props.rs`.
+
+/// Number of values a [`BitSlab`] holds: one per bit lane of a `u64`.
+pub const LANES: usize = 64;
+
+/// In-place transpose of a 64x64 bit matrix stored row-major.
+///
+/// Bit `c` of `a[r]` on entry becomes bit `r` of `a[c]` on exit (plain
+/// main-diagonal transpose in LSB-first bit order), via the classic
+/// log-depth delta-swap network: 6 rounds of masked block swaps.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut mask: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            if k & j == 0 {
+                let t = ((a[k] >> j) ^ a[k | j]) & mask;
+                a[k | j] ^= t;
+                a[k] ^= t << j;
+            }
+            k += 1;
+        }
+        j >>= 1;
+        // 32 -> 0x0000FFFF0000FFFF -> 0x00FF00FF... -> 0x0F0F... -> 0x3333...
+        mask ^= mask << j;
+    }
+}
+
+/// Up to 64 GF(2) vectors in transposed (bit-plane) layout.
+///
+/// `planes[b]` holds bit `b` of every stored value; lane `j` (bit `j` of a
+/// plane word) belongs to value `j`. Lanes at index `len..64` are zero.
+#[derive(Debug, Clone)]
+pub struct BitSlab {
+    planes: [u64; 64],
+    len: usize,
+}
+
+impl BitSlab {
+    /// Transposes a batch of at most [`LANES`] values into plane layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`LANES`] values are given.
+    pub fn from_values(values: &[u64]) -> Self {
+        assert!(
+            values.len() <= LANES,
+            "a BitSlab holds at most {LANES} values, got {}",
+            values.len()
+        );
+        let mut planes = [0u64; 64];
+        planes[..values.len()].copy_from_slice(values);
+        transpose64(&mut planes);
+        BitSlab {
+            planes,
+            len: values.len(),
+        }
+    }
+
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the slab holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The plane word for one bit position: lane `j` is bit `bit` of value
+    /// `j`.
+    pub fn plane(&self, bit: usize) -> u64 {
+        self.planes[bit]
+    }
+
+    /// Transposes back to the stored values.
+    pub fn values(&self) -> Vec<u64> {
+        let mut rows = self.planes;
+        transpose64(&mut rows);
+        rows[..self.len].to_vec()
+    }
+
+    /// Reduces every stored value against a row-echelon basis, exactly as
+    /// [`reduce_against`](super::reduce_against) does one value at a time:
+    /// for each basis row in order, every value whose leading-bit lane is
+    /// set absorbs the row. The selection mask is the leading bit's plane
+    /// word, so all 64 lanes take the conditional XOR in one word op per
+    /// set bit of the row.
+    ///
+    /// `rows` must have pairwise-distinct leading bits (the invariant
+    /// [`PileBasis`](super::PileBasis) maintains); rows equal to zero are
+    /// skipped.
+    pub fn reduce_rows(&mut self, rows: &[u64]) {
+        for &row in rows {
+            if row == 0 {
+                continue;
+            }
+            let lead = 63 - row.leading_zeros() as usize;
+            let sel = self.planes[lead];
+            if sel == 0 {
+                continue;
+            }
+            let mut rem = row;
+            while rem != 0 {
+                let b = rem.trailing_zeros() as usize;
+                self.planes[b] ^= sel;
+                rem &= rem - 1;
+            }
+        }
+    }
+
+    /// XOR-parity of `mask` over every stored value in one pass: lane `j`
+    /// of the result is `(values[j] & mask).count_ones() & 1` — the scalar
+    /// [`XorFunc::evaluate`](crate::XorFunc::evaluate) applied to 64
+    /// addresses at once, at one XOR per set bit of the mask.
+    pub fn parity(&self, mask: u64) -> u64 {
+        let mut acc = 0u64;
+        let mut rem = mask;
+        while rem != 0 {
+            acc ^= self.planes[rem.trailing_zeros() as usize];
+            rem &= rem - 1;
+        }
+        acc
+    }
+}
+
+/// Kernel (a): batch coset reduction. Reduces every value against a
+/// row-echelon `basis_rows`, returning the coset representatives in input
+/// order — element-wise identical to calling
+/// [`reduce_against`](super::reduce_against) per value, but in O(1) table
+/// lookups per value instead of O(rank) conditional row XORs.
+pub fn reduce_batch(values: &[u64], basis_rows: &[u64]) -> Vec<u64> {
+    if values.is_empty() || basis_rows.iter().all(|&r| r == 0) {
+        return values.to_vec();
+    }
+    // Against the *reduced* row-echelon basis each pivot bit appears in
+    // exactly one row, so the representative is `v ^ Σ v[pivot_i]·row_i` —
+    // a linear map of `v`. (Row-echelon and RREF bases of the same space
+    // yield the same representative: it is the unique coset member with
+    // every pivot coordinate zero.)
+    let rref = reduced_row_basis(basis_rows);
+    // Column images of that map: identity except on pivot columns, where
+    // the pivot bit clears and the row's free bits fold in.
+    let mut cols = [0u64; 64];
+    for (j, col) in cols.iter_mut().enumerate() {
+        *col = 1u64 << j;
+    }
+    for &row in &rref {
+        let pivot = 63 - row.leading_zeros() as usize;
+        cols[pivot] = row ^ (1u64 << pivot);
+    }
+    // Method of four Russians: one 256-entry XOR table per input byte turns
+    // the 64-column map into eight table lookups per value.
+    let mut tables = [[0u64; 256]; 8];
+    for (k, table) in tables.iter_mut().enumerate() {
+        for b in 1usize..256 {
+            table[b] = table[b & (b - 1)] ^ cols[k * 8 + b.trailing_zeros() as usize];
+        }
+    }
+    values
+        .iter()
+        .map(|&v| {
+            tables.iter().enumerate().fold(0u64, |rep, (k, table)| {
+                rep ^ table[(v >> (k * 8)) as usize & 0xFF]
+            })
+        })
+        .collect()
+}
+
+/// Lane-selection constants: bit `j` of `SEL[k]` is bit `k` of the lane
+/// index `j`, so XOR-accumulating `SEL[k]` into the planes of `basis[k]`
+/// makes lane `j` hold the combination of basis vectors selected by the
+/// binary digits of `j`.
+const SEL: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Kernel (b): bitsliced span enumeration. Returns every *non-zero* vector
+/// in the span of the linearly independent `basis` whose Hamming weight is
+/// at most `max_weight`, sorted ascending.
+///
+/// The first six basis vectors are spread across the 64 lanes of one block
+/// through the `SEL` lane constants; the remaining vectors are Gray-code
+/// walked as a per-block base, toggling whole planes (`^= !0`). Each block
+/// therefore tests 64 candidate masks with a handful of word ops: a
+/// vertical-counter (carry-save) popcount over the planes in use, a
+/// bitsliced `<= max_weight` compare, and one scalar materialization per
+/// surviving lane.
+///
+/// The scalar twin is the Gray-code walk in
+/// `dramdig::functions::detect_bank_functions_with_basis` (one XOR + one
+/// `count_ones` per candidate).
+///
+/// # Panics
+///
+/// Panics when `basis` has 32 or more vectors (2^32 candidates is far past
+/// anything the pipeline enumerates — the chunked-sweep path takes over
+/// long before).
+pub fn span_survivors(basis: &[u64], max_weight: usize) -> Vec<u64> {
+    assert!(
+        basis.len() < 32,
+        "span of {} basis vectors is too large to enumerate",
+        basis.len()
+    );
+    if basis.is_empty() {
+        return Vec::new();
+    }
+    let low = basis.len().min(6);
+    let lane_count = 1usize << low;
+    let lane_mask: u64 = if lane_count == LANES {
+        !0
+    } else {
+        (1u64 << lane_count) - 1
+    };
+    let union: u64 = basis.iter().fold(0, |acc, &b| acc | b);
+
+    // Planes of the 64 low-lane combinations (blockbase = 0).
+    let mut planes = [0u64; 64];
+    for (k, &vector) in basis.iter().take(low).enumerate() {
+        let mut rem = vector;
+        while rem != 0 {
+            planes[rem.trailing_zeros() as usize] ^= SEL[k];
+            rem &= rem - 1;
+        }
+    }
+    // Lane -> low-combination lookup for materializing survivors.
+    let mut low_combos = [0u64; LANES];
+    for j in 1..lane_count {
+        low_combos[j] = low_combos[j & (j - 1)] ^ basis[j.trailing_zeros() as usize];
+    }
+
+    let limit = max_weight.min(127) as u64;
+    let blocks = 1u64 << (basis.len() - low);
+    let mut blockbase = 0u64;
+    let mut out = Vec::new();
+    for t in 0..blocks {
+        if t > 0 {
+            // Gray-code step over the high basis vectors: one whole-plane
+            // toggle per set bit of the stepped vector.
+            let step = basis[low + t.trailing_zeros() as usize];
+            blockbase ^= step;
+            let mut rem = step;
+            while rem != 0 {
+                planes[rem.trailing_zeros() as usize] ^= !0u64;
+                rem &= rem - 1;
+            }
+        }
+        // Vertical-counter popcount: cnt[i] is bit i of each lane's weight.
+        let mut cnt = [0u64; 7];
+        let mut nonzero = 0u64;
+        let mut rem = union;
+        while rem != 0 {
+            let plane = planes[rem.trailing_zeros() as usize];
+            nonzero |= plane;
+            let mut carry = plane;
+            for c in cnt.iter_mut() {
+                if carry == 0 {
+                    break;
+                }
+                let overflow = *c & carry;
+                *c ^= carry;
+                carry = overflow;
+            }
+            rem &= rem - 1;
+        }
+        // Bitsliced compare: lanes whose weight exceeds `limit`.
+        let mut gt = 0u64;
+        let mut eq = !0u64;
+        for i in (0..7).rev() {
+            let lbit = if (limit >> i) & 1 == 1 { !0u64 } else { 0 };
+            gt |= eq & cnt[i] & !lbit;
+            eq &= !(cnt[i] ^ lbit);
+        }
+        let mut keep = !gt & nonzero & lane_mask;
+        while keep != 0 {
+            let j = keep.trailing_zeros() as usize;
+            out.push(blockbase ^ low_combos[j]);
+            keep &= keep - 1;
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Kernel (b), filtering form: keeps the masks (in input order) that have
+/// even parity against every basis row — the bitsliced twin of testing
+/// [`PileBasis::mask_constant`](super::PileBasis::mask_constant) per mask.
+/// One [`BitSlab::parity`] per basis row classifies 64 masks at once.
+pub fn filter_constant_masks(masks: &[u64], basis_rows: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for chunk in masks.chunks(LANES) {
+        let slab = BitSlab::from_values(chunk);
+        let mut odd = 0u64;
+        for &row in basis_rows {
+            odd |= slab.parity(row);
+        }
+        let lane_mask: u64 = if chunk.len() == LANES {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        let mut keep = !odd & lane_mask;
+        while keep != 0 {
+            let j = keep.trailing_zeros() as usize;
+            out.push(chunk[j]);
+            keep &= keep - 1;
+        }
+    }
+    out
+}
+
+/// Kernel (c): batch RREF canonicalization with the matrix's rows as
+/// lanes. Produces the unique reduced row-echelon basis of the row space —
+/// byte-identical to
+/// [`Gf2Matrix::reduced_row_basis`](super::Gf2Matrix::reduced_row_basis) —
+/// but each elimination clears a pivot bit from *all* other rows in one
+/// word op per set bit of the pivot row.
+///
+/// More than 64 rows are first folded into a plain row-echelon basis (the
+/// row space has rank at most 64) and the bitsliced elimination runs on
+/// that; the result is identical either way.
+pub fn reduced_row_basis(rows: &[u64]) -> Vec<u64> {
+    if rows.len() > LANES {
+        let mut echelon: Vec<u64> = Vec::new();
+        for &row in rows {
+            let reduced = super::reduce_against(row, &echelon);
+            if reduced != 0 {
+                echelon.push(reduced);
+                echelon.sort_unstable_by(|a, b| b.cmp(a));
+            }
+        }
+        return reduced_row_basis(&echelon);
+    }
+    let mut slab = BitSlab::from_values(rows);
+    let mut remaining: u64 = if rows.len() == LANES {
+        !0
+    } else {
+        (1u64 << rows.len()) - 1
+    };
+    let mut pivot_lanes: Vec<usize> = Vec::new();
+    for bit in (0..64).rev() {
+        let candidates = slab.planes[bit] & remaining;
+        if candidates == 0 {
+            continue;
+        }
+        let lane = candidates.trailing_zeros() as usize;
+        remaining &= !(1u64 << lane);
+        // Gather the pivot row (higher bits are already eliminated).
+        let mut row = 0u64;
+        for b in 0..=bit {
+            row |= ((slab.planes[b] >> lane) & 1) << b;
+        }
+        // Jordan elimination: every other lane holding the pivot bit —
+        // including earlier pivots, for full back-substitution — absorbs
+        // the pivot row.
+        let sel = slab.planes[bit] & !(1u64 << lane);
+        if sel != 0 {
+            let mut rem = row;
+            while rem != 0 {
+                slab.planes[rem.trailing_zeros() as usize] ^= sel;
+                rem &= rem - 1;
+            }
+        }
+        pivot_lanes.push(lane);
+    }
+    // Pivot discovery ran from the highest bit down, so gathering in that
+    // order yields rows sorted descending by leading bit — the same order
+    // the scalar canonicalization sorts into.
+    pivot_lanes
+        .iter()
+        .map(|&lane| {
+            let mut row = 0u64;
+            for b in 0..64 {
+                row |= ((slab.planes[b] >> lane) & 1) << b;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Kernel (d): evaluates a set of XOR functions (bit masks) over a batch
+/// of raw addresses, 64 addresses per block. Returns one packed result per
+/// address: bit `i` of `out[j]` is the parity of `funcs[i]` on `addrs[j]`
+/// — the bank number when `funcs` are the mapping's bank functions.
+pub fn eval_funcs(funcs: &[u64], addrs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(addrs.len());
+    for chunk in addrs.chunks(LANES) {
+        let slab = BitSlab::from_values(chunk);
+        // Collect each function's parity word as one plane of the result
+        // slab, then transpose back so lane j reads out as a bank number.
+        let mut result = [0u64; 64];
+        for (i, &f) in funcs.iter().enumerate() {
+            result[i] = slab.parity(f);
+        }
+        transpose64(&mut result);
+        out.extend_from_slice(&result[..chunk.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{reduce_against, Gf2Matrix, PileBasis};
+    use super::*;
+
+    fn rng_values(seed: u64, n: usize, bits: u32) -> Vec<u64> {
+        // SplitMix64 stream; enough for structural tests.
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & (u64::MAX >> (64 - bits))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transpose_round_trips_and_moves_bits() {
+        let values = rng_values(1, 64, 64);
+        let mut a: [u64; 64] = values.clone().try_into().unwrap();
+        transpose64(&mut a);
+        for (r, &v) in values.iter().enumerate() {
+            for (c, &plane) in a.iter().enumerate() {
+                assert_eq!((plane >> r) & 1, (v >> c) & 1, "bit ({r},{c})");
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a.to_vec(), values);
+    }
+
+    #[test]
+    fn slab_round_trips_partial_batches() {
+        for n in [0usize, 1, 7, 63, 64] {
+            let values = rng_values(2, n, 40);
+            let slab = BitSlab::from_values(&values);
+            assert_eq!(slab.len(), n);
+            assert_eq!(slab.is_empty(), n == 0);
+            assert_eq!(slab.values(), values);
+        }
+    }
+
+    #[test]
+    fn parity_matches_scalar_popcount() {
+        let values = rng_values(3, 64, 48);
+        let slab = BitSlab::from_values(&values);
+        for &mask in &[0u64, 1, 0b1011, 0xFFFF_FFFF_FFFF] {
+            let word = slab.parity(mask);
+            for (j, &v) in values.iter().enumerate() {
+                let scalar = (v & mask).count_ones() & 1;
+                assert_eq!((word >> j) & 1, u64::from(scalar), "lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_batch_matches_scalar_reduce() {
+        let mut basis = PileBasis::new(0);
+        for &d in &[0b1100_1000, 0b0110_0001, 0b0001_1010, 0b1000_0010] {
+            basis.insert(d);
+        }
+        let values = rng_values(4, 200, 10);
+        let batched = reduce_batch(&values, basis.rows());
+        for (j, &v) in values.iter().enumerate() {
+            assert_eq!(batched[j], reduce_against(v, basis.rows()), "value {j}");
+        }
+    }
+
+    #[test]
+    fn span_survivors_matches_gray_walk() {
+        // An independent basis over 14 bits; enumerate with both kernels.
+        let basis = vec![
+            0b10_0000_0000_0011u64,
+            0b01_0000_0110_0000,
+            0b00_1010_0000_1000,
+        ];
+        for max_weight in 0..=5usize {
+            let mut scalar: Vec<u64> = Vec::new();
+            let mut value = 0u64;
+            for i in 1u64..(1 << basis.len()) {
+                value ^= basis[i.trailing_zeros() as usize];
+                if value.count_ones() as usize <= max_weight {
+                    scalar.push(value);
+                }
+            }
+            scalar.sort_unstable();
+            assert_eq!(span_survivors(&basis, max_weight), scalar, "w={max_weight}");
+        }
+    }
+
+    #[test]
+    fn span_survivors_crosses_block_boundaries() {
+        // 8 basis vectors -> 4 blocks of 64 lanes: the Gray-coded blockbase
+        // path is exercised.
+        let basis: Vec<u64> = (0..8).map(|i| 1u64 << (2 * i)).collect();
+        let got = span_survivors(&basis, 3);
+        // Non-zero subsets of 8 independent singleton-pair bits with weight
+        // <= 3: C(8,1) + C(8,2) + C(8,3).
+        assert_eq!(got.len(), 8 + 28 + 56);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, got, "sorted and unique");
+    }
+
+    #[test]
+    fn filter_constant_masks_matches_mask_constant() {
+        let mut basis = PileBasis::new(0);
+        for &d in &[0b1001_0010u64, 0b0100_0101, 0b0011_1000] {
+            basis.insert(d);
+        }
+        let masks = rng_values(5, 150, 9);
+        let kept = filter_constant_masks(&masks, basis.rows());
+        let scalar: Vec<u64> = masks
+            .iter()
+            .copied()
+            .filter(|&m| basis.mask_constant(m))
+            .collect();
+        assert_eq!(kept, scalar);
+    }
+
+    #[test]
+    fn reduced_row_basis_matches_scalar_rref() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![0b1, 0b10, 0b11],
+            vec![0b1100, 0b0110, 0b1010],
+            rng_values(6, 40, 22),
+            rng_values(7, 64, 64),
+        ];
+        for rows in cases {
+            let scalar = Gf2Matrix::from_rows(rows.clone()).reduced_row_basis();
+            assert_eq!(reduced_row_basis(&rows), scalar, "rows {rows:?}");
+        }
+    }
+
+    #[test]
+    fn eval_funcs_matches_scalar_parity() {
+        let funcs = vec![0b0110_0001u64, 0b1000_0110, 0b0001_1100];
+        let addrs = rng_values(8, 130, 9);
+        let packed = eval_funcs(&funcs, &addrs);
+        for (j, &addr) in addrs.iter().enumerate() {
+            let mut expect = 0u64;
+            for (i, &f) in funcs.iter().enumerate() {
+                expect |= u64::from((addr & f).count_ones() & 1) << i;
+            }
+            assert_eq!(packed[j], expect, "addr {j}");
+        }
+    }
+}

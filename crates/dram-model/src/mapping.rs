@@ -232,6 +232,20 @@ impl AddressMapping {
         bank
     }
 
+    /// Computes the flat bank index of a batch of physical addresses, 64
+    /// per bitsliced block ([`gf2::bitslice::eval_funcs`]): every bank
+    /// function costs one XOR per set mask bit for 64 addresses at once.
+    /// Element-wise identical to [`AddressMapping::bank_of`], which remains
+    /// the scalar differential twin.
+    pub fn banks_of(&self, addrs: &[PhysAddr]) -> Vec<u32> {
+        let masks: Vec<u64> = self.bank_funcs.iter().map(|f| f.mask()).collect();
+        let raw: Vec<u64> = addrs.iter().map(|a| a.raw()).collect();
+        gf2::bitslice::eval_funcs(&masks, &raw)
+            .into_iter()
+            .map(|packed| packed as u32)
+            .collect()
+    }
+
     /// Computes the row index of a physical address.
     pub fn row_of(&self, addr: PhysAddr) -> u32 {
         bits::gather_bits(addr.raw(), &self.row_bits) as u32

@@ -1,0 +1,152 @@
+//! Property-based differential tests: every bitsliced GF(2) kernel is
+//! pinned element-wise to its scalar twin over random bases, masks and
+//! address batches, plus the nine Table-II machine mappings.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dram_model::gf2::{bitslice, Gf2Matrix, PileBasis};
+use dram_model::{MachineSetting, XorFunc};
+
+/// Scalar twin of [`bitslice::span_survivors`]: a Gray-code walk over the
+/// full span, one combination at a time.
+fn span_survivors_scalar(basis: &[u64], max_weight: usize) -> Vec<u64> {
+    let mut survivors = Vec::new();
+    let mut value = 0u64;
+    // Step j of the binary-reflected Gray code toggles basis vector
+    // trailing_zeros(j), visiting every span element exactly once.
+    for j in 1u64..1u64 << basis.len() {
+        value ^= basis[j.trailing_zeros() as usize];
+        if value != 0 && (value.count_ones() as usize) <= max_weight {
+            survivors.push(value);
+        }
+    }
+    survivors.sort_unstable();
+    survivors.dedup();
+    survivors
+}
+
+/// Masks a random u64 batch down to `bits` meaningful bits.
+fn clamp(values: &mut [u64], bits: u32) {
+    let mask = u64::MAX >> (64 - bits);
+    for v in values.iter_mut() {
+        *v &= mask;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Coset reduction: `PileBasis::reduce_batch` equals per-value
+    /// `PileBasis::reduce` for random piles and candidate batches.
+    #[test]
+    fn reduce_batch_matches_scalar_reduce(
+        pivot in any::<u64>(),
+        members in vec(any::<u64>(), 1..48),
+        values in vec(any::<u64>(), 1..200),
+        bits in 8u32..=64,
+    ) {
+        let (mut members, mut values) = (members, values);
+        clamp(&mut members, bits);
+        clamp(&mut values, bits);
+        let basis = PileBasis::from_members(pivot & (u64::MAX >> (64 - bits)), members);
+        let batched = basis.reduce_batch(&values);
+        let scalar: Vec<u64> = values.iter().map(|&v| basis.reduce(v)).collect();
+        prop_assert_eq!(batched, scalar);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Gray-code span walk: the 64-lane enumeration finds exactly the
+    /// nonzero low-weight span elements the one-at-a-time walk finds.
+    #[test]
+    fn span_survivors_matches_scalar_walk(
+        seeds in vec(any::<u64>(), 1..14),
+        max_weight in 1usize..8,
+        bits in 10u32..=40,
+    ) {
+        let mut seeds = seeds;
+        clamp(&mut seeds, bits);
+        // Row-reduce the random seeds into an independent basis.
+        let basis = Gf2Matrix::from_rows(seeds).row_basis();
+        prop_assume!(!basis.is_empty());
+        let fast = bitslice::span_survivors(&basis, max_weight);
+        let scalar = span_survivors_scalar(&basis, max_weight);
+        prop_assert_eq!(fast, scalar);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch canonicalization: the bitsliced Jordan elimination produces
+    /// the same unique reduced row-echelon basis as the scalar matrix.
+    #[test]
+    fn reduced_row_basis_matches_scalar(
+        rows in vec(any::<u64>(), 0..70),
+        bits in 4u32..=64,
+    ) {
+        let mut rows = rows;
+        clamp(&mut rows, bits);
+        let fast = bitslice::reduced_row_basis(&rows);
+        let scalar = Gf2Matrix::from_rows(rows).reduced_row_basis();
+        prop_assert_eq!(fast, scalar);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Constant-mask filtering keeps exactly the masks the scalar
+    /// `PileBasis::mask_constant` accepts, in input order.
+    #[test]
+    fn filter_constant_masks_matches_scalar(
+        pivot in any::<u64>(),
+        members in vec(any::<u64>(), 1..40),
+        masks in vec(any::<u64>(), 1..150),
+        bits in 8u32..=64,
+    ) {
+        let (mut members, mut masks) = (members, masks);
+        clamp(&mut members, bits);
+        clamp(&mut masks, bits);
+        let basis = PileBasis::from_members(pivot & (u64::MAX >> (64 - bits)), members);
+        let fast = bitslice::filter_constant_masks(&masks, basis.rows());
+        let scalar: Vec<u64> = masks
+            .iter()
+            .copied()
+            .filter(|&m| basis.mask_constant(m))
+            .collect();
+        prop_assert_eq!(fast, scalar);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// XOR-function evaluation over random address batches agrees with the
+    /// scalar parity on every Table-II machine's bank functions.
+    #[test]
+    fn eval_funcs_matches_scalar_parity_on_table_ii(
+        number in 1u8..=9,
+        addrs in vec(any::<u64>(), 1..130),
+    ) {
+        let setting = MachineSetting::by_number(number).unwrap();
+        let bits = setting.system.address_bits();
+        let mut addrs = addrs;
+        clamp(&mut addrs, u32::from(bits));
+        let funcs: Vec<XorFunc> = setting.mapping().bank_funcs().to_vec();
+        let masks: Vec<u64> = funcs.iter().map(|f| f.mask()).collect();
+        let packed = bitslice::eval_funcs(&masks, &addrs);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let mut expected = 0u64;
+            for (f, func) in funcs.iter().enumerate() {
+                if (addr & func.mask()).count_ones() % 2 == 1 {
+                    expected |= 1 << f;
+                }
+            }
+            prop_assert_eq!(packed[i], expected, "addr index {}", i);
+        }
+    }
+}

@@ -106,9 +106,19 @@ impl MemoryController {
     /// tools: caches play no role, only the DRAM row-buffer state does.
     pub fn access(&mut self, addr: PhysAddr) -> u64 {
         let dram = self.mapping.to_dram(addr);
-        let row = self.row_remap.map_or(dram.row, |r| r.apply(dram.row));
+        self.access_decoded(dram.bank, dram.row)
+    }
+
+    /// One access at pre-decoded coordinates — the body of
+    /// [`MemoryController::access`] after address decoding. A measurement
+    /// loop alternating between two fixed addresses decodes each once and
+    /// replays the accesses through here; the row-buffer transitions, RNG
+    /// draws and refresh schedule are identical to calling `access` (only
+    /// the repeated, pure `to_dram` decode is skipped).
+    pub fn access_decoded(&mut self, bank: u32, logical_row: u32) -> u64 {
+        let row = self.row_remap.map_or(logical_row, |r| r.apply(logical_row));
         let timing = self.config.timing;
-        let slot = &mut self.open_rows[dram.bank as usize];
+        let slot = &mut self.open_rows[bank as usize];
         let mut activated = false;
         let base = match *slot {
             Some(open) if open == row => {
@@ -117,13 +127,13 @@ impl MemoryController {
             }
             Some(_) => {
                 self.stats.row_conflicts += 1;
-                self.flip_model.record_activation(dram.bank, row);
+                self.flip_model.record_activation(bank, row);
                 activated = true;
                 timing.row_conflict_ns
             }
             None => {
                 self.stats.row_empty += 1;
-                self.flip_model.record_activation(dram.bank, row);
+                self.flip_model.record_activation(bank, row);
                 activated = true;
                 timing.row_closed_ns
             }
@@ -132,7 +142,7 @@ impl MemoryController {
 
         let mut latency = base as f64;
         if activated && timing.trr_period > 0 {
-            let counter = &mut self.trr_counters[dram.bank as usize];
+            let counter = &mut self.trr_counters[bank as usize];
             *counter += 1;
             if counter.is_multiple_of(timing.trr_period) {
                 latency += timing.trr_spike_ns as f64;

@@ -87,6 +87,36 @@ struct Pressure {
     from_above: u32,
 }
 
+/// SplitMix64-style hasher for the pressure map's `(bank, row)` keys.
+///
+/// `record_activation` runs on *every* row activation — tens of millions of
+/// times per eval grid — and SipHash dominates its cost. Keys are two small
+/// integers with no adversarial source, so one multiply-xor round is plenty.
+/// Map iteration order is never observable: [`FlipModel::refresh`] drains
+/// into a sorted vector before touching the RNG.
+#[derive(Debug, Clone, Copy, Default)]
+struct PressureHasher(u64);
+
+impl std::hash::Hasher for PressureHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+}
+
+type PressureMap = HashMap<(u32, u32), Pressure, std::hash::BuildHasherDefault<PressureHasher>>;
+
 /// The rowhammer charge-leakage model.
 ///
 /// Owned by the [`crate::MemoryController`], which reports every row
@@ -95,7 +125,7 @@ struct Pressure {
 pub struct FlipModel {
     params: FlipModelParams,
     /// Aggressor pressure per victim (bank, row) in the current window.
-    pressure: HashMap<(u32, u32), Pressure>,
+    pressure: PressureMap,
     /// Flips accumulated since the last [`FlipModel::take_flips`].
     flips: Vec<BitFlip>,
     rows_per_bank: u32,
@@ -106,7 +136,7 @@ impl FlipModel {
     pub fn new(params: FlipModelParams, rows_per_bank: u32) -> Self {
         FlipModel {
             params,
-            pressure: HashMap::new(),
+            pressure: PressureMap::default(),
             flips: Vec::new(),
             rows_per_bank,
         }

@@ -170,10 +170,19 @@ impl<P: MemoryProbe> ConflictOracle<P> {
     /// input order.
     ///
     /// Cached pairs are answered for free; the uncached remainder goes to
-    /// the probe through [`MemoryProbe::measure_pairs`] in one batch (when
-    /// single-vote; majority-vote queries fall back to per-pair voting).
+    /// the probe through [`MemoryProbe::measure_pairs`] in one batch. A
+    /// majority-vote oracle repeats each uncached pair `repeat` times
+    /// *consecutively* inside that batch and votes over each chunk of
+    /// latencies — the measurement order and count are identical to the
+    /// per-pair [`ConflictOracle::is_sbdr`] loop, so checkpointed runs and
+    /// golden scoreboards see the same stream. Only an early-exiting vote
+    /// (inherently sequential: the next measurement depends on the tally so
+    /// far) falls back to pair-at-a-time voting.
+    ///
+    /// The calibration threshold is read once per batch instead of once per
+    /// pair; each latency is then a plain compare.
     pub fn are_sbdr(&mut self, pairs: &[(PhysAddr, PhysAddr)]) -> Vec<bool> {
-        if self.repeat != 1 {
+        if self.repeat != 1 && self.early_exit {
             return pairs.iter().map(|&(a, b)| self.is_sbdr(a, b)).collect();
         }
         let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(pairs.len());
@@ -185,10 +194,18 @@ impl<P: MemoryProbe> ConflictOracle<P> {
                 to_measure.push((i, (a, b)));
             }
         }
-        let batch: Vec<(PhysAddr, PhysAddr)> = to_measure.iter().map(|&(_, p)| p).collect();
+        let repeat = self.repeat as usize;
+        let mut batch: Vec<(PhysAddr, PhysAddr)> =
+            Vec::with_capacity(to_measure.len().saturating_mul(repeat));
+        for &(_, pair) in &to_measure {
+            batch.extend(std::iter::repeat_n(pair, repeat));
+        }
         let latencies = self.probe.measure_pairs(&batch);
-        for (&(i, (a, b)), &lat) in to_measure.iter().zip(&latencies) {
-            let verdict = self.calibration.is_conflict(lat);
+        let threshold = self.calibration.threshold_ns();
+        let majority = self.repeat / 2 + 1;
+        for (&(i, (a, b)), votes) in to_measure.iter().zip(latencies.chunks(repeat)) {
+            let yes = votes.iter().filter(|&&lat| lat >= threshold).count() as u32;
+            let verdict = yes >= majority;
             if let Some(cache) = &mut self.cache {
                 cache.record(a, b, verdict);
             }
@@ -316,6 +333,47 @@ mod tests {
         let expected: Vec<bool> = pairs.iter().map(|&(a, b)| single.is_sbdr(a, b)).collect();
         assert_eq!(batched.are_sbdr(&pairs), expected);
         assert_eq!(batched.stats().measurements, single.stats().measurements);
+    }
+
+    #[test]
+    fn batched_majority_votes_match_per_pair_voting() {
+        // Same noisy machine, same seed: the flattened batch (each pair
+        // repeated `repeat` times consecutively) must reproduce the exact
+        // measurement stream of the per-pair voting loop, hence identical
+        // verdicts and counts.
+        let mut batched = oracle(true).with_repeat(3).with_cache(64);
+        let mut single = oracle(true).with_repeat(3).with_cache(64);
+        let truth = batched.probe().machine().ground_truth().clone();
+        let pairs: Vec<(PhysAddr, PhysAddr)> = (0u32..8)
+            .map(|i| {
+                (
+                    truth.to_phys(DramAddress::new(i % 4, 7, 0)).unwrap(),
+                    truth.to_phys(DramAddress::new(2, 40 + i, 0)).unwrap(),
+                )
+            })
+            .collect();
+        let expected: Vec<bool> = pairs.iter().map(|&(a, b)| single.is_sbdr(a, b)).collect();
+        assert_eq!(batched.are_sbdr(&pairs), expected);
+        let b = batched.stats();
+        let s = single.stats();
+        assert_eq!(b.measurements, s.measurements);
+        assert_eq!(b.elapsed_ns, s.elapsed_ns, "identical latency stream");
+    }
+
+    #[test]
+    fn early_exit_batches_fall_back_to_sequential_voting() {
+        // An early-exiting vote adapts its measurement count to the tally,
+        // so the batch path must keep the sequential loop.
+        let mut batched = oracle(false).with_repeat(5).with_early_exit(true);
+        let mut single = oracle(false).with_repeat(5).with_early_exit(true);
+        let truth = batched.probe().machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(1, 10, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(1, 900, 0)).unwrap();
+        let c = truth.to_phys(DramAddress::new(2, 10, 0)).unwrap();
+        let expected = vec![single.is_sbdr(a, b), single.is_sbdr(a, c)];
+        assert_eq!(batched.are_sbdr(&[(a, b), (a, c)]), expected);
+        // Noiseless early exit: 3 of 5 votes per pair.
+        assert_eq!(batched.stats().measurements, 6);
     }
 
     #[test]
