@@ -29,7 +29,9 @@ use dramdig::functions::{
 };
 use dramdig::partition::{partition_decompose, partition_into_piles};
 use dramdig::select::select_addresses;
-use dramdig::{DomainKnowledge, DramDig, DramDigConfig, DramDigError, Phase, RecoveryReport};
+use dramdig::{
+    DomainKnowledge, DramDig, DramDigConfig, DramDigError, Phase, RecoveryReport, TelemetryObserver,
+};
 use dramdig_bench::eval::{flip_sim_seed, run_grid, EvalGrid, GridKind, ToolId};
 use dramdig_bench::run_dramdig;
 use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, ObservableKind, SimProbe};
@@ -504,6 +506,52 @@ fn main() {
     let resume_savings =
         checkpointed_measurements as f64 / straight.total.measurements.max(1) as f64;
 
+    // --- Telemetry: zero-overhead and byte-determinism gates ---------------
+    // The same optimized engine run, repeated with a TelemetryObserver
+    // recording spans plus fine-grained oracle-batch events. Gates: the
+    // observed run must spend exactly the measurements the unobserved
+    // `straight` run spent (telemetry reads costs, it never probes — so a
+    // disabled observer costs zero extra measurements a fortiori), and two
+    // same-seed runs must export byte-identical Chrome traces and metrics
+    // snapshots — the property CI's telemetry-smoke step `cmp`s.
+    let telemetry_run = || {
+        let mut probe = engine_probe(SIM_SEED);
+        let mut observer = TelemetryObserver::new();
+        let report = engine
+            .run(
+                &mut probe,
+                &EngineOptions::default().with_fine_events(true),
+                &mut observer,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("telemetry-observed engine run failed: {e}");
+                std::process::exit(1);
+            });
+        let (tracer, metrics) = observer.into_parts();
+        (report, tracer.chrome_trace(), metrics.snapshot())
+    };
+    let (observed, trace_a, metrics_a) = telemetry_run();
+    let (_, trace_b, metrics_b) = telemetry_run();
+    if observed.total.measurements != straight.total.measurements {
+        eprintln!(
+            "telemetry overhead gate failed: observed run spent {} measurements, \
+             unobserved {} (recording must not probe)",
+            observed.total.measurements, straight.total.measurements
+        );
+        std::process::exit(1);
+    }
+    if trace_a != trace_b || metrics_a != metrics_b {
+        eprintln!(
+            "telemetry determinism gate failed: same-seed exports differ \
+             (trace identical: {}, metrics identical: {})",
+            trace_a == trace_b,
+            metrics_a == metrics_b
+        );
+        std::process::exit(1);
+    }
+    // Streaming-array form: one event per line between `[` and `]`.
+    let trace_events = trace_a.lines().count().saturating_sub(2);
+
     // --- Scenario-matrix eval on the quick grid ----------------------------
     // The same workload the CI `scenario-matrix` job gates on, at the
     // smaller preset: the JSON tracks per-tool success counts and DRAMDig's
@@ -832,6 +880,24 @@ fn main() {
     let _ = writeln!(out, "    \"channels\": [");
     out.push_str(&observable_channels_json);
     let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"telemetry\": {{");
+    let _ = writeln!(
+        out,
+        "    \"observed_measure_pair_calls\": {},",
+        observed.total.measurements
+    );
+    let _ = writeln!(
+        out,
+        "    \"unobserved_measure_pair_calls\": {},",
+        straight.total.measurements
+    );
+    let _ = writeln!(out, "    \"zero_measurement_overhead\": true,");
+    let _ = writeln!(out, "    \"trace_events\": {trace_events},");
+    let _ = writeln!(out, "    \"trace_bytes\": {},", trace_a.len());
+    let _ = writeln!(out, "    \"metrics_bytes\": {},", metrics_a.len());
+    let _ = writeln!(out, "    \"same_seed_trace_identical\": true,");
+    let _ = writeln!(out, "    \"same_seed_metrics_identical\": true");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
 
@@ -876,6 +942,11 @@ fn main() {
         eval_grid.scenarios.len(),
         dramdig_counts.recovered,
         dramdig_counts.detected + dramdig_counts.skeleton,
+    );
+    println!(
+        "telemetry: {trace_events} trace events over {} measurements, zero probe overhead, \
+         same-seed exports byte-identical",
+        observed.total.measurements,
     );
     println!(
         "observables on {}: timing-only {} pairs (identical to seed path), flip adjacency \

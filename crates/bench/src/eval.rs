@@ -29,7 +29,7 @@
 use std::fmt;
 use std::fmt::Write as _;
 
-use campaign::{drain_pool, NoHooks, PoolConfig};
+use campaign::{drain_pool, MeteredHooks, NoHooks, PoolConfig, PoolHooks};
 use dram_baselines::seaborn::SeabornConfig;
 use dram_baselines::{BaselineError, Drama, DramaConfig, Seaborn, Xiao, XiaoConfig};
 use dram_model::{GeneratedMachine, MachineClass, MachineGen, Microarch, RowRemap};
@@ -38,6 +38,7 @@ use dramdig::engine::{EngineOptions, NullObserver, PipelineEngine};
 use dramdig::{DomainKnowledge, DramDig, DramDigConfig};
 use mem_probe::{rounds_for, MemoryProbe, ObservableKind, SimProbe};
 use rowhammer::FlipAdjacencyObservable;
+use telemetry::{Registry, SpanKind, Tracer};
 
 /// Schema identifier on the first line of every scoreboard.
 pub const SCOREBOARD_SCHEMA: &str = "dramdig-scoreboard-v1";
@@ -579,6 +580,99 @@ pub fn history_key(line: &str) -> &str {
     line.split('|').next().unwrap_or(line).trim()
 }
 
+/// The deterministic end-of-run summary printed to stderr by `dramdig
+/// eval`. Built entirely from simulated seconds — the sum every row's
+/// scoreboard already records — so the line is byte-identical across
+/// re-runs and worker counts, unlike the wall-clock line it replaced.
+pub fn summary_line(outcome: &EvalOutcome) -> String {
+    let sim_seconds: f64 = outcome
+        .rows
+        .iter()
+        .flat_map(|row| row.scores.iter())
+        .map(|score| score.sim_seconds)
+        .sum();
+    format!(
+        "[dramdig] eval grid `{}` ({} scenarios x {} tools) spent {:.1} s simulated",
+        outcome.kind,
+        outcome.rows.len(),
+        ToolId::ALL.len(),
+        sim_seconds,
+    )
+}
+
+/// Reassembles a finished evaluation into a span trace: one
+/// [`SpanKind::EvalCell`] per (scenario, tool) cell on a virtual serial
+/// timeline, inside one [`SpanKind::Run`] span.
+///
+/// The assembly is **post-hoc** on purpose: cells finish in nondeterministic
+/// pool order, so instead of recording during the drain the trace is built
+/// from the already-sorted rows, clocked on each cell's simulated seconds.
+/// The resulting bytes are a pure function of the outcome — same guarantee
+/// as the scoreboard, so CI can `cmp` two same-seed traces.
+pub fn outcome_tracer(outcome: &EvalOutcome) -> Tracer {
+    let mut tracer = Tracer::new();
+    let run = tracer.begin_with(
+        SpanKind::Run,
+        &format!("eval-{}", outcome.kind),
+        &[
+            ("seed", outcome.seed),
+            ("scenarios", outcome.rows.len() as u64),
+        ],
+    );
+    for row in &outcome.rows {
+        for score in &row.scores {
+            let span = tracer.begin_with(
+                SpanKind::EvalCell,
+                &format!("{}/{}", row.scenario.id(), score.tool),
+                &[("measurements", score.measurements)],
+            );
+            // sim_seconds was derived from integer nanoseconds; the
+            // round-trip back is exact for any realistic run length.
+            tracer.advance_ns((score.sim_seconds * 1e9).round() as u64);
+            tracer.end(span);
+        }
+    }
+    tracer.end_with(
+        run,
+        &[(
+            "measurements",
+            ToolId::ALL
+                .iter()
+                .map(|&t| outcome.counts(t).measurements)
+                .sum(),
+        )],
+    );
+    tracer
+}
+
+/// Folds a finished evaluation into metrics: per-tool outcome counters and
+/// measurement totals. Merge with the registry filled by
+/// [`run_grid_metered`] to add the worker-pool counters.
+pub fn outcome_metrics(outcome: &EvalOutcome) -> Registry {
+    let mut metrics = Registry::new();
+    metrics.counter_add(
+        "eval_cells_total",
+        (outcome.rows.len() * ToolId::ALL.len()) as u64,
+    );
+    for tool in ToolId::ALL {
+        let c = outcome.counts(tool);
+        let name = tool.as_str();
+        metrics.counter_add(&format!("eval_{name}_measurements"), c.measurements);
+        for (status, count) in [
+            ("recovered", c.recovered),
+            ("skeleton", c.skeleton),
+            ("detected", c.detected),
+            ("partition_only", c.partition_only),
+            ("not_applicable", c.not_applicable),
+            ("failed", c.failed),
+            ("wrong", c.wrong),
+        ] {
+            metrics.counter_add(&format!("eval_{name}_{status}"), count as u64);
+        }
+    }
+    metrics
+}
+
 /// Appends a run to the longitudinal history under the regression gate: a
 /// key that was recorded before must reproduce its line byte-for-byte.
 /// Returns `Ok(None)` when the history already holds the identical line
@@ -929,6 +1023,34 @@ pub fn run_grid_with_observables(
     workers: usize,
     observables: &[ObservableKind],
 ) -> EvalOutcome {
+    run_grid_hooked(grid, workers, observables, &mut NoHooks)
+}
+
+/// Runs the grid like [`run_grid_with_observables`] while counting worker
+/// pool activity (queue depth, dequeues, verdicts) into `metrics` through
+/// [`campaign::MeteredHooks`]. The counters are order-independent totals,
+/// so the snapshot is deterministic at any worker count even though the
+/// drain order is not.
+pub fn run_grid_metered(
+    grid: &EvalGrid,
+    workers: usize,
+    observables: &[ObservableKind],
+    metrics: &mut Registry,
+) -> EvalOutcome {
+    let depth = grid.scenarios.len() * ToolId::ALL.len();
+    let mut hooks = MeteredHooks::new(NoHooks, metrics, depth);
+    run_grid_hooked(grid, workers, observables, &mut hooks)
+}
+
+fn run_grid_hooked<H>(
+    grid: &EvalGrid,
+    workers: usize,
+    observables: &[ObservableKind],
+    hooks: &mut H,
+) -> EvalOutcome
+where
+    H: PoolHooks<(usize, ToolId), Cell, Error = std::convert::Infallible> + Send,
+{
     let jobs: Vec<((usize, ToolId), u32)> = grid
         .scenarios
         .iter()
@@ -937,7 +1059,7 @@ pub fn run_grid_with_observables(
     let drained = match drain_pool(
         jobs,
         &PoolConfig::workers(workers),
-        &mut NoHooks,
+        hooks,
         |&(index, tool), _| Ok::<_, String>(score(&grid.scenarios[index], tool, observables)),
     ) {
         Ok(outcome) => outcome,
@@ -1029,6 +1151,28 @@ mod tests {
         let again = run_grid(&grid, 1);
         assert_eq!(again.render_scoreboard(), board);
 
+        // The telemetry artifacts inherit the same guarantee: the trace,
+        // metrics and stderr summary are pure functions of the outcome.
+        assert_eq!(
+            outcome_tracer(&outcome).chrome_trace(),
+            outcome_tracer(&again).chrome_trace()
+        );
+        assert_eq!(
+            outcome_metrics(&outcome).snapshot(),
+            outcome_metrics(&again).snapshot()
+        );
+        assert_eq!(summary_line(&outcome), summary_line(&again));
+        assert!(summary_line(&outcome).ends_with("s simulated"));
+        let trace = outcome_tracer(&outcome).chrome_trace();
+        assert!(trace.contains("\"cat\":\"eval_cell\""));
+        assert!(trace.contains("\"name\":\"s00/dramdig\""));
+        let metrics = outcome_metrics(&outcome);
+        assert_eq!(metrics.counter("eval_cells_total"), 32);
+        assert_eq!(
+            metrics.counter("eval_dramdig_measurements"),
+            outcome.counts(ToolId::DramDig).measurements
+        );
+
         // DRAMDig never scores wrong; its counts line up with the classes.
         let c = outcome.counts(ToolId::DramDig);
         assert_eq!(c.wrong, 0);
@@ -1038,6 +1182,23 @@ mod tests {
             grid.of_class(MachineClass::WideFunction).count()
         );
         assert_eq!(c.skeleton, grid.of_class(MachineClass::RowRemap).count());
+    }
+
+    #[test]
+    fn metered_grid_matches_plain_grid_and_counts_the_pool() {
+        let grid = EvalGrid::new(GridKind::Quick, 1);
+        let mut metrics = Registry::new();
+        let metered = run_grid_metered(&grid, 4, &[ObservableKind::ConflictTiming], &mut metrics);
+        // Metering only observes: the scoreboard must be byte-identical to
+        // the unmetered run's.
+        assert_eq!(
+            metered.render_scoreboard(),
+            run_grid(&grid, 4).render_scoreboard()
+        );
+        assert_eq!(metrics.gauge("pool_queue_depth"), 32);
+        assert_eq!(metrics.counter("pool_dequeued_total"), 32);
+        assert_eq!(metrics.counter("pool_completed_total"), 32);
+        assert_eq!(metrics.counter("pool_dead_total"), 0);
     }
 
     #[test]

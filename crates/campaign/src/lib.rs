@@ -45,18 +45,22 @@
 #![deny(unsafe_code)]
 
 pub mod journal;
-pub mod jsonl;
 pub mod pool;
 pub mod runner;
 pub mod spec;
 pub mod store;
 
+/// The flat JSONL codec backing the journal. It lives in the dependency-free
+/// `telemetry` crate so the trace exporters share it; re-exported here under
+/// its historical path.
+pub use telemetry::jsonl;
+
 pub use journal::{read_journal, Journal, JournalError, JournalRecord, JournalState};
-pub use pool::{drain_pool, NoHooks, PoolConfig, PoolHooks, PoolOutcome, Verdict};
+pub use pool::{drain_pool, MeteredHooks, NoHooks, PoolConfig, PoolHooks, PoolOutcome, Verdict};
 pub use runner::{
-    campaign_status, fleet_makespan, run_campaign, run_job_sim, run_job_sim_checkpointed,
-    run_job_sim_checkpointed_with, run_job_sim_with, store_from_state, CampaignError,
-    CampaignOptions, CampaignOutcome, CampaignPaths, CampaignStatus, JobOutcome,
+    campaign_status, fleet_makespan, run_campaign, run_campaign_with_metrics, run_job_sim,
+    run_job_sim_checkpointed, run_job_sim_checkpointed_with, run_job_sim_with, store_from_state,
+    CampaignError, CampaignOptions, CampaignOutcome, CampaignPaths, CampaignStatus, JobOutcome,
 };
 pub use spec::{parse_machine_number, Ablation, CampaignSpec, JobSpec, Profile};
 pub use store::{MappingStore, Provenance, StoreEntry};

@@ -68,6 +68,58 @@ impl<J, T> PoolHooks<J, T> for NoHooks {
     type Error = std::convert::Infallible;
 }
 
+/// Hooks that count pool activity into a [`telemetry::Registry`] and then
+/// delegate to an inner hook type.
+///
+/// Every increment happens under the pool lock and the counters are
+/// order-independent totals, so the final snapshot is deterministic even
+/// though worker interleaving is not:
+///
+/// * `pool_dequeued_total` — attempts handed to workers,
+/// * `pool_retries_total` — attempts that settled [`Verdict::Retrying`],
+/// * `pool_completed_total` / `pool_dead_total` — terminal verdicts,
+/// * `pool_queue_depth` — gauge, seeded by [`MeteredHooks::new`] with the
+///   initial queue depth (its peak — jobs only re-enter one at a time).
+#[derive(Debug)]
+pub struct MeteredHooks<'m, H> {
+    inner: H,
+    metrics: &'m mut telemetry::Registry,
+}
+
+impl<'m, H> MeteredHooks<'m, H> {
+    /// Wraps `inner`, recording `queue_depth` (the number of jobs about to
+    /// be drained) and all subsequent pool activity into `metrics`.
+    pub fn new(inner: H, metrics: &'m mut telemetry::Registry, queue_depth: usize) -> Self {
+        metrics.gauge_max("pool_queue_depth", queue_depth as i64);
+        MeteredHooks { inner, metrics }
+    }
+}
+
+impl<J, T, H: PoolHooks<J, T>> PoolHooks<J, T> for MeteredHooks<'_, H> {
+    type Error = H::Error;
+
+    fn on_dequeued(&mut self, job: &J, attempt: u32) -> Result<(), Self::Error> {
+        self.metrics.counter_add("pool_dequeued_total", 1);
+        self.inner.on_dequeued(job, attempt)
+    }
+
+    fn on_settled(
+        &mut self,
+        job: &J,
+        attempt: u32,
+        result: &Result<T, String>,
+        verdict: Verdict,
+    ) -> Result<(), Self::Error> {
+        let counter = match verdict {
+            Verdict::Completed => "pool_completed_total",
+            Verdict::Retrying => "pool_retries_total",
+            Verdict::Dead => "pool_dead_total",
+        };
+        self.metrics.counter_add(counter, 1);
+        self.inner.on_settled(job, attempt, result, verdict)
+    }
+}
+
 /// Scheduling knobs of one [`drain_pool`] invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolConfig {
@@ -345,6 +397,42 @@ mod tests {
                 "settled j #2 Completed",
             ]
         );
+    }
+
+    #[test]
+    fn metered_hooks_count_deterministically_across_workers() {
+        let drain = |workers: usize| {
+            let mut metrics = telemetry::Registry::new();
+            let config = PoolConfig {
+                workers,
+                max_retries: 1,
+                max_completions: None,
+            };
+            let jobs: Vec<u32> = (0..20).collect();
+            let depth = jobs.len();
+            let mut hooks = MeteredHooks::new(NoHooks, &mut metrics, depth);
+            drain_pool(first_attempts(jobs), &config, &mut hooks, |&j, attempt| {
+                if j % 5 == 0 && attempt == 1 {
+                    Err("noise".into())
+                } else if j == 15 {
+                    Err("always".into())
+                } else {
+                    Ok(j)
+                }
+            })
+            .unwrap();
+            metrics.snapshot()
+        };
+        let snap = drain(1);
+        // Same totals regardless of worker interleaving.
+        assert_eq!(snap, drain(7));
+        let metrics = telemetry::Registry::parse_snapshot(&snap).unwrap();
+        // Jobs 0,5,10 retry once then complete; job 15 retries then dies.
+        assert_eq!(metrics.counter("pool_completed_total"), 19);
+        assert_eq!(metrics.counter("pool_retries_total"), 4);
+        assert_eq!(metrics.counter("pool_dead_total"), 1);
+        assert_eq!(metrics.counter("pool_dequeued_total"), 24);
+        assert_eq!(metrics.gauge("pool_queue_depth"), 20);
     }
 
     #[test]

@@ -425,6 +425,24 @@ pub fn run_campaign<R>(
 where
     R: Fn(&JobSpec, u32, Option<&Path>) -> Result<RecoveryReport, String> + Sync,
 {
+    run_campaign_with_metrics(spec, paths, options, None, run_job)
+}
+
+/// [`run_campaign`] with pool telemetry: when `metrics` is given, the
+/// journal hooks are wrapped in [`pool::MeteredHooks`] so queue depth and
+/// dequeue/completion/retry/dead-letter counters land in the registry. The
+/// counters are order-independent totals, so the snapshot is deterministic
+/// at any worker count.
+pub fn run_campaign_with_metrics<R>(
+    spec: &CampaignSpec,
+    paths: &CampaignPaths,
+    options: &CampaignOptions,
+    metrics: Option<&mut telemetry::Registry>,
+    run_job: R,
+) -> Result<CampaignOutcome, CampaignError>
+where
+    R: Fn(&JobSpec, u32, Option<&Path>) -> Result<RecoveryReport, String> + Sync,
+{
     std::fs::create_dir_all(paths.dir()).map_err(|error| CampaignError::Io {
         path: paths.dir().to_path_buf(),
         error,
@@ -455,12 +473,16 @@ where
         max_retries: spec.max_retries,
         max_completions: options.max_completions,
     };
-    let drained = pool::drain_pool(
-        queue,
-        &pool_config,
-        &mut hooks,
-        |(job, checkpoint), attempt| run_job(job, attempt, checkpoint.as_deref()),
-    )?;
+    let worker =
+        |(job, checkpoint): &QueuedJob, attempt: u32| run_job(job, attempt, checkpoint.as_deref());
+    let drained = match metrics {
+        Some(registry) => {
+            let depth = queue.len();
+            let mut metered = pool::MeteredHooks::new(hooks, registry, depth);
+            pool::drain_pool(queue, &pool_config, &mut metered, worker)?
+        }
+        None => pool::drain_pool(queue, &pool_config, &mut hooks, worker)?,
+    };
     let completed: Vec<JobOutcome> = drained
         .completed
         .into_iter()

@@ -32,15 +32,20 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use campaign::{
-    campaign_status, run_campaign, CampaignOptions, CampaignPaths, CampaignSpec, MappingStore,
-    Profile,
+    campaign_status, run_campaign_with_metrics, CampaignOptions, CampaignOutcome, CampaignPaths,
+    CampaignSpec, MappingStore, Profile,
 };
 use dram_baselines::{BaselineError, Drama, DramaConfig, Xiao};
 use dram_model::{parse, MachineSetting, PhysAddr};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::engine::{Budget, EngineEvent, EngineOptions, Observer, PipelineEngine};
-use dramdig::{CheckpointStore, DomainKnowledge, DramDig, DramDigConfig, DramDigError};
-use dramdig_bench::eval::{run_grid_with_observables, EvalGrid, GridKind};
+use dramdig::{
+    CheckpointStore, DomainKnowledge, DramDig, DramDigConfig, DramDigError, TelemetryObserver,
+};
+use dramdig_bench::eval::{
+    outcome_metrics, outcome_tracer, run_grid_metered, run_grid_with_observables, summary_line,
+    EvalGrid, GridKind,
+};
 use mem_probe::{ObservableKind, SimProbe};
 use rowhammer::{
     run_double_sided, AttackerView, FlipAdjacencyConfig, FlipAdjacencyObservable, HammerConfig,
@@ -74,7 +79,8 @@ pub enum Command {
     /// `dramdig list-machines`
     ListMachines,
     /// `dramdig uncover --machine N [--seed S] [--ablate GROUP]
-    /// [--checkpoint DIR] [--resume] [--budget N]`
+    /// [--checkpoint DIR] [--resume] [--budget N] [--trace PATH]
+    /// [--metrics PATH]`
     Uncover {
         /// Table-II machine number (1–9).
         machine: u8,
@@ -94,6 +100,10 @@ pub enum Command {
         /// Observable channels to run with; declaring `flip-adjacency`
         /// additionally consults a rowhammer channel after the pipeline.
         observables: Vec<ObservableKind>,
+        /// Optional path a Chrome-trace JSON of the run is written to.
+        trace: Option<String>,
+        /// Optional path a metrics snapshot of the run is written to.
+        metrics: Option<String>,
     },
     /// `dramdig compare --machine N`
     Compare {
@@ -126,7 +136,7 @@ pub enum Command {
         cols: String,
     },
     /// `dramdig eval --grid G [--seed S] [--workers N] [--out PATH]
-    /// [--history PATH]`
+    /// [--history PATH] [--trace PATH] [--metrics PATH]`
     Eval {
         /// Scenario grid preset (quick, ci or full).
         grid: GridKind,
@@ -141,6 +151,10 @@ pub enum Command {
         history: Option<String>,
         /// Observable channels DRAMDig runs with across the grid.
         observables: Vec<ObservableKind>,
+        /// Optional path a Chrome-trace JSON of the grid is written to.
+        trace: Option<String>,
+        /// Optional path a metrics snapshot of the grid is written to.
+        metrics: Option<String>,
     },
     /// `dramdig campaign <run|resume|status|query> ...`
     Campaign(CampaignAction),
@@ -152,7 +166,8 @@ pub enum Command {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CampaignAction {
     /// `dramdig campaign run --dir D --machines 1-9 [--seeds S] [--profiles P]
-    /// [--ablations A] [--retries N] [--workers N] [--limit N]`
+    /// [--ablations A] [--retries N] [--workers N] [--limit N] [--trace PATH]
+    /// [--metrics PATH]`
     Run {
         /// Campaign directory (spec, journal and store live here).
         dir: String,
@@ -162,6 +177,10 @@ pub enum CampaignAction {
         workers: usize,
         /// Stop after this many completions (simulates an interruption).
         limit: Option<usize>,
+        /// Optional path a Chrome-trace JSON of the campaign is written to.
+        trace: Option<String>,
+        /// Optional path a metrics snapshot of the campaign is written to.
+        metrics: Option<String>,
     },
     /// `dramdig campaign resume --dir D [--workers N] [--limit N]`
     Resume {
@@ -224,6 +243,7 @@ pub fn usage() -> String {
         "  dramdig uncover  --machine <1-9> [--seed <u64>] [--ablate spec|sysinfo|empirical]\n",
         "                   [--checkpoint <dir>] [--resume] [--budget <measurements>]\n",
         "                   [--observables timing[,flip-adjacency]]\n",
+        "                   [--trace <path>] [--metrics <path>]\n",
         "  dramdig compare  --machine <1-9>\n",
         "  dramdig hammer   --machine <1-9> [--tool dramdig|drama|truth] [--tests <n>]\n",
         "  dramdig decode   --machine <1-9> --addr <hex or decimal physical address>\n",
@@ -231,10 +251,12 @@ pub fn usage() -> String {
         "  dramdig eval     --grid quick|ci|full [--seed <u64>] [--workers <n>]\n",
         "                   [--out <path>] [--history <path>]\n",
         "                   [--observables timing[,flip-adjacency]]\n",
+        "                   [--trace <path>] [--metrics <path>]\n",
         "  dramdig campaign run    --dir <dir> --machines <1-9|4,7> [--seeds <s,..>]\n",
         "                          [--profiles naive|default|fast|optimized[,..]]\n",
         "                          [--ablations none|spec|sysinfo|empirical[,..]]\n",
         "                          [--retries <n>] [--workers <n>] [--limit <n>]\n",
+        "                          [--trace <path>] [--metrics <path>]\n",
         "  dramdig campaign resume --dir <dir> [--workers <n>] [--limit <n>]\n",
         "  dramdig campaign status --dir <dir>\n",
         "  dramdig campaign query  --dir <dir> --func \"(13, 16)\"\n",
@@ -396,6 +418,8 @@ fn parse_campaign(rest: &[String]) -> Result<CampaignAction, CliError> {
                     "--retries",
                     "--workers",
                     "--limit",
+                    "--trace",
+                    "--metrics",
                 ],
                 "campaign run",
             )?;
@@ -439,6 +463,8 @@ fn parse_campaign(rest: &[String]) -> Result<CampaignAction, CliError> {
                 spec,
                 workers: workers(rest)?,
                 limit: limit(rest)?,
+                trace: flag_value(rest, "--trace").map(str::to_string),
+                metrics: flag_value(rest, "--metrics").map(str::to_string),
             })
         }
         "resume" => {
@@ -495,6 +521,8 @@ impl Command {
                         "--checkpoint",
                         "--budget",
                         "--observables",
+                        "--trace",
+                        "--metrics",
                     ],
                     &["--resume"],
                     "uncover",
@@ -548,6 +576,8 @@ impl Command {
                     resume,
                     budget,
                     observables: parse_observables(rest)?,
+                    trace: flag_value(rest, "--trace").map(str::to_string),
+                    metrics: flag_value(rest, "--metrics").map(str::to_string),
                 })
             }
             "compare" => Ok(Command::Compare {
@@ -594,6 +624,8 @@ impl Command {
                         "--out",
                         "--history",
                         "--observables",
+                        "--trace",
+                        "--metrics",
                     ],
                     "eval",
                 )?;
@@ -624,6 +656,8 @@ impl Command {
                     out: flag_value(rest, "--out").map(str::to_string),
                     history: flag_value(rest, "--history").map(str::to_string),
                     observables: parse_observables(rest)?,
+                    trace: flag_value(rest, "--trace").map(str::to_string),
+                    metrics: flag_value(rest, "--metrics").map(str::to_string),
                 })
             }
             "campaign" => parse_campaign(rest).map(Command::Campaign),
@@ -671,6 +705,17 @@ impl Observer for ProgressLine {
             } => eprintln!(
                 "[dramdig] budget pressure: {spent_measurements}/{max_measurements} measurements"
             ),
+            EngineEvent::ObservableQueried { kind, cost } => eprintln!(
+                "[dramdig] observable {}: {} timing + {} hammer pairs, {:.3} s",
+                kind.as_str(),
+                cost.timing_pairs,
+                cost.hammer_pairs,
+                cost.elapsed_ns as f64 / 1e9,
+            ),
+            // Per-batch oracle events are opt-in debugging detail
+            // (`EngineOptions::fine_events`); a line per batch would drown
+            // the per-phase progress.
+            EngineEvent::OracleBatch { .. } => {}
             EngineEvent::Interrupted { phase, reason } => {
                 eprintln!("[dramdig] interrupted before {phase}: {reason}");
             }
@@ -682,6 +727,59 @@ impl Observer for ProgressLine {
             EngineEvent::RunStarted { .. } => {}
         }
     }
+}
+
+/// Writes a run's recorded telemetry to the `--trace` / `--metrics` paths.
+/// A no-op when neither flag was given (`telemetry` is `None`).
+fn write_telemetry(
+    telemetry: Option<TelemetryObserver>,
+    trace: Option<&str>,
+    metrics: Option<&str>,
+) -> Result<(), CliError> {
+    let Some(observer) = telemetry else {
+        return Ok(());
+    };
+    let (tracer, registry) = observer.into_parts();
+    write_trace_files(&tracer, &registry, trace, metrics)
+}
+
+/// Writes a tracer's Chrome trace and a registry's snapshot to optional
+/// paths. Both exports are byte-deterministic (simulated clock only).
+fn write_trace_files(
+    tracer: &telemetry::Tracer,
+    registry: &telemetry::Registry,
+    trace: Option<&str>,
+    metrics: Option<&str>,
+) -> Result<(), CliError> {
+    if let Some(path) = trace {
+        std::fs::write(path, tracer.chrome_trace())
+            .map_err(|e| CliError::Tool(format!("cannot write trace to {path}: {e}")))?;
+    }
+    if let Some(path) = metrics {
+        std::fs::write(path, registry.snapshot())
+            .map_err(|e| CliError::Tool(format!("cannot write metrics to {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Reassembles a campaign's completed jobs into a trace on a virtual serial
+/// timeline. The journal state's completed map is keyed (and iterated) by
+/// job id, so the span order — and the exported bytes — are independent of
+/// the nondeterministic completion order of the worker pool.
+fn campaign_tracer(outcome: &CampaignOutcome) -> telemetry::Tracer {
+    let mut tracer = telemetry::Tracer::new();
+    let run = tracer.begin_with(
+        telemetry::SpanKind::Run,
+        "campaign",
+        &[("jobs", outcome.state.completed.len() as u64)],
+    );
+    for (job_id, report) in &outcome.state.completed {
+        let span = tracer.begin(telemetry::SpanKind::CampaignJob, job_id);
+        tracer.advance_ns(report.total.elapsed_ns);
+        tracer.end_with(span, &[("measurements", report.total.measurements)]);
+    }
+    tracer.end_with(run, &[("measurements", outcome.totals.measurements)]);
+    tracer
 }
 
 /// What `uncover --checkpoint` remembers about the run besides the pipeline
@@ -727,6 +825,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             resume,
             budget,
             observables,
+            trace,
+            metrics,
         } => {
             let setting = setting_for(*machine)?;
             let mut config = DramDigConfig::default().with_seed(*seed);
@@ -791,9 +891,25 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             if let Some(cap) = budget {
                 options = options.with_budget(Budget::measurements(*cap));
             }
+            let telemetry_on = trace.is_some() || metrics.is_some();
+            if telemetry_on {
+                // Per-batch oracle events only exist when someone records
+                // them; they cost nothing otherwise.
+                options = options.with_fine_events(true);
+            }
             let mut probe = probe_for(&setting, config.rng_seed);
             let hammer_seed = config.rng_seed ^ 0xF11A;
             let engine = PipelineEngine::new(knowledge, config);
+            let mut progress = ProgressLine;
+            let mut telemetry = telemetry_on.then(TelemetryObserver::new);
+            // Tee the event stream: the progress line narrates to stderr
+            // while the telemetry observer (when requested) records spans.
+            let mut observer = |event: &EngineEvent| {
+                progress.on_event(event);
+                if let Some(recorder) = telemetry.as_mut() {
+                    recorder.on_event(event);
+                }
+            };
             let run_result = if observables.contains(&ObservableKind::FlipAdjacency) {
                 // The flip channel hammers its own simulated module (the
                 // hammer-friendly noise profile, seeded from the run), so
@@ -805,15 +921,13 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                     ),
                     FlipAdjacencyConfig::default(),
                 );
-                engine.run_with_observables(
-                    &mut probe,
-                    &options,
-                    &mut ProgressLine,
-                    &mut [&mut flip],
-                )
+                engine.run_with_observables(&mut probe, &options, &mut observer, &mut [&mut flip])
             } else {
-                engine.run(&mut probe, &options, &mut ProgressLine)
+                engine.run(&mut probe, &options, &mut observer)
             };
+            // Written before the result is inspected: an interrupted run's
+            // trace (a byte-prefix of the full run's) is evidence too.
+            write_telemetry(telemetry, trace.as_deref(), metrics.as_deref())?;
             let report = match run_result {
                 Ok(report) => report,
                 Err(DramDigError::Interrupted { phase, reason }) if checkpoint.is_some() => {
@@ -986,24 +1100,33 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             out,
             history,
             observables,
+            trace,
+            metrics,
         } => {
-            let started = std::time::Instant::now();
             let expanded = EvalGrid::new(*grid, *seed);
-            let outcome = run_grid_with_observables(&expanded, *workers, observables);
+            let mut pool_metrics = telemetry::Registry::new();
+            let outcome = if metrics.is_some() {
+                run_grid_metered(&expanded, *workers, observables, &mut pool_metrics)
+            } else {
+                run_grid_with_observables(&expanded, *workers, observables)
+            };
             let scoreboard = outcome.render_scoreboard();
-            // The artifact is written even when the gate fails below — a
+            // The artifacts are written even when the gate fails below — a
             // failing CI run must still upload the evidence.
             if let Some(path) = out {
                 std::fs::write(path, &scoreboard).map_err(|e| {
                     CliError::Tool(format!("cannot write scoreboard to {path}: {e}"))
                 })?;
             }
-            eprintln!(
-                "[dramdig] eval grid `{grid}` ({} scenarios x {} tools) finished in {:.1} s wall",
-                expanded.scenarios.len(),
-                dramdig_bench::eval::ToolId::ALL.len(),
-                started.elapsed().as_secs_f64(),
-            );
+            if trace.is_some() || metrics.is_some() {
+                let tracer = outcome_tracer(&outcome);
+                let mut registry = outcome_metrics(&outcome);
+                registry.merge(&pool_metrics);
+                write_trace_files(&tracer, &registry, trace.as_deref(), metrics.as_deref())?;
+            }
+            // Simulated time, not wall time: the line is a pure function of
+            // the outcome, so same-seed runs print identical bytes.
+            eprintln!("{}", summary_line(&outcome));
             let gate = outcome.gate();
             if !gate.passed() {
                 return Err(CliError::Tool(format!(
@@ -1068,6 +1191,8 @@ fn drive_campaign(
     spec: &CampaignSpec,
     workers: usize,
     limit: Option<usize>,
+    trace: Option<&str>,
+    metrics: Option<&str>,
 ) -> Result<String, CliError> {
     let paths = CampaignPaths::new(dir);
     // Phase checkpoints are always on for CLI campaigns: a worker killed
@@ -1079,10 +1204,18 @@ fn drive_campaign(
     if let Some(limit) = limit {
         options = options.with_max_completions(limit);
     }
-    let outcome = run_campaign(spec, &paths, &options, |job, attempt, checkpoint| {
-        campaign::run_job_sim_checkpointed(job, attempt, checkpoint)
-    })
+    let mut pool_metrics = telemetry::Registry::new();
+    let outcome = run_campaign_with_metrics(
+        spec,
+        &paths,
+        &options,
+        metrics.is_some().then_some(&mut pool_metrics),
+        campaign::run_job_sim_checkpointed,
+    )
     .map_err(|e| CliError::Tool(e.to_string()))?;
+    if trace.is_some() || metrics.is_some() {
+        write_trace_files(&campaign_tracer(&outcome), &pool_metrics, trace, metrics)?;
+    }
 
     let mut out = String::new();
     let total = spec.jobs().len();
@@ -1142,6 +1275,8 @@ fn execute_campaign(action: &CampaignAction) -> Result<String, CliError> {
             spec,
             workers,
             limit,
+            trace,
+            metrics,
         } => {
             let paths = CampaignPaths::new(dir);
             if paths.spec().exists() {
@@ -1159,7 +1294,14 @@ fn execute_campaign(action: &CampaignAction) -> Result<String, CliError> {
                         CliError::Tool(format!("cannot persist campaign spec in {dir}: {e}"))
                     })?;
             }
-            drive_campaign(dir, spec, *workers, *limit)
+            drive_campaign(
+                dir,
+                spec,
+                *workers,
+                *limit,
+                trace.as_deref(),
+                metrics.as_deref(),
+            )
         }
         CampaignAction::Resume {
             dir,
@@ -1167,7 +1309,7 @@ fn execute_campaign(action: &CampaignAction) -> Result<String, CliError> {
             limit,
         } => {
             let spec = read_campaign_spec(&CampaignPaths::new(dir))?;
-            drive_campaign(dir, &spec, *workers, *limit)
+            drive_campaign(dir, &spec, *workers, *limit, None, None)
         }
         CampaignAction::Status { dir } => {
             let paths = CampaignPaths::new(dir);
@@ -1270,6 +1412,8 @@ mod tests {
         assert_eq!(
             Command::parse(&args(&["uncover", "--machine", "4", "--seed", "9"])).unwrap(),
             Command::Uncover {
+                trace: None,
+                metrics: None,
                 machine: 4,
                 seed: 9,
                 ablate: None,
@@ -1282,6 +1426,8 @@ mod tests {
         assert_eq!(
             Command::parse(&args(&["uncover", "--machine", "4", "--ablate", "spec"])).unwrap(),
             Command::Uncover {
+                trace: None,
+                metrics: None,
                 machine: 4,
                 seed: 0xD16,
                 ablate: Some(Ablation::Specifications),
@@ -1389,6 +1535,8 @@ mod tests {
     #[test]
     fn uncover_runs_on_a_small_machine() {
         let out = execute(&Command::Uncover {
+            trace: None,
+            metrics: None,
             machine: 4,
             seed: 1,
             ablate: None,
@@ -1427,6 +1575,8 @@ mod tests {
         assert_eq!(
             Command::parse(&args(&["eval", "--grid", "ci"])).unwrap(),
             Command::Eval {
+                trace: None,
+                metrics: None,
                 grid: GridKind::Ci,
                 seed: 1,
                 workers: 4,
@@ -1451,6 +1601,8 @@ mod tests {
             ]))
             .unwrap(),
             Command::Eval {
+                trace: None,
+                metrics: None,
                 grid: GridKind::Quick,
                 seed: 9,
                 workers: 2,
@@ -1524,6 +1676,8 @@ mod tests {
         let hist = std::env::temp_dir().join(format!("dramdig-eval-hist-{}", std::process::id()));
         let run = |path: &std::path::Path, workers: usize| {
             execute(&Command::Eval {
+                trace: None,
+                metrics: None,
                 grid: GridKind::Quick,
                 seed: 1,
                 workers,
@@ -1553,6 +1707,95 @@ mod tests {
         std::fs::remove_file(&hist).unwrap();
     }
 
+    #[test]
+    fn eval_telemetry_artifacts_are_byte_identical_across_runs() {
+        let base = std::env::temp_dir().join(format!("dramdig-eval-telem-{}", std::process::id()));
+        let path = |name: &str| base.join(name).to_str().unwrap().to_string();
+        std::fs::create_dir_all(&base).unwrap();
+        let run = |tag: &str, workers: usize| {
+            execute(&Command::Eval {
+                grid: GridKind::Quick,
+                seed: 1,
+                workers,
+                out: None,
+                history: None,
+                observables: vec![ObservableKind::ConflictTiming],
+                trace: Some(path(&format!("{tag}.json"))),
+                metrics: Some(path(&format!("{tag}.txt"))),
+            })
+            .unwrap()
+        };
+        run("a", 4);
+        run("b", 1);
+        let trace_a = std::fs::read_to_string(base.join("a.json")).unwrap();
+        let trace_b = std::fs::read_to_string(base.join("b.json")).unwrap();
+        assert_eq!(trace_a, trace_b, "trace must not depend on worker count");
+        let metrics_a = std::fs::read_to_string(base.join("a.txt")).unwrap();
+        let metrics_b = std::fs::read_to_string(base.join("b.txt")).unwrap();
+        assert_eq!(metrics_a, metrics_b, "metrics must not depend on workers");
+        assert!(trace_a.starts_with("[\n"), "{trace_a}");
+        assert!(trace_a.contains("\"cat\":\"eval_cell\""), "{trace_a}");
+        // Pool counters merged in next to the outcome-derived ones.
+        assert!(
+            metrics_a.contains("counter eval_cells_total 32"),
+            "{metrics_a}"
+        );
+        assert!(
+            metrics_a.contains("counter pool_completed_total 32"),
+            "{metrics_a}"
+        );
+        assert!(
+            metrics_a.contains("gauge pool_queue_depth 32"),
+            "{metrics_a}"
+        );
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn uncover_telemetry_artifacts_are_deterministic() {
+        let base =
+            std::env::temp_dir().join(format!("dramdig-uncover-telem-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let run = |tag: &str| {
+            let trace = base.join(format!("{tag}.json"));
+            let metrics = base.join(format!("{tag}.txt"));
+            execute(&Command::Uncover {
+                machine: 4,
+                seed: 1,
+                ablate: None,
+                checkpoint: None,
+                resume: false,
+                budget: None,
+                observables: vec![ObservableKind::ConflictTiming],
+                trace: Some(trace.to_str().unwrap().to_string()),
+                metrics: Some(metrics.to_str().unwrap().to_string()),
+            })
+            .unwrap();
+            (
+                std::fs::read_to_string(trace).unwrap(),
+                std::fs::read_to_string(metrics).unwrap(),
+            )
+        };
+        let (trace_a, metrics_a) = run("a");
+        let (trace_b, metrics_b) = run("b");
+        assert_eq!(trace_a, trace_b, "same-seed traces must be byte-identical");
+        assert_eq!(metrics_a, metrics_b);
+        // Spans for every phase, plus the fine-grained oracle batches that
+        // `--trace` switches on.
+        for needle in [
+            "\"name\":\"calibration\"",
+            "\"name\":\"validation\"",
+            "\"cat\":\"oracle_batch\"",
+        ] {
+            assert!(trace_a.contains(needle), "missing {needle}");
+        }
+        assert!(
+            metrics_a.contains("counter measurements_total "),
+            "{metrics_a}"
+        );
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
     /// Table-driven coverage of the whole parse surface: each row is a
     /// command line and either the command it must parse to or `None` for a
     /// usage error.
@@ -1572,6 +1815,8 @@ mod tests {
             (
                 &["campaign", "run", "--dir", "t2", "--machines", "1-9"],
                 Some(Command::Campaign(CampaignAction::Run {
+                    trace: None,
+                    metrics: None,
                     dir: "t2".into(),
                     spec: spec(vec![1, 2, 3, 4, 5, 6, 7, 8, 9]),
                     workers: 4,
@@ -1592,6 +1837,8 @@ mod tests {
                     "3",
                 ],
                 Some(Command::Campaign(CampaignAction::Run {
+                    trace: None,
+                    metrics: None,
                     dir: "d".into(),
                     spec: spec(vec![4, 7]),
                     workers: 8,
@@ -1616,6 +1863,8 @@ mod tests {
                     "0",
                 ],
                 Some(Command::Campaign(CampaignAction::Run {
+                    trace: None,
+                    metrics: None,
                     dir: "d".into(),
                     spec: CampaignSpec {
                         machines: vec![1, 3, 4, 5],
@@ -1775,6 +2024,8 @@ mod tests {
             (
                 &["uncover", "--machine", "4", "--seed", "9"],
                 Some(Command::Uncover {
+                    trace: None,
+                    metrics: None,
                     machine: 4,
                     seed: 9,
                     ablate: None,
@@ -1787,6 +2038,8 @@ mod tests {
             (
                 &["uncover", "--machine", "0x4", "--ablate", "empirical"],
                 Some(Command::Uncover {
+                    trace: None,
+                    metrics: None,
                     machine: 4,
                     seed: 0xD16,
                     ablate: Some(Ablation::Empirical),
@@ -1807,6 +2060,8 @@ mod tests {
                     "600",
                 ],
                 Some(Command::Uncover {
+                    trace: None,
+                    metrics: None,
                     machine: 4,
                     seed: 0xD16,
                     ablate: None,
@@ -1826,6 +2081,8 @@ mod tests {
                     "--resume",
                 ],
                 Some(Command::Uncover {
+                    trace: None,
+                    metrics: None,
                     machine: 4,
                     seed: 0xD16,
                     ablate: None,
@@ -1879,6 +2136,79 @@ mod tests {
             (&["uncover", "--machine", "four"], None),
             (&["hammer", "--machine", "1", "--tool", "hope"], None),
             (&["frobnicate"], None),
+            // --- telemetry flags on uncover, eval and campaign run ---------
+            (
+                &[
+                    "uncover",
+                    "--machine",
+                    "4",
+                    "--trace",
+                    "trace.json",
+                    "--metrics",
+                    "metrics.txt",
+                ],
+                Some(Command::Uncover {
+                    machine: 4,
+                    seed: 0xD16,
+                    ablate: None,
+                    checkpoint: None,
+                    resume: false,
+                    budget: None,
+                    observables: vec![ObservableKind::ConflictTiming],
+                    trace: Some("trace.json".into()),
+                    metrics: Some("metrics.txt".into()),
+                }),
+            ),
+            (
+                &["eval", "--grid", "ci", "--trace", "trace.json"],
+                Some(Command::Eval {
+                    grid: GridKind::Ci,
+                    seed: 1,
+                    workers: 4,
+                    out: None,
+                    history: None,
+                    observables: vec![ObservableKind::ConflictTiming],
+                    trace: Some("trace.json".into()),
+                    metrics: None,
+                }),
+            ),
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "t2",
+                    "--machines",
+                    "4",
+                    "--metrics",
+                    "metrics.txt",
+                ],
+                Some(Command::Campaign(CampaignAction::Run {
+                    dir: "t2".into(),
+                    spec: spec(vec![4]),
+                    workers: 4,
+                    limit: None,
+                    trace: None,
+                    metrics: Some("metrics.txt".into()),
+                })),
+            ),
+            // Misspelled telemetry flags fail loudly instead of silently
+            // running without the requested artifact.
+            (&["uncover", "--machine", "4", "--traces", "t.json"], None),
+            (&["eval", "--grid", "ci", "--metric", "m.txt"], None),
+            (
+                &[
+                    "campaign",
+                    "run",
+                    "--dir",
+                    "d",
+                    "--machines",
+                    "4",
+                    "--trace-out",
+                    "t.json",
+                ],
+                None,
+            ),
         ];
         for (words, expected) in table {
             let parsed = Command::parse(&args(words));
@@ -1904,6 +2234,8 @@ mod tests {
         let dir_str = dir.to_str().unwrap().to_string();
         let uncover = |checkpoint: Option<String>, resume: bool, budget: Option<u64>| {
             execute(&Command::Uncover {
+                trace: None,
+                metrics: None,
                 machine: 4,
                 seed: 1,
                 ablate: None,
@@ -1927,6 +2259,8 @@ mod tests {
 
         // A different run (other machine/ablation) must not adopt the dir.
         let err = execute(&Command::Uncover {
+            trace: None,
+            metrics: None,
             machine: 7,
             seed: 1,
             ablate: None,
@@ -1961,6 +2295,8 @@ mod tests {
 
         // Run with --limit 1: an interrupted campaign.
         let out = execute(&Command::Campaign(CampaignAction::Run {
+            trace: None,
+            metrics: None,
             dir: dir_str.clone(),
             spec: spec.clone(),
             workers: 1,
@@ -1980,6 +2316,8 @@ mod tests {
 
         // Re-running with a different spec is refused.
         let err = execute(&Command::Campaign(CampaignAction::Run {
+            trace: None,
+            metrics: None,
             dir: dir_str.clone(),
             spec: CampaignSpec {
                 machines: vec![4],

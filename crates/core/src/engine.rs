@@ -154,6 +154,12 @@ pub struct EngineOptions {
     pub stop_after: Option<Phase>,
     /// Cooperative cancellation flag, checked before every phase.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Emit fine-grained [`EngineEvent::OracleBatch`] events. Off by
+    /// default: the oracle's batch log is only attached when this is set,
+    /// so a run without fine events takes zero extra measurements and an
+    /// identical measurement stream (gated by `bench_json`'s `telemetry`
+    /// section).
+    pub fine_events: bool,
 }
 
 impl EngineOptions {
@@ -181,6 +187,13 @@ impl EngineOptions {
     #[must_use]
     pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Enables fine-grained [`EngineEvent::OracleBatch`] events.
+    #[must_use]
+    pub fn with_fine_events(mut self, fine_events: bool) -> Self {
+        self.fine_events = fine_events;
         self
     }
 
@@ -230,6 +243,28 @@ pub enum EngineEvent {
         spent_measurements: u64,
         /// The configured cap.
         max_measurements: u64,
+    },
+    /// One batched conflict-oracle majority vote settled (emitted only with
+    /// [`EngineOptions::fine_events`] set, between the owning phase's
+    /// [`EngineEvent::PhaseStarted`] and [`EngineEvent::PhaseCompleted`]).
+    OracleBatch {
+        /// The phase that issued the batch.
+        phase: Phase,
+        /// Pairs the phase asked about.
+        pairs: u32,
+        /// Pairs answered from the conflict cache.
+        cached: u32,
+        /// Probe measurements issued for the uncached remainder.
+        measured: u32,
+    },
+    /// An extra [`Observable`] channel was consulted after the phases
+    /// (emitted once per consulted channel, before
+    /// [`EngineEvent::RunCompleted`]).
+    ObservableQueried {
+        /// The channel kind.
+        kind: ObservableKind,
+        /// What the consultation cost.
+        cost: ObservableCost,
     },
     /// The engine is stopping cooperatively at a phase boundary.
     Interrupted {
@@ -717,7 +752,8 @@ impl PipelineEngine {
         let memory = probe.memory().clone();
         let mut oracle = ConflictOracle::new(&mut *probe, LatencyCalibration::from_threshold(0))
             .with_repeat(self.config.measure_repeat)
-            .with_early_exit(self.config.early_exit_votes);
+            .with_early_exit(self.config.early_exit_votes)
+            .with_batch_log(options.fine_events);
         if let Some(capacity) = self.config.probe_cache_capacity {
             oracle = oracle.with_cache(capacity);
         }
@@ -812,6 +848,14 @@ impl PipelineEngine {
                 },
             )?;
             let costs = PhaseCosts::between(before, oracle.stats());
+            for record in oracle.take_batch_records() {
+                observer.on_event(&EngineEvent::OracleBatch {
+                    phase,
+                    pairs: record.pairs,
+                    cached: record.cached,
+                    measured: record.measured,
+                });
+            }
             state.apply(artifact.clone())?;
 
             // A validation tally below the agreement gate is a *failure*,
@@ -942,7 +986,9 @@ impl PipelineEngine {
                     row_remap = Some(mask);
                 }
             }
-            observable_costs.push((kind, channel.cost()));
+            let cost = channel.cost();
+            observer.on_event(&EngineEvent::ObservableQueried { kind, cost });
+            observable_costs.push((kind, cost));
         }
 
         let total = total_costs(&phase_costs);

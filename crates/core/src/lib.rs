@@ -70,6 +70,7 @@ pub mod knowledge;
 pub mod partition;
 pub mod report;
 pub mod select;
+pub mod trace;
 
 pub use artifact::{CheckpointStore, PhaseArtifact, PhaseCheckpoint};
 pub use codec::CodecError;
@@ -82,5 +83,6 @@ pub use engine::{
 pub use error::DramDigError;
 pub use knowledge::DomainKnowledge;
 pub use report::RecoveryReport;
+pub use trace::TelemetryObserver;
 
 pub use dram_model::{AddressMapping, PhysAddr, XorFunc};

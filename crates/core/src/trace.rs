@@ -1,0 +1,339 @@
+//! Telemetry adapter: [`EngineEvent`]s onto deterministic spans and metrics.
+//!
+//! [`TelemetryObserver`] is an [`Observer`] that folds the engine's event
+//! stream into a [`telemetry::Tracer`] (run → phase → oracle batch /
+//! observable query spans) and a [`telemetry::Registry`] (measurement,
+//! cache and observable-cost counters). Because the tracer is clocked on
+//! the **simulated** per-phase `elapsed_ns` — never a wall clock — the
+//! exported bytes are a pure function of the run configuration:
+//!
+//! * two same-seed runs export byte-identical traces and snapshots, and
+//! * a [`EngineEvent::PhaseRestored`] phase writes exactly the bytes its
+//!   original execution wrote (checkpoints preserve costs), so a
+//!   killed-and-resumed run's trace is byte-identical to an uninterrupted
+//!   run's — the engine's report-level resume guarantee, extended to
+//!   telemetry. Fine-grained [`EngineEvent::OracleBatch`] events are the
+//!   one exception (a restored phase re-measures nothing), which is why
+//!   they are opt-in via `EngineOptions::fine_events`.
+//!
+//! The observer composes with others through the blanket `FnMut` impl:
+//!
+//! ```
+//! use dram_model::MachineSetting;
+//! use dram_sim::{PhysMemory, SimConfig, SimMachine};
+//! use dramdig::engine::{EngineEvent, EngineOptions, PipelineEngine};
+//! use dramdig::trace::TelemetryObserver;
+//! use dramdig::{DomainKnowledge, DramDigConfig};
+//! use mem_probe::SimProbe;
+//!
+//! let setting = MachineSetting::no4_haswell_ddr3_4g();
+//! let machine = SimMachine::from_setting(&setting, SimConfig::default());
+//! let mut probe = SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes));
+//! let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+//!
+//! let engine = PipelineEngine::new(knowledge, DramDigConfig::fast());
+//! let mut telemetry = TelemetryObserver::new();
+//! engine.run(&mut probe, &EngineOptions::default(), &mut telemetry)?;
+//! let trace = telemetry.tracer().chrome_trace(); // load this in Perfetto
+//! assert!(trace.contains("\"cat\":\"phase\""));
+//! # Ok::<(), dramdig::DramDigError>(())
+//! ```
+
+use telemetry::{Registry, SpanId, SpanKind, Tracer};
+
+use crate::engine::{EngineEvent, Observer};
+
+/// Adapts one engine run's [`EngineEvent`] stream onto a [`Tracer`] and a
+/// [`Registry`]. Attach a fresh observer per run.
+#[derive(Debug, Default)]
+pub struct TelemetryObserver {
+    tracer: Tracer,
+    metrics: Registry,
+    run: Option<SpanId>,
+    phase: Option<SpanId>,
+}
+
+impl TelemetryObserver {
+    /// A fresh observer at simulated time zero.
+    pub fn new() -> Self {
+        TelemetryObserver::default()
+    }
+
+    /// The recorded span stream (use its exporters for files).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The recorded metrics.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Exclusive access to the metrics, e.g. to merge pool counters in.
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
+    }
+
+    /// Consumes the observer into its tracer and metrics.
+    pub fn into_parts(self) -> (Tracer, Registry) {
+        (self.tracer, self.metrics)
+    }
+
+    /// Closes an open phase span `elapsed_ns` later and accounts its costs
+    /// — shared by the executed and restored paths so both write identical
+    /// bytes.
+    fn close_phase(&mut self, span: SpanId, name: &str, costs: &crate::PhaseCosts) {
+        self.tracer.advance_ns(costs.elapsed_ns);
+        self.tracer.end_with(
+            span,
+            &[
+                ("measurements", costs.measurements),
+                ("accesses", costs.accesses),
+                ("cache_hits", costs.cache_hits),
+                ("cache_misses", costs.cache_misses),
+            ],
+        );
+        self.metrics
+            .counter_add("measurements_total", costs.measurements);
+        self.metrics.counter_add("accesses_total", costs.accesses);
+        self.metrics
+            .counter_add("conflict_cache_hits", costs.cache_hits);
+        self.metrics
+            .counter_add("conflict_cache_misses", costs.cache_misses);
+        self.metrics
+            .counter_add(&format!("phase_measurements_{name}"), costs.measurements);
+    }
+}
+
+impl Observer for TelemetryObserver {
+    fn on_event(&mut self, event: &EngineEvent) {
+        match event {
+            EngineEvent::RunStarted { phases, .. } => {
+                // `resumed` is deliberately left out of the span arguments:
+                // restored phases replay their recorded spans below, so a
+                // resumed run's trace stays byte-identical to a straight
+                // run's. The restore count lives in the metrics instead.
+                let span =
+                    self.tracer
+                        .begin_with(SpanKind::Run, "run", &[("phases", *phases as u64)]);
+                self.run = Some(span);
+            }
+            EngineEvent::PhaseStarted { phase } => {
+                self.phase = Some(self.tracer.begin(SpanKind::Phase, phase.name()));
+            }
+            EngineEvent::PhaseCompleted { phase, costs, .. } => {
+                // The `checkpointed` flag is deliberately not recorded: a
+                // restored phase could not reproduce it, and leaving it out
+                // keeps checkpointed, plain and resumed runs byte-identical.
+                if let Some(span) = self.phase.take() {
+                    self.close_phase(span, phase.name(), costs);
+                }
+            }
+            EngineEvent::PhaseRestored { phase, costs } => {
+                let span = self.tracer.begin(SpanKind::Phase, phase.name());
+                self.close_phase(span, phase.name(), costs);
+                self.metrics.counter_add("phases_restored", 1);
+            }
+            EngineEvent::OracleBatch {
+                pairs,
+                cached,
+                measured,
+                ..
+            } => {
+                self.tracer.instant(
+                    SpanKind::OracleBatch,
+                    "batch",
+                    &[
+                        ("pairs", u64::from(*pairs)),
+                        ("cached", u64::from(*cached)),
+                        ("measured", u64::from(*measured)),
+                    ],
+                );
+                self.metrics.counter_add("oracle_batches_total", 1);
+                self.metrics.observe(
+                    "oracle_batch_pairs",
+                    &[1, 4, 16, 64, 256, 1024],
+                    u64::from(*pairs),
+                );
+            }
+            EngineEvent::BudgetPressure {
+                spent_measurements,
+                max_measurements,
+                ..
+            } => {
+                self.tracer.instant(
+                    SpanKind::Run,
+                    "budget_pressure",
+                    &[("spent", *spent_measurements), ("cap", *max_measurements)],
+                );
+                self.metrics.counter_add("budget_pressure_events", 1);
+            }
+            EngineEvent::ObservableQueried { kind, cost } => {
+                let span = self.tracer.begin(SpanKind::ObservableQuery, kind.as_str());
+                self.tracer.advance_ns(cost.elapsed_ns);
+                self.tracer.end_with(
+                    span,
+                    &[
+                        ("timing_pairs", cost.timing_pairs),
+                        ("hammer_pairs", cost.hammer_pairs),
+                    ],
+                );
+                let name = kind.as_str();
+                self.metrics.counter_add(
+                    &format!("observable_{name}_timing_pairs"),
+                    cost.timing_pairs,
+                );
+                self.metrics.counter_add(
+                    &format!("observable_{name}_hammer_pairs"),
+                    cost.hammer_pairs,
+                );
+                self.metrics
+                    .counter_add(&format!("observable_{name}_elapsed_ns"), cost.elapsed_ns);
+            }
+            EngineEvent::Interrupted { .. } => {
+                self.tracer.instant(SpanKind::Run, "interrupted", &[]);
+                self.metrics.counter_add("interrupted_total", 1);
+            }
+            EngineEvent::RunCompleted { total } => {
+                if let Some(span) = self.run.take() {
+                    self.tracer
+                        .end_with(span, &[("measurements", total.measurements)]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Phase;
+    use crate::PhaseCosts;
+    use mem_probe::{ObservableCost, ObservableKind};
+
+    fn costs(measurements: u64, elapsed_ns: u64) -> PhaseCosts {
+        PhaseCosts {
+            measurements,
+            accesses: measurements * 2,
+            elapsed_ns,
+            cache_hits: 1,
+            cache_misses: 2,
+        }
+    }
+
+    fn feed(observer: &mut TelemetryObserver, restored: bool) {
+        observer.on_event(&EngineEvent::RunStarted {
+            phases: 6,
+            resumed: usize::from(restored),
+        });
+        if restored {
+            observer.on_event(&EngineEvent::PhaseRestored {
+                phase: Phase::Calibration,
+                costs: costs(40, 1_000),
+            });
+        } else {
+            observer.on_event(&EngineEvent::PhaseStarted {
+                phase: Phase::Calibration,
+            });
+            observer.on_event(&EngineEvent::PhaseCompleted {
+                phase: Phase::Calibration,
+                costs: costs(40, 1_000),
+                checkpointed: !restored,
+            });
+        }
+        observer.on_event(&EngineEvent::ObservableQueried {
+            kind: ObservableKind::ConflictTiming,
+            cost: ObservableCost {
+                timing_pairs: 8,
+                hammer_pairs: 0,
+                elapsed_ns: 500,
+            },
+        });
+        observer.on_event(&EngineEvent::RunCompleted {
+            total: costs(40, 1_000),
+        });
+    }
+
+    #[test]
+    fn restored_phases_write_executed_phase_bytes() {
+        let mut executed = TelemetryObserver::new();
+        feed(&mut executed, false);
+        let mut restored = TelemetryObserver::new();
+        feed(&mut restored, true);
+        assert_eq!(
+            executed.tracer().chrome_trace(),
+            restored.tracer().chrome_trace()
+        );
+        // Metrics do differ — the restore count is recorded there.
+        assert_eq!(restored.metrics().counter("phases_restored"), 1);
+        assert_eq!(executed.metrics().counter("phases_restored"), 0);
+    }
+
+    #[test]
+    fn spans_cover_run_phase_and_observable() {
+        let mut observer = TelemetryObserver::new();
+        feed(&mut observer, false);
+        let trace = observer.tracer().chrome_trace();
+        for needle in [
+            "\"cat\":\"run\"",
+            "\"cat\":\"phase\"",
+            "\"cat\":\"observable_query\"",
+            "\"name\":\"calibration\"",
+            "\"name\":\"timing\"",
+        ] {
+            assert!(trace.contains(needle), "missing {needle} in {trace}");
+        }
+        assert_eq!(observer.tracer().now_ns(), 1_500);
+        assert_eq!(observer.metrics().counter("measurements_total"), 40);
+        assert_eq!(
+            observer.metrics().counter("phase_measurements_calibration"),
+            40
+        );
+        assert_eq!(
+            observer.metrics().counter("observable_timing_timing_pairs"),
+            8
+        );
+    }
+
+    #[test]
+    fn oracle_batches_and_interruptions_are_instants() {
+        let mut observer = TelemetryObserver::new();
+        observer.on_event(&EngineEvent::RunStarted {
+            phases: 6,
+            resumed: 0,
+        });
+        observer.on_event(&EngineEvent::PhaseStarted {
+            phase: Phase::Partition,
+        });
+        observer.on_event(&EngineEvent::OracleBatch {
+            phase: Phase::Partition,
+            pairs: 12,
+            cached: 4,
+            measured: 8,
+        });
+        observer.on_event(&EngineEvent::PhaseCompleted {
+            phase: Phase::Partition,
+            costs: costs(8, 2_000),
+            checkpointed: false,
+        });
+        observer.on_event(&EngineEvent::BudgetPressure {
+            phase: Phase::Partition,
+            spent_measurements: 8,
+            max_measurements: 10,
+        });
+        observer.on_event(&EngineEvent::Interrupted {
+            phase: Phase::FunctionDetection,
+            reason: "budget".into(),
+        });
+        let trace = observer.tracer().chrome_trace();
+        assert!(trace.contains("\"name\":\"batch\""));
+        assert!(trace.contains("\"pairs\":12"));
+        assert!(trace.contains("\"name\":\"budget_pressure\""));
+        assert!(trace.contains("\"name\":\"interrupted\""));
+        assert_eq!(observer.metrics().counter("oracle_batches_total"), 1);
+        assert_eq!(observer.metrics().histogram_count("oracle_batch_pairs"), 1);
+        assert_eq!(observer.metrics().counter("interrupted_total"), 1);
+        // The run span is still open — the run never completed.
+        assert_eq!(observer.tracer().open_spans(), 1);
+    }
+}

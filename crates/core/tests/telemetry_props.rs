@@ -1,0 +1,139 @@
+//! Telemetry determinism tests: the spans and metrics a
+//! [`TelemetryObserver`] records are a pure function of the run
+//! configuration. Two same-seed runs export byte-identical Chrome traces
+//! and metrics snapshots on every Table-II machine, a killed run's trace is
+//! a byte-prefix of the uninterrupted run's, and a resumed run's trace is
+//! byte-identical to the uninterrupted run's — the engine's report-level
+//! resume guarantee, extended to telemetry.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use dram_model::MachineSetting;
+use dram_sim::{PhysMemory, SimConfig, SimMachine};
+use dramdig::engine::{EngineOptions, PipelineEngine};
+use dramdig::{DomainKnowledge, DramDigConfig, DramDigError, Phase, TelemetryObserver};
+use mem_probe::SimProbe;
+
+fn probe_for(number: u8, sim_seed: u64) -> SimProbe {
+    let setting = MachineSetting::by_number(number).unwrap();
+    let machine = SimMachine::from_setting(&setting, SimConfig::default().with_seed(sim_seed));
+    SimProbe::new(machine, PhysMemory::full(setting.system.capacity_bytes))
+}
+
+fn engine_for(number: u8, config: &DramDigConfig) -> PipelineEngine {
+    let setting = MachineSetting::by_number(number).unwrap();
+    let knowledge = DomainKnowledge::new(setting.system, Some(setting.microarch));
+    PipelineEngine::new(knowledge, config.clone())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dramdig-telem-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the pipeline with a fresh [`TelemetryObserver`] and returns the
+/// exported (trace, metrics snapshot) bytes.
+fn observed_run(number: u8, config: &DramDigConfig, sim_seed: u64) -> (String, String) {
+    let mut probe = probe_for(number, sim_seed);
+    let mut observer = TelemetryObserver::new();
+    engine_for(number, config)
+        .run(&mut probe, &EngineOptions::default(), &mut observer)
+        .unwrap();
+    let (tracer, metrics) = observer.into_parts();
+    (tracer.chrome_trace(), metrics.snapshot())
+}
+
+/// Two same-seed runs export byte-identical traces and snapshots on every
+/// Table-II machine — the property the CI telemetry-smoke step `cmp`s,
+/// exercised here across the whole machine matrix.
+#[test]
+fn same_seed_exports_are_byte_identical_on_all_nine_machines() {
+    let config = DramDigConfig::fast();
+    for number in 1..=9u8 {
+        let (trace_a, metrics_a) = observed_run(number, &config, u64::from(number));
+        let (trace_b, metrics_b) = observed_run(number, &config, u64::from(number));
+        assert_eq!(trace_a, trace_b, "machine {number}: traces diverged");
+        assert_eq!(metrics_a, metrics_b, "machine {number}: metrics diverged");
+        // Every phase span made it into the stream.
+        for phase in Phase::ALL {
+            assert!(
+                trace_a.contains(&format!("\"name\":\"{}\"", phase.name())),
+                "machine {number}: no span for {phase}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Killing a run at any phase boundary leaves a trace whose events are
+    /// a byte-prefix of the uninterrupted run's (plus one trailing
+    /// `interrupted` instant), and resuming from the checkpoint exports a
+    /// trace byte-identical to the uninterrupted run's: restored phases
+    /// replay exactly the bytes their original execution wrote.
+    #[test]
+    fn killed_trace_is_a_prefix_and_resumed_trace_is_identical(
+        boundary_index in 0usize..5,
+        machine_pick in 0usize..2,
+        sim_seed in 1u64..500,
+    ) {
+        let number = [4u8, 7][machine_pick];
+        let boundary = Phase::ALL[boundary_index];
+        let config = DramDigConfig::fast();
+        let dir = temp_dir(&format!("prop-{number}-{sim_seed}-{boundary_index}"));
+        let engine = engine_for(number, &config);
+
+        let (straight_trace, _) = observed_run(number, &config, sim_seed);
+
+        let mut probe = probe_for(number, sim_seed);
+        let mut killed_observer = TelemetryObserver::new();
+        let killed = engine.run(
+            &mut probe,
+            &EngineOptions::default()
+                .with_checkpoint(&dir)
+                .with_stop_after(boundary),
+            &mut killed_observer,
+        );
+        let interrupted = matches!(killed, Err(DramDigError::Interrupted { .. }));
+        prop_assert!(interrupted, "kill at {boundary} did not interrupt");
+        let killed_trace = killed_observer.tracer().chrome_trace();
+
+        // The killed stream is the straight stream cut at the boundary:
+        // dropping its closing `]` and the `interrupted` instant leaves a
+        // literal byte-prefix of the straight trace.
+        let killed_lines: Vec<&str> = killed_trace.lines().collect();
+        let straight_lines: Vec<&str> = straight_trace.lines().collect();
+        prop_assert!(
+            killed_lines[killed_lines.len() - 2].contains("\"name\":\"interrupted\""),
+            "last killed event must be the interrupt: {killed_trace}"
+        );
+        let prefix = &killed_lines[..killed_lines.len() - 2];
+        prop_assert_eq!(prefix, &straight_lines[..prefix.len()]);
+
+        let mut probe = probe_for(number, sim_seed);
+        let mut resumed_observer = TelemetryObserver::new();
+        engine
+            .run(
+                &mut probe,
+                &EngineOptions::default().with_checkpoint(&dir),
+                &mut resumed_observer,
+            )
+            .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(
+            resumed_observer.tracer().chrome_trace(),
+            straight_trace,
+            "resumed trace must be byte-identical to the uninterrupted run's"
+        );
+        // The restore count is visible in the metrics, not the trace.
+        prop_assert_eq!(
+            resumed_observer.metrics().counter("phases_restored"),
+            (boundary_index + 1) as u64
+        );
+    }
+}

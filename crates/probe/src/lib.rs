@@ -55,7 +55,7 @@ pub use observable::{
     ConflictTimingObservable, Observable, ObservableAnswer, ObservableCost, ObservableKind,
     ObservableQuery,
 };
-pub use oracle::ConflictOracle;
+pub use oracle::{BatchRecord, ConflictOracle};
 pub use probe::{MemoryProbe, ProbeStats};
 pub use sim_probe::{rounds_for, SimProbe, DEFAULT_ROUNDS, NOISY_ROUNDS};
 

@@ -6,6 +6,22 @@ use crate::cache::ConflictCache;
 use crate::calibrate::LatencyCalibration;
 use crate::probe::{MemoryProbe, ProbeStats};
 
+/// One batched [`ConflictOracle::are_sbdr`] call, as recorded by the
+/// opt-in batch log ([`ConflictOracle::with_batch_log`]).
+///
+/// The record is plain accounting data — the probe crate knows nothing
+/// about tracing. The pipeline engine drains these after each phase and
+/// adapts them onto telemetry events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Pairs the caller asked about.
+    pub pairs: u32,
+    /// Pairs answered from the conflict cache without measuring.
+    pub cached: u32,
+    /// Probe measurements issued (uncached pairs times majority votes).
+    pub measured: u32,
+}
+
 /// Combines a [`MemoryProbe`] with a [`LatencyCalibration`] so that callers
 /// can ask the binary question the algorithms actually need: *are these two
 /// addresses in the same bank but different rows?*
@@ -27,6 +43,7 @@ pub struct ConflictOracle<P> {
     repeat: u32,
     early_exit: bool,
     cache: Option<ConflictCache>,
+    batch_log: Option<Vec<BatchRecord>>,
 }
 
 impl<P: MemoryProbe> ConflictOracle<P> {
@@ -38,6 +55,7 @@ impl<P: MemoryProbe> ConflictOracle<P> {
             repeat: 1,
             early_exit: false,
             cache: None,
+            batch_log: None,
         }
     }
 
@@ -63,6 +81,24 @@ impl<P: MemoryProbe> ConflictOracle<P> {
     pub fn with_cache(mut self, capacity: usize) -> Self {
         self.cache = Some(ConflictCache::new(capacity));
         self
+    }
+
+    /// Starts recording one [`BatchRecord`] per [`ConflictOracle::are_sbdr`]
+    /// call. Off by default: a disabled log is a `None` check on the batch
+    /// path and costs no measurements either way — classification is
+    /// untouched.
+    pub fn with_batch_log(mut self, enabled: bool) -> Self {
+        self.batch_log = if enabled { Some(Vec::new()) } else { None };
+        self
+    }
+
+    /// Drains the recorded batch log (empty when logging is disabled).
+    /// Logging stays enabled afterwards, so callers can drain per phase.
+    pub fn take_batch_records(&mut self) -> Vec<BatchRecord> {
+        match &mut self.batch_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// The configured number of majority votes per query.
@@ -183,7 +219,18 @@ impl<P: MemoryProbe> ConflictOracle<P> {
     /// pair; each latency is then a plain compare.
     pub fn are_sbdr(&mut self, pairs: &[(PhysAddr, PhysAddr)]) -> Vec<bool> {
         if self.repeat != 1 && self.early_exit {
-            return pairs.iter().map(|&(a, b)| self.is_sbdr(a, b)).collect();
+            let before = self.batch_log.is_some().then(|| self.stats());
+            let verdicts: Vec<bool> = pairs.iter().map(|&(a, b)| self.is_sbdr(a, b)).collect();
+            if let Some(before) = before {
+                let after = self.stats();
+                let record = BatchRecord {
+                    pairs: pairs.len() as u32,
+                    cached: (after.cache_hits - before.cache_hits) as u32,
+                    measured: (after.measurements - before.measurements) as u32,
+                };
+                self.batch_log.as_mut().expect("log enabled").push(record);
+            }
+            return verdicts;
         }
         let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(pairs.len());
         let mut to_measure: Vec<(usize, (PhysAddr, PhysAddr))> = Vec::new();
@@ -201,6 +248,13 @@ impl<P: MemoryProbe> ConflictOracle<P> {
             batch.extend(std::iter::repeat_n(pair, repeat));
         }
         let latencies = self.probe.measure_pairs(&batch);
+        if let Some(log) = &mut self.batch_log {
+            log.push(BatchRecord {
+                pairs: pairs.len() as u32,
+                cached: (pairs.len() - to_measure.len()) as u32,
+                measured: batch.len() as u32,
+            });
+        }
         let threshold = self.calibration.threshold_ns();
         let majority = self.repeat / 2 + 1;
         for (&(i, (a, b)), votes) in to_measure.iter().zip(latencies.chunks(repeat)) {
@@ -374,6 +428,59 @@ mod tests {
         assert_eq!(batched.are_sbdr(&[(a, b), (a, c)]), expected);
         // Noiseless early exit: 3 of 5 votes per pair.
         assert_eq!(batched.stats().measurements, 6);
+    }
+
+    #[test]
+    fn batch_log_records_without_perturbing_measurements() {
+        let truth = oracle(false).probe().machine().ground_truth().clone();
+        let a = truth.to_phys(DramAddress::new(3, 5, 0)).unwrap();
+        let b = truth.to_phys(DramAddress::new(3, 77, 0)).unwrap();
+        let c = truth.to_phys(DramAddress::new(5, 5, 0)).unwrap();
+
+        let mut plain = oracle(false).with_repeat(3).with_cache(64);
+        let mut logged = oracle(false)
+            .with_repeat(3)
+            .with_cache(64)
+            .with_batch_log(true);
+        assert!(
+            plain.take_batch_records().is_empty(),
+            "disabled log is empty"
+        );
+
+        plain.is_sbdr(a, b);
+        logged.is_sbdr(a, b);
+        let expected = plain.are_sbdr(&[(b, a), (a, c)]);
+        assert_eq!(logged.are_sbdr(&[(b, a), (a, c)]), expected);
+        assert_eq!(
+            logged.stats().measurements,
+            plain.stats().measurements,
+            "logging must not change the measurement stream"
+        );
+        let records = logged.take_batch_records();
+        assert_eq!(
+            records,
+            vec![BatchRecord {
+                pairs: 2,
+                cached: 1,
+                measured: 3,
+            }]
+        );
+        assert!(logged.take_batch_records().is_empty(), "drained");
+
+        // The early-exit fallback path records through stats deltas.
+        let mut early = oracle(false)
+            .with_repeat(5)
+            .with_early_exit(true)
+            .with_batch_log(true);
+        early.are_sbdr(&[(a, b), (a, c)]);
+        assert_eq!(
+            early.take_batch_records(),
+            vec![BatchRecord {
+                pairs: 2,
+                cached: 0,
+                measured: 6,
+            }]
+        );
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! A hand-rolled, serde-free codec for flat JSONL records.
 //!
-//! Journal lines are single-level JSON objects whose values are strings or
-//! unsigned integers — nothing nested, nothing floating. The build
-//! environment has no registry access, so instead of pulling in a JSON
-//! dependency this module implements exactly that subset: escaping-aware
-//! string encoding and a small recursive-descent-free parser. Every line the
-//! encoder emits parses back to the same fields, including strings holding
-//! newlines, quotes and arbitrary control characters.
+//! Telemetry event logs and campaign journal lines are single-level JSON
+//! objects whose values are strings or unsigned integers — nothing nested,
+//! nothing floating. The build environment has no registry access, so
+//! instead of pulling in a JSON dependency this module implements exactly
+//! that subset: escaping-aware string encoding and a small
+//! recursive-descent-free parser. Every line the encoder emits parses back
+//! to the same fields, including strings holding newlines, quotes and
+//! arbitrary control characters.
+//!
+//! The module started life inside `dramdig-campaign`; it lives here so the
+//! [`crate::tracer`] JSONL exporter and the campaign write-ahead journal
+//! share one codec (the campaign crate re-exports it as `campaign::jsonl`).
 
 use std::fmt;
 

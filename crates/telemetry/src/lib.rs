@@ -1,0 +1,58 @@
+//! # Deterministic telemetry — spans, metrics and trace export
+//!
+//! Production observability for a reproduction pipeline has one unusual
+//! requirement: the telemetry must be as deterministic as the artifacts it
+//! describes, or it cannot be regression-gated. This crate provides that
+//! layer for the whole workspace:
+//!
+//! * [`Tracer`] ([`tracer`]) — hierarchical spans (run → phase →
+//!   oracle batch / observable query / campaign job / eval cell) clocked on
+//!   **simulated time plus monotonic sequence numbers**. No wall clock ever
+//!   enters the stream, so two same-seed runs export byte-identical traces
+//!   and CI can `cmp` them.
+//! * Exporters — Chrome trace-event JSON ([`Tracer::chrome_trace`],
+//!   loadable in Perfetto), a JSONL event log ([`Tracer::jsonl_log`])
+//!   sharing the campaign journal's codec ([`jsonl`]), and a text
+//!   "hot-span" summary ([`Tracer::hot_span_summary`]) attributing
+//!   self/total cost per span kind.
+//! * [`Registry`] ([`metrics`]) — counters, gauges and fixed-bucket
+//!   histograms (measurement pairs, conflict-cache hit rate, per-channel
+//!   observable costs, pool queue depth, retry/dead-letter counts) with a
+//!   stable, parseable text snapshot.
+//!
+//! The crate is dependency-free and knows nothing about DRAM: the engine,
+//! campaign and bench crates adapt their own events onto it (see
+//! `dramdig::trace::TelemetryObserver`, `campaign::pool::MeteredHooks` and
+//! `dramdig_bench::eval`). Instrumentation is opt-in at every seam — when
+//! no tracer is attached the pipeline takes no extra measurements, which
+//! `bench_json`'s `telemetry` section gates.
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::{Registry, SpanKind, Tracer};
+//!
+//! let mut tracer = Tracer::new();
+//! let run = tracer.begin(SpanKind::Run, "uncover");
+//! let phase = tracer.begin(SpanKind::Phase, "Calibration");
+//! tracer.advance_ns(1_500); // simulated cost, never wall time
+//! tracer.end(phase);
+//! tracer.end(run);
+//!
+//! let mut metrics = Registry::new();
+//! metrics.counter_add("measurements_total", 40);
+//!
+//! // Both exports are pure functions of the calls above.
+//! assert_eq!(tracer.chrome_trace(), tracer.chrome_trace());
+//! assert_eq!(metrics.snapshot(), "counter measurements_total 40\n");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod jsonl;
+pub mod metrics;
+pub mod tracer;
+
+pub use metrics::Registry;
+pub use tracer::{SpanId, SpanKind, Tracer};

@@ -1,0 +1,393 @@
+//! Deterministic counters, gauges and fixed-bucket histograms.
+//!
+//! A [`Registry`] maps metric names to values and renders them as a stable
+//! text snapshot: one line per metric, names sorted, integers only. The
+//! snapshot is a codec — [`Registry::parse_snapshot`] reads it back — so a
+//! metrics file can be diffed, `cmp`-gated in CI and re-loaded by tooling.
+//!
+//! Everything is integer-valued on purpose. The workspace's costs are
+//! counts (measurement pairs, cache hits, queue depths) and simulated
+//! nanoseconds; floats would invite formatting drift into the byte-identity
+//! gate for zero expressive gain.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Metric {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(Hist),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Hist {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<u64>,
+    /// One count per finite bucket, plus a final overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Hist {
+    fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Hist {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+}
+
+/// A named collection of metrics with a deterministic text snapshot.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Registry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already holds a gauge or histogram.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v = v.saturating_add(delta),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Current value of a counter (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Sets a gauge to `value`, creating it if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already holds a counter or histogram.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(value))
+        {
+            Metric::Gauge(v) => *v = value,
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Raises a gauge to `value` if it is below it (peak tracking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already holds a counter or histogram.
+    pub fn gauge_max(&mut self, name: &str, value: i64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(value))
+        {
+            Metric::Gauge(v) => *v = (*v).max(value),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Current value of a gauge (zero when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.entries.get(name) {
+            Some(Metric::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Records `value` into a fixed-bucket histogram, creating it with
+    /// `bounds` (inclusive upper bounds, strictly increasing) on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exists with different bounds or a different type —
+    /// bucket layouts are part of the snapshot contract and must not drift
+    /// between call sites.
+    pub fn observe(&mut self, name: &str, bounds: &[u64], value: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Hist::new(bounds)))
+        {
+            Metric::Histogram(h) => {
+                assert_eq!(h.bounds, bounds, "metric `{name}` bounds changed");
+                h.observe(value);
+            }
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Total observation count of a histogram (zero when absent).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(Metric::Histogram(h)) => h.total,
+            _ => 0,
+        }
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the maximum,
+    /// histograms with identical bounds add bucket-wise.
+    ///
+    /// The fold is commutative and associative, so registries filled by
+    /// concurrent workers merge to the same snapshot regardless of order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a name holds different metric types (or histogram
+    /// bounds) in the two registries.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, metric) in &other.entries {
+            match self.entries.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(metric.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), metric) {
+                        (Metric::Counter(a), Metric::Counter(b)) => *a = a.saturating_add(*b),
+                        (Metric::Gauge(a), Metric::Gauge(b)) => *a = (*a).max(*b),
+                        (Metric::Histogram(a), Metric::Histogram(b)) => {
+                            assert_eq!(a.bounds, b.bounds, "metric `{name}` bounds differ");
+                            for (ca, cb) in a.counts.iter_mut().zip(&b.counts) {
+                                *ca += cb;
+                            }
+                            a.total += b.total;
+                            a.sum = a.sum.saturating_add(b.sum);
+                        }
+                        _ => panic!("metric `{name}` has mismatched types"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the stable text snapshot: one line per metric, sorted by
+    /// name. Counters read `counter <name> <value>`, gauges
+    /// `gauge <name> <value>`, histograms
+    /// `histogram <name> le<bound>=<count>.. inf=<count> count=<n> sum=<s>`.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.entries {
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "counter {name} {v}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(out, "gauge {name} {v}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(out, "histogram {name}");
+                    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                        let _ = write!(out, " le{bound}={count}");
+                    }
+                    let _ = writeln!(
+                        out,
+                        " inf={} count={} sum={}",
+                        h.counts[h.bounds.len()],
+                        h.total,
+                        h.sum
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a snapshot produced by [`Registry::snapshot`] back into a
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_snapshot(text: &str) -> Result<Registry, String> {
+        let mut reg = Registry::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let bad = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            let mut parts = line.split_whitespace();
+            let family = parts.next().ok_or_else(|| bad("empty line"))?;
+            let name = parts.next().ok_or_else(|| bad("missing name"))?;
+            match family {
+                "counter" => {
+                    let v: u64 = parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| bad("bad counter value"))?;
+                    reg.entries.insert(name.to_string(), Metric::Counter(v));
+                }
+                "gauge" => {
+                    let v: i64 = parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| bad("bad gauge value"))?;
+                    reg.entries.insert(name.to_string(), Metric::Gauge(v));
+                }
+                "histogram" => {
+                    let mut bounds = Vec::new();
+                    let mut counts = Vec::new();
+                    let mut total = None;
+                    let mut sum = None;
+                    for part in parts {
+                        let (key, value) = part
+                            .split_once('=')
+                            .ok_or_else(|| bad("bad histogram field"))?;
+                        let value: u64 = value.parse().map_err(|_| bad("bad histogram count"))?;
+                        if let Some(bound) = key.strip_prefix("le") {
+                            bounds.push(bound.parse().map_err(|_| bad("bad bucket bound"))?);
+                            counts.push(value);
+                        } else if key == "inf" {
+                            counts.push(value);
+                        } else if key == "count" {
+                            total = Some(value);
+                        } else if key == "sum" {
+                            sum = Some(value);
+                        } else {
+                            return Err(bad("unknown histogram field"));
+                        }
+                    }
+                    if counts.len() != bounds.len() + 1 {
+                        return Err(bad("missing inf bucket"));
+                    }
+                    reg.entries.insert(
+                        name.to_string(),
+                        Metric::Histogram(Hist {
+                            bounds,
+                            counts,
+                            total: total.ok_or_else(|| bad("missing count"))?,
+                            sum: sum.ok_or_else(|| bad("missing sum"))?,
+                        }),
+                    );
+                }
+                other => return Err(bad(&format!("unknown family `{other}`"))),
+            }
+        }
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("measurements_total", 1936);
+        r.counter_add("measurements_total", 64);
+        r.gauge_set("pool_queue_depth", 32);
+        r.gauge_max("pool_queue_depth", 8); // peak stays 32
+        for pairs in [1, 3, 9, 40, 200] {
+            r.observe("batch_pairs", &[4, 16, 64], pairs);
+        }
+        r
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let snap = sample().snapshot();
+        assert_eq!(snap, sample().snapshot());
+        let lines: Vec<&str> = snap.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "histogram batch_pairs le4=2 le16=1 le64=1 inf=1 count=5 sum=253",
+                "counter measurements_total 2000",
+                "gauge pool_queue_depth 32",
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let reg = sample();
+        let parsed = Registry::parse_snapshot(&reg.snapshot()).unwrap();
+        assert_eq!(parsed, reg);
+        assert_eq!(parsed.snapshot(), reg.snapshot());
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let reg = sample();
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(reg.gauge("missing"), 0);
+        assert_eq!(reg.histogram_count("missing"), 0);
+        assert_eq!(reg.counter("measurements_total"), 2000);
+        assert_eq!(reg.histogram_count("batch_pairs"), 5);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Registry::new();
+        a.counter_add("jobs", 3);
+        a.gauge_set("depth", 5);
+        a.observe("h", &[10], 4);
+        let mut b = Registry::new();
+        b.counter_add("jobs", 2);
+        b.counter_add("dead", 1);
+        b.gauge_set("depth", 9);
+        b.observe("h", &[10], 40);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        assert_eq!(ab.counter("jobs"), 5);
+        assert_eq!(ab.gauge("depth"), 9);
+        assert_eq!(ab.histogram_count("h"), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "unknown x 1",
+            "counter only_name",
+            "counter name notanumber",
+            "gauge name",
+            "histogram h le4=1 count=1 sum=1", // missing inf
+            "histogram h inf=0 count=0",       // missing sum
+        ] {
+            assert!(Registry::parse_snapshot(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut r = Registry::new();
+        r.gauge_set("x", 1);
+        r.counter_add("x", 1);
+    }
+}
