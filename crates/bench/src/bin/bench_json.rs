@@ -19,8 +19,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dram_model::fingerprint::fnv1a64;
 use dram_model::gf2::{self, bitslice, Gf2Matrix, PileBasis};
-use dram_model::{bits, MachineClass, MachineSetting, PhysAddr, RowRemap};
+use dram_model::{bits, MachineClass, MachineGen, MachineSetting, PhysAddr, RowRemap, XorFunc};
 use dram_sim::{PhysMemory, SimConfig, SimMachine};
 use dramdig::driver::RunReport;
 use dramdig::engine::{EngineOptions, NullObserver, PipelineEngine};
@@ -35,6 +36,7 @@ use dramdig::{
 use dramdig_bench::eval::{flip_sim_seed, run_grid, EvalGrid, GridKind, ToolId};
 use dramdig_bench::run_dramdig;
 use mem_probe::{ConflictOracle, LatencyCalibration, MemoryProbe, ObservableKind, SimProbe};
+use registry::{DiskRegistry, MemRegistry, Record, SharedRegistry, Source};
 use rowhammer::FlipAdjacencyObservable;
 
 /// Simulator seed shared by every run so the two profiles face the same
@@ -717,6 +719,225 @@ fn main() {
     }
     let json_mask = |mask: Option<u32>| mask.map_or("null".to_string(), |m| m.to_string());
 
+    // --- Registry: sharded store and the lock-free query path --------------
+    // A 1,000-machine generated corpus goes through the full registry
+    // subsystem: in-memory insert, differential check of every indexed
+    // query against its linear-scan twin, sharded disk round trip, the
+    // >= 10x indexed-speedup gate on `machines_sharing`, and sustained
+    // queries/sec over `Arc` snapshots with one and four reader threads.
+    let registry_corpus: u64 = 1_000;
+    let registry_seed: u64 = 0xC0FFEE;
+    let registry_shards: u32 = 8;
+    let mut registry_records: Vec<Record> = Vec::with_capacity(registry_corpus as usize);
+    let mut registry_mem = MemRegistry::new();
+    for i in 0..registry_corpus {
+        let machine =
+            MachineGen::new(registry_seed.wrapping_add(i)).generate(MachineClass::InScope);
+        let record = Record::new(
+            machine.mapping(),
+            Source::new(machine.label.clone(), "bench-gen".to_string()),
+        );
+        registry_mem.insert(&record.mapping, record.source.clone());
+        registry_records.push(record);
+    }
+    let registry_entries = registry_mem.len();
+
+    // Query workload: the first bank function of every 23rd entry (hit
+    // path, spread over the whole corpus) plus two functions over low
+    // column bits no stored basis spans (miss path).
+    let mut registry_queries: Vec<XorFunc> = registry_mem
+        .entries()
+        .step_by(23)
+        .map(|e| e.mapping.bank_funcs()[0])
+        .collect();
+    registry_queries.push(XorFunc::from_bits(&[2, 3]));
+    registry_queries.push(XorFunc::from_bits(&[0, 1, 2]));
+
+    // Differential gate: the inverted index answers byte-identically to
+    // the linear-scan twin, on sharing and nearest queries alike.
+    for func in &registry_queries {
+        if registry_mem.machines_sharing(*func) != registry_mem.machines_sharing_scan(*func) {
+            eprintln!(
+                "registry differential gate failed: indexed machines_sharing({func}) \
+                 disagrees with the linear-scan twin"
+            );
+            std::process::exit(1);
+        }
+    }
+    for entry in registry_mem.entries().step_by(101) {
+        let partial: Vec<XorFunc> = entry.mapping.bank_funcs().iter().copied().take(2).collect();
+        if registry_mem.nearest(&partial, 3).0 != registry_mem.nearest_scan(&partial, 3) {
+            eprintln!(
+                "registry differential gate failed: indexed nearest for a partial of {:016x} \
+                 disagrees with the linear-scan twin",
+                entry.fingerprint
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Sharded disk round trip: publish the corpus, reload from segments,
+    // and require the reloaded registry to equal the in-memory one.
+    let registry_dir =
+        std::env::temp_dir().join(format!("dramdig-bench-registry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let registry_shared =
+        SharedRegistry::create(&registry_dir, registry_shards).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot create bench registry at {}: {e}",
+                registry_dir.display()
+            );
+            std::process::exit(1);
+        });
+    registry_shared
+        .publish(&registry_records)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot publish bench corpus: {e}");
+            std::process::exit(1);
+        });
+    let registry_reloaded = DiskRegistry::open(&registry_dir)
+        .and_then(|disk| disk.load())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot reload bench registry: {e}");
+            std::process::exit(1);
+        });
+    let registry_load_matches = registry_reloaded == registry_mem;
+    if !registry_load_matches {
+        eprintln!(
+            "registry differential gate failed: sharded disk round trip does not \
+             reproduce the in-memory registry"
+        );
+        std::process::exit(1);
+    }
+    let registry_disk = registry_shared.stats().unwrap_or_else(|e| {
+        eprintln!("cannot stat bench registry: {e}");
+        std::process::exit(1);
+    });
+
+    // Speedup gate: per-query cost of the indexed path vs the scan twin.
+    let registry_query_count = registry_queries.len() as f64;
+    let registry_scan_ns = time_per_call(|| {
+        registry_queries
+            .iter()
+            .map(|f| registry_mem.machines_sharing_scan(*f).len())
+            .sum::<usize>()
+    }) / registry_query_count;
+    let registry_indexed_ns = time_per_call(|| {
+        registry_queries
+            .iter()
+            .map(|f| registry_mem.machines_sharing(*f).len())
+            .sum::<usize>()
+    }) / registry_query_count;
+    let registry_speedup = registry_scan_ns / registry_indexed_ns;
+    if registry_speedup < 10.0 {
+        eprintln!(
+            "registry speedup gate failed: indexed machines_sharing is only \
+             {registry_speedup:.1}x faster than the scan at {registry_entries} entries \
+             ({registry_indexed_ns:.0} ns vs {registry_scan_ns:.0} ns per query, gate 10x)"
+        );
+        std::process::exit(1);
+    }
+
+    // Sustained queries/sec over Arc snapshots. Each reader clones the
+    // snapshot once and then queries lock-free; the gate only requires
+    // that fanning readers out does not collapse aggregate throughput
+    // (a contended lock would), not that it scales — CI may be 1-core.
+    let registry_qps = |threads: usize| -> f64 {
+        let served = std::sync::atomic::AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let (served, shared, queries) = (&served, &registry_shared, &registry_queries);
+                scope.spawn(move || {
+                    let snapshot = shared.snapshot();
+                    let mut local = 0u64;
+                    while start.elapsed().as_nanos() < 200_000_000 {
+                        for func in queries {
+                            std::hint::black_box(snapshot.mem.machines_sharing(*func));
+                            local += 1;
+                        }
+                    }
+                    served.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        served.into_inner() as f64 / start.elapsed().as_secs_f64()
+    };
+    let registry_single_qps = registry_qps(1);
+    let registry_threads = 4usize;
+    let registry_multi_qps = registry_qps(registry_threads);
+    let registry_throughput_ok = registry_multi_qps >= 0.5 * registry_single_qps;
+    if !registry_throughput_ok {
+        eprintln!(
+            "registry throughput gate failed: {registry_threads} readers collapsed to \
+             {registry_multi_qps:.0} queries/s aggregate vs {registry_single_qps:.0} \
+             single-threaded"
+        );
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&registry_dir);
+
+    // Longitudinal history: one line per run in REGISTRY_HISTORY.txt.
+    // Everything before `||` is deterministic for a given tree and acts
+    // as a regression gate against every prior line with the same key;
+    // the wall-clock tail after `||` is recorded for trend-watching only.
+    let mut registry_codec = String::new();
+    for entry in registry_mem.entries() {
+        let _ = writeln!(registry_codec, "{:016x}", entry.fingerprint);
+    }
+    let registry_corpus_fnv = fnv1a64(registry_codec.as_bytes());
+    let registry_key = format!(
+        "registry corpus={registry_corpus} seed={registry_seed:#x} shards={registry_shards}"
+    );
+    let registry_determ = format!(
+        "entries={registry_entries} segments={} records={} queries={} \
+         corpus=fnv1a:{registry_corpus_fnv:016x} gates=PASS",
+        registry_disk.segments,
+        registry_disk.records,
+        registry_queries.len(),
+    );
+    let registry_line = format!(
+        "{registry_key} | {registry_determ} || speedup={registry_speedup:.1}x \
+         single_qps={registry_single_qps:.0} multi_qps={registry_multi_qps:.0} \
+         threads={registry_threads}"
+    );
+    let registry_history = std::fs::read_to_string("REGISTRY_HISTORY.txt").unwrap_or_default();
+    for prior in registry_history.lines() {
+        let Some((key, rest)) = prior.trim().split_once(" | ") else {
+            continue;
+        };
+        if key != registry_key {
+            continue;
+        }
+        let recorded = rest.split(" || ").next().unwrap_or(rest).trim();
+        if recorded != registry_determ {
+            eprintln!(
+                "registry history regression for `{registry_key}`:\n  recorded: {recorded}\n  \
+                 current:  {registry_determ}"
+            );
+            std::process::exit(1);
+        }
+    }
+    let mut registry_history_out = if registry_history.is_empty() {
+        String::from(
+            "# Longitudinal registry bench history: one line per `bench_json` run.\n\
+             # Fields before `||` are deterministic for a given tree and gate\n\
+             # regressions against prior runs with the same key; the wall-clock\n\
+             # tail after `||` is recorded for trend-watching only.\n",
+        )
+    } else {
+        registry_history
+    };
+    if !registry_history_out.ends_with('\n') {
+        registry_history_out.push('\n');
+    }
+    registry_history_out.push_str(&registry_line);
+    registry_history_out.push('\n');
+    std::fs::write("REGISTRY_HISTORY.txt", registry_history_out).unwrap_or_else(|e| {
+        eprintln!("cannot write REGISTRY_HISTORY.txt: {e}");
+        std::process::exit(1);
+    });
+
     // --- Assemble the JSON -------------------------------------------------
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -898,6 +1119,29 @@ fn main() {
     let _ = writeln!(out, "    \"metrics_bytes\": {},", metrics_a.len());
     let _ = writeln!(out, "    \"same_seed_trace_identical\": true,");
     let _ = writeln!(out, "    \"same_seed_metrics_identical\": true");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"registry\": {{");
+    let _ = writeln!(out, "    \"corpus_mappings\": {registry_corpus},");
+    let _ = writeln!(out, "    \"distinct_mappings\": {registry_entries},");
+    let _ = writeln!(out, "    \"shards\": {registry_shards},");
+    let _ = writeln!(out, "    \"segments\": {},", registry_disk.segments);
+    let _ = writeln!(out, "    \"queries\": {},", registry_queries.len());
+    let _ = writeln!(out, "    \"indexed_answers_match_scan\": true,");
+    let _ = writeln!(
+        out,
+        "    \"sharded_load_matches_mem\": {registry_load_matches},"
+    );
+    let _ = writeln!(out, "    \"scan_ns_per_query\": {registry_scan_ns:.1},");
+    let _ = writeln!(
+        out,
+        "    \"indexed_ns_per_query\": {registry_indexed_ns:.1},"
+    );
+    let _ = writeln!(out, "    \"indexed_speedup\": {registry_speedup:.2},");
+    let _ = writeln!(out, "    \"speedup_gate\": 10.0,");
+    let _ = writeln!(out, "    \"single_thread_qps\": {registry_single_qps:.0},");
+    let _ = writeln!(out, "    \"multi_thread_qps\": {registry_multi_qps:.0},");
+    let _ = writeln!(out, "    \"threads\": {registry_threads},");
+    let _ = writeln!(out, "    \"throughput_gate\": {registry_throughput_ok}");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
 
@@ -947,6 +1191,13 @@ fn main() {
         "telemetry: {trace_events} trace events over {} measurements, zero probe overhead, \
          same-seed exports byte-identical",
         observed.total.measurements,
+    );
+    println!(
+        "registry ({registry_entries} entries from {registry_corpus} machines, \
+         {registry_shards} shards): machines_sharing scan {registry_scan_ns:.0} ns -> \
+         indexed {registry_indexed_ns:.0} ns per query ({registry_speedup:.1}x, gate 10x), \
+         {registry_single_qps:.0} qps single -> {registry_multi_qps:.0} qps aggregate \
+         at {registry_threads} readers"
     );
     println!(
         "observables on {}: timing-only {} pairs (identical to seed path), flip adjacency \

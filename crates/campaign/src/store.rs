@@ -1,103 +1,40 @@
-//! The persistent, deduplicating mapping store.
+//! The persistent, deduplicating mapping store — a campaign-facing view
+//! over the registry's in-memory core.
 //!
 //! Every completed job contributes its recovered [`AddressMapping`]. Two
 //! recoveries of the *same* mapping may present different bank-function
 //! lists (any basis of the same GF(2) row space induces the same bank
 //! partition), so the store canonicalizes each function set to its unique
-//! reduced row-echelon basis
-//! ([`dram_model::gf2::Gf2Matrix::reduced_row_basis`]) before keying on it.
-//! The result is a component-function database that answers fleet-level
-//! questions — *which machines share bank function `(7, 14)`?*, *how many
-//! distinct mappings did the campaign see?* — and whose plain-text encoding
-//! is byte-identical for any insertion order, so an interrupted-and-resumed
-//! campaign and an uninterrupted one produce the same artifact.
+//! reduced row-echelon basis before keying on it. Since PR 9 the heavy
+//! lifting lives in [`registry::MemRegistry`]: content-addressed entries,
+//! a function-level inverted index behind [`MappingStore::machines_sharing`]
+//! (the old linear scan survives as
+//! [`MappingStore::machines_sharing_scan`], the differential twin), and a
+//! raw-shape memo so journal replay never re-canonicalizes a mapping it
+//! has already seen. This module keeps what is campaign-specific: the
+//! `store.txt` text codec, whose bytes are a pure function of the store
+//! contents — an interrupted-and-resumed campaign and an uninterrupted one
+//! produce the same artifact, byte for byte.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::fmt;
+use std::collections::BTreeSet;
 
-use dram_model::gf2::{self, Gf2Matrix};
 use dram_model::{parse, AddressMapping, XorFunc};
 use dramdig::codec::CodecError;
-
-/// Canonical identity of a mapping: reduced bank-function basis plus the
-/// row/column bit sets.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Signature {
-    basis: Vec<u64>,
-    row_bits: Vec<u8>,
-    column_bits: Vec<u8>,
-}
-
-impl Signature {
-    fn of(mapping: &AddressMapping) -> Self {
-        // The bitsliced RREF (rows as lanes, one word op per eliminated
-        // bit) produces the same unique reduced basis as the scalar
-        // `Gf2Matrix::reduced_row_basis`, which stays the differential twin
-        // (see `canonical_key_matches_scalar_rref` below).
-        let masks: Vec<u64> = mapping.bank_funcs().iter().map(|f| f.mask()).collect();
-        Signature {
-            basis: gf2::bitslice::reduced_row_basis(&masks),
-            row_bits: mapping.row_bits().to_vec(),
-            column_bits: mapping.column_bits().to_vec(),
-        }
-    }
-}
+use registry::{MemRegistry, Record};
 
 /// Where a stored mapping came from: one completed job on one machine.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct Provenance {
-    /// Machine label, e.g. `No.4`.
-    pub machine: String,
-    /// Job id, e.g. `m4-s1-optimized`.
-    pub job: String,
-}
+/// Re-exported from the registry crate (there it is [`registry::Source`]).
+pub use registry::Source as Provenance;
 
-impl fmt::Display for Provenance {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.machine, self.job)
-    }
-}
-
-impl Provenance {
-    fn decode(text: &str) -> Result<Self, CodecError> {
-        let Some((machine, job)) = text.split_once(':') else {
-            return Err(CodecError::whole(format!(
-                "source `{text}` is not `machine:job`"
-            )));
-        };
-        if machine.is_empty() || job.is_empty() {
-            return Err(CodecError::whole(format!(
-                "empty source component in `{text}`"
-            )));
-        }
-        Ok(Provenance {
-            machine: machine.to_string(),
-            job: job.to_string(),
-        })
-    }
-}
-
-/// One distinct mapping plus every job that recovered it.
-#[derive(Debug, Clone, PartialEq)]
-pub struct StoreEntry {
-    /// The mapping, with its bank functions in canonical (reduced-basis)
-    /// form.
-    pub mapping: AddressMapping,
-    /// Every job that recovered this mapping.
-    pub sources: BTreeSet<Provenance>,
-}
-
-impl StoreEntry {
-    /// The distinct machine labels that recovered this mapping.
-    pub fn machines(&self) -> BTreeSet<&str> {
-        self.sources.iter().map(|s| s.machine.as_str()).collect()
-    }
-}
+/// One distinct mapping plus every job that recovered it. Re-exported
+/// from the registry crate; `fingerprint` carries the content-addressed
+/// identity the registry shards and indexes on.
+pub use registry::Entry as StoreEntry;
 
 /// The deduplicating mapping store.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MappingStore {
-    entries: BTreeMap<Signature, StoreEntry>,
+    registry: MemRegistry,
 }
 
 impl MappingStore {
@@ -109,80 +46,73 @@ impl MappingStore {
     /// Records that `source` recovered `mapping`. Returns `true` when this
     /// mapping was not in the store yet (up to bank-function basis choice).
     pub fn insert(&mut self, mapping: &AddressMapping, source: Provenance) -> bool {
-        let signature = Signature::of(mapping);
-        match self.entries.get_mut(&signature) {
-            Some(entry) => {
-                entry.sources.insert(source);
-                false
-            }
-            None => {
-                let canonical_funcs: Vec<XorFunc> = signature
-                    .basis
-                    .iter()
-                    .map(|&mask| XorFunc::from_mask(mask))
-                    .collect();
-                let mapping = AddressMapping::new(
-                    canonical_funcs,
-                    mapping.row_bits().to_vec(),
-                    mapping.column_bits().to_vec(),
-                )
-                .expect("canonical basis spans the same space as a valid mapping");
-                self.entries.insert(
-                    signature,
-                    StoreEntry {
-                        mapping,
-                        sources: BTreeSet::from([source]),
-                    },
-                );
-                true
-            }
-        }
+        self.registry.insert(mapping, source)
     }
 
     /// Merges another store into this one.
     pub fn merge(&mut self, other: MappingStore) {
-        for entry in other.entries.into_values() {
-            for source in entry.sources {
-                self.insert(&entry.mapping, source);
-            }
-        }
+        self.registry.merge(&other.registry);
     }
 
     /// Number of distinct mappings stored.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.registry.len()
     }
 
     /// Returns `true` when no mapping is stored.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.registry.is_empty()
     }
 
     /// The stored entries, in canonical (signature) order.
     pub fn entries(&self) -> impl Iterator<Item = &StoreEntry> {
-        self.entries.values()
+        self.registry.entries()
+    }
+
+    /// The underlying registry core, for query layers that want the
+    /// costed/nearest/fingerprint APIs directly.
+    pub fn registry(&self) -> &MemRegistry {
+        &self.registry
+    }
+
+    /// RREF canonicalizations performed so far. Journal replay over
+    /// already-stored mappings must not move this (the raw-shape memo
+    /// answers instead).
+    pub fn canonicalizations(&self) -> u64 {
+        self.registry.canonicalizations()
     }
 
     /// The machines whose recovered mapping *uses* `func`: the function lies
     /// in the GF(2) span of the entry's bank functions. This answers
     /// "which machines share bank function X" across the whole campaign
-    /// history.
+    /// history — from the inverted index: only entries whose basis support
+    /// covers `func`'s bits are examined.
     pub fn machines_sharing(&self, func: XorFunc) -> BTreeSet<&str> {
-        let mut machines = BTreeSet::new();
-        for entry in self.entries.values() {
-            if Gf2Matrix::from_funcs(entry.mapping.bank_funcs()).spans(func.mask()) {
-                machines.extend(entry.machines());
-            }
-        }
-        machines
+        self.registry.machines_sharing(func)
+    }
+
+    /// Differential twin of [`MappingStore::machines_sharing`]: the
+    /// original full linear scan, kept so tests (and the bench gate) can
+    /// confirm the index changes nothing but the work done.
+    pub fn machines_sharing_scan(&self, func: XorFunc) -> BTreeSet<&str> {
+        self.registry.machines_sharing_scan(func)
     }
 
     /// The entries whose bank-function span contains `func`.
     pub fn entries_sharing(&self, func: XorFunc) -> Vec<&StoreEntry> {
-        self.entries
-            .values()
-            .filter(|e| Gf2Matrix::from_funcs(e.mapping.bank_funcs()).spans(func.mask()))
-            .collect()
+        self.registry.entries_sharing(func)
+    }
+
+    /// One registry record per `(mapping, source)` attribution, in
+    /// canonical order — the import feed for a sharded on-disk registry.
+    pub fn records(&self) -> Vec<Record> {
+        let mut records = Vec::new();
+        for entry in self.registry.entries() {
+            for source in &entry.sources {
+                records.push(Record::new(&entry.mapping, source.clone()));
+            }
+        }
+        records
     }
 
     /// Serializes the store. The output is a pure function of the store
@@ -190,7 +120,7 @@ impl MappingStore {
     /// uninterrupted campaigns write identical files.
     pub fn encode(&self) -> String {
         let mut out = String::from("# dramdig mapping store\n");
-        for entry in self.entries.values() {
+        for entry in self.registry.entries() {
             let (funcs, rows, cols) = parse::render_mapping(&entry.mapping);
             out.push_str("\n[mapping]\n");
             out.push_str(&format!("funcs = {funcs}\n"));
@@ -259,7 +189,7 @@ impl MappingStore {
                 "cols" => cols = Some(value.to_string()),
                 "sources" => {
                     for item in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-                        sources.push(Provenance::decode(item)?);
+                        sources.push(Provenance::parse(item).map_err(CodecError::whole)?);
                     }
                 }
                 other => return Err(CodecError::whole(format!("unknown store key `{other}`"))),
@@ -273,13 +203,11 @@ impl MappingStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dram_model::gf2::{self, Gf2Matrix};
     use dram_model::MachineSetting;
 
     fn source(machine: u8, job: &str) -> Provenance {
-        Provenance {
-            machine: format!("No.{machine}"),
-            job: job.to_string(),
-        }
+        Provenance::new(format!("No.{machine}"), job)
     }
 
     #[test]
@@ -364,6 +292,55 @@ mod tests {
     }
 
     #[test]
+    fn indexed_sharing_agrees_with_the_scan_twin() {
+        let mut store = MappingStore::new();
+        for n in 1..=9u8 {
+            let setting = MachineSetting::by_number(n).unwrap();
+            store.insert(setting.mapping(), source(n, &format!("m{n}-s1-optimized")));
+        }
+        let mut queries: Vec<XorFunc> = store
+            .entries()
+            .flat_map(|e| e.mapping.bank_funcs().to_vec())
+            .collect();
+        queries.push(XorFunc::from_bits(&[14, 18]));
+        queries.push(XorFunc::from_bits(&[2, 3]));
+        for func in queries {
+            assert_eq!(
+                store.machines_sharing(func),
+                store.machines_sharing_scan(func),
+                "query {func}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_reuses_canonical_keys() {
+        // Satellite: a journal replay re-presents every completed job's
+        // mapping in the same raw shape; the store must answer those from
+        // the memo instead of re-running RREF each time.
+        let mut store = MappingStore::new();
+        for n in 1..=9u8 {
+            let setting = MachineSetting::by_number(n).unwrap();
+            store.insert(setting.mapping(), source(n, &format!("m{n}-s1-optimized")));
+        }
+        let after_first = store.canonicalizations();
+        // Table II has some identical raw shapes, so this is ≤ 9 — but
+        // every distinct shape cost exactly one RREF.
+        assert!(after_first >= store.len() as u64 && after_first <= 9);
+        for _replay in 0..3 {
+            for n in 1..=9u8 {
+                let setting = MachineSetting::by_number(n).unwrap();
+                store.insert(setting.mapping(), source(n, &format!("m{n}-s1-optimized")));
+            }
+        }
+        assert_eq!(
+            store.canonicalizations(),
+            after_first,
+            "replays must not recanonicalize"
+        );
+    }
+
+    #[test]
     fn encode_is_insertion_order_independent_and_round_trips() {
         let settings: Vec<_> = (1..=9u8)
             .map(|n| MachineSetting::by_number(n).unwrap())
@@ -386,6 +363,20 @@ mod tests {
         let decoded = MappingStore::decode(&forward.encode()).unwrap();
         assert_eq!(decoded, forward);
         assert_eq!(decoded.encode(), forward.encode());
+    }
+
+    #[test]
+    fn records_feed_a_registry_identically() {
+        let mut store = MappingStore::new();
+        for n in 1..=9u8 {
+            let setting = MachineSetting::by_number(n).unwrap();
+            store.insert(setting.mapping(), source(n, &format!("m{n}-s1-optimized")));
+        }
+        let mut rebuilt = MemRegistry::new();
+        for record in store.records() {
+            rebuilt.insert(&record.mapping, record.source);
+        }
+        assert_eq!(&rebuilt, store.registry());
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //! dramdig campaign resume --dir t2 [--workers 4]
 //! dramdig campaign status --dir t2
 //! dramdig campaign query  --dir t2 --func "(13, 16)"
+//! dramdig registry import --campaign t2 --registry reg [--shards 4]
+//! dramdig registry gen    --registry reg --grid ci
+//! dramdig registry query  --registry reg --func "(13, 16)"
+//! dramdig registry stats  --registry reg
+//! dramdig serve    --registry reg [--input requests.txt] [--metrics m.txt]
 //! ```
 //!
 //! Everything runs against the simulated machines of Table II; on a real
@@ -158,8 +163,70 @@ pub enum Command {
     },
     /// `dramdig campaign <run|resume|status|query> ...`
     Campaign(CampaignAction),
+    /// `dramdig registry <import|gen|query|stats> ...`
+    Registry(RegistryAction),
+    /// `dramdig serve --registry DIR [--input PATH] [--metrics PATH]`
+    Serve {
+        /// Registry directory to answer from.
+        registry: String,
+        /// Read request lines from this file instead of stdin.
+        input: Option<String>,
+        /// Optional path a metrics snapshot of the session is written to.
+        metrics: Option<String>,
+    },
     /// `dramdig help`
     Help,
+}
+
+/// What a `dramdig registry` invocation does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryAction {
+    /// `dramdig registry import --campaign D --registry R [--shards N]
+    /// [--crash-after N]`
+    Import {
+        /// Campaign directory whose journal feeds the import.
+        campaign_dir: String,
+        /// Registry directory (created on first import).
+        registry_dir: String,
+        /// Shard count when the registry is created (ignored on reopen).
+        shards: u32,
+        /// Fault injection: crash after writing this many segment files,
+        /// before the manifest publish (CI recovery smoke).
+        crash_after: Option<usize>,
+    },
+    /// `dramdig registry gen --registry R (--grid G | --count N)
+    /// [--seed S] [--shards N]`
+    Gen {
+        /// Registry directory (created when missing).
+        registry_dir: String,
+        /// Source the corpus from an eval scenario grid.
+        grid: Option<GridKind>,
+        /// Source the corpus from N generated in-scope machines.
+        count: Option<u64>,
+        /// Generator / grid seed.
+        seed: u64,
+        /// Shard count when the registry is created (ignored on reopen).
+        shards: u32,
+    },
+    /// `dramdig registry query --registry R
+    /// (--func F | --fingerprint X | --nearest "F, .." [--k N])`
+    Query {
+        /// Registry directory.
+        registry_dir: String,
+        /// Span-membership query: one bank function in paper notation.
+        func: Option<String>,
+        /// Exact content-addressed lookup (hex fingerprint).
+        fingerprint: Option<String>,
+        /// Nearest stored mappings to a partial recovery (function list).
+        nearest: Option<String>,
+        /// Maximum hits a `--nearest` query returns.
+        k: usize,
+    },
+    /// `dramdig registry stats --registry R`
+    Stats {
+        /// Registry directory.
+        registry_dir: String,
+    },
 }
 
 /// What a `dramdig campaign` invocation does.
@@ -260,6 +327,14 @@ pub fn usage() -> String {
         "  dramdig campaign resume --dir <dir> [--workers <n>] [--limit <n>]\n",
         "  dramdig campaign status --dir <dir>\n",
         "  dramdig campaign query  --dir <dir> --func \"(13, 16)\"\n",
+        "  dramdig registry import --campaign <dir> --registry <dir> [--shards <n>]\n",
+        "                          [--crash-after <n>]\n",
+        "  dramdig registry gen    --registry <dir> (--grid quick|ci|full | --count <n>)\n",
+        "                          [--seed <u64>] [--shards <n>]\n",
+        "  dramdig registry query  --registry <dir> (--func \"(13, 16)\"\n",
+        "                          | --fingerprint <hex> | --nearest \"(13, 16), ...\" [--k <n>])\n",
+        "  dramdig registry stats  --registry <dir>\n",
+        "  dramdig serve    --registry <dir> [--input <request file>] [--metrics <path>]\n",
         "  dramdig help\n",
     )
     .to_string()
@@ -494,6 +569,136 @@ fn parse_campaign(rest: &[String]) -> Result<CampaignAction, CliError> {
     }
 }
 
+fn parse_registry(rest: &[String]) -> Result<RegistryAction, CliError> {
+    let Some(action) = rest.first() else {
+        return Err(CliError::Usage(
+            "`dramdig registry` requires import, gen, query or stats".into(),
+        ));
+    };
+    let rest = &rest[1..];
+    // Shard count is only honoured when the registry directory is created;
+    // reopening keeps the persisted count, so routing never changes under
+    // an existing manifest.
+    let shards = |rest: &[String]| -> Result<u32, CliError> {
+        match flag_value(rest, "--shards") {
+            Some(s) => {
+                let shards = parse_u64(s)?;
+                if !(1..=99).contains(&shards) {
+                    return Err(CliError::Usage("--shards must be between 1 and 99".into()));
+                }
+                Ok(shards as u32)
+            }
+            None => Ok(4),
+        }
+    };
+    match action.as_str() {
+        "import" => {
+            reject_unknown_flags(
+                rest,
+                &["--campaign", "--registry", "--shards", "--crash-after"],
+                "registry import",
+            )?;
+            Ok(RegistryAction::Import {
+                campaign_dir: required(rest, "--campaign", "registry import")?.to_string(),
+                registry_dir: required(rest, "--registry", "registry import")?.to_string(),
+                shards: shards(rest)?,
+                crash_after: flag_value(rest, "--crash-after")
+                    .map(|v| parse_u64(v).map(|v| v as usize))
+                    .transpose()?,
+            })
+        }
+        "gen" => {
+            reject_unknown_flags(
+                rest,
+                &["--registry", "--grid", "--count", "--seed", "--shards"],
+                "registry gen",
+            )?;
+            let grid = match flag_value(rest, "--grid") {
+                None => None,
+                Some(name) => Some(GridKind::from_name(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown --grid `{name}` (expected quick, ci or full)"
+                    ))
+                })?),
+            };
+            let count = flag_value(rest, "--count").map(parse_u64).transpose()?;
+            match (grid, count) {
+                (None, None) => {
+                    return Err(CliError::Usage(
+                        "`dramdig registry gen` needs --grid or --count".into(),
+                    ))
+                }
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "--grid and --count are mutually exclusive".into(),
+                    ))
+                }
+                (_, Some(0)) => {
+                    return Err(CliError::Usage("--count must be at least 1".into()));
+                }
+                _ => {}
+            }
+            Ok(RegistryAction::Gen {
+                registry_dir: required(rest, "--registry", "registry gen")?.to_string(),
+                grid,
+                count,
+                seed: match flag_value(rest, "--seed") {
+                    Some(s) => parse_u64(s)?,
+                    None => 1,
+                },
+                shards: shards(rest)?,
+            })
+        }
+        "query" => {
+            reject_unknown_flags(
+                rest,
+                &["--registry", "--func", "--fingerprint", "--nearest", "--k"],
+                "registry query",
+            )?;
+            let func = flag_value(rest, "--func").map(str::to_string);
+            let fingerprint = flag_value(rest, "--fingerprint").map(str::to_string);
+            let nearest = flag_value(rest, "--nearest").map(str::to_string);
+            let given = [&func, &fingerprint, &nearest]
+                .iter()
+                .filter(|v| v.is_some())
+                .count();
+            if given != 1 {
+                return Err(CliError::Usage(
+                    "`dramdig registry query` takes exactly one of --func, --fingerprint \
+                     or --nearest"
+                        .into(),
+                ));
+            }
+            let k = match flag_value(rest, "--k") {
+                Some(k) => {
+                    let k = parse_u64(k)? as usize;
+                    if k == 0 {
+                        return Err(CliError::Usage("--k must be at least 1".into()));
+                    }
+                    k
+                }
+                None => 3,
+            };
+            Ok(RegistryAction::Query {
+                registry_dir: required(rest, "--registry", "registry query")?.to_string(),
+                func,
+                fingerprint,
+                nearest,
+                k,
+            })
+        }
+        "stats" => {
+            reject_unknown_flags(rest, &["--registry"], "registry stats")?;
+            Ok(RegistryAction::Stats {
+                registry_dir: required(rest, "--registry", "registry stats")?.to_string(),
+            })
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown registry action `{other}` (expected import, gen, query or stats)"
+        ))),
+    }
+}
+
 impl Command {
     /// Parses a command line (without the program name).
     ///
@@ -661,6 +866,15 @@ impl Command {
                 })
             }
             "campaign" => parse_campaign(rest).map(Command::Campaign),
+            "registry" => parse_registry(rest).map(Command::Registry),
+            "serve" => {
+                reject_unknown_flags(rest, &["--registry", "--input", "--metrics"], "serve")?;
+                Ok(Command::Serve {
+                    registry: required(rest, "--registry", "serve")?.to_string(),
+                    input: flag_value(rest, "--input").map(str::to_string),
+                    metrics: flag_value(rest, "--metrics").map(str::to_string),
+                })
+            }
             other => Err(CliError::Usage(format!("unknown sub-command `{other}`"))),
         }
     }
@@ -1164,6 +1378,12 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             Ok(scoreboard)
         }
         Command::Campaign(action) => execute_campaign(action),
+        Command::Registry(action) => execute_registry(action),
+        Command::Serve {
+            registry,
+            input,
+            metrics,
+        } => execute_serve(registry, input.as_deref(), metrics.as_deref()),
         Command::Validate { funcs, rows, cols } => match parse::parse_mapping(funcs, rows, cols) {
             Ok(mapping) => Ok(format!(
                 "valid mapping: {mapping}\n  banks: {}, rows per bank: {}, row size: {} bytes\n",
@@ -1344,26 +1564,7 @@ fn execute_campaign(action: &CampaignAction) -> Result<String, CliError> {
                     "--func expects exactly one bank function, e.g. \"(13, 16)\"".into(),
                 ));
             };
-            // The journal is the durable record of truth: rebuild the store
-            // from it (exactly what `status` counts), so a kill between a
-            // journaled completion and the store rewrite never makes the
-            // two commands disagree. Only when the journal cannot be
-            // replayed does a persisted store.txt answer instead.
-            let rebuilt = read_campaign_spec(&paths).and_then(|spec| {
-                let records = campaign::read_journal(&paths.journal())
-                    .map_err(|e| CliError::Tool(e.to_string()))?;
-                Ok(campaign::store_from_state(
-                    &campaign::JournalState::replay(&records),
-                    &spec,
-                ))
-            });
-            let store = match rebuilt {
-                Ok(store) => store,
-                Err(journal_error) => std::fs::read_to_string(paths.store())
-                    .ok()
-                    .and_then(|text| MappingStore::decode(&text).ok())
-                    .ok_or(journal_error)?,
-            };
+            let store = load_campaign_store(&paths)?;
             let mut out = String::new();
             let entries = store.entries_sharing(*func);
             writeln!(
@@ -1392,6 +1593,294 @@ fn execute_campaign(action: &CampaignAction) -> Result<String, CliError> {
             Ok(out)
         }
     }
+}
+
+/// Rebuilds a campaign's mapping store from its journal — the durable
+/// record of truth, exactly what `campaign status` counts — so a kill
+/// between a journaled completion and the store rewrite never makes the
+/// commands disagree. Only when the journal cannot be replayed does a
+/// persisted `store.txt` answer instead.
+fn load_campaign_store(paths: &CampaignPaths) -> Result<MappingStore, CliError> {
+    let rebuilt = read_campaign_spec(paths).and_then(|spec| {
+        let records =
+            campaign::read_journal(&paths.journal()).map_err(|e| CliError::Tool(e.to_string()))?;
+        Ok(campaign::store_from_state(
+            &campaign::JournalState::replay(&records),
+            &spec,
+        ))
+    });
+    match rebuilt {
+        Ok(store) => Ok(store),
+        Err(journal_error) => std::fs::read_to_string(paths.store())
+            .ok()
+            .and_then(|text| MappingStore::decode(&text).ok())
+            .ok_or(journal_error),
+    }
+}
+
+/// Opens (or creates, with `shards`) a registry directory and appends the
+/// not-yet-present `(mapping, source)` attributions from `records`,
+/// optionally crashing mid-append for the CI recovery smoke. Returns the
+/// shared report text both `registry import` and `registry gen` print.
+fn append_to_registry(
+    registry_dir: &str,
+    shards: u32,
+    records: Vec<registry::Record>,
+    crash_after: Option<usize>,
+    corpus: &str,
+) -> Result<String, CliError> {
+    let mut disk = registry::DiskRegistry::open_or_create(registry_dir, shards)
+        .map_err(|e| CliError::Tool(format!("cannot open registry {registry_dir}: {e}")))?;
+    let existing = disk.load().map_err(|e| CliError::Tool(e.to_string()))?;
+    let offered = records.len();
+    // Skip attributions the registry already holds so a retried import
+    // appends nothing instead of duplicate records.
+    let fresh: Vec<registry::Record> = records
+        .into_iter()
+        .filter(|r| {
+            existing
+                .lookup(r.fingerprint)
+                .is_none_or(|entry| !entry.sources.contains(&r.source))
+        })
+        .collect();
+    let report = disk
+        .append_with_fault(&fresh, crash_after)
+        .map_err(|e| CliError::Tool(format!("append to {registry_dir} failed: {e}")))?;
+    let mem = disk.load().map_err(|e| CliError::Tool(e.to_string()))?;
+    let stats = disk.stats().map_err(|e| CliError::Tool(e.to_string()))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "appended {} of {} {corpus} records to {registry_dir} ({} already present)",
+        report.records_appended,
+        offered,
+        offered - fresh.len(),
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "registry now: {} entries, {} records in {} segments across {} shards",
+        mem.len(),
+        stats.records,
+        stats.segments,
+        stats.shards,
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
+fn execute_registry(action: &RegistryAction) -> Result<String, CliError> {
+    match action {
+        RegistryAction::Import {
+            campaign_dir,
+            registry_dir,
+            shards,
+            crash_after,
+        } => {
+            let store = load_campaign_store(&CampaignPaths::new(campaign_dir))?;
+            append_to_registry(
+                registry_dir,
+                *shards,
+                store.records(),
+                *crash_after,
+                "campaign",
+            )
+        }
+        RegistryAction::Gen {
+            registry_dir,
+            grid,
+            count,
+            seed,
+            shards,
+        } => {
+            let records: Vec<registry::Record> = match (grid, count) {
+                (Some(grid), None) => EvalGrid::new(*grid, *seed)
+                    .scenarios
+                    .iter()
+                    .map(|scenario| {
+                        registry::Record::new(
+                            scenario.machine.mapping(),
+                            registry::Source::new(
+                                scenario.machine.label.clone(),
+                                format!("gen-{}", scenario.id()),
+                            ),
+                        )
+                    })
+                    .collect(),
+                (None, Some(count)) => (0..*count)
+                    .map(|i| {
+                        let machine = dram_model::MachineGen::new(seed.wrapping_add(i))
+                            .generate(dram_model::MachineClass::InScope);
+                        registry::Record::new(
+                            machine.mapping(),
+                            registry::Source::new(machine.label.clone(), "gen-inscope"),
+                        )
+                    })
+                    .collect(),
+                // Parsing enforces exactly one corpus source.
+                _ => unreachable!("parse_registry enforces --grid xor --count"),
+            };
+            append_to_registry(registry_dir, *shards, records, None, "generated")
+        }
+        RegistryAction::Query {
+            registry_dir,
+            func,
+            fingerprint,
+            nearest,
+            k,
+        } => {
+            let shared = registry::SharedRegistry::open(registry_dir)
+                .map_err(|e| CliError::Tool(format!("cannot open registry {registry_dir}: {e}")))?;
+            let snapshot = shared.snapshot();
+            let mut out = String::new();
+            if let Some(func) = func {
+                let funcs = parse::parse_functions(func)
+                    .map_err(|e| CliError::Tool(format!("invalid --func: {e}")))?;
+                let [func] = funcs.as_slice() else {
+                    return Err(CliError::Tool(
+                        "--func expects exactly one bank function, e.g. \"(13, 16)\"".into(),
+                    ));
+                };
+                let (entries, cost) = snapshot.mem.entries_sharing_costed(*func);
+                writeln!(
+                    out,
+                    "bank function {func} appears in {} of {} registry entries \
+                     ({} candidates examined)",
+                    entries.len(),
+                    snapshot.mem.len(),
+                    cost.candidates,
+                )
+                .expect("write to string");
+                let mut machines = std::collections::BTreeSet::new();
+                for entry in &entries {
+                    let entry_machines = entry.machines();
+                    writeln!(
+                        out,
+                        "entry = {:016x} machines = {}",
+                        entry.fingerprint,
+                        entry_machines
+                            .iter()
+                            .copied()
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    )
+                    .expect("write to string");
+                    machines.extend(entry_machines);
+                }
+                if machines.is_empty() {
+                    writeln!(out, "no machine shares it").expect("write to string");
+                } else {
+                    writeln!(
+                        out,
+                        "machines sharing it: {}",
+                        machines.into_iter().collect::<Vec<_>>().join(", ")
+                    )
+                    .expect("write to string");
+                }
+            } else if let Some(fingerprint) = fingerprint {
+                let parsed = u64::from_str_radix(fingerprint, 16).map_err(|e| {
+                    CliError::Tool(format!("invalid --fingerprint `{fingerprint}`: {e}"))
+                })?;
+                match snapshot.mem.lookup(parsed) {
+                    Some(entry) => {
+                        let (funcs, rows, cols) = parse::render_mapping(&entry.mapping);
+                        writeln!(out, "fingerprint {parsed:016x}: found").expect("write to string");
+                        writeln!(out, "funcs = {funcs}").expect("write to string");
+                        writeln!(out, "rows = {rows}").expect("write to string");
+                        writeln!(out, "cols = {cols}").expect("write to string");
+                        let sources: Vec<String> =
+                            entry.sources.iter().map(|s| s.to_string()).collect();
+                        writeln!(out, "sources = {}", sources.join(", ")).expect("write to string");
+                    }
+                    None => {
+                        writeln!(out, "fingerprint {parsed:016x}: not found")
+                            .expect("write to string");
+                    }
+                }
+            } else if let Some(nearest) = nearest {
+                let funcs = parse::parse_functions(nearest)
+                    .map_err(|e| CliError::Tool(format!("invalid --nearest: {e}")))?;
+                if funcs.is_empty() {
+                    return Err(CliError::Tool("--nearest names no functions".into()));
+                }
+                let (hits, _cost) = snapshot.mem.nearest(&funcs, *k);
+                let masks: Vec<u64> = funcs.iter().map(|f| f.mask()).collect();
+                let rank = dram_model::gf2::bitslice::reduced_row_basis(&masks).len();
+                writeln!(out, "nearest k={k} to partial of rank {rank}").expect("write to string");
+                for hit in &hits {
+                    let machines = snapshot
+                        .mem
+                        .lookup(hit.fingerprint)
+                        .map(|e| e.machines().iter().copied().collect::<Vec<_>>().join(","))
+                        .unwrap_or_default();
+                    writeln!(
+                        out,
+                        "hit = {:016x} contained={}/{} rank={} machines={machines}",
+                        hit.fingerprint, hit.contained, hit.partial_rank, hit.rank,
+                    )
+                    .expect("write to string");
+                }
+                writeln!(out, "hits = {}", hits.len()).expect("write to string");
+            }
+            Ok(out)
+        }
+        RegistryAction::Stats { registry_dir } => {
+            let shared = registry::SharedRegistry::open(registry_dir)
+                .map_err(|e| CliError::Tool(format!("cannot open registry {registry_dir}: {e}")))?;
+            let snapshot = shared.snapshot();
+            let stats = shared.stats().map_err(|e| CliError::Tool(e.to_string()))?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "registry {registry_dir}: {} entries, {} records in {} segments \
+                 across {} shards (generation {})",
+                snapshot.mem.len(),
+                stats.records,
+                stats.segments,
+                stats.shards,
+                snapshot.generation,
+            )
+            .expect("write to string");
+            if stats.orphans.is_empty() {
+                writeln!(out, "orphans: none").expect("write to string");
+            } else {
+                writeln!(out, "orphans: {}", stats.orphans.join(", ")).expect("write to string");
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Runs a `dramdig serve` session: request lines from `--input` (or
+/// stdin), byte-deterministic responses on stdout, wall-clock latency only
+/// in the optional `--metrics` sidecar.
+fn execute_serve(
+    registry_dir: &str,
+    input: Option<&str>,
+    metrics_path: Option<&str>,
+) -> Result<String, CliError> {
+    let shared = registry::SharedRegistry::open(registry_dir)
+        .map_err(|e| CliError::Tool(format!("cannot open registry {registry_dir}: {e}")))?;
+    let requests = match input {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::Tool(format!("cannot read {path}: {e}")))?,
+        None => {
+            use std::io::Read as _;
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| CliError::Tool(format!("cannot read stdin: {e}")))?;
+            text
+        }
+    };
+    let mut metrics = telemetry::Registry::new();
+    let out = registry::serve_text(&requests, &shared, &mut metrics)
+        .map_err(|e| CliError::Tool(e.to_string()))?;
+    if let Some(path) = metrics_path {
+        std::fs::write(path, metrics.snapshot())
+            .map_err(|e| CliError::Tool(format!("cannot write metrics to {path}: {e}")))?;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1565,9 +2054,204 @@ mod tests {
             "campaign resume",
             "campaign status",
             "campaign query",
+            "registry import",
+            "registry gen",
+            "registry query",
+            "registry stats",
+            "serve",
         ] {
             assert!(text.contains(cmd), "usage must mention `{cmd}`");
         }
+    }
+
+    #[test]
+    fn registry_and_serve_parse() {
+        assert_eq!(
+            Command::parse(&args(&[
+                "registry",
+                "import",
+                "--campaign",
+                "t2",
+                "--registry",
+                "reg"
+            ]))
+            .unwrap(),
+            Command::Registry(RegistryAction::Import {
+                campaign_dir: "t2".into(),
+                registry_dir: "reg".into(),
+                shards: 4,
+                crash_after: None,
+            })
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "registry",
+                "import",
+                "--campaign",
+                "t2",
+                "--registry",
+                "reg",
+                "--shards",
+                "7",
+                "--crash-after",
+                "1",
+            ]))
+            .unwrap(),
+            Command::Registry(RegistryAction::Import {
+                campaign_dir: "t2".into(),
+                registry_dir: "reg".into(),
+                shards: 7,
+                crash_after: Some(1),
+            })
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "registry",
+                "gen",
+                "--registry",
+                "reg",
+                "--grid",
+                "ci"
+            ]))
+            .unwrap(),
+            Command::Registry(RegistryAction::Gen {
+                registry_dir: "reg".into(),
+                grid: Some(GridKind::Ci),
+                count: None,
+                seed: 1,
+                shards: 4,
+            })
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "registry",
+                "gen",
+                "--registry",
+                "reg",
+                "--count",
+                "12",
+                "--seed",
+                "5"
+            ]))
+            .unwrap(),
+            Command::Registry(RegistryAction::Gen {
+                registry_dir: "reg".into(),
+                grid: None,
+                count: Some(12),
+                seed: 5,
+                shards: 4,
+            })
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "registry",
+                "query",
+                "--registry",
+                "reg",
+                "--func",
+                "(13, 16)"
+            ]))
+            .unwrap(),
+            Command::Registry(RegistryAction::Query {
+                registry_dir: "reg".into(),
+                func: Some("(13, 16)".into()),
+                fingerprint: None,
+                nearest: None,
+                k: 3,
+            })
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "registry",
+                "query",
+                "--registry",
+                "reg",
+                "--nearest",
+                "(13, 16)",
+                "--k",
+                "2"
+            ]))
+            .unwrap(),
+            Command::Registry(RegistryAction::Query {
+                registry_dir: "reg".into(),
+                func: None,
+                fingerprint: None,
+                nearest: Some("(13, 16)".into()),
+                k: 2,
+            })
+        );
+        assert_eq!(
+            Command::parse(&args(&["registry", "stats", "--registry", "reg"])).unwrap(),
+            Command::Registry(RegistryAction::Stats {
+                registry_dir: "reg".into(),
+            })
+        );
+        assert_eq!(
+            Command::parse(&args(&[
+                "serve",
+                "--registry",
+                "reg",
+                "--input",
+                "q.txt",
+                "--metrics",
+                "m.txt"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                registry: "reg".into(),
+                input: Some("q.txt".into()),
+                metrics: Some("m.txt".into()),
+            }
+        );
+        // Malformed registry command lines fail loudly.
+        assert!(Command::parse(&args(&["registry"])).is_err());
+        assert!(Command::parse(&args(&["registry", "frobnicate"])).is_err());
+        assert!(Command::parse(&args(&["registry", "gen", "--registry", "reg"])).is_err());
+        assert!(Command::parse(&args(&[
+            "registry",
+            "gen",
+            "--registry",
+            "reg",
+            "--grid",
+            "ci",
+            "--count",
+            "3"
+        ]))
+        .is_err());
+        assert!(Command::parse(&args(&[
+            "registry",
+            "gen",
+            "--registry",
+            "reg",
+            "--count",
+            "0"
+        ]))
+        .is_err());
+        assert!(Command::parse(&args(&[
+            "registry",
+            "import",
+            "--campaign",
+            "t2",
+            "--registry",
+            "reg",
+            "--shards",
+            "0"
+        ]))
+        .is_err());
+        assert!(Command::parse(&args(&["registry", "query", "--registry", "reg"])).is_err());
+        assert!(Command::parse(&args(&[
+            "registry",
+            "query",
+            "--registry",
+            "reg",
+            "--func",
+            "(1)",
+            "--fingerprint",
+            "00",
+        ]))
+        .is_err());
+        assert!(Command::parse(&args(&["serve"])).is_err());
+        assert!(Command::parse(&args(&["serve", "--registry", "reg", "--port", "1"])).is_err());
     }
 
     #[test]
@@ -2375,5 +3059,181 @@ mod tests {
         .is_err());
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registry_gen_query_serve_lifecycle() {
+        let base =
+            std::env::temp_dir().join(format!("dramdig-cli-registry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let reg = base.join("reg").to_str().unwrap().to_string();
+        let gen = Command::Registry(RegistryAction::Gen {
+            registry_dir: reg.clone(),
+            grid: None,
+            count: Some(6),
+            seed: 1,
+            shards: 3,
+        });
+
+        // Seed the registry from generated machines ...
+        let out = execute(&gen).unwrap();
+        assert!(out.contains("across 3 shards"), "{out}");
+        // ... and a re-run appends nothing: every attribution is present.
+        let out = execute(&gen).unwrap();
+        assert!(out.contains("appended 0 of 6"), "{out}");
+
+        let out = execute(&Command::Registry(RegistryAction::Stats {
+            registry_dir: reg.clone(),
+        }))
+        .unwrap();
+        assert!(out.contains("across 3 shards"), "{out}");
+        assert!(out.contains("orphans: none"), "{out}");
+
+        // Pick a stored entry and query it back through every one-shot form.
+        let shared = registry::SharedRegistry::open(&reg).unwrap();
+        let snap = shared.snapshot();
+        let entry = snap.mem.entries().next().unwrap();
+        let func = entry.mapping.bank_funcs()[0];
+        let out = execute(&Command::Registry(RegistryAction::Query {
+            registry_dir: reg.clone(),
+            func: None,
+            fingerprint: Some(format!("{:016x}", entry.fingerprint)),
+            nearest: None,
+            k: 3,
+        }))
+        .unwrap();
+        assert!(
+            out.contains(&format!("fingerprint {:016x}: found", entry.fingerprint)),
+            "{out}"
+        );
+        let out = execute(&Command::Registry(RegistryAction::Query {
+            registry_dir: reg.clone(),
+            func: Some(func.to_string()),
+            fingerprint: None,
+            nearest: None,
+            k: 3,
+        }))
+        .unwrap();
+        assert!(
+            out.contains(&format!("entry = {:016x}", entry.fingerprint)),
+            "{out}"
+        );
+        assert!(out.contains("machines sharing it:"), "{out}");
+        let out = execute(&Command::Registry(RegistryAction::Query {
+            registry_dir: reg.clone(),
+            func: None,
+            fingerprint: None,
+            nearest: Some(func.to_string()),
+            k: 2,
+        }))
+        .unwrap();
+        assert!(out.contains("nearest k=2"), "{out}");
+        assert!(
+            out.contains(&format!("hit = {:016x}", entry.fingerprint)),
+            "{out}"
+        );
+
+        // A serve session over the same registry is byte-deterministic and
+        // leaves its latency/work counters in the metrics sidecar only.
+        let input = base.join("requests.txt");
+        std::fs::write(
+            &input,
+            format!(
+                "# smoke session\nsharing {func}\nlookup {:016x}\nstats\nquit\n",
+                entry.fingerprint
+            ),
+        )
+        .unwrap();
+        let serve = |tag: &str| {
+            let metrics = base.join(format!("metrics-{tag}.txt"));
+            let out = execute(&Command::Serve {
+                registry: reg.clone(),
+                input: Some(input.to_str().unwrap().to_string()),
+                metrics: Some(metrics.to_str().unwrap().to_string()),
+            })
+            .unwrap();
+            (out, std::fs::read_to_string(metrics).unwrap())
+        };
+        let (out_a, metrics_a) = serve("a");
+        let (out_b, _) = serve("b");
+        assert_eq!(out_a, out_b, "serve sessions must be byte-deterministic");
+        assert!(out_a.contains("ok stats"), "{out_a}");
+        assert!(out_a.contains("ok quit"), "{out_a}");
+        assert!(!out_a.contains("latency"), "{out_a}");
+        assert!(metrics_a.contains("registry_requests_total"), "{metrics_a}");
+
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn registry_import_crash_and_recovery() {
+        let base =
+            std::env::temp_dir().join(format!("dramdig-cli-reg-import-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let camp = base.join("camp").to_str().unwrap().to_string();
+        let reg = base.join("reg").to_str().unwrap().to_string();
+        execute(&Command::Campaign(CampaignAction::Run {
+            trace: None,
+            metrics: None,
+            dir: camp.clone(),
+            spec: CampaignSpec {
+                machines: vec![4],
+                seeds: vec![1],
+                profiles: vec![Profile::Fast],
+                ablations: vec![None],
+                max_retries: 2,
+            },
+            workers: 1,
+            limit: None,
+        }))
+        .unwrap();
+        let import = |crash_after: Option<usize>| {
+            execute(&Command::Registry(RegistryAction::Import {
+                campaign_dir: camp.clone(),
+                registry_dir: reg.clone(),
+                shards: 2,
+                crash_after,
+            }))
+        };
+        let stats = || {
+            execute(&Command::Registry(RegistryAction::Stats {
+                registry_dir: reg.clone(),
+            }))
+            .unwrap()
+        };
+
+        // A crash after the segment write but before the manifest publish
+        // leaves an orphan file and an empty (still-consistent) registry.
+        let err = import(Some(1)).unwrap_err();
+        assert!(err.to_string().contains("fault injection"), "{err}");
+        let out = stats();
+        assert!(out.contains("0 entries"), "{out}");
+        assert!(!out.contains("orphans: none"), "{out}");
+
+        // The retried import overwrites the orphan and publishes.
+        let out = import(None).unwrap();
+        assert!(out.contains("appended 1 of 1"), "{out}");
+        let out = stats();
+        assert!(out.contains("1 entries"), "{out}");
+        assert!(out.contains("orphans: none"), "{out}");
+
+        // The imported campaign answers span queries ...
+        let out = execute(&Command::Registry(RegistryAction::Query {
+            registry_dir: reg.clone(),
+            func: Some("(13, 16)".into()),
+            fingerprint: None,
+            nearest: None,
+            k: 3,
+        }))
+        .unwrap();
+        assert!(out.contains("machines sharing it: No.4"), "{out}");
+
+        // ... and importing again is a no-op.
+        let out = import(None).unwrap();
+        assert!(out.contains("appended 0 of 1"), "{out}");
+
+        std::fs::remove_dir_all(&base).unwrap();
     }
 }

@@ -1,0 +1,159 @@
+//! Content addressing for address mappings.
+//!
+//! Two recoveries of the same mapping may present different bank-function
+//! lists (any basis of the same GF(2) row space names the same banks), so a
+//! mapping's identity is its unique reduced row-echelon basis plus the
+//! row/column bit sets. This module turns that identity into a stable
+//! 64-bit **fingerprint**: the canonical basis is rendered into a fixed
+//! text codec and hashed with FNV-1a. The registry keys its shards,
+//! segment records and exact-lookup index on this fingerprint, so the
+//! encoding here is a persistent on-disk contract — changing a byte of it
+//! re-keys every registry.
+
+use crate::gf2::bitslice;
+use crate::mapping::AddressMapping;
+use crate::xor_func::XorFunc;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The unique reduced row-echelon basis of a mapping's bank functions,
+/// computed with the bitsliced RREF kernel (the scalar
+/// [`crate::gf2::Gf2Matrix::reduced_row_basis`] is its differential twin).
+pub fn canonical_basis(mapping: &AddressMapping) -> Vec<u64> {
+    let masks: Vec<u64> = mapping.bank_funcs().iter().map(|f| f.mask()).collect();
+    bitslice::reduced_row_basis(&masks)
+}
+
+/// The canonical text codec a fingerprint is taken over: the RREF basis
+/// masks in their canonical order, then the row bits, then the column bits,
+/// all in decimal. Example: `b=98304,155648;r=16,17;c=0,1,2`.
+pub fn canonical_encoding_of(basis: &[u64], row_bits: &[u8], column_bits: &[u8]) -> String {
+    fn join<T: std::fmt::Display>(items: &[T]) -> String {
+        items.iter().map(T::to_string).collect::<Vec<_>>().join(",")
+    }
+    format!(
+        "b={};r={};c={}",
+        join(basis),
+        join(row_bits),
+        join(column_bits)
+    )
+}
+
+/// [`canonical_encoding_of`] applied to a mapping's own canonical basis.
+pub fn canonical_encoding(mapping: &AddressMapping) -> String {
+    canonical_encoding_of(
+        &canonical_basis(mapping),
+        mapping.row_bits(),
+        mapping.column_bits(),
+    )
+}
+
+/// The content-addressed identity of a mapping: FNV-1a over its canonical
+/// encoding. Basis-choice invariant by construction.
+pub fn mapping_fingerprint(mapping: &AddressMapping) -> u64 {
+    fnv1a64(canonical_encoding(mapping).as_bytes())
+}
+
+/// The mapping with its bank functions replaced by their canonical RREF
+/// basis. Idempotent; the result has the same fingerprint and bank
+/// partition as the input.
+pub fn canonicalize(mapping: &AddressMapping) -> AddressMapping {
+    let funcs: Vec<XorFunc> = canonical_basis(mapping)
+        .iter()
+        .map(|&mask| XorFunc::from_mask(mask))
+        .collect();
+    AddressMapping::new(
+        funcs,
+        mapping.row_bits().to_vec(),
+        mapping.column_bits().to_vec(),
+    )
+    .expect("an RREF basis spans the same space as the valid input mapping")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf2::Gf2Matrix;
+    use crate::settings::MachineSetting;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fingerprint_is_basis_invariant() {
+        let no4 = MachineSetting::by_number(4).unwrap();
+        // Replace (14,17) by (14,17)^(15,18): same row space, other basis.
+        let variant = AddressMapping::new(
+            vec![
+                XorFunc::from_bits(&[13, 16]),
+                XorFunc::from_bits(&[14, 15, 17, 18]),
+                XorFunc::from_bits(&[15, 18]),
+            ],
+            no4.mapping().row_bits().to_vec(),
+            no4.mapping().column_bits().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(
+            mapping_fingerprint(no4.mapping()),
+            mapping_fingerprint(&variant)
+        );
+        assert_eq!(
+            canonicalize(no4.mapping()).bank_funcs(),
+            canonicalize(&variant).bank_funcs()
+        );
+    }
+
+    #[test]
+    fn canonical_basis_matches_scalar_rref() {
+        for n in 1..=9u8 {
+            let mapping = MachineSetting::by_number(n).unwrap().mapping().clone();
+            assert_eq!(
+                canonical_basis(&mapping),
+                Gf2Matrix::from_funcs(mapping.bank_funcs()).reduced_row_basis(),
+                "machine No.{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_mappings_get_distinct_fingerprints() {
+        // One fingerprint per distinct canonical identity across Table II.
+        let mut identities = BTreeSet::new();
+        let mut fingerprints = BTreeSet::new();
+        for n in 1..=9u8 {
+            let mapping = MachineSetting::by_number(n).unwrap().mapping().clone();
+            identities.insert(canonical_encoding(&mapping));
+            fingerprints.insert(mapping_fingerprint(&mapping));
+        }
+        assert_eq!(identities.len(), fingerprints.len());
+        assert!(fingerprints.len() > 1);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let mapping = MachineSetting::by_number(6).unwrap().mapping().clone();
+        let once = canonicalize(&mapping);
+        let twice = canonicalize(&once);
+        assert_eq!(once.bank_funcs(), twice.bank_funcs());
+        assert_eq!(mapping_fingerprint(&mapping), mapping_fingerprint(&once));
+    }
+}

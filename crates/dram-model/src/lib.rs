@@ -18,6 +18,9 @@
 //! * [`MachineGen`] — a deterministic sampler of valid-by-construction
 //!   machine models beyond Table II (split windows, wide functions, row
 //!   remapping), feeding the scenario-matrix evaluation.
+//! * [`fingerprint`] — content addressing: basis-invariant FNV-1a
+//!   fingerprints over the canonical RREF codec, keying the mapping
+//!   registry.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 pub mod addr;
 pub mod bits;
 pub mod error;
+pub mod fingerprint;
 pub mod gf2;
 pub mod machine_gen;
 pub mod mapping;

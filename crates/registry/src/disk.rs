@@ -1,0 +1,655 @@
+//! The sharded on-disk registry: append-only segments, per-shard
+//! exact-lookup indexes, and an atomic manifest.
+//!
+//! ```text
+//! registry/
+//! ├── MANIFEST              # the single publish point (tmp+rename)
+//! └── shards/
+//!     ├── 00/
+//!     │   ├── seg-0001.seg  # immutable record batch (tmp+rename, then
+//!     │   ├── seg-0002.seg  #   never touched again)
+//!     │   └── index.idx     # fingerprint → segment file, for exact
+//!     │                     #   lookup without a full load
+//!     └── 01/ …
+//! ```
+//!
+//! Records are routed to shard `fingerprint % shards`. A commit writes the
+//! new segment files first, then the refreshed shard indexes, and publishes
+//! by rewriting `MANIFEST` last — each step with the write-tmp-then-rename
+//! discipline the engine's `CheckpointStore` uses. A crash anywhere before
+//! the manifest rename leaves the previous manifest intact: the new files
+//! are **orphans** that `open` ignores, `stats` reports, and the retried
+//! import simply overwrites (same shard routing ⇒ same segment numbers).
+//! Readers resolve every index reference against the manifest, so an index
+//! written just before a crash can never leak an unpublished segment.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dram_model::fingerprint::fnv1a64;
+
+use crate::mem::MemRegistry;
+use crate::segment::{decode_segment, encode_segment, Record};
+use crate::RegistryError;
+
+/// Magic first line of the manifest.
+pub const MANIFEST_HEADER: &str = "# dramdig registry manifest";
+const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_FILE: &str = "MANIFEST";
+const INDEX_FILE: &str = "index.idx";
+
+/// One sealed segment, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Shard the segment belongs to.
+    pub shard: u32,
+    /// File name inside the shard directory, e.g. `seg-0001.seg`.
+    pub file: String,
+    /// Number of records in the segment.
+    pub records: u64,
+    /// FNV-1a checksum of the segment file bytes.
+    pub checksum: u64,
+}
+
+/// The published state of a registry directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Number of shards records are routed across.
+    pub shards: u32,
+    /// Every sealed segment, in publish order.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Total records across all sealed segments.
+    pub fn total_records(&self) -> u64 {
+        self.segments.iter().map(|s| s.records).sum()
+    }
+
+    fn encode(&self) -> String {
+        let mut out = format!("{MANIFEST_HEADER}\nversion = {MANIFEST_VERSION}\n");
+        out.push_str(&format!("shards = {}\n", self.shards));
+        for seg in &self.segments {
+            out.push_str(&format!(
+                "segment = {:02}/{} records={} fnv={:016x}\n",
+                seg.shard, seg.file, seg.records, seg.checksum
+            ));
+        }
+        out
+    }
+
+    fn decode(text: &str) -> Result<Self, RegistryError> {
+        let mut shards: Option<u32> = None;
+        let mut version: Option<u32> = None;
+        let mut segments = Vec::new();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(RegistryError::corrupt(format!(
+                    "manifest: expected `key = value`, got `{line}`"
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "version" => {
+                    version = Some(value.parse().map_err(|e| {
+                        RegistryError::corrupt(format!("manifest version `{value}`: {e}"))
+                    })?)
+                }
+                "shards" => {
+                    shards = Some(value.parse().map_err(|e| {
+                        RegistryError::corrupt(format!("manifest shards `{value}`: {e}"))
+                    })?)
+                }
+                "segment" => segments.push(Self::decode_segment_line(value)?),
+                other => {
+                    return Err(RegistryError::corrupt(format!(
+                        "unknown manifest key `{other}`"
+                    )))
+                }
+            }
+        }
+        match version {
+            Some(MANIFEST_VERSION) => {}
+            Some(v) => {
+                return Err(RegistryError::corrupt(format!(
+                    "unsupported manifest version {v}"
+                )))
+            }
+            None => return Err(RegistryError::corrupt("manifest missing version")),
+        }
+        let shards = shards.ok_or_else(|| RegistryError::corrupt("manifest missing shards"))?;
+        if shards == 0 || shards > 99 {
+            return Err(RegistryError::corrupt(format!(
+                "shard count {shards} outside 1..=99"
+            )));
+        }
+        Ok(Manifest { shards, segments })
+    }
+
+    fn decode_segment_line(value: &str) -> Result<SegmentMeta, RegistryError> {
+        let corrupt = |detail: &str| {
+            RegistryError::corrupt(format!("manifest segment line `{value}`: {detail}"))
+        };
+        let mut parts = value.split_whitespace();
+        let path = parts.next().ok_or_else(|| corrupt("missing path"))?;
+        let (shard, file) = path
+            .split_once('/')
+            .ok_or_else(|| corrupt("path is not `shard/file`"))?;
+        let shard: u32 = shard.parse().map_err(|_| corrupt("bad shard number"))?;
+        let mut records: Option<u64> = None;
+        let mut checksum: Option<u64> = None;
+        for part in parts {
+            if let Some(v) = part.strip_prefix("records=") {
+                records = Some(v.parse().map_err(|_| corrupt("bad records count"))?);
+            } else if let Some(v) = part.strip_prefix("fnv=") {
+                checksum = Some(u64::from_str_radix(v, 16).map_err(|_| corrupt("bad checksum"))?);
+            } else {
+                return Err(corrupt("unknown attribute"));
+            }
+        }
+        Ok(SegmentMeta {
+            shard,
+            file: file.to_string(),
+            records: records.ok_or_else(|| corrupt("missing records="))?,
+            checksum: checksum.ok_or_else(|| corrupt("missing fnv="))?,
+        })
+    }
+}
+
+/// What one append actually published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Segment files written (one per shard that received records).
+    pub segments_written: u32,
+    /// Records appended across those segments.
+    pub records_appended: u64,
+}
+
+/// Summary counters for `registry stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Configured shard count.
+    pub shards: u32,
+    /// Sealed segments in the manifest.
+    pub segments: u64,
+    /// Records across sealed segments.
+    pub records: u64,
+    /// Segment files on disk the manifest does not know about (crash
+    /// leftovers; the next import overwrites them).
+    pub orphans: Vec<String>,
+}
+
+/// A registry directory opened for reading and appending.
+#[derive(Debug)]
+pub struct DiskRegistry {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+fn write_atomic(path: &Path, contents: &str) -> Result<(), RegistryError> {
+    let staged = path.with_extension("tmp");
+    fs::write(&staged, contents)
+        .and_then(|()| fs::rename(&staged, path))
+        .map_err(|e| RegistryError::io(path, e))
+}
+
+impl DiskRegistry {
+    /// Initializes an empty registry with `shards` shards (1..=99) in
+    /// `dir`, creating the directory tree and publishing an empty manifest.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a manifest already exists in `dir`, when `shards` is out
+    /// of range, or on I/O errors.
+    pub fn create(dir: impl Into<PathBuf>, shards: u32) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        if !(1..=99).contains(&shards) {
+            return Err(RegistryError::corrupt(format!(
+                "shard count {shards} outside 1..=99"
+            )));
+        }
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(RegistryError::corrupt(format!(
+                "registry already initialized at {}",
+                dir.display()
+            )));
+        }
+        for shard in 0..shards {
+            let shard_dir = dir.join("shards").join(format!("{shard:02}"));
+            fs::create_dir_all(&shard_dir).map_err(|e| RegistryError::io(&shard_dir, e))?;
+        }
+        let manifest = Manifest {
+            shards,
+            segments: Vec::new(),
+        };
+        write_atomic(&dir.join(MANIFEST_FILE), &manifest.encode())?;
+        Ok(DiskRegistry { dir, manifest })
+    }
+
+    /// Opens an existing registry directory by reading its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the manifest is missing or malformed.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text =
+            fs::read_to_string(&manifest_path).map_err(|e| RegistryError::io(&manifest_path, e))?;
+        let manifest = Manifest::decode(&text)?;
+        Ok(DiskRegistry { dir, manifest })
+    }
+
+    /// Opens `dir` if initialized, otherwise creates it with `shards`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiskRegistry::open`] / [`DiskRegistry::create`] errors.
+    pub fn open_or_create(dir: impl Into<PathBuf>, shards: u32) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        if dir.join(MANIFEST_FILE).exists() {
+            DiskRegistry::open(dir)
+        } else {
+            DiskRegistry::create(dir, shards)
+        }
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The published manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Configured shard count.
+    pub fn shards(&self) -> u32 {
+        self.manifest.shards
+    }
+
+    fn shard_of(&self, fingerprint: u64) -> u32 {
+        (fingerprint % u64::from(self.manifest.shards)) as u32
+    }
+
+    fn shard_dir(&self, shard: u32) -> PathBuf {
+        self.dir.join("shards").join(format!("{shard:02}"))
+    }
+
+    /// Appends `records` and publishes them atomically.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure nothing is published: the previous manifest stays in
+    /// force and any files already written are orphans.
+    pub fn append(&mut self, records: &[Record]) -> Result<AppendReport, RegistryError> {
+        self.append_with_fault(records, None)
+    }
+
+    /// [`DiskRegistry::append`] with deterministic fault injection: when
+    /// `crash_after` is `Some(n)`, the append stops with an error after
+    /// writing `n` segment files and **before** publishing the manifest —
+    /// exactly the window a real crash would hit. CI uses this to verify
+    /// manifest recovery.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiskRegistry::append`], plus the injected fault.
+    pub fn append_with_fault(
+        &mut self,
+        records: &[Record],
+        crash_after: Option<usize>,
+    ) -> Result<AppendReport, RegistryError> {
+        if records.is_empty() {
+            return Ok(AppendReport {
+                segments_written: 0,
+                records_appended: 0,
+            });
+        }
+        // Route records to shards, preserving input order within a shard.
+        let mut by_shard: BTreeMap<u32, Vec<&Record>> = BTreeMap::new();
+        for record in records {
+            by_shard
+                .entry(self.shard_of(record.fingerprint))
+                .or_default()
+                .push(record);
+        }
+        // 1. Write the new segment files (invisible until the manifest
+        //    rename below).
+        let mut pending: Vec<SegmentMeta> = Vec::new();
+        let mut written = 0usize;
+        for (&shard, shard_records) in &by_shard {
+            let existing = self
+                .manifest
+                .segments
+                .iter()
+                .filter(|s| s.shard == shard)
+                .count();
+            let file = format!("seg-{:04}.seg", existing + 1);
+            let body = encode_segment(
+                &shard_records
+                    .iter()
+                    .map(|r| (*r).clone())
+                    .collect::<Vec<_>>(),
+            );
+            write_atomic(&self.shard_dir(shard).join(&file), &body)?;
+            pending.push(SegmentMeta {
+                shard,
+                file,
+                records: shard_records.len() as u64,
+                checksum: fnv1a64(body.as_bytes()),
+            });
+            written += 1;
+            if crash_after == Some(written) {
+                return Err(RegistryError::corrupt(format!(
+                    "fault injection: crashed after {written} segment file(s), before manifest publish"
+                )));
+            }
+        }
+        // 2. Refresh the per-shard exact-lookup indexes. An index may now
+        //    reference not-yet-published segments; readers filter index
+        //    entries against the manifest, so this is harmless if we crash
+        //    here.
+        for (&shard, shard_records) in &by_shard {
+            let meta = pending.iter().find(|m| m.shard == shard).expect("written");
+            let mut pairs = self.read_index(shard)?;
+            for record in shard_records {
+                pairs.insert((record.fingerprint, meta.file.clone()));
+            }
+            let mut body = String::from("# dramdig registry shard index\n");
+            for (fp, file) in &pairs {
+                body.push_str(&format!("{fp:016x} {file}\n"));
+            }
+            write_atomic(&self.shard_dir(shard).join(INDEX_FILE), &body)?;
+        }
+        // 3. Publish: the manifest rename is the commit point.
+        let mut next = self.manifest.clone();
+        next.segments.extend(pending);
+        write_atomic(&self.dir.join(MANIFEST_FILE), &next.encode())?;
+        self.manifest = next;
+        Ok(AppendReport {
+            segments_written: written as u32,
+            records_appended: records.len() as u64,
+        })
+    }
+
+    fn read_index(
+        &self,
+        shard: u32,
+    ) -> Result<std::collections::BTreeSet<(u64, String)>, RegistryError> {
+        let path = self.shard_dir(shard).join(INDEX_FILE);
+        let mut pairs = std::collections::BTreeSet::new();
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(pairs),
+            Err(e) => return Err(RegistryError::io(&path, e)),
+        };
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((fp, file)) = line.split_once(' ') else {
+                return Err(RegistryError::corrupt(format!(
+                    "shard {shard} index line `{line}`"
+                )));
+            };
+            let fp = u64::from_str_radix(fp, 16).map_err(|e| {
+                RegistryError::corrupt(format!("shard {shard} index fingerprint `{fp}`: {e}"))
+            })?;
+            pairs.insert((fp, file.to_string()));
+        }
+        Ok(pairs)
+    }
+
+    fn read_segment(&self, meta: &SegmentMeta) -> Result<Vec<Record>, RegistryError> {
+        let path = self.shard_dir(meta.shard).join(&meta.file);
+        let body = fs::read_to_string(&path).map_err(|e| RegistryError::io(&path, e))?;
+        let checksum = fnv1a64(body.as_bytes());
+        if checksum != meta.checksum {
+            return Err(RegistryError::corrupt(format!(
+                "segment {:02}/{} checksum {checksum:016x} != manifest {:016x}",
+                meta.shard, meta.file, meta.checksum
+            )));
+        }
+        let records = decode_segment(&body)?;
+        if records.len() as u64 != meta.records {
+            return Err(RegistryError::corrupt(format!(
+                "segment {:02}/{} holds {} records, manifest says {}",
+                meta.shard,
+                meta.file,
+                records.len(),
+                meta.records
+            )));
+        }
+        Ok(records)
+    }
+
+    /// Folds every published segment into an in-memory registry, verifying
+    /// checksums and record counts along the way.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable, corrupt or miscounted segments.
+    pub fn load(&self) -> Result<MemRegistry, RegistryError> {
+        let mut mem = MemRegistry::new();
+        for meta in &self.manifest.segments {
+            for record in self.read_segment(meta)? {
+                mem.insert(&record.mapping, record.source);
+            }
+        }
+        Ok(mem)
+    }
+
+    /// Exact-fingerprint lookup through the per-shard index: decodes only
+    /// the published segments the index names for this fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable or corrupt index/segment files.
+    pub fn lookup(&self, fingerprint: u64) -> Result<Vec<Record>, RegistryError> {
+        let shard = self.shard_of(fingerprint);
+        let pairs = self.read_index(shard)?;
+        let mut out = Vec::new();
+        for (fp, file) in pairs {
+            if fp != fingerprint {
+                continue;
+            }
+            // Resolve against the manifest: ignore index entries pointing
+            // at unpublished (orphan) segments.
+            let Some(meta) = self
+                .manifest
+                .segments
+                .iter()
+                .find(|m| m.shard == shard && m.file == file)
+            else {
+                continue;
+            };
+            out.extend(
+                self.read_segment(meta)?
+                    .into_iter()
+                    .filter(|r| r.fingerprint == fingerprint),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Segment files present on disk but absent from the manifest — the
+    /// residue of a crashed import. Reported as `shard/file` strings in
+    /// sorted order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a shard directory cannot be read.
+    pub fn orphan_segments(&self) -> Result<Vec<String>, RegistryError> {
+        let mut orphans = Vec::new();
+        for shard in 0..self.manifest.shards {
+            let shard_dir = self.shard_dir(shard);
+            let entries = match fs::read_dir(&shard_dir) {
+                Ok(entries) => entries,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(RegistryError::io(&shard_dir, e)),
+            };
+            for entry in entries {
+                let entry = entry.map_err(|e| RegistryError::io(&shard_dir, e))?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !name.ends_with(".seg") {
+                    continue;
+                }
+                let published = self
+                    .manifest
+                    .segments
+                    .iter()
+                    .any(|m| m.shard == shard && m.file == name);
+                if !published {
+                    orphans.push(format!("{shard:02}/{name}"));
+                }
+            }
+        }
+        orphans.sort();
+        Ok(orphans)
+    }
+
+    /// Summary counters for `registry stats`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when shard directories cannot be scanned for orphans.
+    pub fn stats(&self) -> Result<DiskStats, RegistryError> {
+        Ok(DiskStats {
+            shards: self.manifest.shards,
+            segments: self.manifest.segments.len() as u64,
+            records: self.manifest.total_records(),
+            orphans: self.orphan_segments()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+    use dram_model::MachineSetting;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dramdig-registry-disk-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table2_records() -> Vec<Record> {
+        (1..=9u8)
+            .map(|n| {
+                Record::new(
+                    MachineSetting::by_number(n).unwrap().mapping(),
+                    Source::new(format!("No.{n}"), format!("m{n}-s1-optimized")),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn create_append_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut disk = DiskRegistry::create(&dir, 4).unwrap();
+        let records = table2_records();
+        let report = disk.append(&records).unwrap();
+        assert_eq!(report.records_appended, records.len() as u64);
+        assert!(report.segments_written >= 1);
+
+        let mut expected = MemRegistry::new();
+        for r in &records {
+            expected.insert(&r.mapping, r.source.clone());
+        }
+        let loaded = DiskRegistry::open(&dir).unwrap().load().unwrap();
+        assert_eq!(loaded, expected);
+        // Exact lookup goes through the per-shard index.
+        for r in &records {
+            let found = disk.lookup(r.fingerprint).unwrap();
+            assert!(found.iter().any(|f| f.source == r.source));
+        }
+        assert!(disk.lookup(0).unwrap().is_empty());
+        let stats = disk.stats().unwrap();
+        assert_eq!(stats.records, records.len() as u64);
+        assert!(stats.orphans.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_import_leaves_orphans_and_recovers() {
+        let dir = temp_dir("crash");
+        let mut disk = DiskRegistry::create(&dir, 4).unwrap();
+        let records = table2_records();
+        let err = disk.append_with_fault(&records, Some(1)).unwrap_err();
+        assert!(err.to_string().contains("fault injection"), "{err}");
+
+        // The manifest still publishes nothing; the written file is an
+        // orphan that load() ignores.
+        let reopened = DiskRegistry::open(&dir).unwrap();
+        assert!(reopened.manifest().segments.is_empty());
+        assert!(reopened.load().unwrap().is_empty());
+        let orphans = reopened.orphan_segments().unwrap();
+        assert_eq!(orphans.len(), 1, "{orphans:?}");
+
+        // Retrying the import overwrites the orphan and publishes.
+        let mut retried = DiskRegistry::open(&dir).unwrap();
+        retried.append(&records).unwrap();
+        assert!(retried.orphan_segments().unwrap().is_empty());
+        assert_eq!(retried.load().unwrap().len(), {
+            let mut mem = MemRegistry::new();
+            for r in &records {
+                mem.insert(&r.mapping, r.source.clone());
+            }
+            mem.len()
+        });
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_detects_tampered_segments() {
+        let dir = temp_dir("tamper");
+        let mut disk = DiskRegistry::create(&dir, 1).unwrap();
+        disk.append(&table2_records()).unwrap();
+        let seg = dir.join("shards").join("00").join("seg-0001.seg");
+        let mut body = fs::read_to_string(&seg).unwrap();
+        body.push_str("# trailing tamper\n");
+        fs::write(&seg, body).unwrap();
+        let err = DiskRegistry::open(&dir).unwrap().load().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_count_invariance_on_answers() {
+        let records = table2_records();
+        let mut loads = Vec::new();
+        for shards in [1u32, 3, 8] {
+            let dir = temp_dir(&format!("inv{shards}"));
+            let mut disk = DiskRegistry::create(&dir, shards).unwrap();
+            disk.append(&records).unwrap();
+            loads.push(disk.load().unwrap());
+            fs::remove_dir_all(&dir).unwrap();
+        }
+        assert_eq!(loads[0], loads[1]);
+        assert_eq!(loads[1], loads[2]);
+    }
+
+    #[test]
+    fn create_rejects_double_init_and_bad_shards() {
+        let dir = temp_dir("double");
+        DiskRegistry::create(&dir, 2).unwrap();
+        assert!(DiskRegistry::create(&dir, 2).is_err());
+        assert!(DiskRegistry::open_or_create(&dir, 7).unwrap().shards() == 2);
+        assert!(DiskRegistry::create(temp_dir("zero"), 0).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

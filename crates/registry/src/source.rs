@@ -1,0 +1,60 @@
+//! Where a registered mapping came from.
+
+use std::fmt;
+
+/// One attribution of a mapping: a machine label and the job (or import)
+/// that recovered it. Rendered as `machine:job`, e.g. `No.4:m4-s1-optimized`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Source {
+    /// Machine label, e.g. `No.4`.
+    pub machine: String,
+    /// Job id, e.g. `m4-s1-optimized`.
+    pub job: String,
+}
+
+impl Source {
+    /// Builds a source from its two components.
+    pub fn new(machine: impl Into<String>, job: impl Into<String>) -> Self {
+        Source {
+            machine: machine.into(),
+            job: job.into(),
+        }
+    }
+
+    /// Parses the `machine:job` rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `text` is not two non-empty components
+    /// separated by `:`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let Some((machine, job)) = text.split_once(':') else {
+            return Err(format!("source `{text}` is not `machine:job`"));
+        };
+        if machine.is_empty() || job.is_empty() {
+            return Err(format!("empty source component in `{text}`"));
+        }
+        Ok(Source::new(machine, job))
+    }
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.machine, self.job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_rejects_malformed() {
+        let source = Source::new("No.4", "m4-s1-optimized");
+        assert_eq!(source.to_string(), "No.4:m4-s1-optimized");
+        assert_eq!(Source::parse("No.4:m4-s1-optimized").unwrap(), source);
+        assert!(Source::parse("No.4").is_err());
+        assert!(Source::parse(":job").is_err());
+        assert!(Source::parse("No.4:").is_err());
+    }
+}
