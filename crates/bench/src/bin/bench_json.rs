@@ -432,6 +432,110 @@ fn main() {
         .map(|&(_, _, s)| fleet_1w / s)
         .expect("4-worker sweep ran");
 
+    // --- MapReduce campaign: the big grid under three worker topologies ----
+    // The 1,000-scenario generated-machine grid drained by 1, 4 and 8
+    // simulated-remote workers; in every multi-worker topology worker 0 is
+    // kill -9'd mid-phase on its second lease, so the run exercises a real
+    // steal-and-resume. The gates: all topologies converge on byte-identical
+    // scoreboard and store artifacts, every multi-worker run records the
+    // steal, nothing is left pending, and every wide-function fodder job
+    // (index % 100 == 7, whose pipeline always errors) is dead-lettered.
+    let grid_spec = campaign::mapreduce::GridSpec::new(
+        GridKind::Big.scenario_count() as u32,
+        1,
+        campaign::Profile::Fast,
+    );
+    let fodder_dead = (0..grid_spec.scenarios).filter(|i| i % 100 == 7).count();
+    let mut mapreduce_json = String::new();
+    let mut mapreduce_boards: Vec<String> = Vec::new();
+    let mut mapreduce_stores: Vec<String> = Vec::new();
+    let mut mapreduce_dead = 0usize;
+    let mapreduce_topologies = [1usize, 4, 8];
+    for (t, &processes) in mapreduce_topologies.iter().enumerate() {
+        let dir = std::env::temp_dir().join(format!(
+            "dramdig-bench-mapreduce-{}-{processes}w",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = campaign::CampaignPaths::new(&dir);
+        let transports: Vec<Box<dyn campaign::mapreduce::WorkerTransport>> = (0..processes)
+            .map(|i| {
+                if processes > 1 && i == 0 {
+                    Box::new(campaign::mapreduce::SimTransport::killed_at(2))
+                        as Box<dyn campaign::mapreduce::WorkerTransport>
+                } else {
+                    Box::new(campaign::mapreduce::SimTransport::new())
+                }
+            })
+            .collect();
+        let mut pool_metrics = telemetry::Registry::new();
+        let start = Instant::now();
+        let outcome = campaign::mapreduce::run_mapreduce(
+            &grid_spec,
+            &paths,
+            transports,
+            Some(&mut pool_metrics),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("mapreduce benchmark failed at {processes} workers: {e}");
+            std::process::exit(1);
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let steals = pool_metrics.counter("pool_steals_total");
+        let settled = outcome.state.completed.len() + outcome.state.dead.len();
+        let fodder_lettered = outcome
+            .state
+            .dead
+            .keys()
+            .filter(|id| {
+                campaign::mapreduce::GenJob::index_from_id(id).is_some_and(|i| i % 100 == 7)
+            })
+            .count();
+        if settled != grid_spec.scenarios as usize || fodder_lettered != fodder_dead {
+            eprintln!(
+                "mapreduce at {processes} workers settled {settled}/{} jobs \
+                 ({} dead, {fodder_lettered}/{fodder_dead} fodder dead-lettered)",
+                grid_spec.scenarios,
+                outcome.state.dead.len(),
+            );
+            std::process::exit(1);
+        }
+        if processes > 1 && steals == 0 {
+            eprintln!("mapreduce at {processes} workers recorded no steal for the injected kill");
+            std::process::exit(1);
+        }
+        mapreduce_dead = outcome.state.dead.len();
+        mapreduce_boards.push(outcome.scoreboard);
+        mapreduce_stores.push(outcome.store.encode());
+        let comma = if t + 1 == mapreduce_topologies.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            mapreduce_json,
+            "    {{\"workers\": {processes}, \"wall_ms\": {wall_ms:.3}, \"steals\": {steals}, \"completed\": {}, \"dead\": {}}}{comma}",
+            outcome.state.completed.len(),
+            outcome.state.dead.len(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Topology invariance, the tentpole gate: same scoreboard bytes and
+    // store bytes no matter the worker count, kill point or steal order.
+    if mapreduce_boards.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("mapreduce scoreboards differ across worker topologies");
+        std::process::exit(1);
+    }
+    if mapreduce_stores.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("mapreduce stores differ across worker topologies");
+        std::process::exit(1);
+    }
+    let mapreduce_board_fp = campaign::mapreduce::fingerprint(&mapreduce_boards[0]);
+    let mapreduce_store_mappings = mapreduce_stores[0]
+        .lines()
+        .filter(|l| l.starts_with("[mapping"))
+        .count();
+
     // --- Engine checkpoint/resume: kill mid-FineDetection ------------------
     // The optimized profile on No.4, killed at the FunctionDetection →
     // FineDetection boundary (what a process death mid-FineDetection
@@ -1056,6 +1160,29 @@ fn main() {
     out.push_str(&campaign_json);
     let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"campaign_mapreduce\": {{");
+    let _ = writeln!(out, "    \"grid\": \"big\",");
+    let _ = writeln!(out, "    \"scenarios\": {},", grid_spec.scenarios);
+    let _ = writeln!(out, "    \"profile\": \"fast\",");
+    let _ = writeln!(
+        out,
+        "    \"injected_kill\": \"worker 0 on its 2nd lease (multi-worker topologies)\","
+    );
+    let _ = writeln!(out, "    \"scoreboards_identical\": true,");
+    let _ = writeln!(out, "    \"stores_identical\": true,");
+    let _ = writeln!(
+        out,
+        "    \"scoreboard_fnv1a\": \"{mapreduce_board_fp:016x}\","
+    );
+    let _ = writeln!(out, "    \"dead_letters\": {mapreduce_dead},");
+    let _ = writeln!(
+        out,
+        "    \"distinct_mappings\": {mapreduce_store_mappings},"
+    );
+    let _ = writeln!(out, "    \"topologies\": [");
+    out.push_str(&mapreduce_json);
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"eval\": {{");
     let _ = writeln!(out, "    \"grid\": \"{}\",", eval_grid.kind);
     let _ = writeln!(out, "    \"seed\": {},", eval_grid.seed);
@@ -1173,6 +1300,12 @@ fn main() {
         "campaign (9 machines): fleet makespan {:.1} ms at 1 worker -> {:.1} ms at 4 workers ({fleet_4w:.1}x)",
         fleet_1w * 1e3,
         fleet_1w * 1e3 / fleet_4w
+    );
+    println!(
+        "mapreduce ({} scenarios): byte-identical scoreboard fnv1a:{mapreduce_board_fp:016x} \
+         at 1/4/8 workers with a mid-phase kill, {mapreduce_dead} dead-lettered, \
+         {mapreduce_store_mappings} distinct mappings",
+        grid_spec.scenarios,
     );
     println!(
         "engine resume after mid-FineDetection kill: {resumed_spent} of {} measurements repaid \

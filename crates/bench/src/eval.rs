@@ -52,11 +52,14 @@ pub enum GridKind {
     Ci,
     /// 48 scenarios — a broader sweep for manual exploration.
     Full,
+    /// 1,000 scenarios — the mapreduce-scale grid behind the scheduled
+    /// `big-grid` CI job and the `campaign_mapreduce` bench section.
+    Big,
 }
 
 impl GridKind {
     /// Every kind, in a stable order.
-    pub const ALL: [GridKind; 3] = [GridKind::Quick, GridKind::Ci, GridKind::Full];
+    pub const ALL: [GridKind; 4] = [GridKind::Quick, GridKind::Ci, GridKind::Full, GridKind::Big];
 
     /// Stable identifier used on the CLI and in the scoreboard.
     pub const fn as_str(self) -> &'static str {
@@ -64,6 +67,7 @@ impl GridKind {
             GridKind::Quick => "quick",
             GridKind::Ci => "ci",
             GridKind::Full => "full",
+            GridKind::Big => "big",
         }
     }
 
@@ -78,6 +82,7 @@ impl GridKind {
             GridKind::Quick => 8,
             GridKind::Ci => 24,
             GridKind::Full => 48,
+            GridKind::Big => 1000,
         }
     }
 }

@@ -78,6 +78,37 @@ pub enum JournalRecord {
         /// Directory holding the job's phase checkpoints.
         path: String,
     },
+    /// A dead-lettered job was put back in play by a DLQ operation
+    /// (`dramdig campaign dlq retry|reprocess`).
+    Requeued {
+        /// Job id.
+        job: String,
+        /// How the job re-enters the queue.
+        mode: RequeueMode,
+    },
+}
+
+/// How a dead-lettered job re-enters the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequeueMode {
+    /// Keep the attempt history: the next run continues at one past the
+    /// dead-lettered attempt count, so it draws a *fresh* attempt-derived
+    /// seed instead of replaying the sequence that already failed.
+    Retry,
+    /// Forget the attempt history entirely (the operator fixed the
+    /// environment or config): the next run restarts at attempt 1 with the
+    /// job's base seed, as if the job had never run.
+    Reprocess,
+}
+
+impl RequeueMode {
+    /// Stable identifier used in journal records and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequeueMode::Retry => "retry",
+            RequeueMode::Reprocess => "reprocess",
+        }
+    }
 }
 
 impl JournalRecord {
@@ -88,7 +119,8 @@ impl JournalRecord {
             | JournalRecord::Completed { job, .. }
             | JournalRecord::Failed { job, .. }
             | JournalRecord::Dead { job, .. }
-            | JournalRecord::Checkpoint { job, .. } => job,
+            | JournalRecord::Checkpoint { job, .. }
+            | JournalRecord::Requeued { job, .. } => job,
         }
     }
 
@@ -134,6 +166,11 @@ impl JournalRecord {
                 ("kind", JsonValue::Str("checkpoint".into())),
                 ("job", JsonValue::Str(job.clone())),
                 ("path", JsonValue::Str(path.clone())),
+            ]),
+            JournalRecord::Requeued { job, mode } => jsonl::encode_object(&[
+                ("kind", JsonValue::Str("requeued".into())),
+                ("job", JsonValue::Str(job.clone())),
+                ("mode", JsonValue::Str(mode.as_str().into())),
             ]),
         }
     }
@@ -185,6 +222,14 @@ impl JournalRecord {
             "checkpoint" => Ok(JournalRecord::Checkpoint {
                 job: str_field("job")?,
                 path: str_field("path")?,
+            }),
+            "requeued" => Ok(JournalRecord::Requeued {
+                job: str_field("job")?,
+                mode: match str_field("mode")?.as_str() {
+                    "retry" => RequeueMode::Retry,
+                    "reprocess" => RequeueMode::Reprocess,
+                    other => return Err(malformed(format!("unknown requeue mode `{other}`"))),
+                },
             }),
             other => Err(malformed(format!("unknown record kind `{other}`"))),
         }
@@ -304,6 +349,9 @@ pub struct JournalState {
     pub failed_attempts: BTreeMap<String, u32>,
     /// Dead-lettered jobs and their final failure reason.
     pub dead: BTreeMap<String, String>,
+    /// Total attempts made by each dead-lettered job (DLQ bookkeeping; a
+    /// `retry` requeue resumes the attempt ladder from here).
+    pub dead_attempts: BTreeMap<String, u32>,
     /// Highest started attempt per job (write-ahead markers).
     pub started: BTreeMap<String, u32>,
     /// Phase-checkpoint directory recorded per job (latest wins). A resume
@@ -334,12 +382,42 @@ impl JournalState {
                         *entry = (*entry).max(*attempt);
                     }
                 }
-                JournalRecord::Dead { job, reason, .. } => {
+                JournalRecord::Dead {
+                    job,
+                    attempts,
+                    reason,
+                } => {
                     state.dead.insert(job.clone(), reason.clone());
+                    let entry = state.dead_attempts.entry(job.clone()).or_insert(0);
+                    *entry = (*entry).max(*attempts);
                     state.failed_attempts.remove(job);
                 }
                 JournalRecord::Checkpoint { job, path } => {
                     state.checkpoints.insert(job.clone(), path.clone());
+                }
+                JournalRecord::Requeued { job, mode } => {
+                    // Requeueing a job that is not dead is a harmless no-op,
+                    // so replay stays order-independent across distinct jobs
+                    // and idempotent under duplicated requeue records.
+                    if let Some(attempts) = state.dead_attempts.remove(job) {
+                        state.dead.remove(job);
+                        match mode {
+                            RequeueMode::Retry => {
+                                // The burned attempts stay on the ledger: the
+                                // next run continues at attempts + 1 and thus
+                                // draws a fresh attempt-derived seed.
+                                let entry = state.failed_attempts.entry(job.clone()).or_insert(0);
+                                *entry = (*entry).max(attempts);
+                            }
+                            RequeueMode::Reprocess => {
+                                // Wipe the slate: attempt 1, base seed, no
+                                // stale checkpoints.
+                                state.failed_attempts.remove(job);
+                                state.started.remove(job);
+                                state.checkpoints.remove(job);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -434,6 +512,14 @@ mod tests {
                 job: "m4-s1-optimized".into(),
                 path: "t2/checkpoints/m4-s1-optimized".into(),
             },
+            JournalRecord::Requeued {
+                job: "m6-s1-naive".into(),
+                mode: RequeueMode::Retry,
+            },
+            JournalRecord::Requeued {
+                job: "m6-s1-naive".into(),
+                mode: RequeueMode::Reprocess,
+            },
         ];
         for record in &records {
             let line = record.encode_line();
@@ -450,6 +536,10 @@ mod tests {
         assert!(JournalRecord::decode_line("{\"kind\":\"started\",\"job\":\"x\"}").is_err());
         assert!(JournalRecord::decode_line(
             "{\"kind\":\"completed\",\"job\":\"x\",\"attempt\":1,\"report\":\"garbage\"}"
+        )
+        .is_err());
+        assert!(JournalRecord::decode_line(
+            "{\"kind\":\"requeued\",\"job\":\"x\",\"mode\":\"warp\"}"
         )
         .is_err());
     }
@@ -573,6 +663,68 @@ mod tests {
         );
         assert_eq!(state.checkpoints["d"], "dir/checkpoints/d");
         assert!(!state.checkpoints.contains_key("a"));
+    }
+
+    #[test]
+    fn requeue_retry_resumes_the_attempt_ladder_and_reprocess_wipes_it() {
+        let dead = |job: &str| JournalRecord::Dead {
+            job: job.into(),
+            attempts: 3,
+            reason: "noise".into(),
+        };
+        let base = vec![
+            JournalRecord::Started {
+                job: "a".into(),
+                attempt: 3,
+            },
+            JournalRecord::Checkpoint {
+                job: "a".into(),
+                path: "dir/checkpoints/a".into(),
+            },
+            dead("a"),
+        ];
+
+        // retry: the job leaves the DLQ but keeps its attempt history, so
+        // the next run continues at attempt 4 (fresh attempt-derived seed).
+        let mut records = base.clone();
+        records.push(JournalRecord::Requeued {
+            job: "a".into(),
+            mode: RequeueMode::Retry,
+        });
+        let state = JournalState::replay(&records);
+        assert!(state.dead.is_empty());
+        assert!(state.dead_attempts.is_empty());
+        assert_eq!(state.next_attempt("a"), 4);
+
+        // reprocess: the slate is wiped — attempt 1, base seed, no stale
+        // checkpoint pointers.
+        let mut records = base.clone();
+        records.push(JournalRecord::Requeued {
+            job: "a".into(),
+            mode: RequeueMode::Reprocess,
+        });
+        let state = JournalState::replay(&records);
+        assert!(state.dead.is_empty());
+        assert_eq!(state.next_attempt("a"), 1);
+        assert!(!state.checkpoints.contains_key("a"));
+
+        // Requeueing a live (non-dead) job is a no-op.
+        let records = vec![
+            JournalRecord::Started {
+                job: "b".into(),
+                attempt: 1,
+            },
+            JournalRecord::Requeued {
+                job: "b".into(),
+                mode: RequeueMode::Reprocess,
+            },
+        ];
+        let state = JournalState::replay(&records);
+        assert_eq!(state.next_attempt("b"), 2, "requeue ignored for live jobs");
+
+        // The dead ledger records total attempts for DLQ rendering.
+        let state = JournalState::replay(&base);
+        assert_eq!(state.dead_attempts["a"], 3);
     }
 
     #[test]

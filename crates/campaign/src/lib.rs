@@ -44,7 +44,9 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod dlq;
 pub mod journal;
+pub mod mapreduce;
 pub mod pool;
 pub mod runner;
 pub mod spec;
@@ -55,8 +57,12 @@ pub mod store;
 /// its historical path.
 pub use telemetry::jsonl;
 
-pub use journal::{read_journal, Journal, JournalError, JournalRecord, JournalState};
-pub use pool::{drain_pool, MeteredHooks, NoHooks, PoolConfig, PoolHooks, PoolOutcome, Verdict};
+pub use dlq::{dead_letters, render_dlq, requeue, write_dlq, DeadLetter};
+pub use journal::{read_journal, Journal, JournalError, JournalRecord, JournalState, RequeueMode};
+pub use pool::{
+    drain_pool, drain_pool_ctx, Attempt, Lease, MeteredHooks, NoHooks, PoolConfig, PoolHooks,
+    PoolOutcome, Verdict,
+};
 pub use runner::{
     campaign_status, fleet_makespan, run_campaign, run_campaign_with_metrics, run_job_sim,
     run_job_sim_checkpointed, run_job_sim_checkpointed_with, run_job_sim_with, store_from_state,

@@ -4,11 +4,17 @@
 //! live inside the campaign runner's worker loop, with the campaign-specific
 //! parts (write-ahead journaling, checkpoint-directory lifecycle) injected
 //! through [`PoolHooks`]. The scenario-matrix evaluation drains its
-//! scenario × tool grid through the same pool with [`NoHooks`], so both
-//! workloads share one well-tested scheduling core.
+//! scenario × tool grid through the same pool with [`NoHooks`], and the
+//! map/reduce coordinator drains work-unit leases across worker transports
+//! through [`drain_pool_ctx`], so every workload shares one well-tested
+//! scheduling core.
 //!
 //! Semantics inherited by every user:
 //!
+//! * the unit of scheduling is a [`Lease`]: the job **and its attempt
+//!   number travel together**, so a lease stolen by another worker after an
+//!   interruption retries at the same attempt instead of burning one retry
+//!   per worker that ever held it;
 //! * hooks run **under the pool lock** — `on_dequeued` fires before the job
 //!   leaves the queue-side critical section (write-ahead), `on_settled`
 //!   before the outcome is applied to the queue;
@@ -16,11 +22,47 @@
 //!   first error is returned;
 //! * a failed attempt beyond `max_retries` is dead-lettered with its final
 //!   reason, otherwise the job re-enters the queue at `attempt + 1`;
+//! * an [`Attempt::Interrupted`] attempt (the worker died underneath the
+//!   job) re-enters the queue at the **same** attempt — its phase
+//!   checkpoints survive on disk — and the worker that reported it exits,
+//!   so surviving workers steal the lease;
 //! * `max_completions` caps completions of *this* drain (used to simulate
 //!   interruptions) — in-flight jobs still settle.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
+
+/// One schedulable unit: a job plus the attempt number it runs at. The
+/// attempt is a property of the lease — not of whichever worker happens to
+/// hold it — so steals never double-count against the retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease<J> {
+    /// The job to run.
+    pub job: J,
+    /// The attempt this lease runs the job at (1-based).
+    pub attempt: u32,
+}
+
+impl<J> Lease<J> {
+    /// A lease of `job` at `attempt`.
+    pub fn new(job: J, attempt: u32) -> Self {
+        Lease { job, attempt }
+    }
+}
+
+/// What one attempt of a job produced, as reported by the worker closure of
+/// [`drain_pool_ctx`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Attempt<T> {
+    /// The attempt succeeded.
+    Completed(T),
+    /// The attempt genuinely failed (counts against the retry budget).
+    Failed(String),
+    /// The worker died underneath the job (killed process, lost transport).
+    /// The lease is re-queued at the same attempt for another worker to
+    /// steal, and the reporting worker exits the drain.
+    Interrupted(String),
+}
 
 /// How one settled attempt was classified by the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +73,9 @@ pub enum Verdict {
     Retrying,
     /// The attempt failed and exhausted the retry budget.
     Dead,
+    /// The worker died mid-attempt; the lease re-enters the queue at the
+    /// same attempt for another worker to steal.
+    Interrupted,
 }
 
 /// Observer hooks invoked under the pool lock. The default implementations
@@ -77,6 +122,8 @@ impl<J, T> PoolHooks<J, T> for NoHooks {
 ///
 /// * `pool_dequeued_total` — attempts handed to workers,
 /// * `pool_retries_total` — attempts that settled [`Verdict::Retrying`],
+/// * `pool_steals_total` — attempts that settled [`Verdict::Interrupted`]
+///   (the lease went back for another worker to steal),
 /// * `pool_completed_total` / `pool_dead_total` — terminal verdicts,
 /// * `pool_queue_depth` — gauge, seeded by [`MeteredHooks::new`] with the
 ///   initial queue depth (its peak — jobs only re-enter one at a time).
@@ -114,6 +161,7 @@ impl<J, T, H: PoolHooks<J, T>> PoolHooks<J, T> for MeteredHooks<'_, H> {
             Verdict::Completed => "pool_completed_total",
             Verdict::Retrying => "pool_retries_total",
             Verdict::Dead => "pool_dead_total",
+            Verdict::Interrupted => "pool_steals_total",
         };
         self.metrics.counter_add(counter, 1);
         self.inner.on_settled(job, attempt, result, verdict)
@@ -151,10 +199,14 @@ pub struct PoolOutcome<J, T> {
     pub completed: Vec<(J, u32, T)>,
     /// Dead-lettered jobs with their final failure reason.
     pub dead: Vec<(J, String)>,
+    /// Leases still queued when the drain ended: the completion cap was
+    /// hit, or every worker died before the queue emptied. Nothing was
+    /// lost — each abandoned lease resumes at its recorded attempt.
+    pub abandoned: Vec<Lease<J>>,
 }
 
 struct Shared<'h, J, T, H: PoolHooks<J, T>> {
-    queue: VecDeque<(J, u32)>,
+    queue: VecDeque<Lease<J>>,
     hooks: &'h mut H,
     completions: usize,
     completed: Vec<(J, u32, T)>,
@@ -182,6 +234,53 @@ where
     H::Error: Send,
     R: Fn(&J, u32) -> Result<T, String> + Sync,
 {
+    // Unit contexts: plain threads with no per-worker state, and plain
+    // failures (never Interrupted), so the classic retry semantics hold.
+    let contexts = vec![(); config.workers.max(1)];
+    drain_pool_ctx(
+        jobs.into_iter()
+            .map(|(job, attempt)| Lease { job, attempt }),
+        config,
+        hooks,
+        contexts,
+        |(), job, attempt| {
+            Ok(match run(job, attempt) {
+                Ok(value) => Attempt::Completed(value),
+                Err(reason) => Attempt::Failed(reason),
+            })
+        },
+    )
+}
+
+/// [`drain_pool`] generalized over per-worker contexts: each worker thread
+/// exclusively owns one element of `contexts` (a transport to a worker
+/// process, a journal handle, …) for its whole life. The worker count is
+/// `contexts.len()`.
+///
+/// `run` classifies each attempt as [`Attempt::Completed`],
+/// [`Attempt::Failed`] (burns a retry) or [`Attempt::Interrupted`] (the
+/// context's backing worker died: the lease is re-queued **at the same
+/// attempt** for a surviving worker to steal, and this worker exits).
+/// `run` returning `Err` poisons the pool like a hook error.
+///
+/// # Errors
+///
+/// Returns the first hook or `run` error.
+pub fn drain_pool_ctx<J, T, H, C, R>(
+    jobs: impl IntoIterator<Item = Lease<J>>,
+    config: &PoolConfig,
+    hooks: &mut H,
+    contexts: Vec<C>,
+    run: R,
+) -> Result<PoolOutcome<J, T>, H::Error>
+where
+    J: Send,
+    T: Send,
+    C: Send,
+    H: PoolHooks<J, T> + Send,
+    H::Error: Send,
+    R: Fn(&mut C, &J, u32) -> Result<Attempt<T>, H::Error> + Sync,
+{
     let shared = Mutex::new(Shared {
         queue: jobs.into_iter().collect(),
         hooks,
@@ -192,8 +291,10 @@ where
     });
 
     std::thread::scope(|scope| {
-        for _ in 0..config.workers.max(1) {
-            scope.spawn(|| worker_loop(&shared, config, &run));
+        for mut context in contexts {
+            let shared = &shared;
+            let run = &run;
+            scope.spawn(move || worker_loop(shared, config, &mut context, run));
         }
     });
 
@@ -206,16 +307,21 @@ where
     Ok(PoolOutcome {
         completed: state.completed,
         dead: state.dead,
+        abandoned: state.queue.into_iter().collect(),
     })
 }
 
-fn worker_loop<J, T, H, R>(shared: &Mutex<Shared<'_, J, T, H>>, config: &PoolConfig, run: &R)
-where
+fn worker_loop<J, T, H, C, R>(
+    shared: &Mutex<Shared<'_, J, T, H>>,
+    config: &PoolConfig,
+    context: &mut C,
+    run: &R,
+) where
     H: PoolHooks<J, T>,
-    R: Fn(&J, u32) -> Result<T, String>,
+    R: Fn(&mut C, &J, u32) -> Result<Attempt<T>, H::Error>,
 {
     loop {
-        let (job, attempt) = {
+        let Lease { job, attempt } = {
             let mut guard = shared.lock().expect("pool lock");
             if guard.failure.is_some() {
                 return;
@@ -225,37 +331,50 @@ where
                     return;
                 }
             }
-            let Some((job, attempt)) = guard.queue.pop_front() else {
+            let Some(lease) = guard.queue.pop_front() else {
                 return;
             };
-            if let Err(e) = guard.hooks.on_dequeued(&job, attempt) {
+            if let Err(e) = guard.hooks.on_dequeued(&lease.job, lease.attempt) {
                 guard.failure = Some(e);
                 return;
             }
-            (job, attempt)
+            lease
         };
 
-        let result = run(&job, attempt);
+        let outcome = match run(context, &job, attempt) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                shared.lock().expect("pool lock").failure = Some(e);
+                return;
+            }
+        };
 
         let mut guard = shared.lock().expect("pool lock");
-        let verdict = match &result {
-            Ok(_) => Verdict::Completed,
-            Err(_) if attempt > config.max_retries => Verdict::Dead,
-            Err(_) => Verdict::Retrying,
+        let (result, verdict) = match outcome {
+            Attempt::Completed(value) => (Ok(value), Verdict::Completed),
+            Attempt::Failed(reason) if attempt > config.max_retries => (Err(reason), Verdict::Dead),
+            Attempt::Failed(reason) => (Err(reason), Verdict::Retrying),
+            Attempt::Interrupted(reason) => (Err(reason), Verdict::Interrupted),
         };
         if let Err(e) = guard.hooks.on_settled(&job, attempt, &result, verdict) {
             guard.failure = Some(e);
             return;
         }
-        match result {
-            Ok(value) => {
+        match (result, verdict) {
+            (Ok(value), _) => {
                 guard.completions += 1;
                 guard.completed.push((job, attempt, value));
             }
-            Err(reason) => match verdict {
-                Verdict::Dead => guard.dead.push((job, reason)),
-                _ => guard.queue.push_back((job, attempt + 1)),
-            },
+            (Err(reason), Verdict::Dead) => guard.dead.push((job, reason)),
+            (Err(_), Verdict::Interrupted) => {
+                // The same attempt goes back at the head of the queue: its
+                // phase checkpoints are still on disk, so the stealing
+                // worker resumes mid-pipeline instead of restarting. This
+                // worker's backing process is gone — exit the loop.
+                guard.queue.push_front(Lease { job, attempt });
+                return;
+            }
+            (Err(_), _) => guard.queue.push_back(Lease::new(job, attempt + 1)),
         }
     }
 }
@@ -280,6 +399,7 @@ mod tests {
         )
         .unwrap();
         assert!(outcome.dead.is_empty());
+        assert!(outcome.abandoned.is_empty());
         let mut done: Vec<(u32, u32)> = outcome
             .completed
             .into_iter()
@@ -337,6 +457,9 @@ mod tests {
         })
         .unwrap();
         assert_eq!(outcome.completed.len(), 2);
+        // The uncompleted jobs survive as abandoned leases at attempt 1.
+        assert_eq!(outcome.abandoned.len(), 8);
+        assert!(outcome.abandoned.iter().all(|lease| lease.attempt == 1));
     }
 
     /// Hooks observe the write-ahead order and can abort the drain.
@@ -451,5 +574,126 @@ mod tests {
         assert_eq!(err, "journal broke");
         // The drain stopped after the first settle: "b" was never dequeued.
         assert_eq!(hooks.events.len(), 2);
+    }
+
+    /// A fake per-worker transport: worker `0` dies when it first touches
+    /// the designated job; every other worker completes everything.
+    struct FlakyWorker {
+        id: usize,
+        dead: bool,
+    }
+
+    #[test]
+    fn a_stolen_lease_retries_at_the_same_attempt() {
+        // The satellite bugfix regression: a lease interrupted on worker 0
+        // must be re-run by a surviving worker at the SAME attempt — the
+        // steal must not count against the retry budget of either worker.
+        let config = PoolConfig {
+            workers: 2,
+            max_retries: 0, // any burned retry would dead-letter the job
+            max_completions: None,
+        };
+        let contexts = vec![
+            FlakyWorker { id: 0, dead: false },
+            FlakyWorker { id: 1, dead: false },
+        ];
+        let mut hooks = Recording {
+            events: Vec::new(),
+            fail_on_settle: false,
+        };
+        let outcome = drain_pool_ctx(
+            [Lease::new("victim", 1), Lease::new("other", 1)],
+            &config,
+            &mut hooks,
+            contexts,
+            |worker: &mut FlakyWorker, job, attempt| {
+                if worker.id == 0 && *job == "victim" {
+                    worker.dead = true;
+                }
+                if worker.dead {
+                    return Ok(Attempt::Interrupted("kill -9".into()));
+                }
+                Ok(Attempt::Completed(attempt))
+            },
+        )
+        .unwrap();
+        assert!(outcome.dead.is_empty(), "{:?}", outcome.dead);
+        assert!(outcome.abandoned.is_empty());
+        let mut done: Vec<(&str, u32)> = outcome
+            .completed
+            .iter()
+            .map(|(j, attempt, _)| (*j, *attempt))
+            .collect();
+        done.sort_unstable();
+        // Both jobs completed at attempt 1: the interruption burned nothing.
+        assert_eq!(done, vec![("other", 1), ("victim", 1)]);
+        // The hooks saw the interruption verdict (write-ahead, same attempt)
+        // before the completing steal.
+        assert!(hooks
+            .events
+            .contains(&"settled victim #1 Interrupted".to_string()));
+        assert!(hooks
+            .events
+            .contains(&"settled victim #1 Completed".to_string()));
+    }
+
+    #[test]
+    fn all_workers_dead_leaves_abandoned_leases() {
+        let config = PoolConfig {
+            workers: 2,
+            max_retries: 2,
+            max_completions: None,
+        };
+        let contexts = vec![0usize, 1usize];
+        let outcome = drain_pool_ctx(
+            (0..6u32).map(|j| Lease::new(j, 1)),
+            &config,
+            &mut NoHooks,
+            contexts,
+            |_worker, _job, _attempt| Ok(Attempt::<u32>::Interrupted("lost".into())),
+        )
+        .unwrap();
+        assert!(outcome.completed.is_empty());
+        assert!(outcome.dead.is_empty());
+        // Two workers each died on their first lease; the two leases went
+        // back to the queue head, so all six jobs survive at attempt 1.
+        assert_eq!(outcome.abandoned.len(), 6);
+        assert!(outcome.abandoned.iter().all(|lease| lease.attempt == 1));
+    }
+
+    #[test]
+    fn interruptions_count_as_steals_in_the_metrics() {
+        let mut metrics = telemetry::Registry::new();
+        let config = PoolConfig {
+            workers: 2,
+            max_retries: 0,
+            max_completions: None,
+        };
+        let mut hooks = MeteredHooks::new(NoHooks, &mut metrics, 2);
+        let contexts = vec![
+            FlakyWorker { id: 0, dead: false },
+            FlakyWorker { id: 1, dead: false },
+        ];
+        drain_pool_ctx(
+            [Lease::new("victim", 1), Lease::new("other", 1)],
+            &config,
+            &mut hooks,
+            contexts,
+            |worker: &mut FlakyWorker, job, attempt| {
+                if worker.id == 0 && *job == "victim" {
+                    worker.dead = true;
+                }
+                if worker.dead {
+                    return Ok(Attempt::Interrupted("kill -9".into()));
+                }
+                Ok(Attempt::Completed(attempt))
+            },
+        )
+        .unwrap();
+        let snapshot = telemetry::Registry::parse_snapshot(&metrics.snapshot()).unwrap();
+        assert_eq!(snapshot.counter("pool_steals_total"), 1);
+        assert_eq!(snapshot.counter("pool_completed_total"), 2);
+        assert_eq!(snapshot.counter("pool_retries_total"), 0);
+        assert_eq!(snapshot.counter("pool_dead_total"), 0);
     }
 }

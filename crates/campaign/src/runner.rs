@@ -59,6 +59,11 @@ impl CampaignPaths {
         self.dir.join("store.txt")
     }
 
+    /// The rendered dead-letter queue artifact (see [`crate::dlq`]).
+    pub fn dlq(&self) -> PathBuf {
+        self.dir.join("dlq.txt")
+    }
+
     /// Root of the per-job phase-checkpoint directories (one subdirectory
     /// per job id when [`CampaignOptions::phase_checkpoints`] is enabled).
     pub fn checkpoints(&self) -> PathBuf {
@@ -510,6 +515,8 @@ where
             path: paths.store(),
             error,
         })?;
+    // The DLQ artifact is a pure function of the journal too.
+    crate::dlq::write_dlq(&paths.dlq(), &journal_state)?;
     let totals = journal_state
         .completed
         .values()

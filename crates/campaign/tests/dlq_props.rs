@@ -1,0 +1,310 @@
+//! Property tests of the dead-letter queue lifecycle: retry exhaustion in a
+//! real pool drain lands jobs on the DLQ with their full attempt ledger, a
+//! `retry` requeue re-enters the attempt ladder one past the dead-lettered
+//! attempt (and therefore draws a fresh attempt-derived seed), a `reprocess`
+//! requeue wipes the slate so a fixed job completes from attempt 1, and the
+//! journal replay that backs all of it folds any worker interleaving of the
+//! record stream to the same DLQ state.
+
+use proptest::prelude::*;
+
+use campaign::mapreduce::GenJob;
+use campaign::{
+    dead_letters, render_dlq, Attempt, JournalRecord, JournalState, Lease, NoHooks, PoolConfig,
+    Profile, RequeueMode,
+};
+
+/// One job's scripted behaviour: fail this many attempts, then succeed.
+#[derive(Debug, Clone, Copy)]
+struct Script {
+    fails_first: u32,
+}
+
+/// Drains `scripts` through the real pool and journals what a coordinator
+/// would: `Started` write-ahead plus the `Completed`/`Failed`/`Dead` outcome
+/// per attempt. Returns the record stream in append order.
+fn drain_scripted(scripts: &[Script], max_retries: u32, workers: usize) -> Vec<JournalRecord> {
+    let jobs = scripts
+        .iter()
+        .enumerate()
+        .map(|(i, script)| Lease::new((format!("job-{i:02}"), *script), 1));
+    let config = PoolConfig {
+        workers,
+        max_retries,
+        max_completions: None,
+    };
+    let records = std::sync::Mutex::new(Vec::new());
+    let contexts: Vec<()> = vec![(); workers.max(1)];
+    let outcome = campaign::drain_pool_ctx(
+        jobs,
+        &config,
+        &mut NoHooks,
+        contexts,
+        |_: &mut (), (id, script): &(String, Script), attempt| {
+            records.lock().unwrap().push(JournalRecord::Started {
+                job: id.clone(),
+                attempt,
+            });
+            let result = if attempt <= script.fails_first {
+                Attempt::Failed(format!("scripted failure {attempt}"))
+            } else {
+                Attempt::Completed(attempt)
+            };
+            match &result {
+                Attempt::Completed(_) => records.lock().unwrap().push(JournalRecord::Completed {
+                    job: id.clone(),
+                    attempt,
+                    report: report(),
+                }),
+                Attempt::Failed(reason) => {
+                    let record = if attempt > max_retries {
+                        JournalRecord::Dead {
+                            job: id.clone(),
+                            attempts: attempt,
+                            reason: reason.clone(),
+                        }
+                    } else {
+                        JournalRecord::Failed {
+                            job: id.clone(),
+                            attempt,
+                            reason: reason.clone(),
+                        }
+                    };
+                    records.lock().unwrap().push(record);
+                }
+                Attempt::Interrupted(_) => unreachable!("scripts never interrupt"),
+            }
+            Ok::<_, std::convert::Infallible>(result)
+        },
+    )
+    .expect("infallible hooks");
+    // The pool's own verdicts must agree with what was journaled.
+    assert_eq!(
+        outcome.completed.len() + outcome.dead.len(),
+        scripts.len(),
+        "every scripted job settles"
+    );
+    records.into_inner().unwrap()
+}
+
+fn report() -> dramdig::RecoveryReport {
+    use dramdig::driver::{Phase, PhaseCosts};
+    let setting = dram_model::MachineSetting::by_number(4).expect("machine 4 exists");
+    dramdig::RecoveryReport {
+        mapping: setting.mapping().clone(),
+        pool_size: 100,
+        pile_count: 8,
+        threshold_ns: 290,
+        row_remap: None,
+        validation_agreement: Some(0.95),
+        phase_costs: vec![(Phase::Partition, PhaseCosts::default())],
+        total: PhaseCosts::default(),
+    }
+}
+
+/// Merges per-job sequences using `choices` to pick which job's next record
+/// goes out — an arbitrary worker interleaving that preserves per-job order.
+fn interleave(mut sequences: Vec<Vec<JournalRecord>>, choices: &[usize]) -> Vec<JournalRecord> {
+    for seq in &mut sequences {
+        seq.reverse(); // pop from the back
+    }
+    let mut merged = Vec::new();
+    let mut choices = choices.iter().copied().cycle();
+    while sequences.iter().any(|s| !s.is_empty()) {
+        let alive: Vec<usize> = (0..sequences.len())
+            .filter(|&i| !sequences[i].is_empty())
+            .collect();
+        let pick = alive[choices.next().unwrap_or(0) % alive.len()];
+        merged.push(sequences[pick].pop().expect("alive sequence"));
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn retry_exhaustion_lands_on_the_dlq_with_the_full_ledger(
+        scripts in proptest::collection::vec(
+            (0u32..5).prop_map(|fails_first| Script { fails_first }),
+            1..8,
+        ),
+        max_retries in 0u32..3,
+        workers in 1usize..4,
+    ) {
+        let records = drain_scripted(&scripts, max_retries, workers);
+        let state = JournalState::replay(&records);
+        let letters = dead_letters(&state);
+        // Exactly the scripts that out-fail the retry budget dead-letter,
+        // each with attempts = budget + 1 (every attempt was made).
+        let expected_dead: Vec<String> = scripts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.fails_first > max_retries)
+            .map(|(i, _)| format!("job-{i:02}"))
+            .collect();
+        prop_assert_eq!(
+            letters.iter().map(|l| l.job.clone()).collect::<Vec<_>>(),
+            expected_dead.clone(),
+            "DLQ lists exactly the retry-exhausted jobs, in job-id order"
+        );
+        for letter in &letters {
+            prop_assert_eq!(letter.attempts, max_retries + 1);
+            prop_assert!(letter.reason.starts_with("scripted failure"));
+        }
+        // Everything else completed at one past its scripted failures.
+        for (i, script) in scripts.iter().enumerate() {
+            let id = format!("job-{i:02}");
+            if script.fails_first <= max_retries {
+                prop_assert!(state.completed.contains_key(&id));
+            }
+        }
+        // The rendered artifact lists the same jobs, one line each.
+        let rendered = render_dlq(&state);
+        let count_line = format!("# jobs = {}", expected_dead.len());
+        prop_assert!(rendered.contains(&count_line));
+        for id in &expected_dead {
+            let line = format!("job {id} attempts=");
+            prop_assert!(rendered.contains(&line));
+        }
+    }
+
+    #[test]
+    fn retry_requeue_reenters_the_ladder_with_a_fresh_seed(
+        index in 0u32..2000,
+        seed in 1u64..1000,
+        attempts in 1u32..6,
+    ) {
+        let job_id = format!("job-{index:04}");
+        let records = vec![
+            JournalRecord::Started { job: job_id.clone(), attempt: attempts },
+            JournalRecord::Dead {
+                job: job_id.clone(),
+                attempts,
+                reason: "exhausted".into(),
+            },
+            JournalRecord::Requeued { job: job_id.clone(), mode: RequeueMode::Retry },
+        ];
+        let state = JournalState::replay(&records);
+        prop_assert!(state.dead.is_empty(), "retry clears the dead letter");
+        prop_assert!(dead_letters(&state).is_empty());
+        // The ladder continues one past the dead-lettered attempt...
+        prop_assert_eq!(state.next_attempt(&job_id), attempts + 1);
+        // ...which draws an attempt-derived seed distinct from every seed
+        // the job already burned.
+        let job = GenJob {
+            index,
+            seed,
+            profile: Profile::Fast,
+        };
+        let fresh = job.attempt_seed(attempts + 1);
+        for burned in 1..=attempts {
+            prop_assert_ne!(fresh, job.attempt_seed(burned));
+        }
+    }
+
+    #[test]
+    fn reprocess_requeue_wipes_the_slate_and_the_job_completes(
+        attempts in 1u32..6,
+        fixed_succeeds in any::<bool>(),
+    ) {
+        let job_id = "job-00".to_string();
+        let mut records = vec![
+            JournalRecord::Started { job: job_id.clone(), attempt: attempts },
+            JournalRecord::Checkpoint { job: job_id.clone(), path: "ckpt/job-00".into() },
+            JournalRecord::Dead {
+                job: job_id.clone(),
+                attempts,
+                reason: "bad config".into(),
+            },
+            JournalRecord::Requeued { job: job_id.clone(), mode: RequeueMode::Reprocess },
+        ];
+        let state = JournalState::replay(&records);
+        prop_assert!(state.dead.is_empty());
+        prop_assert_eq!(
+            state.next_attempt(&job_id), 1,
+            "reprocess restarts at attempt 1 (base seed)"
+        );
+        prop_assert!(
+            !state.checkpoints.contains_key(&job_id),
+            "stale checkpoints from the broken run are dropped"
+        );
+        // After the operator's fix, the re-run settles the job for good.
+        records.push(JournalRecord::Started { job: job_id.clone(), attempt: 1 });
+        if fixed_succeeds {
+            records.push(JournalRecord::Completed {
+                job: job_id.clone(),
+                attempt: 1,
+                report: report(),
+            });
+        } else {
+            records.push(JournalRecord::Dead {
+                job: job_id.clone(),
+                attempts: 1,
+                reason: "still broken".into(),
+            });
+        }
+        let settled = JournalState::replay(&records);
+        if fixed_succeeds {
+            prop_assert!(settled.completed.contains_key(&job_id));
+            prop_assert!(settled.dead.is_empty());
+        } else {
+            prop_assert_eq!(dead_letters(&settled).len(), 1);
+            prop_assert_eq!(settled.dead_attempts[&job_id], 1, "the old ledger stays wiped");
+        }
+    }
+
+    #[test]
+    fn dlq_state_is_reproduced_order_independently(
+        fates in proptest::collection::vec((1u32..4, 0u8..3), 1..6),
+        choices in proptest::collection::vec(0usize..16, 1..48),
+    ) {
+        // Per-job lifecycle: fail to death, then (maybe) a requeue.
+        let sequences: Vec<Vec<JournalRecord>> = fates
+            .iter()
+            .enumerate()
+            .map(|(i, (attempts, after))| {
+                let job = format!("job-{i:02}");
+                let mut seq = vec![
+                    JournalRecord::Started { job: job.clone(), attempt: *attempts },
+                    JournalRecord::Dead {
+                        job: job.clone(),
+                        attempts: *attempts,
+                        reason: format!("failure of {job}"),
+                    },
+                ];
+                match after {
+                    0 => {}
+                    1 => seq.push(JournalRecord::Requeued {
+                        job,
+                        mode: RequeueMode::Retry,
+                    }),
+                    _ => seq.push(JournalRecord::Requeued {
+                        job,
+                        mode: RequeueMode::Reprocess,
+                    }),
+                }
+                seq
+            })
+            .collect();
+        let canonical: Vec<JournalRecord> = sequences.iter().flatten().cloned().collect();
+        let shuffled = interleave(sequences, &choices);
+        let a = JournalState::replay(&canonical);
+        let b = JournalState::replay(&shuffled);
+        prop_assert_eq!(&a, &b, "DLQ state must not depend on append interleaving");
+        prop_assert_eq!(dead_letters(&a), dead_letters(&b));
+        prop_assert_eq!(render_dlq(&a), render_dlq(&b));
+        // Replay is idempotent under a duplicated record stream (crash
+        // between append and fsync can double a line).
+        let doubled: Vec<JournalRecord> = canonical
+            .iter()
+            .flat_map(|r| [r.clone(), r.clone()])
+            .collect();
+        prop_assert_eq!(&JournalState::replay(&doubled), &a);
+        // Only the never-requeued jobs remain listed.
+        for (i, (_, after)) in fates.iter().enumerate() {
+            let job = format!("job-{i:02}");
+            prop_assert_eq!(a.dead.contains_key(&job), *after == 0);
+        }
+    }
+}

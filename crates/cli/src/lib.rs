@@ -15,6 +15,9 @@
 //! dramdig campaign resume --dir t2 [--workers 4]
 //! dramdig campaign status --dir t2
 //! dramdig campaign query  --dir t2 --func "(13, 16)"
+//! dramdig campaign mapreduce --dir grid --scenarios 1000 [--processes 4]
+//! dramdig campaign worker [--inject-kill 2]
+//! dramdig campaign dlq    list --dir grid
 //! dramdig registry import --campaign t2 --registry reg [--shards 4]
 //! dramdig registry gen    --registry reg --grid ci
 //! dramdig registry query  --registry reg --func "(13, 16)"
@@ -270,6 +273,67 @@ pub enum CampaignAction {
         /// Bank function in paper notation.
         func: String,
     },
+    /// `dramdig campaign mapreduce --dir D --scenarios N [--seed S]
+    /// [--profile P] [--retries N] [--processes N] [--transport process|sim]
+    /// [--worker-bin PATH] [--inject-kill W:J] [--history PATH]
+    /// [--metrics PATH]`
+    Mapreduce {
+        /// Grid campaign directory (grid spec, journal, store, scoreboard).
+        dir: String,
+        /// The generated-machine grid description.
+        spec: campaign::mapreduce::GridSpec,
+        /// Worker count (processes or simulated in-process workers).
+        processes: usize,
+        /// Worker transport: real processes or in-process simulated remotes.
+        transport: MapTransport,
+        /// Worker binary override (defaults to the running executable).
+        worker_bin: Option<String>,
+        /// Fault injection: worker W dies on its J-th request (`W:J`).
+        inject_kill: Option<(u32, u32)>,
+        /// Longitudinal history file the finished grid is appended to under
+        /// the drift gate.
+        history: Option<String>,
+        /// Optional path a metrics snapshot of the run is written to.
+        metrics: Option<String>,
+    },
+    /// `dramdig campaign worker [--inject-kill N]` — the JSONL request loop
+    /// a coordinator drives over stdin/stdout.
+    Worker {
+        /// Fault injection: SIGKILL self on the N-th request.
+        inject_kill: Option<u32>,
+    },
+    /// `dramdig campaign dlq <list|inspect|retry|reprocess> --dir D
+    /// [--job ID]`
+    Dlq {
+        /// Campaign directory (classic or mapreduce).
+        dir: String,
+        /// What to do with the dead-letter queue.
+        op: DlqOp,
+        /// Restrict retry/reprocess/inspect to one job id.
+        job: Option<String>,
+    },
+}
+
+/// How `campaign mapreduce` talks to its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapTransport {
+    /// Spawn real `dramdig campaign worker` processes.
+    Process,
+    /// In-process simulated remote workers (deterministic tests/benches).
+    Sim,
+}
+
+/// What a `dramdig campaign dlq` invocation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DlqOp {
+    /// Print the dead-letter queue, one job per line.
+    List,
+    /// Print one dead letter in full (unescaped reason).
+    Inspect,
+    /// Requeue dead letters keeping the attempt ledger (fresh seeds).
+    Retry,
+    /// Requeue dead letters from scratch (attempt 1, base seed).
+    Reprocess,
 }
 
 /// Errors produced while parsing or executing a command.
@@ -327,6 +391,14 @@ pub fn usage() -> String {
         "  dramdig campaign resume --dir <dir> [--workers <n>] [--limit <n>]\n",
         "  dramdig campaign status --dir <dir>\n",
         "  dramdig campaign query  --dir <dir> --func \"(13, 16)\"\n",
+        "  dramdig campaign mapreduce --dir <dir> --scenarios <n> [--seed <u64>]\n",
+        "                          [--profile naive|default|fast|optimized]\n",
+        "                          [--retries <n>] [--processes <n>]\n",
+        "                          [--transport process|sim] [--worker-bin <path>]\n",
+        "                          [--inject-kill <worker>:<request>]\n",
+        "                          [--history <path>] [--metrics <path>]\n",
+        "  dramdig campaign worker [--inject-kill <n>]\n",
+        "  dramdig campaign dlq    list|inspect|retry|reprocess --dir <dir> [--job <id>]\n",
         "  dramdig registry import --campaign <dir> --registry <dir> [--shards <n>]\n",
         "                          [--crash-after <n>]\n",
         "  dramdig registry gen    --registry <dir> (--grid quick|ci|full | --count <n>)\n",
@@ -459,7 +531,8 @@ fn reject_unknown_flags_with_bare(
 fn parse_campaign(rest: &[String]) -> Result<CampaignAction, CliError> {
     let Some(action) = rest.first() else {
         return Err(CliError::Usage(
-            "`dramdig campaign` requires run, resume, status or query".into(),
+            "`dramdig campaign` requires run, resume, status, query, mapreduce, worker or dlq"
+                .into(),
         ));
     };
     let rest = &rest[1..];
@@ -563,8 +636,142 @@ fn parse_campaign(rest: &[String]) -> Result<CampaignAction, CliError> {
                 func: required(rest, "--func", "campaign query")?.to_string(),
             })
         }
+        "mapreduce" => {
+            reject_unknown_flags(
+                rest,
+                &[
+                    "--dir",
+                    "--scenarios",
+                    "--seed",
+                    "--profile",
+                    "--retries",
+                    "--processes",
+                    "--transport",
+                    "--worker-bin",
+                    "--inject-kill",
+                    "--history",
+                    "--metrics",
+                ],
+                "campaign mapreduce",
+            )?;
+            let dir = required(rest, "--dir", "campaign mapreduce")?.to_string();
+            let scenarios = u32::try_from(parse_u64(required(
+                rest,
+                "--scenarios",
+                "campaign mapreduce",
+            )?)?)
+            .map_err(|_| CliError::Usage("--scenarios does not fit a 32-bit count".into()))?;
+            if scenarios == 0 {
+                return Err(CliError::Usage("--scenarios must be at least 1".into()));
+            }
+            let seed = match flag_value(rest, "--seed") {
+                Some(s) => parse_u64(s)?,
+                None => 1,
+            };
+            let profile = match flag_value(rest, "--profile") {
+                Some(name) => Profile::from_name(name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown profile `{name}`")))?,
+                None => Profile::Fast,
+            };
+            let max_retries = match flag_value(rest, "--retries") {
+                Some(r) => u32::try_from(parse_u64(r)?).map_err(|_| {
+                    CliError::Usage(format!("--retries {r} does not fit a 32-bit count"))
+                })?,
+                None => 1,
+            };
+            let processes = match flag_value(rest, "--processes") {
+                Some(p) => {
+                    let processes = parse_u64(p)? as usize;
+                    if processes == 0 {
+                        return Err(CliError::Usage("--processes must be at least 1".into()));
+                    }
+                    processes
+                }
+                None => 4,
+            };
+            let transport = match flag_value(rest, "--transport") {
+                Some("process") | None => MapTransport::Process,
+                Some("sim") => MapTransport::Sim,
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown transport `{other}` (expected process or sim)"
+                    )))
+                }
+            };
+            let inject_kill = flag_value(rest, "--inject-kill")
+                .map(|text| {
+                    let (worker, request) = text.split_once(':').ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "--inject-kill expects <worker>:<request>, got `{text}`"
+                        ))
+                    })?;
+                    let parse = |part: &str| {
+                        u32::try_from(parse_u64(part)?)
+                            .map_err(|_| CliError::Usage(format!("`{part}` is out of range")))
+                    };
+                    Ok::<_, CliError>((parse(worker)?, parse(request)?))
+                })
+                .transpose()?;
+            Ok(CampaignAction::Mapreduce {
+                dir,
+                spec: campaign::mapreduce::GridSpec {
+                    scenarios,
+                    seed,
+                    profile,
+                    max_retries,
+                },
+                processes,
+                transport,
+                worker_bin: flag_value(rest, "--worker-bin").map(str::to_string),
+                inject_kill,
+                history: flag_value(rest, "--history").map(str::to_string),
+                metrics: flag_value(rest, "--metrics").map(str::to_string),
+            })
+        }
+        "worker" => {
+            reject_unknown_flags(rest, &["--inject-kill"], "campaign worker")?;
+            let inject_kill = flag_value(rest, "--inject-kill")
+                .map(|n| {
+                    u32::try_from(parse_u64(n)?)
+                        .map_err(|_| CliError::Usage(format!("`{n}` is out of range")))
+                })
+                .transpose()?;
+            Ok(CampaignAction::Worker { inject_kill })
+        }
+        "dlq" => {
+            let Some(op) = rest.first() else {
+                return Err(CliError::Usage(
+                    "`dramdig campaign dlq` requires list, inspect, retry or reprocess".into(),
+                ));
+            };
+            let op = match op.as_str() {
+                "list" => DlqOp::List,
+                "inspect" => DlqOp::Inspect,
+                "retry" => DlqOp::Retry,
+                "reprocess" => DlqOp::Reprocess,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown dlq action `{other}` (expected list, inspect, retry or reprocess)"
+                    )))
+                }
+            };
+            let rest = &rest[1..];
+            reject_unknown_flags(rest, &["--dir", "--job"], "campaign dlq")?;
+            let job = flag_value(rest, "--job").map(str::to_string);
+            if op == DlqOp::Inspect && job.is_none() {
+                return Err(CliError::Usage(
+                    "`dramdig campaign dlq inspect` requires --job <id>".into(),
+                ));
+            }
+            Ok(CampaignAction::Dlq {
+                dir: required(rest, "--dir", "campaign dlq")?.to_string(),
+                op,
+                job,
+            })
+        }
         other => Err(CliError::Usage(format!(
-            "unknown campaign action `{other}` (expected run, resume, status or query)"
+            "unknown campaign action `{other}` (expected run, resume, status, query, mapreduce, \
+             worker or dlq)"
         ))),
     }
 }
@@ -1592,6 +1799,263 @@ fn execute_campaign(action: &CampaignAction) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        CampaignAction::Mapreduce {
+            dir,
+            spec,
+            processes,
+            transport,
+            worker_bin,
+            inject_kill,
+            history,
+            metrics,
+        } => execute_mapreduce(
+            dir,
+            spec,
+            *processes,
+            *transport,
+            worker_bin.as_deref(),
+            *inject_kill,
+            history.as_deref(),
+            metrics.as_deref(),
+        ),
+        CampaignAction::Worker { inject_kill } => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            campaign::mapreduce::run_worker(stdin.lock(), stdout.lock(), *inject_kill)
+                .map_err(CliError::Tool)?;
+            Ok(String::new())
+        }
+        CampaignAction::Dlq { dir, op, job } => execute_dlq(dir, *op, job.as_deref()),
+    }
+}
+
+/// Reads the grid spec persisted in a mapreduce campaign directory.
+fn read_grid_spec(paths: &CampaignPaths) -> Result<campaign::mapreduce::GridSpec, CliError> {
+    let path = paths.dir().join("grid.spec");
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        CliError::Tool(format!(
+            "cannot read {} ({e}); was this grid started with `campaign mapreduce`?",
+            path.display()
+        ))
+    })?;
+    campaign::mapreduce::GridSpec::decode(&text)
+        .map_err(|e| CliError::Tool(format!("corrupt grid spec: {e}")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_mapreduce(
+    dir: &str,
+    spec: &campaign::mapreduce::GridSpec,
+    processes: usize,
+    transport: MapTransport,
+    worker_bin: Option<&str>,
+    inject_kill: Option<(u32, u32)>,
+    history: Option<&str>,
+    metrics: Option<&str>,
+) -> Result<String, CliError> {
+    use campaign::mapreduce::{ProcessTransport, SimTransport, WorkerTransport};
+
+    let paths = CampaignPaths::new(dir);
+    let spec_path = paths.dir().join("grid.spec");
+    if spec_path.exists() {
+        let existing = read_grid_spec(&paths)?;
+        if &existing != spec {
+            return Err(CliError::Tool(format!(
+                "{dir} already holds a different grid; resume it or pick a new --dir"
+            )));
+        }
+    } else {
+        std::fs::create_dir_all(paths.dir())
+            .and_then(|()| std::fs::write(&spec_path, spec.encode()))
+            .map_err(|e| CliError::Tool(format!("cannot persist grid spec in {dir}: {e}")))?;
+    }
+
+    let transports: Vec<Box<dyn WorkerTransport>> = match transport {
+        MapTransport::Sim => (0..processes)
+            .map(|i| {
+                let sim = match inject_kill {
+                    Some((worker, request)) if worker as usize == i => {
+                        SimTransport::killed_at(request)
+                    }
+                    _ => SimTransport::new(),
+                };
+                Box::new(sim) as Box<dyn WorkerTransport>
+            })
+            .collect(),
+        MapTransport::Process => {
+            let bin = match worker_bin {
+                Some(path) => std::path::PathBuf::from(path),
+                None => std::env::current_exe()
+                    .map_err(|e| CliError::Tool(format!("cannot locate own binary: {e}")))?,
+            };
+            (0..processes)
+                .map(|i| {
+                    let extra = match inject_kill {
+                        Some((worker, request)) if worker as usize == i => {
+                            vec!["--inject-kill".to_string(), request.to_string()]
+                        }
+                        _ => Vec::new(),
+                    };
+                    ProcessTransport::spawn(&bin, &extra)
+                        .map(|t| Box::new(t) as Box<dyn WorkerTransport>)
+                })
+                .collect::<std::io::Result<Vec<_>>>()
+                .map_err(|e| CliError::Tool(format!("cannot spawn workers: {e}")))?
+        }
+    };
+
+    let mut pool_metrics = telemetry::Registry::new();
+    let outcome = campaign::mapreduce::run_mapreduce(
+        spec,
+        &paths,
+        transports,
+        metrics.is_some().then_some(&mut pool_metrics),
+    )
+    .map_err(|e| CliError::Tool(e.to_string()))?;
+    if metrics.is_some() {
+        write_trace_files(&telemetry::Tracer::new(), &pool_metrics, None, metrics)?;
+    }
+
+    if let Some(path) = history {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(CliError::Tool(format!("cannot read history {path}: {e}"))),
+        };
+        let line = campaign::mapreduce::grid_history_line(spec, &outcome);
+        match dramdig_bench::eval::append_history(&existing, &line) {
+            Ok(Some(updated)) => {
+                std::fs::write(path, updated)
+                    .map_err(|e| CliError::Tool(format!("cannot write history {path}: {e}")))?;
+                eprintln!("[dramdig] history: recorded new grid in {path}");
+            }
+            Ok(None) => {
+                eprintln!("[dramdig] history: grid already recorded in {path}, unchanged");
+            }
+            Err(drift) => return Err(CliError::Tool(format!("scoreboard {drift}"))),
+        }
+    }
+
+    let pending =
+        spec.scenarios as usize - outcome.state.completed.len() - outcome.state.dead.len();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "mapreduce {dir}: {}/{} jobs completed ({} this invocation, {} dead-lettered, {} pending)",
+        outcome.state.completed.len(),
+        spec.scenarios,
+        outcome.completed_now,
+        outcome.state.dead.len(),
+        pending,
+    )
+    .expect("write to string");
+    if pending > 0 {
+        writeln!(
+            out,
+            "  continue with `dramdig campaign mapreduce --dir {dir} --scenarios {}`",
+            spec.scenarios
+        )
+        .expect("write to string");
+    }
+    writeln!(
+        out,
+        "store: {} distinct mappings ({})",
+        outcome.store.len(),
+        paths.store().display()
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "scoreboard: fnv1a:{:016x} ({})",
+        campaign::mapreduce::fingerprint(&outcome.scoreboard),
+        paths.dir().join("SCOREBOARD.txt").display()
+    )
+    .expect("write to string");
+    if !outcome.state.dead.is_empty() {
+        writeln!(
+            out,
+            "dead letters: inspect with `dramdig campaign dlq list --dir {dir}`"
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+fn execute_dlq(dir: &str, op: DlqOp, job: Option<&str>) -> Result<String, CliError> {
+    let paths = CampaignPaths::new(dir);
+    let records = campaign::mapreduce::read_merged_journal(&paths)
+        .map_err(|e| CliError::Tool(e.to_string()))?;
+    let state = campaign::JournalState::replay(&records);
+    let letters = campaign::dead_letters(&state);
+    match op {
+        DlqOp::List => {
+            let mut out = String::new();
+            writeln!(out, "dead-letter queue of {dir}: {} job(s)", letters.len())
+                .expect("write to string");
+            for letter in &letters {
+                let reason = letter.reason.replace('\n', " / ");
+                writeln!(
+                    out,
+                    "  {} attempts={} reason={}",
+                    letter.job, letter.attempts, reason
+                )
+                .expect("write to string");
+            }
+            Ok(out)
+        }
+        DlqOp::Inspect => {
+            let id = job.expect("parser enforces --job for inspect");
+            let letter = letters.iter().find(|l| l.job == id).ok_or_else(|| {
+                CliError::Tool(format!(
+                    "job `{id}` is not dead-lettered (see `campaign dlq list`)"
+                ))
+            })?;
+            let mut out = String::new();
+            writeln!(out, "job: {}", letter.job).expect("write to string");
+            writeln!(out, "attempts: {}", letter.attempts).expect("write to string");
+            writeln!(
+                out,
+                "next retry attempt: {}",
+                state.next_attempt(&letter.job)
+            )
+            .expect("write to string");
+            writeln!(out, "reason:\n{}", letter.reason).expect("write to string");
+            Ok(out)
+        }
+        DlqOp::Retry | DlqOp::Reprocess => {
+            let mode = match op {
+                DlqOp::Retry => campaign::RequeueMode::Retry,
+                _ => campaign::RequeueMode::Reprocess,
+            };
+            // Requeue records must land *after* the dead records they revive:
+            // fold any worker journal shards into the top-level journal first.
+            campaign::mapreduce::compact_journals(&paths)
+                .map_err(|e| CliError::Tool(e.to_string()))?;
+            let requeued = campaign::requeue(&paths.journal(), &state, mode, job)
+                .map_err(|e| CliError::Tool(e.to_string()))?;
+            // dlq.txt mirrors the journal: rewrite it from the post-requeue state.
+            let records = campaign::read_journal(&paths.journal())
+                .map_err(|e| CliError::Tool(e.to_string()))?;
+            campaign::write_dlq(&paths.dlq(), &campaign::JournalState::replay(&records))
+                .map_err(|e| CliError::Tool(e.to_string()))?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "requeued {} job(s) for {}:",
+                requeued.len(),
+                mode.as_str()
+            )
+            .expect("write to string");
+            for id in &requeued {
+                writeln!(out, "  {id}").expect("write to string");
+            }
+            writeln!(
+                out,
+                "run `dramdig campaign mapreduce --dir {dir} ...` (or `campaign resume`) to drain them"
+            )
+            .expect("write to string");
+            Ok(out)
+        }
     }
 }
 
@@ -2054,6 +2518,9 @@ mod tests {
             "campaign resume",
             "campaign status",
             "campaign query",
+            "campaign mapreduce",
+            "campaign worker",
+            "campaign dlq",
             "registry import",
             "registry gen",
             "registry query",
@@ -2600,6 +3067,168 @@ mod tests {
                     func: "(13, 16)".into(),
                 })),
             ),
+            // --- campaign mapreduce/worker/dlq ------------------------------
+            (
+                &[
+                    "campaign",
+                    "mapreduce",
+                    "--dir",
+                    "grid",
+                    "--scenarios",
+                    "1000",
+                ],
+                Some(Command::Campaign(CampaignAction::Mapreduce {
+                    dir: "grid".into(),
+                    spec: campaign::mapreduce::GridSpec {
+                        scenarios: 1000,
+                        seed: 1,
+                        profile: Profile::Fast,
+                        max_retries: 1,
+                    },
+                    processes: 4,
+                    transport: MapTransport::Process,
+                    worker_bin: None,
+                    inject_kill: None,
+                    history: None,
+                    metrics: None,
+                })),
+            ),
+            (
+                &[
+                    "campaign",
+                    "mapreduce",
+                    "--dir",
+                    "grid",
+                    "--scenarios",
+                    "24",
+                    "--seed",
+                    "7",
+                    "--profile",
+                    "optimized",
+                    "--retries",
+                    "2",
+                    "--processes",
+                    "3",
+                    "--transport",
+                    "sim",
+                    "--inject-kill",
+                    "1:2",
+                    "--history",
+                    "h.txt",
+                ],
+                Some(Command::Campaign(CampaignAction::Mapreduce {
+                    dir: "grid".into(),
+                    spec: campaign::mapreduce::GridSpec {
+                        scenarios: 24,
+                        seed: 7,
+                        profile: Profile::Optimized,
+                        max_retries: 2,
+                    },
+                    processes: 3,
+                    transport: MapTransport::Sim,
+                    worker_bin: None,
+                    inject_kill: Some((1, 2)),
+                    history: Some("h.txt".into()),
+                    metrics: None,
+                })),
+            ),
+            (
+                &["campaign", "worker"],
+                Some(Command::Campaign(CampaignAction::Worker {
+                    inject_kill: None,
+                })),
+            ),
+            (
+                &["campaign", "worker", "--inject-kill", "2"],
+                Some(Command::Campaign(CampaignAction::Worker {
+                    inject_kill: Some(2),
+                })),
+            ),
+            (
+                &["campaign", "dlq", "list", "--dir", "grid"],
+                Some(Command::Campaign(CampaignAction::Dlq {
+                    dir: "grid".into(),
+                    op: DlqOp::List,
+                    job: None,
+                })),
+            ),
+            (
+                &[
+                    "campaign",
+                    "dlq",
+                    "inspect",
+                    "--dir",
+                    "grid",
+                    "--job",
+                    "g0007-s1-fast",
+                ],
+                Some(Command::Campaign(CampaignAction::Dlq {
+                    dir: "grid".into(),
+                    op: DlqOp::Inspect,
+                    job: Some("g0007-s1-fast".into()),
+                })),
+            ),
+            (
+                &["campaign", "dlq", "retry", "--dir", "grid"],
+                Some(Command::Campaign(CampaignAction::Dlq {
+                    dir: "grid".into(),
+                    op: DlqOp::Retry,
+                    job: None,
+                })),
+            ),
+            (
+                &[
+                    "campaign",
+                    "dlq",
+                    "reprocess",
+                    "--dir",
+                    "grid",
+                    "--job",
+                    "g0007-s1-fast",
+                ],
+                Some(Command::Campaign(CampaignAction::Dlq {
+                    dir: "grid".into(),
+                    op: DlqOp::Reprocess,
+                    job: Some("g0007-s1-fast".into()),
+                })),
+            ),
+            // --- mapreduce/worker/dlq usage errors --------------------------
+            (&["campaign", "mapreduce", "--dir", "grid"], None), // no --scenarios
+            (
+                &["campaign", "mapreduce", "--dir", "g", "--scenarios", "0"],
+                None,
+            ),
+            (
+                &[
+                    "campaign",
+                    "mapreduce",
+                    "--dir",
+                    "g",
+                    "--scenarios",
+                    "4",
+                    "--transport",
+                    "carrier-pigeon",
+                ],
+                None,
+            ),
+            (
+                &[
+                    "campaign",
+                    "mapreduce",
+                    "--dir",
+                    "g",
+                    "--scenarios",
+                    "4",
+                    "--inject-kill",
+                    "2",
+                ],
+                None, // missing worker:request separator
+            ),
+            (&["campaign", "worker", "--inject-kill"], None), // value-less flag
+            (&["campaign", "dlq"], None),
+            (&["campaign", "dlq", "purge", "--dir", "g"], None),
+            (&["campaign", "dlq", "inspect", "--dir", "g"], None), // no --job
+            (&["campaign", "dlq", "list"], None),                  // no --dir
             // --- campaign usage errors -------------------------------------
             (&["campaign"], None),
             (&["campaign", "launch"], None),
@@ -3057,6 +3686,108 @@ mod tests {
             dir: format!("{dir_str}-nope"),
         }))
         .is_err());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mapreduce_lifecycle_with_kill_and_dlq_requeue() {
+        let dir =
+            std::env::temp_dir().join(format!("dramdig-cli-mapreduce-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+        let spec = campaign::mapreduce::GridSpec {
+            scenarios: 8,
+            seed: 1,
+            profile: Profile::Fast,
+            max_retries: 0,
+        };
+        let history = dir.join("history.txt");
+        let mapreduce = |inject_kill, with_history: bool| {
+            Command::Campaign(CampaignAction::Mapreduce {
+                dir: dir_str.clone(),
+                spec: spec.clone(),
+                processes: 3,
+                transport: MapTransport::Sim,
+                worker_bin: None,
+                inject_kill,
+                history: with_history.then(|| history.to_str().unwrap().to_string()),
+                metrics: None,
+            })
+        };
+
+        // Three simulated workers, one killed mid-phase on its second job:
+        // the grid still finishes (7 ok + the wide-function dead letter).
+        let out = execute(&mapreduce(Some((0, 2)), true)).unwrap();
+        assert!(out.contains("7/8 jobs completed"), "{out}");
+        assert!(out.contains("1 dead-lettered"), "{out}");
+        assert!(out.contains("campaign dlq list"), "{out}");
+        let board = std::fs::read_to_string(dir.join("SCOREBOARD.txt")).unwrap();
+        assert!(
+            board.contains("g0007-s1-fast [wide-function] dead"),
+            "{board}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&history).unwrap().lines().count(),
+            1
+        );
+
+        // A different spec in the same directory is refused.
+        let err = execute(&Command::Campaign(CampaignAction::Mapreduce {
+            dir: dir_str.clone(),
+            spec: campaign::mapreduce::GridSpec {
+                scenarios: 9,
+                ..spec.clone()
+            },
+            processes: 1,
+            transport: MapTransport::Sim,
+            worker_bin: None,
+            inject_kill: None,
+            history: None,
+            metrics: None,
+        }))
+        .unwrap_err();
+        assert!(err.to_string().contains("different grid"), "{err}");
+
+        // The DLQ is listable and inspectable.
+        let out = execute(&Command::Campaign(CampaignAction::Dlq {
+            dir: dir_str.clone(),
+            op: DlqOp::List,
+            job: None,
+        }))
+        .unwrap();
+        assert!(out.contains("1 job(s)"), "{out}");
+        assert!(out.contains("g0007-s1-fast"), "{out}");
+        let out = execute(&Command::Campaign(CampaignAction::Dlq {
+            dir: dir_str.clone(),
+            op: DlqOp::Inspect,
+            job: Some("g0007-s1-fast".into()),
+        }))
+        .unwrap();
+        assert!(out.contains("next retry attempt: 2"), "{out}");
+        assert!(execute(&Command::Campaign(CampaignAction::Dlq {
+            dir: dir_str.clone(),
+            op: DlqOp::Inspect,
+            job: Some("g0000-s1-fast".into()),
+        }))
+        .is_err());
+
+        // Retry puts the job back in play; the re-run dead-letters it again
+        // (wide functions always refuse), now at attempt 2 — a genuine board
+        // change, so the re-run skips the history gate.
+        let out = execute(&Command::Campaign(CampaignAction::Dlq {
+            dir: dir_str.clone(),
+            op: DlqOp::Retry,
+            job: None,
+        }))
+        .unwrap();
+        assert!(out.contains("requeued 1 job(s) for retry"), "{out}");
+        let dlq_txt = std::fs::read_to_string(dir.join("dlq.txt")).unwrap();
+        assert!(dlq_txt.contains("# jobs = 0"), "{dlq_txt}");
+        let out = execute(&mapreduce(None, false)).unwrap();
+        assert!(out.contains("1 dead-lettered"), "{out}");
+        let board = std::fs::read_to_string(dir.join("SCOREBOARD.txt")).unwrap();
+        assert!(board.contains("dead attempts=2"), "{board}");
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -11,7 +11,8 @@
 //! * [`dram_baselines`] — DRAMA, Xiao et al. and Seaborn et al.;
 //! * [`rowhammer`] — the double-sided rowhammer harness;
 //! * [`campaign`] — resumable multi-machine campaign orchestration with a
-//!   persistent mapping store.
+//!   persistent mapping store, a first-class dead-letter queue and a
+//!   map/reduce coordinator over worker processes.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

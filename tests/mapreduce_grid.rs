@@ -1,0 +1,85 @@
+//! Repo-level integration of the map/reduce campaign coordinator: the same
+//! small generated-machine grid drained under different worker topologies —
+//! including one with a mid-phase worker kill — must reduce to byte-identical
+//! scoreboard and store artifacts, and a dead-letter retry must put the
+//! fodder job back in play at the next attempt.
+
+use dramdig_repro::campaign::mapreduce::{run_mapreduce, GridSpec, SimTransport, WorkerTransport};
+use dramdig_repro::campaign::{dead_letters, requeue, CampaignPaths, Profile, RequeueMode};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dramdig-repro-mr-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn transports(workers: usize, kill_first_at: Option<u32>) -> Vec<Box<dyn WorkerTransport>> {
+    (0..workers)
+        .map(|i| match kill_first_at {
+            Some(n) if i == 0 => Box::new(SimTransport::killed_at(n)) as Box<dyn WorkerTransport>,
+            _ => Box::new(SimTransport::new()),
+        })
+        .collect()
+}
+
+#[test]
+fn grid_reduces_identically_across_topologies_and_retries_from_the_dlq() {
+    // 8 scenarios: indexes 3 is row-remap, 7 is wide-function DLQ fodder.
+    let spec = GridSpec::new(8, 1, Profile::Fast);
+
+    let single_dir = temp_dir("single");
+    let single = run_mapreduce(
+        &spec,
+        &CampaignPaths::new(&single_dir),
+        transports(1, None),
+        None,
+    )
+    .expect("single-process drain");
+    assert_eq!(single.state.completed.len(), 7);
+    assert_eq!(single.state.dead.len(), 1, "index 7 is fodder");
+
+    // Three workers, the first kill -9'd (simulated) on its second lease:
+    // the orphaned lease is stolen and resumed from its checkpoint.
+    let multi_dir = temp_dir("multi");
+    let multi_paths = CampaignPaths::new(&multi_dir);
+    let multi = run_mapreduce(&spec, &multi_paths, transports(3, Some(2)), None)
+        .expect("three-process drain with one kill");
+
+    assert_eq!(
+        single.scoreboard, multi.scoreboard,
+        "scoreboard must not depend on worker topology or kill points"
+    );
+    assert_eq!(
+        single.store.encode(),
+        multi.store.encode(),
+        "merged store must not depend on worker topology or kill points"
+    );
+    let board_file = std::fs::read_to_string(multi_dir.join("SCOREBOARD.txt")).unwrap();
+    assert_eq!(board_file, multi.scoreboard, "artifact matches the outcome");
+
+    // The fodder job is a first-class dead letter; a retry re-enqueues it
+    // one past the dead attempt, and the next drain settles it again.
+    let letters = dead_letters(&multi.state);
+    assert_eq!(letters.len(), 1);
+    assert!(letters[0].job.starts_with("g0007"));
+    let before_attempts = letters[0].attempts;
+    requeue(
+        &multi_paths.journal(),
+        &multi.state,
+        RequeueMode::Retry,
+        None,
+    )
+    .expect("requeue the dead letter");
+    let retried =
+        run_mapreduce(&spec, &multi_paths, transports(2, None), None).expect("post-retry drain");
+    let letters = dead_letters(&retried.state);
+    assert_eq!(letters.len(), 1, "the fodder job fails again");
+    assert_eq!(
+        letters[0].attempts,
+        before_attempts + 1,
+        "the retry burned exactly one more attempt-derived seed"
+    );
+
+    let _ = std::fs::remove_dir_all(&single_dir);
+    let _ = std::fs::remove_dir_all(&multi_dir);
+}
